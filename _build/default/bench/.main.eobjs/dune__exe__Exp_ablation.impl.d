@@ -1,0 +1,1 @@
+bench/exp_ablation.ml: Array Float List Matprod_comm Matprod_core Matprod_matrix Matprod_sketch Matprod_util Matprod_workload Printf Report

@@ -1,0 +1,1 @@
+bench/exp_linf.ml: List Matprod_comm Matprod_core Matprod_matrix Matprod_util Matprod_workload Printf Report

@@ -1,0 +1,1 @@
+bench/exp_lp.ml: Array Float Format Hashtbl List Matprod_comm Matprod_core Matprod_matrix Matprod_util Matprod_workload Option Printf Report

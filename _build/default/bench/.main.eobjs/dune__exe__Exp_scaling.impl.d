@@ -1,0 +1,1 @@
+bench/exp_scaling.ml: Float Hashtbl List Matprod_comm Matprod_core Matprod_matrix Matprod_util Matprod_workload Printf Report

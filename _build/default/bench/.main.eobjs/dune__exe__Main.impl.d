@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_ablation Exp_hh Exp_lb Exp_linf Exp_lp Exp_scaling List Microbench Printf Report String Sys

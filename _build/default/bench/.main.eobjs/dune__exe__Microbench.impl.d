@@ -1,0 +1,1 @@
+bench/microbench.ml: Analyze Array Bechamel Benchmark Hashtbl Instance List Matprod_matrix Matprod_sketch Matprod_util Matprod_workload Measure Printf Report Staged Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/report.ml: Array List Matprod_util Printf String

@@ -1,0 +1,170 @@
+(* Ablations A1–A4: sensitivity of the implementation's tunable constants,
+   for the design choices DESIGN.md calls out. These do not correspond to
+   paper claims; they justify the chosen defaults. *)
+
+module Prng = Matprod_util.Prng
+module Stats = Matprod_util.Stats
+module Imat = Matprod_matrix.Imat
+module Product = Matprod_matrix.Product
+module Ctx = Matprod_comm.Ctx
+module Workload = Matprod_workload.Workload
+module L0_sketch = Matprod_sketch.L0_sketch
+module S_sparse = Matprod_sketch.S_sparse
+module Lp_protocol = Matprod_core.Lp_protocol
+module Linf_binary = Matprod_core.Linf_binary
+
+(* A1: Algorithm 2's threshold constant gamma. Too small: the level search
+   oversamples and the estimate degrades. Too large: subsampling never
+   engages and the exchange cost grows. *)
+let a1 ~quick =
+  Report.section ~id:"A1  ablation: Algorithm 2 threshold constant gamma"
+    ~claim:"(implementation default gamma_const = 8)";
+  let n = 256 in
+  let rng = Prng.create 70 in
+  let a, b = (
+    Workload.uniform_bool rng ~rows:n ~cols:n ~density:0.3,
+    Workload.uniform_bool rng ~rows:n ~cols:n ~density:0.3)
+  in
+  let actual = float_of_int (Product.linf (Product.bool_product a b)) in
+  let cols = [ ("gamma_c", 8); ("level", 6); ("estimate", 9); ("factor", 7); ("bits", 10) ] in
+  Report.table_header cols;
+  let gammas = if quick then [ 0.05; 8.0 ] else [ 0.02; 0.1; 1.0; 8.0; 64.0 ] in
+  List.iter
+    (fun gamma_const ->
+      let r =
+        Ctx.run ~seed:1 (fun ctx ->
+            Linf_binary.run ctx { Linf_binary.eps = 0.25; gamma_const } ~a ~b)
+      in
+      let out = r.Ctx.output in
+      Report.row cols
+        [
+          Printf.sprintf "%.2f" gamma_const;
+          string_of_int out.Linf_binary.level;
+          Printf.sprintf "%.0f" out.Linf_binary.estimate;
+          Report.f2 (Stats.approx_factor ~actual ~estimate:out.Linf_binary.estimate);
+          Report.fbits r.Ctx.bits;
+        ])
+    gammas;
+  Report.note "deeper levels trade bits for variance; the default keeps the factor within 2+eps"
+
+(* A2: the l0 sketch's buckets-per-level count. Error should shrink like
+   1/sqrt(buckets). *)
+let a2 ~quick =
+  Report.section ~id:"A2  ablation: l0-sketch buckets per level"
+    ~claim:"(linear-counting error ~ 1/sqrt(buckets); default 12/eps^2)";
+  let dim = 4096 in
+  let trials = if quick then 10 else 40 in
+  let cols = [ ("buckets", 8); ("median err", 11); ("q90 err", 8) ] in
+  Report.table_header cols;
+  let errs_of buckets =
+    let rng = Prng.create 71 in
+    Array.init trials (fun _ ->
+        let t = L0_sketch.create_explicit rng ~buckets ~groups:3 ~dim in
+        let nnz = 500 in
+        let idx = Array.init dim (fun i -> i) in
+        Prng.shuffle rng idx;
+        let vec = Array.map (fun i -> (i, 1)) (Array.sub idx 0 nnz) in
+        Stats.relative_error ~actual:(float_of_int nnz)
+          ~estimate:(L0_sketch.estimate t (L0_sketch.sketch t vec)))
+  in
+  let med_errs = ref [] in
+  List.iter
+    (fun buckets ->
+      let errs = errs_of buckets in
+      let med = Stats.median errs in
+      med_errs := (buckets, med) :: !med_errs;
+      Report.row cols
+        [
+          string_of_int buckets;
+          Report.f3 med;
+          Report.f3 (Stats.quantile errs 0.9);
+        ])
+    [ 16; 64; 256; 1024 ];
+  match List.sort compare !med_errs with
+  | (b_lo, e_lo) :: rest ->
+      let b_hi, e_hi = List.nth rest (List.length rest - 1) in
+      Report.note "error ratio %.1f for bucket ratio %.0f (sqrt law predicts %.1f)"
+        (e_lo /. Float.max 1e-9 e_hi)
+        (float_of_int b_hi /. float_of_int b_lo)
+        (sqrt (float_of_int b_hi /. float_of_int b_lo));
+      Report.record_verdict (e_lo > e_hi)
+        "more buckets give strictly better estimates"
+  | [] -> ()
+
+(* A3: s-sparse recovery repetitions: success probability at the capacity
+   boundary. *)
+let a3 ~quick =
+  Report.section ~id:"A3  ablation: s-sparse recovery repetitions"
+    ~claim:"(peeling success rate at full load vs repetitions; default 3)";
+  let trials = if quick then 40 else 200 in
+  let cols = [ ("reps", 5); ("success@s", 10); ("success@s/2", 11) ] in
+  Report.table_header cols;
+  let rate ~reps ~load =
+    let rng = Prng.create 72 in
+    let ok = ref 0 in
+    for _ = 1 to trials do
+      let t = S_sparse.create rng ~s:16 ~reps in
+      let nnz = load in
+      let idx = Array.init 100_000 (fun i -> i * 7) in
+      Prng.shuffle rng idx;
+      let vec = Array.map (fun i -> (i, 1 + (i mod 5))) (Array.sub idx 0 nnz) in
+      Array.sort compare vec;
+      match S_sparse.decode t (S_sparse.sketch t vec) with
+      | S_sparse.Ok pairs when pairs = Array.to_list vec -> incr ok
+      | _ -> ()
+    done;
+    float_of_int !ok /. float_of_int trials
+  in
+  let final = ref 0.0 in
+  List.iter
+    (fun reps ->
+      let full = rate ~reps ~load:16 in
+      let half = rate ~reps ~load:8 in
+      if reps = 3 then final := full;
+      Report.row cols
+        [ string_of_int reps; Report.f3 full; Report.f3 half ])
+    [ 1; 2; 3; 4 ];
+  Report.record_verdict (!final > 0.9)
+    "the default (3 reps) recovers a full-load vector >90%% of the time"
+
+(* A4: Algorithm 1's sampling mass rho. *)
+let a4 ~quick =
+  Report.section ~id:"A4  ablation: Algorithm 1 sampling mass rho"
+    ~claim:"(estimator std ~ sqrt(18 eps / rho_const); default 200)";
+  let n = 256 in
+  let rng = Prng.create 73 in
+  let a = Workload.uniform_bool rng ~rows:n ~cols:n ~density:0.05 in
+  let b = Workload.uniform_bool rng ~rows:n ~cols:n ~density:0.05 in
+  let actual = Product.lp_pow (Product.bool_product a b) ~p:0.0 in
+  let trials = if quick then 5 else 15 in
+  let cols = [ ("rho_c", 6); ("median err", 11); ("q90 err", 8); ("bits", 10) ] in
+  Report.table_header cols;
+  List.iter
+    (fun rho_const ->
+      let bits = ref 0 in
+      let errs =
+        Array.init trials (fun seed ->
+            let r =
+              Ctx.run ~seed:(seed + 1) (fun ctx ->
+                  Lp_protocol.run ctx
+                    { Lp_protocol.p = 0.0; eps = 0.25; sketch_groups = 5; rho_const }
+                    ~a:(Imat.of_bmat a) ~b:(Imat.of_bmat b))
+            in
+            bits := r.Ctx.bits;
+            Stats.relative_error ~actual ~estimate:r.Ctx.output)
+      in
+      Report.row cols
+        [
+          Printf.sprintf "%.0f" rho_const;
+          Report.f3 (Stats.median errs);
+          Report.f3 (Stats.quantile errs 0.9);
+          Report.fbits !bits;
+        ])
+    (if quick then [ 8.0; 200.0 ] else [ 8.0; 32.0; 200.0; 800.0 ]);
+  Report.note "larger rho ships more rows of A in round 2; the round-1 sketch dominates until rho ~ 1000"
+
+let all ~quick =
+  a1 ~quick;
+  a2 ~quick;
+  a3 ~quick;
+  a4 ~quick

@@ -1,0 +1,197 @@
+(* Experiments E6–E8: the ℓ∞ protocols of Section 4. *)
+
+module Prng = Matprod_util.Prng
+module Stats = Matprod_util.Stats
+module Imat = Matprod_matrix.Imat
+module Product = Matprod_matrix.Product
+module Ctx = Matprod_comm.Ctx
+module Workload = Matprod_workload.Workload
+module Linf_binary = Matprod_core.Linf_binary
+module Linf_kappa = Matprod_core.Linf_kappa
+module Linf_general = Matprod_core.Linf_general
+
+let seeds ~quick = if quick then [ 1 ] else [ 1; 2; 3 ]
+
+(* ------------------------------------------------------------------ *)
+
+let e6 ~quick =
+  Report.section ~id:"E6  (2+eps)-approx of ||AB||_inf, binary (Algorithm 2 / Thm 4.1)"
+    ~claim:
+      "3 rounds, O~(n^1.5/eps) bits, factor 2+eps; the trivial protocol \
+       pays n^2 bits; Thm 4.4 says factor 2 needs Omega(n^2)";
+  let eps = 0.25 in
+  let cols =
+    [
+      ("n", 6); ("actual", 7); ("estimate", 9); ("factor", 7); ("bits", 10);
+      ("n^2 bits", 10); ("rounds", 6);
+    ]
+  in
+  Report.table_header cols;
+  let ns = if quick then [ 128; 256 ] else [ 128; 256; 512 ] in
+  let ratios = ref [] in
+  let ok = ref true in
+  List.iter
+    (fun n ->
+      let rng = Prng.create (48 + n) in
+      let a, b, _ =
+        Workload.planted_pair rng ~n ~density:0.04 ~overlap:(n / 3)
+      in
+      let actual = float_of_int (Product.linf (Product.bool_product a b)) in
+      let ests, bits, rounds =
+        List.fold_left
+          (fun (es, bs, _) seed ->
+            let r =
+              Ctx.run ~seed (fun ctx ->
+                  Linf_binary.run ctx (Linf_binary.default_params ~eps) ~a ~b)
+            in
+            ( r.Ctx.output.Linf_binary.estimate :: es,
+              float_of_int r.Ctx.bits :: bs,
+              r.Ctx.rounds ))
+          ([], [], 0) (seeds ~quick)
+      in
+      let est = Report.median_of ests in
+      let bits = int_of_float (Report.median_of bits) in
+      let factor = Stats.approx_factor ~actual ~estimate:est in
+      if not (est >= actual /. (2.0 +. (2.0 *. eps)) && est <= actual *. (1.0 +. (2.0 *. eps)))
+      then ok := false;
+      ratios := (n, float_of_int bits /. float_of_int (n * n)) :: !ratios;
+      Report.row cols
+        [
+          string_of_int n;
+          Printf.sprintf "%.0f" actual;
+          Printf.sprintf "%.0f" est;
+          Report.f2 factor;
+          Report.fbits bits;
+          Report.fbits (n * n);
+          string_of_int rounds;
+        ])
+    ns;
+  Report.record_verdict !ok "estimates within the (2+eps) band";
+  (match (!ratios, List.rev !ratios) with
+  | (n_big, r_big) :: _, (n_small, r_small) :: _ when n_big <> n_small ->
+      Report.note "bits/n^2 at n=%d: %.3f; at n=%d: %.3f" n_small r_small n_big
+        r_big;
+      Report.record_verdict (r_big < r_small)
+        "communication grows sub-quadratically (toward n^1.5)"
+  | _ -> ())
+
+(* ------------------------------------------------------------------ *)
+
+let e7 ~quick =
+  Report.section ~id:"E7  kappa-approx of ||AB||_inf, binary (Algorithm 3 / Thm 4.3)"
+    ~claim:"O(1) rounds, O~(n^1.5/kappa) bits, factor kappa (kappa in [4, n])";
+  (* kappa large enough that the universe-sampling rate q = alpha/kappa
+     actually drops below 1 at this n (alpha ~ 8 ln n ~ 50). *)
+  let n = 512 in
+  let rng = Prng.create 49 in
+  let a, b, _ = Workload.planted_pair rng ~n ~density:0.03 ~overlap:300 in
+  let actual = float_of_int (Product.linf (Product.bool_product a b)) in
+  Printf.printf "workload: planted pair, n = %d, ||C||_inf = %.0f\n\n" n actual;
+  let cols =
+    [ ("kappa", 6); ("estimate", 9); ("factor", 7); ("bits", 10); ("rounds", 6) ]
+  in
+  Report.table_header cols;
+  let kappas = if quick then [ 64.0; 256.0 ] else [ 64.0; 128.0; 256.0 ] in
+  let ok = ref true in
+  let bits_by_kappa = ref [] in
+  List.iter
+    (fun kappa ->
+      let ests, bits, rounds =
+        List.fold_left
+          (fun (es, bs, _) seed ->
+            let r =
+              Ctx.run ~seed (fun ctx ->
+                  Linf_kappa.run ctx (Linf_kappa.default_params ~kappa) ~a ~b)
+            in
+            ( r.Ctx.output.Linf_kappa.estimate :: es,
+              float_of_int r.Ctx.bits :: bs,
+              r.Ctx.rounds ))
+          ([], [], 0) (seeds ~quick)
+      in
+      let est = Report.median_of ests in
+      let bits = int_of_float (Report.median_of bits) in
+      let factor = Stats.approx_factor ~actual ~estimate:est in
+      if factor > 2.0 *. kappa then ok := false;
+      bits_by_kappa := (kappa, bits) :: !bits_by_kappa;
+      Report.row cols
+        [
+          Printf.sprintf "%.0f" kappa;
+          Printf.sprintf "%.0f" est;
+          Report.f2 factor;
+          Report.fbits bits;
+          string_of_int rounds;
+        ])
+    kappas;
+  Report.record_verdict !ok "every estimate within ~kappa of the truth";
+  (match (!bits_by_kappa, List.rev !bits_by_kappa) with
+  | (k_hi, b_hi) :: _, (k_lo, b_lo) :: _ when k_hi <> k_lo ->
+      Report.note "bits shrink x%.1f as kappa grows x%.0f"
+        (float_of_int b_lo /. float_of_int b_hi)
+        (k_hi /. k_lo);
+      Report.record_verdict (b_hi < b_lo)
+        "larger kappa buys strictly less communication"
+  | _ -> ())
+
+(* ------------------------------------------------------------------ *)
+
+let e8 ~quick =
+  Report.section
+    ~id:"E8  kappa-approx of ||AB||_inf, integer matrices (Thm 4.8)"
+    ~claim:
+      "1 round and O~(n^2/kappa^2) bits; binary vs integer separation: \
+       integer needs Omega~(n^2/kappa^2) while binary needs only O~(n^1.5/kappa)";
+  let n = 256 in
+  let rng = Prng.create 50 in
+  let a = Workload.uniform_int rng ~rows:n ~cols:n ~density:0.08 ~max_value:6 in
+  let b = Workload.uniform_int rng ~rows:n ~cols:n ~density:0.08 ~max_value:6 in
+  let actual = float_of_int (Product.linf (Product.int_product a b)) in
+  Printf.printf "workload: uniform integer, n = %d, ||C||_inf = %.0f\n\n" n actual;
+  let cols =
+    [ ("kappa", 6); ("estimate", 9); ("factor", 7); ("bits", 10); ("rounds", 6) ]
+  in
+  Report.table_header cols;
+  let kappas = if quick then [ 2.0; 8.0 ] else [ 2.0; 4.0; 8.0 ] in
+  let ok = ref true in
+  let bits_by_kappa = ref [] in
+  List.iter
+    (fun kappa ->
+      let ests, bits, rounds =
+        List.fold_left
+          (fun (es, bs, _) seed ->
+            let r =
+              Ctx.run ~seed (fun ctx ->
+                  Linf_general.run ctx { Linf_general.kappa } ~a ~b)
+            in
+            (r.Ctx.output :: es, float_of_int r.Ctx.bits :: bs, r.Ctx.rounds))
+          ([], [], 0) (seeds ~quick)
+      in
+      let est = Report.median_of ests in
+      let bits = int_of_float (Report.median_of bits) in
+      let factor = Stats.approx_factor ~actual ~estimate:est in
+      if not (est >= actual /. 2.0 && est <= 2.0 *. kappa *. actual) then
+        ok := false;
+      bits_by_kappa := (kappa, bits) :: !bits_by_kappa;
+      Report.row cols
+        [
+          Printf.sprintf "%.0f" kappa;
+          Printf.sprintf "%.0f" est;
+          Report.f2 factor;
+          Report.fbits bits;
+          string_of_int rounds;
+        ])
+    kappas;
+  Report.record_verdict !ok "estimates within [actual/2, kappa*actual*2]";
+  match (!bits_by_kappa, List.rev !bits_by_kappa) with
+  | (k_hi, b_hi) :: _, (k_lo, b_lo) :: _ when k_hi <> k_lo ->
+      let shrink = float_of_int b_lo /. float_of_int b_hi in
+      let expected = (k_hi /. k_lo) ** 2.0 in
+      Report.note "bits shrink x%.1f for kappa x%.0f (1/kappa^2 predicts x%.0f)"
+        shrink (k_hi /. k_lo) expected;
+      Report.record_verdict (shrink > expected /. 4.0)
+        "communication tracks the 1/kappa^2 law"
+  | _ -> ()
+
+let all ~quick =
+  e6 ~quick;
+  e7 ~quick;
+  e8 ~quick

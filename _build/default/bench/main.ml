@@ -1,0 +1,60 @@
+(* Experiment harness: one section per experiment in DESIGN.md's index
+   (E1–E12), each printing the paper's claim, the measured table, and a
+   pass/fail verdict on the claim's *shape* (who wins, how costs scale),
+   plus Bechamel micro-benchmarks for the sketch substrate.
+
+   Usage:
+     dune exec bench/main.exe                 # everything, full sizes
+     dune exec bench/main.exe -- --quick      # reduced sizes/seeds
+     dune exec bench/main.exe -- e1 e6        # selected experiments
+*)
+
+let experiments =
+  [
+    ("e1", fun ~quick -> Exp_lp.e1 ~quick);
+    ("e2", fun ~quick -> Exp_lp.e2 ~quick);
+    ("e3", fun ~quick -> Exp_lp.e3 ~quick);
+    ("e4", fun ~quick -> Exp_lp.e4 ~quick);
+    ("e5", fun ~quick -> Exp_lp.e5 ~quick);
+    ("e6", fun ~quick -> Exp_linf.e6 ~quick);
+    ("e7", fun ~quick -> Exp_linf.e7 ~quick);
+    ("e8", fun ~quick -> Exp_linf.e8 ~quick);
+    ("e9", fun ~quick -> Exp_hh.e9 ~quick);
+    ("e10", fun ~quick -> Exp_hh.e10 ~quick);
+    ("e11", fun ~quick -> Exp_lb.e11 ~quick);
+    ("e12", fun ~quick -> Exp_lb.e12 ~quick);
+    ("a1", fun ~quick -> Exp_ablation.a1 ~quick);
+    ("a2", fun ~quick -> Exp_ablation.a2 ~quick);
+    ("a3", fun ~quick -> Exp_ablation.a3 ~quick);
+    ("a4", fun ~quick -> Exp_ablation.a4 ~quick);
+    ("s1", fun ~quick -> Exp_scaling.s1 ~quick);
+    ("s2", fun ~quick -> Exp_scaling.s2 ~quick);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "--quick" args in
+  let micro = not (List.mem "--no-micro" args) in
+  let selected =
+    List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args
+  in
+  let to_run =
+    if selected = [] then experiments
+    else
+      List.filter_map
+        (fun name ->
+          match List.assoc_opt (String.lowercase_ascii name) experiments with
+          | Some f -> Some (name, f)
+          | None ->
+              Printf.eprintf "unknown experiment %S (known: e1..e12, a1..a4, s1, s2)\n" name;
+              exit 1)
+        selected
+  in
+  Printf.printf
+    "Distributed Statistical Estimation of Matrix Products — experiment \
+     harness%s\n"
+    (if quick then " (quick mode)" else "");
+  List.iter (fun (_, f) -> f ~quick) to_run;
+  if micro && selected = [] then Microbench.run ();
+  Report.summary ();
+  if Report.outcome.Report.failed > 0 then exit 1

@@ -1,0 +1,119 @@
+(* Bechamel micro-benchmarks for the sketching substrate (B1–B4 in
+   DESIGN.md): update/estimate throughput of the structures every protocol
+   is built from. *)
+
+open Bechamel
+open Toolkit
+
+module Prng = Matprod_util.Prng
+module Ams = Matprod_sketch.Ams
+module L0_sketch = Matprod_sketch.L0_sketch
+module L0_sampler = Matprod_sketch.L0_sampler
+module Countsketch = Matprod_sketch.Countsketch
+module Stable_sketch = Matprod_sketch.Stable_sketch
+module S_sparse = Matprod_sketch.S_sparse
+
+let dim = 4096
+
+let mk_vec seed nnz =
+  let rng = Prng.create seed in
+  Array.init nnz (fun i -> ((i * 37) mod dim, 1 + Prng.int rng 20))
+
+let bench_ams =
+  let rng = Prng.create 1 in
+  let t = Ams.create rng ~eps:0.2 ~groups:5 in
+  let vec = mk_vec 2 64 in
+  Test.make ~name:"ams: sketch 64-sparse vector (eps=0.2)"
+    (Staged.stage (fun () -> ignore (Ams.sketch t vec)))
+
+let bench_stable =
+  let rng = Prng.create 3 in
+  let t = Stable_sketch.create rng ~p:1.0 ~eps:0.2 ~groups:5 in
+  let vec = mk_vec 4 64 in
+  Test.make ~name:"cauchy (p=1): sketch 64-sparse vector"
+    (Staged.stage (fun () -> ignore (Stable_sketch.sketch t vec)))
+
+let bench_l0_sketch =
+  let rng = Prng.create 5 in
+  let t = L0_sketch.create rng ~eps:0.2 ~groups:3 ~dim in
+  let vec = mk_vec 6 64 in
+  Test.make ~name:"l0 sketch: sketch 64-sparse vector"
+    (Staged.stage (fun () -> ignore (L0_sketch.sketch t vec)))
+
+let bench_l0_estimate =
+  let rng = Prng.create 7 in
+  let t = L0_sketch.create rng ~eps:0.2 ~groups:3 ~dim in
+  let st = L0_sketch.sketch t (mk_vec 8 512) in
+  Test.make ~name:"l0 sketch: estimate"
+    (Staged.stage (fun () -> ignore (L0_sketch.estimate t st)))
+
+let bench_l0_sampler =
+  let rng = Prng.create 9 in
+  let t = L0_sampler.create rng ~dim () in
+  let st = L0_sampler.sketch t (mk_vec 10 128) in
+  Test.make ~name:"l0 sampler: sample"
+    (Staged.stage (fun () -> ignore (L0_sampler.sample t st)))
+
+let bench_countsketch =
+  let rng = Prng.create 11 in
+  let t = Countsketch.create rng ~buckets:512 ~reps:5 in
+  let vec = mk_vec 12 64 in
+  Test.make ~name:"countsketch: sketch 64-sparse vector"
+    (Staged.stage (fun () -> ignore (Countsketch.sketch t vec)))
+
+let bench_s_sparse_decode =
+  let rng = Prng.create 13 in
+  let t = S_sparse.create rng ~s:16 ~reps:3 in
+  let st = S_sparse.sketch t (mk_vec 14 12) in
+  Test.make ~name:"s-sparse: decode (12 of 16 budget)"
+    (Staged.stage (fun () -> ignore (S_sparse.decode t st)))
+
+(* Exact-product ground-truth backends: adjacency accumulation vs
+   bit-packed AND+popcount, on a dense 128x128 instance. *)
+let bench_product_backends =
+  let module Bmat = Matprod_matrix.Bmat in
+  let module Bitmat = Matprod_matrix.Bitmat in
+  let module Product = Matprod_matrix.Product in
+  let module Workload = Matprod_workload.Workload in
+  let rng = Prng.create 15 in
+  let a = Workload.uniform_bool rng ~rows:128 ~cols:128 ~density:0.3 in
+  let b = Workload.uniform_bool rng ~rows:128 ~cols:128 ~density:0.3 in
+  let pa = Bitmat.of_bmat a and pbt = Bitmat.of_bmat (Bmat.transpose b) in
+  [
+    Test.make ~name:"exact linf: output-sensitive accumulation (d=0.3)"
+      (Staged.stage (fun () -> ignore (Product.linf (Product.bool_product a b))));
+    Test.make ~name:"exact linf: bit-packed AND+popcount (d=0.3)"
+      (Staged.stage (fun () -> ignore (Bitmat.product_linf ~a:pa ~bt:pbt)));
+  ]
+
+let all_tests =
+  Test.make_grouped ~name:"sketches"
+    ([
+       bench_ams; bench_stable; bench_l0_sketch; bench_l0_estimate;
+       bench_l0_sampler; bench_countsketch; bench_s_sparse_decode;
+     ]
+    @ bench_product_backends)
+
+let run () =
+  Printf.printf "\n%s\n" Report.hrule;
+  Printf.printf "B*  Bechamel micro-benchmarks (sketch substrate throughput)\n";
+  Printf.printf "%s\n" Report.hrule;
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let raw = Benchmark.all cfg instances all_tests in
+  let results =
+    List.map (fun i -> Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true
+                                      ~predictors:[| Measure.run |]) i raw)
+      instances
+  in
+  let results = Analyze.merge (Analyze.ols ~bootstrap:0 ~r_square:true
+                                 ~predictors:[| Measure.run |]) instances results in
+  Hashtbl.iter
+    (fun _measure tbl ->
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "%-48s %12.1f ns/run\n" name est
+          | _ -> Printf.printf "%-48s (no estimate)\n" name)
+        tbl)
+    results

@@ -1,0 +1,73 @@
+(* Table and verdict printing for the experiment harness. *)
+
+let hrule = String.make 78 '-'
+
+let section ~id ~claim =
+  Printf.printf "\n%s\n" hrule;
+  Printf.printf "%s\n" id;
+  Printf.printf "paper claim: %s\n" claim;
+  Printf.printf "%s\n" hrule
+
+let table_header cols =
+  let line =
+    String.concat " | " (List.map (fun (name, w) -> Printf.sprintf "%-*s" w name) cols)
+  in
+  Printf.printf "%s\n" line;
+  Printf.printf "%s\n" (String.make (String.length line) '-')
+
+let row cols cells =
+  let line =
+    String.concat " | "
+      (List.map2 (fun (_, w) cell -> Printf.sprintf "%-*s" w cell) cols cells)
+  in
+  Printf.printf "%s\n" line
+
+let verdict ok fmt =
+  Printf.ksprintf
+    (fun s -> Printf.printf "VERDICT %s %s\n" (if ok then "[pass]" else "[FAIL]") s)
+    fmt
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "note: %s\n" s) fmt
+
+let fbits bits =
+  if bits >= 8_000_000 then Printf.sprintf "%.1f MB" (float_of_int bits /. 8e6)
+  else if bits >= 8_000 then Printf.sprintf "%.1f kB" (float_of_int bits /. 8e3)
+  else Printf.sprintf "%d b" bits
+
+let f2 x = Printf.sprintf "%.2f" x
+let f3 x = Printf.sprintf "%.3f" x
+
+(* Aggregate a per-seed measurement: median of runs. *)
+let median_of xs = Matprod_util.Stats.median (Array.of_list xs)
+
+(* Least-squares slope of log(y) against log(x): the measured scaling
+   exponent of a cost curve. *)
+let fit_loglog_slope pts =
+  let pts =
+    List.filter_map
+      (fun (x, y) ->
+        if x > 0.0 && y > 0.0 then Some (log x, log y) else None)
+      pts
+  in
+  let n = float_of_int (List.length pts) in
+  if n < 2.0 then invalid_arg "Report.fit_loglog_slope: need >= 2 points";
+  let sx = List.fold_left (fun a (x, _) -> a +. x) 0.0 pts in
+  let sy = List.fold_left (fun a (_, y) -> a +. y) 0.0 pts in
+  let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 pts in
+  let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 pts in
+  ((n *. sxy) -. (sx *. sy)) /. ((n *. sxx) -. (sx *. sx))
+
+type outcome = { mutable passed : int; mutable failed : int }
+
+let outcome = { passed = 0; failed = 0 }
+
+let record_verdict ok fmt =
+  if ok then outcome.passed <- outcome.passed + 1
+  else outcome.failed <- outcome.failed + 1;
+  verdict ok fmt
+
+let summary () =
+  Printf.printf "\n%s\n" hrule;
+  Printf.printf "SUMMARY: %d verdicts passed, %d failed\n" outcome.passed
+    outcome.failed;
+  Printf.printf "%s\n" hrule

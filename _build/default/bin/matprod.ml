@@ -1,0 +1,540 @@
+(* matprod — command-line driver for the distributed matrix-product
+   estimation protocols.
+
+   Each subcommand generates a synthetic workload (or a lower-bound hard
+   instance), runs one of the paper's protocols inside the bit-accurate
+   two-party simulator, and prints the estimate, the exact answer, and the
+   transcript cost. *)
+
+open Cmdliner
+
+module Prng = Matprod_util.Prng
+module Stats = Matprod_util.Stats
+module Bmat = Matprod_matrix.Bmat
+module Imat = Matprod_matrix.Imat
+module Product = Matprod_matrix.Product
+module Ctx = Matprod_comm.Ctx
+module Transcript = Matprod_comm.Transcript
+module Workload = Matprod_workload.Workload
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments *)
+
+let n_arg =
+  Arg.(value & opt int 256 & info [ "n"; "size" ] ~docv:"N" ~doc:"Matrix dimension.")
+
+let density_arg =
+  Arg.(
+    value
+    & opt float 0.05
+    & info [ "density" ] ~docv:"D" ~doc:"Fill probability of each entry.")
+
+let eps_arg =
+  Arg.(
+    value & opt float 0.25 & info [ "eps" ] ~docv:"EPS" ~doc:"Accuracy target.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let zipf_arg =
+  Arg.(
+    value & flag
+    & info [ "zipf" ] ~doc:"Use a Zipf-skewed workload instead of uniform.")
+
+let verbose_arg =
+  Arg.(
+    value & flag
+    & info [ "v"; "verbose" ] ~doc:"Print the per-message transcript breakdown.")
+
+let gen_pair ~zipf ~seed ~n ~density =
+  let rng = Prng.create seed in
+  if zipf then
+    let deg = max 1 (int_of_float (density *. float_of_int n)) in
+    ( Workload.zipf_bool rng ~rows:n ~cols:n ~row_degree:deg ~skew:1.1,
+      Bmat.transpose (Workload.zipf_bool rng ~rows:n ~cols:n ~row_degree:deg ~skew:1.1) )
+  else
+    ( Workload.uniform_bool rng ~rows:n ~cols:n ~density,
+      Workload.uniform_bool rng ~rows:n ~cols:n ~density )
+
+let report ~verbose ~actual ~estimate (run : _ Ctx.run) =
+  Printf.printf "exact answer      : %.6g\n" actual;
+  Printf.printf "protocol estimate : %.6g\n" estimate;
+  if actual > 0.0 then
+    Printf.printf "relative error    : %.4f\n"
+      (Stats.relative_error ~actual ~estimate);
+  Printf.printf "communication     : %d bits (%d bytes)\n" run.Ctx.bits
+    (run.Ctx.bits / 8);
+  Printf.printf "rounds            : %d\n" run.Ctx.rounds;
+  if verbose then
+    Format.printf "transcript:@.%a@." Transcript.pp_summary run.Ctx.transcript
+
+(* ------------------------------------------------------------------ *)
+(* join-size: lp norms, p in [0,2] *)
+
+let join_size n density eps seed zipf verbose p algo load_a load_b =
+  let a, b =
+    match (load_a, load_b) with
+    | Some pa, Some pb ->
+        (Matprod_matrix.Matio.read_bmat pa, Matprod_matrix.Matio.read_bmat pb)
+    | None, None -> gen_pair ~zipf ~seed ~n ~density
+    | _ -> failwith "--load-a and --load-b must be given together"
+  in
+  let c = Product.bool_product a b in
+  let actual = Product.lp_pow c ~p in
+  let ai = Imat.of_bmat a and bi = Imat.of_bmat b in
+  let run =
+    match algo with
+    | "alg1" ->
+        Ctx.run ~seed (fun ctx ->
+            Matprod_core.Lp_protocol.run ctx
+              (Matprod_core.Lp_protocol.default_params ~p ~eps ())
+              ~a:ai ~b:bi)
+    | "oneround" ->
+        Ctx.run ~seed (fun ctx ->
+            Matprod_core.Lp_oneround.run ctx
+              (Matprod_core.Lp_oneround.default_params ~p ~eps ())
+              ~a:ai ~b:bi)
+    | "cohen" ->
+        if p <> 0.0 then failwith "cohen estimates p = 0 only";
+        Ctx.run ~seed (fun ctx ->
+            Matprod_core.Cohen_baseline.run ctx
+              (Matprod_core.Cohen_baseline.params_for_eps ~eps)
+              ~a ~b)
+    | "exact" ->
+        if p <> 1.0 then failwith "exact protocol covers p = 1 only (Remark 2)";
+        Ctx.run ~seed (fun ctx ->
+            float_of_int (Matprod_core.L1_exact.run_bool ctx ~a ~b))
+    | other -> failwith (Printf.sprintf "unknown algorithm %S" other)
+  in
+  Printf.printf "workload: %s %dx%d binary, p = %g, ||C||_p^p exact below\n"
+    (match load_a with
+    | Some f -> "file " ^ f
+    | None -> if zipf then "zipf" else "uniform")
+    (Bmat.rows a) (Bmat.cols b) p;
+  ignore n;
+  report ~verbose ~actual ~estimate:run.Ctx.output run
+
+let load_a_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "load-a" ] ~docv:"FILE"
+        ~doc:"Read Alice's matrix from FILE (matprod or MatrixMarket format) \
+              instead of generating a workload.")
+
+let load_b_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "load-b" ] ~docv:"FILE" ~doc:"Read Bob's matrix from FILE.")
+
+let join_size_cmd =
+  let p_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "p" ] ~docv:"P" ~doc:"Norm order in [0,2]; 0 = join size.")
+  in
+  let algo_arg =
+    Arg.(
+      value
+      & opt string "alg1"
+      & info [ "algo" ] ~docv:"ALGO"
+          ~doc:"One of alg1 (Algorithm 1), oneround ([16]), cohen ([12]), exact (Remark 2, p=1).")
+  in
+  Cmd.v
+    (Cmd.info "join-size"
+       ~doc:"Estimate ||AB||_p^p (set-intersection / natural join size).")
+    Term.(
+      const join_size $ n_arg $ density_arg $ eps_arg $ seed_arg $ zipf_arg
+      $ verbose_arg $ p_arg $ algo_arg $ load_a_arg $ load_b_arg)
+
+(* ------------------------------------------------------------------ *)
+(* linf *)
+
+let linf n density seed verbose overlap eps kappa general =
+  let rng = Prng.create seed in
+  if general then begin
+    let a = Workload.uniform_int rng ~rows:n ~cols:n ~density ~max_value:8 in
+    let b = Workload.uniform_int rng ~rows:n ~cols:n ~density ~max_value:8 in
+    let actual = float_of_int (Product.linf (Product.int_product a b)) in
+    let kappa = Option.value ~default:4.0 kappa in
+    let run =
+      Ctx.run ~seed (fun ctx ->
+          Matprod_core.Linf_general.run ctx { Matprod_core.Linf_general.kappa } ~a ~b)
+    in
+    Printf.printf "integer matrices, kappa = %.1f (Theorem 4.8)\n" kappa;
+    report ~verbose ~actual ~estimate:run.Ctx.output run
+  end
+  else begin
+    let a, b, (i, j) = Workload.planted_pair rng ~n ~density ~overlap in
+    let actual = float_of_int (Product.linf (Product.bool_product a b)) in
+    match kappa with
+    | Some kappa ->
+        let run =
+          Ctx.run ~seed (fun ctx ->
+              Matprod_core.Linf_kappa.run ctx
+                (Matprod_core.Linf_kappa.default_params ~kappa)
+                ~a ~b)
+        in
+        Printf.printf
+          "binary planted pair at (%d,%d), kappa = %.1f (Algorithm 3)\n" i j kappa;
+        report ~verbose ~actual
+          ~estimate:run.Ctx.output.Matprod_core.Linf_kappa.estimate run
+    | None ->
+        let run =
+          Ctx.run ~seed (fun ctx ->
+              Matprod_core.Linf_binary.run ctx
+                (Matprod_core.Linf_binary.default_params ~eps)
+                ~a ~b)
+        in
+        Printf.printf
+          "binary planted pair at (%d,%d), (2+%.2f)-approx (Algorithm 2)\n" i j eps;
+        report ~verbose ~actual
+          ~estimate:run.Ctx.output.Matprod_core.Linf_binary.estimate run
+  end
+
+let linf_cmd =
+  let overlap_arg =
+    Arg.(
+      value & opt int 80
+      & info [ "overlap" ] ~docv:"K" ~doc:"Planted max-pair intersection size.")
+  in
+  let kappa_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "kappa" ] ~docv:"KAPPA"
+          ~doc:"Use the kappa-approximation protocol instead of (2+eps).")
+  in
+  let general_arg =
+    Arg.(
+      value & flag
+      & info [ "general" ] ~doc:"Integer matrices (Theorem 4.8 sketching).")
+  in
+  Cmd.v
+    (Cmd.info "linf" ~doc:"Approximate ||AB||_inf (maximum intersection size).")
+    Term.(
+      const linf $ n_arg $ density_arg $ seed_arg $ verbose_arg $ overlap_arg
+      $ eps_arg $ kappa_arg $ general_arg)
+
+(* ------------------------------------------------------------------ *)
+(* heavy-hitters *)
+
+let heavy_hitters n density seed verbose phi eps binary =
+  let rng = Prng.create seed in
+  if phi <= 0.0 || eps <= 0.0 || eps > phi then
+    failwith "need 0 < eps <= phi";
+  let run_and_print ~c ~set ~bits ~rounds =
+    let must = Product.heavy_hitters c ~p:1.0 ~phi in
+    let may = Product.heavy_hitters c ~p:1.0 ~phi:(phi -. eps) in
+    Printf.printf "exact HH_phi      : %d entries\n" (List.length must);
+    Printf.printf "allowed superset  : %d entries (HH_{phi-eps})\n"
+      (List.length may);
+    Printf.printf "protocol output S : %d entries\n" (List.length set);
+    List.iter
+      (fun (i, j) ->
+        Printf.printf "  (%d, %d) C=%d%s\n" i j (Product.get c i j)
+          (if List.mem (i, j) must then "  [required]"
+           else if List.mem (i, j) may then "  [allowed]"
+           else "  [VIOLATION]"))
+      set;
+    let recall = List.for_all (fun e -> List.mem e set) must in
+    let precision = List.for_all (fun e -> List.mem e may) set in
+    Printf.printf "band check        : recall %s, precision %s\n"
+      (if recall then "ok" else "VIOLATED")
+      (if precision then "ok" else "VIOLATED");
+    Printf.printf "communication     : %d bits\n" bits;
+    Printf.printf "rounds            : %d\n" rounds
+  in
+  if binary then begin
+    let overlap = max 40 (n / 3) in
+    let a, b = Workload.planted_heavy_hitters rng ~n ~density ~heavy:[ (2, overlap) ] in
+    let c = Product.bool_product a b in
+    let run =
+      Ctx.run ~seed (fun ctx ->
+          Matprod_core.Hh_binary.run ctx
+            (Matprod_core.Hh_binary.default_params ~phi ~eps ())
+            ~a ~b)
+    in
+    Printf.printf "binary matrices, planted overlaps %d (Theorem 5.3)\n" overlap;
+    run_and_print ~c ~set:run.Ctx.output ~bits:run.Ctx.bits ~rounds:run.Ctx.rounds;
+    if verbose then
+      Format.printf "transcript:@.%a@." Transcript.pp_summary run.Ctx.transcript
+  end
+  else begin
+    let a, b, _ =
+      Workload.planted_heavy_int rng ~n ~density ~max_value:8 ~heavy:[ (2, 50, 25) ]
+    in
+    let c = Product.int_product a b in
+    let run =
+      Ctx.run ~seed (fun ctx ->
+          Matprod_core.Hh_general.run ctx
+            (Matprod_core.Hh_general.default_params ~phi ~eps ())
+            ~a ~b)
+    in
+    Printf.printf "integer matrices, planted heavy entries (Algorithm 4)\n";
+    run_and_print ~c ~set:run.Ctx.output ~bits:run.Ctx.bits ~rounds:run.Ctx.rounds;
+    if verbose then
+      Format.printf "transcript:@.%a@." Transcript.pp_summary run.Ctx.transcript
+  end
+
+let heavy_hitters_cmd =
+  let phi_arg =
+    Arg.(value & opt float 0.05 & info [ "phi" ] ~docv:"PHI" ~doc:"Heaviness threshold.")
+  in
+  let hh_eps_arg =
+    Arg.(value & opt float 0.02 & info [ "eps" ] ~docv:"EPS" ~doc:"Band width.")
+  in
+  let binary_arg =
+    Arg.(value & flag & info [ "binary" ] ~doc:"Binary matrices (Theorem 5.3 protocol).")
+  in
+  Cmd.v
+    (Cmd.info "heavy-hitters"
+       ~doc:"Find the lp-(phi,eps)-heavy-hitters of AB.")
+    Term.(
+      const heavy_hitters $ n_arg $ density_arg $ seed_arg $ verbose_arg
+      $ phi_arg $ hh_eps_arg $ binary_arg)
+
+(* ------------------------------------------------------------------ *)
+(* sample *)
+
+let sample n density seed verbose kind count =
+  let rng = Prng.create seed in
+  let a = Workload.uniform_bool rng ~rows:n ~cols:n ~density in
+  let b = Workload.uniform_bool rng ~rows:n ~cols:n ~density in
+  let c = Product.bool_product a b in
+  let ai = Imat.of_bmat a and bi = Imat.of_bmat b in
+  Printf.printf "sampling %d %s-samples from a product with ||C||_0 = %d, ||C||_1 = %d\n"
+    count kind (Product.nnz c) (Product.l1 c);
+  let total_bits = ref 0 in
+  for t = 1 to count do
+    match kind with
+    | "l1" ->
+        let run =
+          Ctx.run ~seed:(seed + t) (fun ctx ->
+              Matprod_core.L1_sampling.run ctx ~a:ai ~b:bi)
+        in
+        total_bits := !total_bits + run.Ctx.bits;
+        (match run.Ctx.output with
+        | Some s ->
+            Printf.printf "  (%d, %d) via witness %d   [C entry = %d]\n"
+              s.Matprod_core.L1_sampling.row s.Matprod_core.L1_sampling.col
+              s.Matprod_core.L1_sampling.witness
+              (Product.get c s.Matprod_core.L1_sampling.row
+                 s.Matprod_core.L1_sampling.col)
+        | None -> Printf.printf "  (product empty)\n")
+    | "l0" ->
+        let run =
+          Ctx.run ~seed:(seed + t) (fun ctx ->
+              Matprod_core.L0_sampling.run ctx
+                (Matprod_core.L0_sampling.default_params ~eps:0.25)
+                ~a:ai ~b:bi)
+        in
+        total_bits := !total_bits + run.Ctx.bits;
+        (match run.Ctx.output with
+        | Some s ->
+            Printf.printf "  (%d, %d) with value %d\n"
+              s.Matprod_core.L0_sampling.row s.Matprod_core.L0_sampling.col
+              s.Matprod_core.L0_sampling.value
+        | None -> Printf.printf "  (sampler failed this run)\n")
+    | other -> failwith (Printf.sprintf "unknown sample kind %S (l0|l1)" other)
+  done;
+  Printf.printf "total communication: %d bits (%d per sample)\n" !total_bits
+    (!total_bits / max 1 count);
+  ignore verbose
+
+let sample_cmd =
+  let kind_arg =
+    Arg.(value & opt string "l0" & info [ "kind" ] ~docv:"KIND" ~doc:"l0 or l1.")
+  in
+  let count_arg =
+    Arg.(value & opt int 5 & info [ "count" ] ~docv:"COUNT" ~doc:"Number of samples.")
+  in
+  Cmd.v
+    (Cmd.info "sample" ~doc:"Draw l0- or l1-samples from the product AB.")
+    Term.(
+      const sample $ n_arg $ density_arg $ seed_arg $ verbose_arg $ kind_arg
+      $ count_arg)
+
+(* ------------------------------------------------------------------ *)
+(* lowerbound *)
+
+let lowerbound n seed kind =
+  let rng = Prng.create seed in
+  match kind with
+  | "disj" ->
+      let half = n / 2 in
+      let a0, b0 =
+        Matprod_lowerbounds.Disj_reduction.instance rng ~half ~intersecting:false
+          ~density:0.3
+      in
+      let a1, b1 =
+        Matprod_lowerbounds.Disj_reduction.instance rng ~half ~intersecting:true
+          ~density:0.3
+      in
+      Printf.printf "Theorem 4.4 DISJ embedding (n = %d):\n" (2 * half);
+      Printf.printf "  disjoint strings     -> ||AB||_inf = %d\n"
+        (Product.linf (Product.bool_product a0 b0));
+      Printf.printf "  intersecting strings -> ||AB||_inf = %d\n"
+        (Product.linf (Product.bool_product a1 b1))
+  | "gap" ->
+      let half = n / 2 and kappa = 16 in
+      let a0, b0 =
+        Matprod_lowerbounds.Gap_linf_reduction.instance rng ~half ~kappa ~gap:false
+      in
+      let a1, b1 =
+        Matprod_lowerbounds.Gap_linf_reduction.instance rng ~half ~kappa ~gap:true
+      in
+      Printf.printf "Theorem 4.8 Gap-linf embedding (n = %d, kappa = %d):\n"
+        (2 * half) kappa;
+      Printf.printf "  no gap -> ||AB||_inf = %d\n"
+        (Product.linf (Product.int_product a0 b0));
+      Printf.printf "  gap    -> ||AB||_inf = %d\n"
+        (Product.linf (Product.int_product a1 b1))
+  | "sum" ->
+      let inst =
+        Matprod_lowerbounds.Sum_hard.sample ~beta_const:2.0 rng ~n ~kappa:2.0
+      in
+      let c =
+        Product.bool_product inst.Matprod_lowerbounds.Sum_hard.a
+          inst.Matprod_lowerbounds.Sum_hard.b
+      in
+      let diag = ref 0 in
+      for i = 0 to n - 1 do
+        diag := max !diag (Product.get c i i)
+      done;
+      Printf.printf
+        "Theorem 4.5 SUM instance (n = %d, k = %d, replicas = %d): SUM = %d\n" n
+        inst.Matprod_lowerbounds.Sum_hard.k
+        inst.Matprod_lowerbounds.Sum_hard.replicas
+        inst.Matprod_lowerbounds.Sum_hard.sum_value;
+      Printf.printf "  ||AB||_inf = %d, diagonal max = %d\n" (Product.linf c) !diag
+  | other -> failwith (Printf.sprintf "unknown kind %S (disj|gap|sum)" other)
+
+let lowerbound_cmd =
+  let kind_arg =
+    Arg.(value & opt string "disj" & info [ "kind" ] ~docv:"KIND" ~doc:"disj, gap or sum.")
+  in
+  Cmd.v
+    (Cmd.info "lowerbound"
+       ~doc:"Generate and inspect the paper's lower-bound hard instances.")
+    Term.(const lowerbound $ n_arg $ seed_arg $ kind_arg)
+
+(* ------------------------------------------------------------------ *)
+(* joins ([16] family) *)
+
+let joins n density seed kind t =
+  let rng = Prng.create seed in
+  let a = Workload.uniform_bool rng ~rows:n ~cols:n ~density in
+  let b = Workload.uniform_bool rng ~rows:n ~cols:n ~density in
+  let c = Product.bool_product a b in
+  match kind with
+  | "equality" ->
+      let bt = Bmat.transpose b in
+      let exact = ref 0 in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if Bmat.row a i = Bmat.row bt j then incr exact
+        done
+      done;
+      let r =
+        Ctx.run ~seed (fun ctx -> Matprod_core.Joins.equality_join ctx ~a ~b)
+      in
+      Printf.printf "set-equality join: %d pairs (exact %d), %d bits, %d round\n"
+        r.Ctx.output !exact r.Ctx.bits r.Ctx.rounds
+  | "disjointness" ->
+      let actual = (n * n) - Product.nnz c in
+      let r =
+        Ctx.run ~seed (fun ctx ->
+            Matprod_core.Joins.disjointness_join ctx ~eps:0.25 ~a ~b)
+      in
+      Printf.printf
+        "set-disjointness join: ~%.0f pairs (exact %d), %d bits, %d rounds\n"
+        r.Ctx.output actual r.Ctx.bits r.Ctx.rounds
+  | "atleast" ->
+      let actual =
+        Array.fold_left
+          (fun acc (_, _, v) -> if v >= t then acc + 1 else acc)
+          0 (Product.entries c)
+      in
+      let r =
+        Ctx.run ~seed (fun ctx ->
+            Matprod_core.Joins.at_least_t_join ctx
+              (Matprod_core.Joins.default_threshold_params ~eps:0.25)
+              ~t ~a ~b)
+      in
+      Printf.printf
+        "at-least-%d join: ~%.0f pairs (exact %d), %d bits, %d rounds\n" t
+        r.Ctx.output actual r.Ctx.bits r.Ctx.rounds
+  | other -> failwith (Printf.sprintf "unknown join kind %S" other)
+
+let joins_cmd =
+  let kind_arg =
+    Arg.(
+      value & opt string "equality"
+      & info [ "kind" ] ~docv:"KIND" ~doc:"equality, disjointness or atleast.")
+  in
+  let t_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "t" ] ~docv:"T" ~doc:"Threshold for the at-least-T join.")
+  in
+  Cmd.v
+    (Cmd.info "joins"
+       ~doc:"The predecessor join family of [16]: set-equality, \
+             set-disjointness and at-least-T joins.")
+    Term.(const joins $ n_arg $ density_arg $ seed_arg $ kind_arg $ t_arg)
+
+(* ------------------------------------------------------------------ *)
+(* session *)
+
+let session n density seed beta =
+  let rng = Prng.create seed in
+  let a = Workload.uniform_bool rng ~rows:n ~cols:n ~density in
+  let b = Workload.uniform_bool rng ~rows:n ~cols:n ~density in
+  let c = Product.bool_product a b in
+  let ctx = Ctx.create ~seed in
+  let s =
+    Matprod_core.Session.establish ctx ~beta ~a:(Imat.of_bmat a)
+      ~b:(Imat.of_bmat b)
+  in
+  let establish_bits = Transcript.total_bits (Ctx.transcript ctx) in
+  Printf.printf "session established: beta = %.2f, %d bits\n" beta establish_bits;
+  Printf.printf "||C||_0 (coarse)   : %.0f (exact %d) — free\n"
+    (Matprod_core.Session.norm_pow s) (Product.nnz c);
+  Printf.printf "top rows by support — free:\n";
+  List.iter
+    (fun (i, est) ->
+      let exact = (Product.row_lp_pow c ~p:0.0).(i) in
+      Printf.printf "  row %3d: ~%.0f (exact %.0f)\n" i est exact)
+    (Matprod_core.Session.top_rows s ~k:5);
+  let refined = Matprod_core.Session.refine ctx s in
+  let total_bits = Transcript.total_bits (Ctx.transcript ctx) in
+  Printf.printf "||C||_0 (refined)  : %.0f — %d extra bits\n" refined
+    (total_bits - establish_bits)
+
+let session_cmd =
+  let beta_arg =
+    Arg.(
+      value & opt float 0.3
+      & info [ "beta" ] ~docv:"BETA" ~doc:"Accuracy of the cached sketches.")
+  in
+  Cmd.v
+    (Cmd.info "session"
+       ~doc:"Establish an amortised query session and answer several \
+             questions from one sketch exchange.")
+    Term.(const session $ n_arg $ density_arg $ seed_arg $ beta_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let main_cmd =
+  let doc =
+    "distributed statistical estimation of matrix products (Woodruff–Zhang, \
+     PODS 2018)"
+  in
+  Cmd.group
+    (Cmd.info "matprod" ~version:"1.0.0" ~doc)
+    [ join_size_cmd; linf_cmd; heavy_hitters_cmd; sample_cmd; lowerbound_cmd;
+      session_cmd; joins_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

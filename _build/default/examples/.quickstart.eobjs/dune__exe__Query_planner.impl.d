@@ -1,0 +1,1 @@
+examples/query_planner.ml: Matprod_relational Matprod_util Printf

@@ -1,0 +1,1 @@
+lib/comm/channel.ml: Codec String Transcript

@@ -1,0 +1,1 @@
+lib/comm/codec.ml: Array Buffer Char Int32 Int64 List String

@@ -1,0 +1,1 @@
+lib/comm/ctx.ml: Channel Matprod_util Transcript

@@ -1,0 +1,1 @@
+lib/comm/ctx.mli: Channel Codec Matprod_util Transcript

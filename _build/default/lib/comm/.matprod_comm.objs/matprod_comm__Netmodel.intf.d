@@ -1,0 +1,1 @@
+lib/comm/netmodel.mli: Format Transcript

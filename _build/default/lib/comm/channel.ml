@@ -1,0 +1,10 @@
+type t = { transcript : Transcript.t }
+
+let create () = { transcript = Transcript.create () }
+let transcript t = t.transcript
+
+let send t ~from ~label codec v =
+  let wire = Codec.encode codec v in
+  Transcript.record t.transcript ~sender:from ~label
+    ~bytes:(String.length wire);
+  Codec.decode codec wire

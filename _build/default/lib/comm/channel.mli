@@ -1,0 +1,16 @@
+(** The simulated wire between Alice and Bob.
+
+    [send] serialises the value with the supplied codec, charges the
+    transcript for the real encoded length, then {e decodes the bytes back}
+    and returns the decoded value. Protocol code must use the returned
+    value on the receiving side — information that was not actually encoded
+    cannot leak across, and lossy codecs (e.g. {!Codec.float32}) lose
+    precision exactly as they would on a network. *)
+
+type t
+
+val create : unit -> t
+val transcript : t -> Transcript.t
+
+val send :
+  t -> from:Transcript.party -> label:string -> 'a Codec.t -> 'a -> 'a

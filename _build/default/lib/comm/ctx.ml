@@ -1,0 +1,38 @@
+module Prng = Matprod_util.Prng
+
+type t = {
+  chan : Channel.t;
+  public : Prng.t;
+  alice : Prng.t;
+  bob : Prng.t;
+}
+
+let create ~seed =
+  let root = Prng.create seed in
+  let public = Prng.split root in
+  let alice = Prng.split root in
+  let bob = Prng.split root in
+  { chan = Channel.create (); public; alice; bob }
+
+let send t ~from ~label codec v = Channel.send t.chan ~from ~label codec v
+let a2b t ~label codec v = send t ~from:Transcript.Alice ~label codec v
+let b2a t ~label codec v = send t ~from:Transcript.Bob ~label codec v
+let transcript t = Channel.transcript t.chan
+
+type 'r run = {
+  output : 'r;
+  bits : int;
+  rounds : int;
+  transcript : Transcript.t;
+}
+
+let run ~seed f =
+  let t = create ~seed in
+  let output = f t in
+  let tr = transcript t in
+  {
+    output;
+    bits = Transcript.total_bits tr;
+    rounds = Transcript.rounds tr;
+    transcript = tr;
+  }

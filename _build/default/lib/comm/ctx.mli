@@ -1,0 +1,45 @@
+(** Execution context for one protocol run.
+
+    Bundles the channel with three independent randomness streams:
+
+    - [public]: the common random string both parties see (used to agree on
+      sketching matrices and hash functions, Lemma 2.1 style). Standard
+      public-coin convention — it costs no communication, and by Newman's
+      theorem it changes the randomized communication complexity by at most
+      an additive O(log n) anyway.
+    - [alice], [bob]: each party's private coins (e.g. Alice's sampling of
+      rows in Algorithm 1, of 1-entries in Algorithms 2–4).
+
+    All three derive deterministically from one integer seed, so a whole
+    protocol run (and hence every experiment) is reproducible. *)
+
+type t = {
+  chan : Channel.t;
+  public : Matprod_util.Prng.t;
+  alice : Matprod_util.Prng.t;
+  bob : Matprod_util.Prng.t;
+}
+
+val create : seed:int -> t
+
+val send :
+  t -> from:Transcript.party -> label:string -> 'a Codec.t -> 'a -> 'a
+(** Shorthand for {!Channel.send} on [t.chan]. *)
+
+val a2b : t -> label:string -> 'a Codec.t -> 'a -> 'a
+(** Alice speaks. *)
+
+val b2a : t -> label:string -> 'a Codec.t -> 'a -> 'a
+(** Bob speaks. *)
+
+val transcript : t -> Transcript.t
+
+(** Outcome of a protocol run with its cost. *)
+type 'r run = {
+  output : 'r;
+  bits : int;
+  rounds : int;
+  transcript : Transcript.t;
+}
+
+val run : seed:int -> (t -> 'r) -> 'r run

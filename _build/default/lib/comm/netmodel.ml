@@ -1,0 +1,18 @@
+type t = { name : string; latency : float; bandwidth : float }
+
+let make ~name ~latency ~bandwidth =
+  if latency < 0.0 || bandwidth <= 0.0 then invalid_arg "Netmodel.make";
+  { name; latency; bandwidth }
+
+let lan = make ~name:"LAN" ~latency:1e-4 ~bandwidth:1e10
+let wan = make ~name:"WAN" ~latency:0.05 ~bandwidth:1e8
+let mobile = make ~name:"mobile" ~latency:0.12 ~bandwidth:1e7
+
+let transfer_time t tr =
+  (float_of_int (Transcript.rounds tr) *. t.latency)
+  +. (float_of_int (Transcript.total_bits tr) /. t.bandwidth)
+
+let pp_time ppf s =
+  if s < 1e-3 then Format.fprintf ppf "%.0f us" (s *. 1e6)
+  else if s < 1.0 then Format.fprintf ppf "%.1f ms" (s *. 1e3)
+  else Format.fprintf ppf "%.2f s" s

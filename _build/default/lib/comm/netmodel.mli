@@ -1,0 +1,36 @@
+(** Wall-clock cost model for a transcript.
+
+    The paper optimises two quantities at once — total bits and number of
+    rounds — because their relative price depends on the network: on a WAN
+    every round costs a full RTT, so a chattier protocol with fewer bits
+    can lose to a one-shot protocol with more. This model turns a
+    transcript into an estimated transfer time
+
+    {v time = rounds·latency + total_bits/bandwidth v}
+
+    (message payloads within a round are assumed pipelined). The benchmark
+    harness uses it to show where the 2-round Algorithm 1 beats the 1-round
+    baseline in wall-clock terms and where it does not. *)
+
+type t = {
+  name : string;
+  latency : float;  (** one-way per-round latency, seconds *)
+  bandwidth : float;  (** bits per second *)
+}
+
+val lan : t
+(** 0.1 ms, 10 Gb/s. *)
+
+val wan : t
+(** 50 ms, 100 Mb/s — cross-datacenter. *)
+
+val mobile : t
+(** 120 ms, 10 Mb/s. *)
+
+val make : name:string -> latency:float -> bandwidth:float -> t
+
+val transfer_time : t -> Transcript.t -> float
+(** Seconds to play the transcript over this network. *)
+
+val pp_time : Format.formatter -> float -> unit
+(** Human-readable duration (µs / ms / s). *)

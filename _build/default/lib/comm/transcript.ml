@@ -1,0 +1,66 @@
+type party = Alice | Bob
+
+let party_name = function Alice -> "Alice" | Bob -> "Bob"
+let other = function Alice -> Bob | Bob -> Alice
+
+type message = { sender : party; round : int; label : string; bytes : int }
+
+type t = {
+  mutable rev_messages : message list;
+  mutable last_sender : party option;
+  mutable round : int;
+  mutable count : int;
+  mutable bytes_alice : int;
+  mutable bytes_bob : int;
+}
+
+let create () =
+  {
+    rev_messages = [];
+    last_sender = None;
+    round = 0;
+    count = 0;
+    bytes_alice = 0;
+    bytes_bob = 0;
+  }
+
+let record t ~sender ~label ~bytes =
+  if bytes < 0 then invalid_arg "Transcript.record: negative bytes";
+  (match t.last_sender with
+  | Some s when s = sender -> ()
+  | _ ->
+      t.round <- t.round + 1;
+      t.last_sender <- Some sender);
+  t.rev_messages <- { sender; round = t.round; label; bytes } :: t.rev_messages;
+  t.count <- t.count + 1;
+  match sender with
+  | Alice -> t.bytes_alice <- t.bytes_alice + bytes
+  | Bob -> t.bytes_bob <- t.bytes_bob + bytes
+
+let messages t = List.rev t.rev_messages
+let total_bytes t = t.bytes_alice + t.bytes_bob
+let total_bits t = 8 * total_bytes t
+let rounds t = t.round
+let message_count t = t.count
+let bytes_from t = function Alice -> t.bytes_alice | Bob -> t.bytes_bob
+
+let by_label t =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun m ->
+      let prev = Option.value ~default:0 (Hashtbl.find_opt tbl m.label) in
+      Hashtbl.replace tbl m.label (prev + m.bytes))
+    t.rev_messages;
+  Hashtbl.fold (fun label bytes acc -> (label, bytes) :: acc) tbl []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let pp_summary ppf t =
+  Format.fprintf ppf
+    "@[<v>%d bytes (%d bits), %d messages, %d rounds (Alice %d B, Bob %d B)"
+    (total_bytes t) (total_bits t) (message_count t) (rounds t) t.bytes_alice
+    t.bytes_bob;
+  List.iter
+    (fun (label, bytes) ->
+      Format.fprintf ppf "@,  %-32s %8d B" label bytes)
+    (by_label t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,43 @@
+(** Transcript of a two-party protocol run: who sent what, how many bytes,
+    and how the messages group into rounds.
+
+    Rounds follow the standard communication-complexity convention: a round
+    is a maximal block of consecutive messages in one direction, so the
+    round count is the number of direction alternations plus one. A
+    protocol in which Alice sends one message and Bob answers is 2 rounds
+    of interaction but the paper counts "Alice speaks, Bob outputs" as
+    1 round; {!rounds} reports the paper's convention (number of speaking
+    phases), which coincides with blocks of same-direction messages. *)
+
+type party = Alice | Bob
+
+val party_name : party -> string
+val other : party -> party
+
+type message = private {
+  sender : party;
+  round : int;  (** 1-based speaking-phase index. *)
+  label : string;  (** Human-readable tag, e.g. "lp-sketch(B^T)". *)
+  bytes : int;
+}
+
+type t
+
+val create : unit -> t
+
+val record : t -> sender:party -> label:string -> bytes:int -> unit
+(** Append a message; opens a new round iff the direction changed. *)
+
+val messages : t -> message list
+(** In send order. *)
+
+val total_bytes : t -> int
+val total_bits : t -> int
+val rounds : t -> int
+val message_count : t -> int
+val bytes_from : t -> party -> int
+
+val by_label : t -> (string * int) list
+(** Total bytes per label, descending by size. *)
+
+val pp_summary : Format.formatter -> t -> unit

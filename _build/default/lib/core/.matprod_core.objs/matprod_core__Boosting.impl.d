@@ -1,0 +1,1 @@
+lib/core/boosting.ml: Array Float Matprod_comm Matprod_util

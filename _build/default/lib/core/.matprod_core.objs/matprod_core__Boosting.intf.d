@@ -1,0 +1,1 @@
+lib/core/boosting.mli: Matprod_comm

@@ -1,0 +1,1 @@
+lib/core/cohen_baseline.ml: Float Matprod_comm Matprod_matrix Matprod_sketch

@@ -1,0 +1,1 @@
+lib/core/cohen_baseline.mli: Matprod_comm Matprod_matrix

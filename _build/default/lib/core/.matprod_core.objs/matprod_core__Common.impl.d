@@ -1,0 +1,1 @@
+lib/core/common.ml: Array Float Hashtbl List Matprod_comm Matprod_matrix Matprod_sketch Option

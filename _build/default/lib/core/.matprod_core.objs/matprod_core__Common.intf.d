@@ -1,0 +1,1 @@
+lib/core/common.mli: Matprod_comm Matprod_matrix Matprod_sketch

@@ -1,0 +1,1 @@
+lib/core/hh_binary.ml: Array Common Float L1_exact List Lp_protocol Matprod_comm Matprod_matrix Matprod_protocol Matprod_util

@@ -1,0 +1,1 @@
+lib/core/hh_binary.mli: Matprod_comm Matprod_matrix

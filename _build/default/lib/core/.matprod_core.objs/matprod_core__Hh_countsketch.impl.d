@@ -1,0 +1,1 @@
+lib/core/hh_countsketch.ml: Array L1_exact Matprod_comm Matprod_matrix Matprod_sketch

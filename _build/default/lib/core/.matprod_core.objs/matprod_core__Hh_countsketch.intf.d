@@ -1,0 +1,1 @@
+lib/core/hh_countsketch.mli: Matprod_comm Matprod_matrix

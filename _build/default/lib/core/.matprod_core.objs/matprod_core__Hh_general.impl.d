@@ -1,0 +1,1 @@
+lib/core/hh_general.ml: Common Float L1_exact List Lp_protocol Matprod_comm Matprod_matrix Matprod_protocol Matprod_util

@@ -1,0 +1,1 @@
+lib/core/hh_general.mli: Matprod_comm Matprod_matrix

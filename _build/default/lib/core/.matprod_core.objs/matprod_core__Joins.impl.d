@@ -1,0 +1,1 @@
+lib/core/joins.ml: Array Float Hashtbl L0_sampling Lp_protocol Matprod_comm Matprod_matrix Matprod_util Option

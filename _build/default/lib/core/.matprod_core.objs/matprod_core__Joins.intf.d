@@ -1,0 +1,1 @@
+lib/core/joins.mli: Matprod_comm Matprod_matrix

@@ -1,0 +1,1 @@
+lib/core/l0_sampling.ml: Array Float Matprod_comm Matprod_matrix Matprod_sketch Matprod_util Printf

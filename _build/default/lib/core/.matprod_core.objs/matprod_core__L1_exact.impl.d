@@ -1,0 +1,1 @@
+lib/core/l1_exact.ml: Array Matprod_comm Matprod_matrix

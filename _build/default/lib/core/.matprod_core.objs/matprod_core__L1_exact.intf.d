@@ -1,0 +1,1 @@
+lib/core/l1_exact.mli: Matprod_comm Matprod_matrix

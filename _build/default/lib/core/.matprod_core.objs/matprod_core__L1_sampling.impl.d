@@ -1,0 +1,1 @@
+lib/core/l1_sampling.ml: Array List Matprod_comm Matprod_matrix Matprod_util

@@ -1,0 +1,1 @@
+lib/core/l1_sampling.mli: Matprod_comm Matprod_matrix

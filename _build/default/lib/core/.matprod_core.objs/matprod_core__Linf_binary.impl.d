@@ -1,0 +1,1 @@
+lib/core/linf_binary.ml: Array Common Float List Matprod_comm Matprod_matrix Matprod_util

@@ -1,0 +1,1 @@
+lib/core/linf_binary.mli: Matprod_comm Matprod_matrix

@@ -1,0 +1,1 @@
+lib/core/linf_general.ml: Array Matprod_comm Matprod_matrix Matprod_sketch

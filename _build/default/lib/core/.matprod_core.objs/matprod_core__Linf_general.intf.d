@@ -1,0 +1,1 @@
+lib/core/linf_general.mli: Matprod_comm Matprod_matrix

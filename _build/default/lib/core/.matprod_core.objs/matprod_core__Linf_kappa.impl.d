@@ -1,0 +1,1 @@
+lib/core/linf_kappa.ml: Array Common Float L1_exact Linf_binary Matprod_comm Matprod_matrix Matprod_util

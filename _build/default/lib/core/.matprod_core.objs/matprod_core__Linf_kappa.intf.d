@@ -1,0 +1,1 @@
+lib/core/linf_kappa.mli: Matprod_comm Matprod_matrix

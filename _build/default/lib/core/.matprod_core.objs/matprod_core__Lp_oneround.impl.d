@@ -1,0 +1,1 @@
+lib/core/lp_oneround.ml: Array Common Matprod_comm Matprod_matrix Matprod_sketch

@@ -1,0 +1,1 @@
+lib/core/lp_oneround.mli: Matprod_comm Matprod_matrix

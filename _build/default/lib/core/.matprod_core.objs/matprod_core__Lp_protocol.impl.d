@@ -1,0 +1,1 @@
+lib/core/lp_protocol.ml: Array Common Float List Matprod_comm Matprod_matrix Matprod_sketch Matprod_util

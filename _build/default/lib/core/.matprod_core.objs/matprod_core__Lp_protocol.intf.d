@@ -1,0 +1,1 @@
+lib/core/lp_protocol.mli: Matprod_comm Matprod_matrix

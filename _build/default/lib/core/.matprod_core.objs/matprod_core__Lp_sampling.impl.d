@@ -1,0 +1,1 @@
+lib/core/lp_sampling.ml: Array Common Float Matprod_comm Matprod_matrix Matprod_sketch Matprod_util

@@ -1,0 +1,1 @@
+lib/core/lp_sampling.mli: Matprod_comm Matprod_matrix

@@ -1,0 +1,1 @@
+lib/core/matprod_protocol.ml: Array Common List Matprod_comm Matprod_matrix

@@ -1,0 +1,1 @@
+lib/core/matprod_protocol.mli: Common Matprod_comm Matprod_matrix

@@ -1,0 +1,1 @@
+lib/core/session.ml: Array Common Float Lp_protocol Matprod_comm Matprod_matrix Matprod_sketch Matprod_util

@@ -1,0 +1,1 @@
+lib/core/session.mli: Matprod_comm Matprod_matrix

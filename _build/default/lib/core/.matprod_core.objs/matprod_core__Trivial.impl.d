@@ -1,0 +1,1 @@
+lib/core/trivial.ml: Array Bytes Char Hashtbl List Matprod_comm Matprod_matrix Option String

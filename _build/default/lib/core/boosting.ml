@@ -1,0 +1,33 @@
+module Prng = Matprod_util.Prng
+module Stats = Matprod_util.Stats
+module Ctx = Matprod_comm.Ctx
+
+type result = {
+  estimate : float;
+  runs : float array;
+  total_bits : int;
+  rounds : int;
+}
+
+let run_median ~seed ~repetitions f =
+  if repetitions <= 0 then invalid_arg "Boosting.run_median: repetitions";
+  let root = Prng.create seed in
+  let outputs = Array.make repetitions 0.0 in
+  let bits = ref 0 and rounds = ref 0 in
+  for r = 0 to repetitions - 1 do
+    let run = Ctx.run ~seed:(Prng.fresh_seed root) f in
+    outputs.(r) <- run.Ctx.output;
+    bits := !bits + run.Ctx.bits;
+    rounds := run.Ctx.rounds
+  done;
+  {
+    estimate = Stats.median outputs;
+    runs = outputs;
+    total_bits = !bits;
+    rounds = !rounds;
+  }
+
+let repetitions_for ~delta =
+  if not (delta > 0.0 && delta < 1.0) then invalid_arg "Boosting: delta";
+  let r = int_of_float (Float.ceil (12.0 *. log (1.0 /. delta))) in
+  if r land 1 = 1 then r else r + 1

@@ -1,0 +1,20 @@
+(** The standard median trick (end of §3): run a constant-success-probability
+    estimation protocol O(log 1/δ) times with independent coins and take the
+    median, boosting the success probability to 1 − δ at an O(log 1/δ)
+    communication factor — the factor the paper's Õ(·) absorbs. *)
+
+type result = {
+  estimate : float;  (** median of the per-run outputs *)
+  runs : float array;  (** the individual outputs *)
+  total_bits : int;  (** communication summed over all runs *)
+  rounds : int;  (** rounds of a single run (runs are independent) *)
+}
+
+val run_median :
+  seed:int -> repetitions:int -> (Matprod_comm.Ctx.t -> float) -> result
+(** [run_median ~seed ~repetitions f] executes [f] in [repetitions] fresh
+    contexts with seeds derived from [seed]. *)
+
+val repetitions_for : delta:float -> int
+(** ⌈12·ln(1/δ)⌉, odd — enough repetitions to push a 0.9-success protocol
+    to 1 − δ by Chernoff. *)

@@ -1,0 +1,31 @@
+module Bmat = Matprod_matrix.Bmat
+module Cohen = Matprod_sketch.Cohen
+module Ctx = Matprod_comm.Ctx
+module Codec = Matprod_comm.Codec
+
+type params = { reps : int }
+
+let params_for_eps ~eps =
+  if not (eps > 0.0 && eps <= 1.0) then invalid_arg "Cohen_baseline: eps";
+  { reps = max 4 (int_of_float (Float.ceil (4.0 /. (eps *. eps)))) }
+
+let run ctx prm ~a ~b =
+  if Bmat.cols a <> Bmat.rows b then invalid_arg "Cohen_baseline: dims";
+  let est = Cohen.create ctx.Ctx.alice ~reps:prm.reps ~rows:(max 1 (Bmat.rows a)) in
+  let at = Bmat.transpose a in
+  let mins =
+    Cohen.column_mins est ~supp_of_col:(fun k -> Bmat.row at k)
+      ~cols:(Bmat.cols a)
+  in
+  let mins' =
+    Ctx.a2b ctx ~label:"exponential minima m_k"
+      (Codec.array Codec.float32_array) mins
+  in
+  (* Bob: per output column j, combine minima over supp(B_{*,j}) and sum
+     the support-size estimates. *)
+  let bt = Bmat.transpose b in
+  let acc = ref 0.0 in
+  for j = 0 to Bmat.cols b - 1 do
+    acc := !acc +. Cohen.estimate_union est mins' (Bmat.row bt j)
+  done;
+  !acc

@@ -1,0 +1,20 @@
+(** The "direct adaptation" of Cohen's estimator [12] to the two-party
+    model, as discussed in §1.3: Alice ships the per-inner-index
+    exponential minima m_k^(t) for Θ(1/ε²) repetitions (one round,
+    Θ̃(n/ε²) bits); Bob combines minima over each of his columns' supports
+    and sums the per-column support-size estimates into ‖A·B‖₀.
+
+    Second baseline for experiment E1, alongside {!Lp_oneround}. *)
+
+type params = { reps : int }
+
+val params_for_eps : eps:float -> params
+(** reps = ⌈4/ε²⌉ (estimator std ≈ 1/√reps per column). *)
+
+val run :
+  Matprod_comm.Ctx.t ->
+  params ->
+  a:Matprod_matrix.Bmat.t ->
+  b:Matprod_matrix.Bmat.t ->
+  float
+(** Estimate of ‖A·B‖₀ (the set-intersection join size). *)

@@ -1,0 +1,80 @@
+module Bmat = Matprod_matrix.Bmat
+module Imat = Matprod_matrix.Imat
+module Hashing = Matprod_util.Hashing
+module Field31 = Matprod_util.Field31
+module Ctx = Matprod_comm.Ctx
+module Codec = Matprod_comm.Codec
+
+let set_fingerprint h set =
+  Array.fold_left
+    (fun acc k -> Field31.add acc (Hashing.field_coeff h k))
+    0 set
+
+let equality_join ctx ~a ~b =
+  if Bmat.cols a <> Bmat.rows b then invalid_arg "Joins.equality_join: dims";
+  (* Two independent set fingerprints from the shared coins. *)
+  let h1 = Hashing.create ctx.Ctx.public ~k:2 in
+  let h2 = Hashing.create ctx.Ctx.public ~k:2 in
+  let fp set = (set_fingerprint h1 set, set_fingerprint h2 set) in
+  let alice = Array.init (Bmat.rows a) (fun i -> fp (Bmat.row a i)) in
+  let alice' =
+    Ctx.a2b ctx ~label:"row fingerprints of A"
+      (Codec.array (Codec.pair Codec.uint Codec.uint))
+      alice
+  in
+  let counts = Hashtbl.create 64 in
+  Array.iter
+    (fun key ->
+      Hashtbl.replace counts key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts key)))
+    alice';
+  let bt = Bmat.transpose b in
+  let total = ref 0 in
+  for j = 0 to Bmat.rows bt - 1 do
+    let key = fp (Bmat.row bt j) in
+    total := !total + Option.value ~default:0 (Hashtbl.find_opt counts key)
+  done;
+  !total
+
+type threshold_params = { eps : float; samples : int }
+
+let default_threshold_params ~eps =
+  if not (eps > 0.0 && eps <= 1.0) then invalid_arg "Joins: eps range";
+  { eps; samples = max 32 (int_of_float (Float.ceil (2.0 /. (eps *. eps)))) }
+
+let disjointness_join ctx ~eps ~a ~b =
+  if Bmat.cols a <> Bmat.rows b then
+    invalid_arg "Joins.disjointness_join: dims";
+  let l0 =
+    Lp_protocol.run ctx
+      (Lp_protocol.default_params ~p:0.0 ~eps ())
+      ~a:(Imat.of_bmat a) ~b:(Imat.of_bmat b)
+  in
+  Float.max 0.0 ((float_of_int (Bmat.rows a) *. float_of_int (Bmat.cols b)) -. l0)
+
+let at_least_t_join ctx prm ~t ~a ~b =
+  if Bmat.cols a <> Bmat.rows b then invalid_arg "Joins.at_least_t_join: dims";
+  if t < 1 then invalid_arg "Joins.at_least_t_join: t >= 1";
+  let ai = Imat.of_bmat a and bi = Imat.of_bmat b in
+  let l0 = Lp_protocol.run ctx (Lp_protocol.default_params ~eps:prm.eps ()) ~a:ai ~b:bi in
+  if l0 <= 0.0 then 0.0
+  else begin
+    (* Each l0-sample carries its exact entry value; the hit fraction
+       scales ||C||_0 into the at-least-t count. One batched message
+       amortises the column sketches over all samples. *)
+    let samples =
+      L0_sampling.run_many ctx
+        (L0_sampling.default_params ~eps:0.5)
+        ~count:prm.samples ~a:ai ~b:bi
+    in
+    let hits = ref 0 and got = ref 0 in
+    Array.iter
+      (function
+        | Some s ->
+            incr got;
+            if s.L0_sampling.value >= t then incr hits
+        | None -> ())
+      samples;
+    if !got = 0 then 0.0
+    else l0 *. float_of_int !hits /. float_of_int !got
+  end

@@ -1,0 +1,47 @@
+(** The predecessor join family of [16] (§1.3), answered with this paper's
+    machinery. The paper presents itself as a significant extension of
+    these set-join problems; the three classics reduce cleanly to the
+    statistics implemented here:
+
+    - {e set-equality join}: |{(i,j) : A_i = B^j}| — exact whp by
+      exchanging O(log n)-bit set fingerprints, 1 round, O(n log n) bits;
+    - {e set-disjointness join}: |{(i,j) : A_i ∩ B^j = ∅}| — the
+      complement of the composition, n·m − ‖AB‖₀, via Algorithm 1;
+    - {e at-least-T join}: |{(i,j) : |A_i ∩ B^j| ≥ T}| — ‖AB‖₀ times the
+      fraction of ℓ0-samples with value ≥ T (each sample carries its exact
+      entry value), giving an additive ±ε‖AB‖₀ guarantee. *)
+
+val equality_join :
+  Matprod_comm.Ctx.t ->
+  a:Matprod_matrix.Bmat.t ->
+  b:Matprod_matrix.Bmat.t ->
+  int
+(** Number of (row of A, column of B) pairs that are equal as sets.
+    1 round, O(n log n) bits; wrong only on a 2^{-62}-probability
+    fingerprint collision. *)
+
+type threshold_params = {
+  eps : float;  (** additive error scale (fraction of ‖AB‖₀) *)
+  samples : int;  (** ℓ0-samples drawn; std ≈ ‖AB‖₀/√samples *)
+}
+
+val default_threshold_params : eps:float -> threshold_params
+
+val disjointness_join :
+  Matprod_comm.Ctx.t ->
+  eps:float ->
+  a:Matprod_matrix.Bmat.t ->
+  b:Matprod_matrix.Bmat.t ->
+  float
+(** Estimate of |{(i,j) : A_i ∩ B^j = ∅}| = n·m − ‖AB‖₀, with the
+    (1+ε)-error of Algorithm 1 on the ‖AB‖₀ term. *)
+
+val at_least_t_join :
+  Matprod_comm.Ctx.t ->
+  threshold_params ->
+  t:int ->
+  a:Matprod_matrix.Bmat.t ->
+  b:Matprod_matrix.Bmat.t ->
+  float
+(** Estimate of |{(i,j) : (AB)_{i,j} ≥ t}|, within
+    ±(ε + O(1/√samples))·‖AB‖₀ additive error. *)

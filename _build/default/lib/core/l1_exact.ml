@@ -1,0 +1,20 @@
+module Imat = Matprod_matrix.Imat
+module Bmat = Matprod_matrix.Bmat
+module Ctx = Matprod_comm.Ctx
+module Codec = Matprod_comm.Codec
+
+let run_sums ctx ~col_sums ~row_sum_of =
+  let sums = Ctx.a2b ctx ~label:"column sums of A" Codec.uint_array col_sums in
+  let acc = ref 0 in
+  Array.iteri (fun k s -> acc := !acc + (s * row_sum_of k)) sums;
+  !acc
+
+let run ctx ~a ~b =
+  if Imat.cols a <> Imat.rows b then invalid_arg "L1_exact: dims";
+  if not (Imat.nonneg a && Imat.nonneg b) then
+    invalid_arg "L1_exact: requires non-negative matrices";
+  run_sums ctx ~col_sums:(Imat.col_l1 a) ~row_sum_of:(Imat.row_l1 b)
+
+let run_bool ctx ~a ~b =
+  if Bmat.cols a <> Bmat.rows b then invalid_arg "L1_exact: dims";
+  run_sums ctx ~col_sums:(Bmat.col_weights a) ~row_sum_of:(Bmat.row_weight b)

@@ -1,0 +1,19 @@
+(** Remark 2 — ‖A·B‖₁ computed exactly in one round and O(n log n) bits.
+
+    For non-negative matrices, ‖AB‖₁ = Σ_j ‖A_{*,j}‖₁·‖B_{j,*}‖₁: Alice
+    ships her n column sums, Bob combines with his row sums. This is the
+    natural-join size of the corresponding relations. *)
+
+val run :
+  Matprod_comm.Ctx.t ->
+  a:Matprod_matrix.Imat.t ->
+  b:Matprod_matrix.Imat.t ->
+  int
+(** Exact ‖A·B‖₁. Requires cols a = rows b and non-negative entries
+    (raises [Invalid_argument] otherwise — with signed entries the
+    identity breaks). *)
+
+val run_bool :
+  Matprod_comm.Ctx.t -> a:Matprod_matrix.Bmat.t -> b:Matprod_matrix.Bmat.t -> int
+(** Same for binary matrices (the set-intersection-join-with-witnesses
+    count |A ⋈ B|). *)

@@ -1,0 +1,55 @@
+module Prng = Matprod_util.Prng
+module Imat = Matprod_matrix.Imat
+module Ctx = Matprod_comm.Ctx
+module Codec = Matprod_comm.Codec
+
+type sample = { row : int; col : int; witness : int }
+
+(* Draw an index from a non-negative integer weight vector, ∝ weight. *)
+let weighted_pick rng pairs total =
+  let target = Prng.int rng total in
+  let rec go acc = function
+    | [] -> invalid_arg "L1_sampling: weights exhausted"
+    | (idx, w) :: rest ->
+        let acc = acc + w in
+        if target < acc then idx else go acc rest
+  in
+  go 0 pairs
+
+let run ctx ~a ~b =
+  if Imat.cols a <> Imat.rows b then invalid_arg "L1_sampling: dims";
+  if not (Imat.nonneg a && Imat.nonneg b) then
+    invalid_arg "L1_sampling: requires non-negative matrices";
+  let at = Imat.transpose a in
+  let inner = Imat.cols a in
+  (* Alice: per inner index k, the column mass and one row sampled ∝ value. *)
+  let alice_msg =
+    Array.init inner (fun k ->
+        let col = Imat.row at k in
+        let total = Array.fold_left (fun acc (_, v) -> acc + v) 0 col in
+        if total = 0 then (0, -1)
+        else
+          let i =
+            weighted_pick ctx.Ctx.alice (Array.to_list col) total
+          in
+          (total, i))
+  in
+  let msg =
+    Ctx.a2b ctx ~label:"col sums + row samples"
+      (Codec.array (Codec.pair Codec.uint Codec.int))
+      alice_msg
+  in
+  (* Bob: witness k ∝ colsum_k · rowsum_k, then column j ∝ B_{k,j}. *)
+  let weights =
+    List.init inner (fun k -> (k, fst msg.(k) * Imat.row_l1 b k))
+  in
+  let total = List.fold_left (fun acc (_, w) -> acc + w) 0 weights in
+  if total = 0 then None
+  else begin
+    let k = weighted_pick ctx.Ctx.bob weights total in
+    let row_k = Imat.row b k in
+    let row_total = Array.fold_left (fun acc (_, v) -> acc + v) 0 row_k in
+    let j = weighted_pick ctx.Ctx.bob (Array.to_list row_k) row_total in
+    let i = snd msg.(k) in
+    Some { row = i; col = j; witness = k }
+  end

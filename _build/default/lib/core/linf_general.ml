@@ -1,0 +1,33 @@
+module Imat = Matprod_matrix.Imat
+module Blocked_ams = Matprod_sketch.Blocked_ams
+module Ctx = Matprod_comm.Ctx
+module Codec = Matprod_comm.Codec
+
+type params = { kappa : float }
+
+let run ctx prm ~a ~b =
+  if Imat.cols a <> Imat.rows b then invalid_arg "Linf_general: dims";
+  if prm.kappa < 1.0 then invalid_arg "Linf_general: kappa >= 1";
+  let sk =
+    Blocked_ams.create ctx.Ctx.public ~dim:(max 1 (Imat.rows a))
+      ~kappa:prm.kappa
+  in
+  let at = Imat.transpose a in
+  let alice_msg =
+    Array.init (Imat.cols a) (fun k -> Blocked_ams.sketch sk (Imat.row at k))
+  in
+  let sketches =
+    Ctx.a2b ctx ~label:"blocked-AMS sketches of A cols"
+      (Codec.array Codec.float32_array) alice_msg
+  in
+  let bt = Imat.transpose b in
+  let best = ref 0.0 in
+  for j = 0 to Imat.cols b - 1 do
+    let acc = Blocked_ams.empty sk in
+    Array.iter
+      (fun (k, v) -> Blocked_ams.add_scaled sk ~dst:acc ~coeff:v sketches.(k))
+      (Imat.row bt j);
+    let est = Blocked_ams.estimate_linf sk acc in
+    if est > !best then best := est
+  done;
+  !best

@@ -1,0 +1,33 @@
+module Imat = Matprod_matrix.Imat
+module Lp = Matprod_sketch.Lp
+module Ctx = Matprod_comm.Ctx
+module Codec = Matprod_comm.Codec
+
+type params = { p : float; eps : float; sketch_groups : int }
+
+let default_params ?(p = 0.0) ~eps () = { p; eps; sketch_groups = 5 }
+
+let run ctx prm ~a ~b =
+  if not (prm.p >= 0.0 && prm.p <= 2.0) then
+    invalid_arg "Lp_oneround: p must be in [0,2]";
+  if not (prm.eps > 0.0 && prm.eps <= 1.0) then
+    invalid_arg "Lp_oneround: eps must be in (0,1]";
+  if Imat.cols a <> Imat.rows b then invalid_arg "Lp_oneround: dims";
+  let lp =
+    Lp.create ctx.Ctx.public ~p:prm.p ~eps:prm.eps ~groups:prm.sketch_groups
+      ~dim:(max 1 (Imat.cols b))
+  in
+  let bob_sketches =
+    Array.init (Imat.rows b) (fun k -> Lp.sketch lp (Imat.row b k))
+  in
+  let sketches =
+    Ctx.b2a ctx ~label:"lp-sketches(B rows, eps)" (Codec.array (Lp.wire lp))
+      bob_sketches
+  in
+  let acc = ref 0.0 in
+  for i = 0 to Imat.rows a - 1 do
+    acc :=
+      !acc
+      +. Lp.estimate_pow lp (Common.combine_sketches lp sketches (Imat.row a i))
+  done;
+  !acc

@@ -1,0 +1,19 @@
+(** The one-round baseline from [16] that Algorithm 1 improves on.
+
+    Bob sends ℓp sketches of his rows at full accuracy ε (size Õ(1/ε²)
+    each); Alice combines them into sketches of every row of C = A·B, sums
+    the per-row estimates, and outputs. One round, Õ(n/ε²) bits — exactly
+    the protocol whose ε-dependence Theorem 3.1 beats, and the subject of
+    the Ω(n/ε²) one-round lower bound the paper cites. *)
+
+type params = { p : float; eps : float; sketch_groups : int }
+
+val default_params : ?p:float -> eps:float -> unit -> params
+
+val run :
+  Matprod_comm.Ctx.t ->
+  params ->
+  a:Matprod_matrix.Imat.t ->
+  b:Matprod_matrix.Imat.t ->
+  float
+(** Estimate of ‖A·B‖_p^p in a single message. *)

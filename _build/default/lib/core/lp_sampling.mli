@@ -1,0 +1,30 @@
+(** ℓp-sampling of C = A·B for p ∈ [0, 2] — an extension beyond the paper.
+
+    The paper gives ℓ1-sampling (Remark 3, exact distribution) and
+    ℓ0-sampling (Theorem 3.2). This module generalises to any p ∈ [0, 2]
+    with the two-round pattern of Algorithm 1: Bob's round-1 ℓp sketches
+    give Alice (1±ε) estimates of every row's ‖C_{i,*}‖_p^p; Alice samples
+    a row proportionally and ships it; Bob computes that row of C exactly
+    and samples an entry ∝ |C_{i,j}|^p. The output distribution is within
+    a (1±2ε) factor of |C_{i,j}|^p/‖C‖_p^p, at Õ(n/ε²) bits and 2 rounds.
+
+    For p = 1 on non-negative inputs prefer {!L1_sampling} (exact, one
+    round, O(n log n) bits); for p = 0 this trades {!L0_sampling}'s strict
+    one-roundness for simplicity. *)
+
+type params = { p : float; eps : float; sketch_groups : int }
+
+val default_params : ?p:float -> eps:float -> unit -> params
+(** p defaults to 2 (sampling ∝ squared entries — "importance" sampling of
+    the Frobenius mass). *)
+
+type sample = { row : int; col : int; value : int }
+
+val run :
+  Matprod_comm.Ctx.t ->
+  params ->
+  a:Matprod_matrix.Imat.t ->
+  b:Matprod_matrix.Imat.t ->
+  sample option
+(** [None] iff the product is zero (or every row estimate degenerates).
+    [value] is the exact C_{row,col}. *)

@@ -1,0 +1,67 @@
+module Bmat = Matprod_matrix.Bmat
+module Imat = Matprod_matrix.Imat
+module Product = Matprod_matrix.Product
+module Ctx = Matprod_comm.Ctx
+module Codec = Matprod_comm.Codec
+
+type 'r query = Product.t -> 'r
+
+(* Dense bitmap codec for a binary matrix: header + ⌈rows·cols/8⌉ bytes. *)
+let bitmap_codec =
+  let pack (rows, cols, bits) =
+    let nbytes = (rows * cols + 7) / 8 in
+    let buf = Bytes.make nbytes '\000' in
+    List.iter
+      (fun (i, k) ->
+        let pos = (i * cols) + k in
+        let b = Char.code (Bytes.get buf (pos / 8)) in
+        Bytes.set buf (pos / 8) (Char.chr (b lor (1 lsl (pos mod 8)))))
+      bits;
+    (rows, cols, Bytes.to_string buf)
+  in
+  let unpack (rows, cols, s) =
+    let bits = ref [] in
+    for i = rows - 1 downto 0 do
+      for k = cols - 1 downto 0 do
+        let pos = (i * cols) + k in
+        if Char.code s.[pos / 8] land (1 lsl (pos mod 8)) <> 0 then
+          bits := (i, k) :: !bits
+      done
+    done;
+    (rows, cols, !bits)
+  in
+  Codec.map pack unpack (Codec.triple Codec.uint Codec.uint Codec.bytes)
+
+let run_bool ctx ~a ~b query =
+  if Bmat.cols a <> Bmat.rows b then invalid_arg "Trivial.run_bool: dims";
+  let bits =
+    List.concat
+      (List.init (Bmat.rows a) (fun i ->
+           Array.to_list (Array.map (fun k -> (i, k)) (Bmat.row a i))))
+  in
+  let rows, cols, bits' =
+    Ctx.a2b ctx ~label:"entire A (bitmap)" bitmap_codec
+      (Bmat.rows a, Bmat.cols a, bits)
+  in
+  let sets = Array.make rows [||] in
+  let by_row = Hashtbl.create 64 in
+  List.iter
+    (fun (i, k) ->
+      Hashtbl.replace by_row i (k :: Option.value ~default:[] (Hashtbl.find_opt by_row i)))
+    bits';
+  for i = 0 to rows - 1 do
+    sets.(i) <-
+      Array.of_list (Option.value ~default:[] (Hashtbl.find_opt by_row i))
+  done;
+  let a' = Bmat.create ~rows ~cols sets in
+  query (Product.bool_product a' b)
+
+let run_int ctx ~a ~b query =
+  if Imat.cols a <> Imat.rows b then invalid_arg "Trivial.run_int: dims";
+  let rows_msg = Array.init (Imat.rows a) (fun i -> Imat.row a i) in
+  let rows' =
+    Ctx.a2b ctx ~label:"entire A (sparse rows)"
+      (Codec.array Codec.sparse_int_vec) rows_msg
+  in
+  let a' = Imat.create ~rows:(Imat.rows a) ~cols:(Imat.cols a) rows' in
+  query (Product.int_product a' b)

@@ -1,0 +1,22 @@
+(** The trivial protocol: Alice ships her entire matrix and Bob computes
+    exactly. The n²-bit baseline every theorem in the paper is measured
+    against. Binary matrices go as a dense bitmap (exactly n·m bits, the
+    information-theoretic content of an arbitrary binary matrix); integer
+    matrices as sparse rows. *)
+
+type 'r query = Matprod_matrix.Product.t -> 'r
+(** What Bob computes once he has reconstructed C = A·B exactly. *)
+
+val run_bool :
+  Matprod_comm.Ctx.t ->
+  a:Matprod_matrix.Bmat.t ->
+  b:Matprod_matrix.Bmat.t ->
+  'r query ->
+  'r
+
+val run_int :
+  Matprod_comm.Ctx.t ->
+  a:Matprod_matrix.Imat.t ->
+  b:Matprod_matrix.Imat.t ->
+  'r query ->
+  'r

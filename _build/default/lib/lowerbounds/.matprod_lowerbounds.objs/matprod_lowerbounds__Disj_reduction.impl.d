@@ -1,0 +1,1 @@
+lib/lowerbounds/disj_reduction.ml: Array Matprod_matrix Matprod_util

@@ -1,0 +1,1 @@
+lib/lowerbounds/disj_reduction.mli: Matprod_matrix Matprod_util

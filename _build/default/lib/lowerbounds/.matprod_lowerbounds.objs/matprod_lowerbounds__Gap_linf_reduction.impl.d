@@ -1,0 +1,1 @@
+lib/lowerbounds/gap_linf_reduction.ml: Array Matprod_matrix Matprod_util

@@ -1,0 +1,1 @@
+lib/lowerbounds/sum_hard.ml: Array Float Matprod_matrix Matprod_util Printf

@@ -1,0 +1,1 @@
+lib/lowerbounds/sum_hard.mli: Matprod_matrix Matprod_util

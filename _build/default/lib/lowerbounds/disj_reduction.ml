@@ -1,0 +1,43 @@
+module Prng = Matprod_util.Prng
+module Bmat = Matprod_matrix.Bmat
+
+let embed ~a' ~b' =
+  let h = Bmat.rows a' in
+  if Bmat.cols a' <> h || Bmat.rows b' <> h || Bmat.cols b' <> h then
+    invalid_arg "Disj_reduction.embed: blocks must be square and equal";
+  let n = 2 * h in
+  (* A = [A' I; 0 0] *)
+  let a_sets =
+    Array.init n (fun i ->
+        if i < h then Array.append (Bmat.row a' i) [| h + i |] else [||])
+  in
+  (* B = [I 0; B' 0] *)
+  let b_sets =
+    Array.init n (fun i ->
+        if i < h then [| i |] else Bmat.row b' (i - h))
+  in
+  (Bmat.create ~rows:n ~cols:n a_sets, Bmat.create ~rows:n ~cols:n b_sets)
+
+let instance rng ~half ~intersecting ~density =
+  if half <= 0 then invalid_arg "Disj_reduction.instance: half";
+  let t = half * half in
+  (* Split the coordinate universe in two so the random supports are
+     disjoint; optionally plant one shared coordinate. *)
+  let x = Array.make t false and y = Array.make t false in
+  for c = 0 to t - 1 do
+    if Prng.float rng < density then
+      if c land 1 = 0 then x.(c) <- true else y.(c) <- true
+  done;
+  if intersecting then begin
+    let c = Prng.int rng t in
+    x.(c) <- true;
+    y.(c) <- true
+  end;
+  let to_block bits =
+    Bmat.of_dense
+      (Array.init half (fun i ->
+           Array.init half (fun j -> if bits.((i * half) + j) then 1 else 0)))
+  in
+  (* A·B's top-left block is A'·I + I·B' = A' + B', so coordinate c of
+     both strings lands at the same (i, j) = (c / half, c mod half). *)
+  embed ~a':(to_block x) ~b':(to_block y)

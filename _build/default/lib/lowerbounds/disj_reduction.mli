@@ -1,0 +1,30 @@
+(** Theorem 4.4 — the set-disjointness reduction showing any factor-2
+    approximation of ‖A·B‖∞ needs Ω(n²) bits.
+
+    DISJ inputs x, y of length (n/2)² are reshaped into (n/2)×(n/2)
+    matrices A', B' and embedded as
+
+    {v A = [ A'  I ]     B = [ I   0 ]
+           [ 0   0 ]         [ B'  0 ] v}
+
+    so that A·B = [[A' + B', 0], [0, 0]] and ‖A·B‖∞ = ‖A' + B'‖∞ ∈ {1, 2}
+    according to whether the sets intersect. *)
+
+val embed :
+  a':Matprod_matrix.Bmat.t ->
+  b':Matprod_matrix.Bmat.t ->
+  Matprod_matrix.Bmat.t * Matprod_matrix.Bmat.t
+(** The block construction above. [a'] and [b'] must be square with equal
+    size h; the result is 2h × 2h. *)
+
+val instance :
+  Matprod_util.Prng.t ->
+  half:int ->
+  intersecting:bool ->
+  density:float ->
+  Matprod_matrix.Bmat.t * Matprod_matrix.Bmat.t
+(** A random DISJ instance already embedded: [half] = n/2. When
+    [intersecting] is false, the supports of x and y are disjoint
+    (‖AB‖∞ = 1 whenever both are nonempty); when true, exactly one common
+    coordinate is planted (‖AB‖∞ = 2). [density] is the fill rate of each
+    side's private support. *)

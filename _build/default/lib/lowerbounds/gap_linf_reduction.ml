@@ -1,0 +1,41 @@
+module Prng = Matprod_util.Prng
+module Imat = Matprod_matrix.Imat
+
+let embed ~a' ~b' =
+  let h = Imat.rows a' in
+  if Imat.cols a' <> h || Imat.rows b' <> h || Imat.cols b' <> h then
+    invalid_arg "Gap_linf_reduction.embed: blocks must be square and equal";
+  let n = 2 * h in
+  let a_rows =
+    Array.init n (fun i ->
+        if i < h then Array.append (Imat.row a' i) [| (h + i, 1) |] else [||])
+  in
+  let b_rows =
+    Array.init n (fun i ->
+        if i < h then [| (i, 1) |] else Imat.row b' (i - h))
+  in
+  (Imat.create ~rows:n ~cols:n a_rows, Imat.create ~rows:n ~cols:n b_rows)
+
+let instance rng ~half ~kappa ~gap =
+  if half <= 0 || kappa < 2 then invalid_arg "Gap_linf_reduction.instance";
+  let t = half * half in
+  let x = Array.init t (fun _ -> Prng.int rng (kappa + 1)) in
+  let y =
+    Array.map
+      (fun v ->
+        let d = Prng.int rng 3 - 1 in
+        max 0 (min kappa (v + d)))
+      x
+  in
+  if gap then begin
+    let c = Prng.int rng t in
+    x.(c) <- kappa;
+    y.(c) <- 0
+  end;
+  let to_block vals sign =
+    Imat.of_dense
+      (Array.init half (fun i ->
+           Array.init half (fun j -> sign * vals.((i * half) + j))))
+  in
+  (* A' holds x, B' holds −y, so A' + B' = x − y entry-wise. *)
+  embed ~a':(to_block x 1) ~b':(to_block y (-1))

@@ -1,0 +1,24 @@
+(** Theorem 4.8(2) — the Gap-ℓ∞ reduction showing κ-approximation of
+    ‖A·B‖∞ for integer matrices needs Ω̃(n²/κ²) bits.
+
+    Gap-ℓ∞ promises either |x_c − y_c| ≤ 1 for every coordinate or
+    |x_c − y_c| ≥ κ for some coordinate. Reshaped into (n/2)×(n/2) blocks
+    and embedded with the same [[·, I], [0, 0]] / [[I, 0], [·, 0]] trick
+    (with B' holding −y), ‖A·B‖∞ = ‖A' − B'‖∞ is ≤ 1 or ≥ κ. *)
+
+val embed :
+  a':Matprod_matrix.Imat.t ->
+  b':Matprod_matrix.Imat.t ->
+  Matprod_matrix.Imat.t * Matprod_matrix.Imat.t
+(** A·B's top-left block = A' + B'. Blocks must be square and equal. *)
+
+val instance :
+  Matprod_util.Prng.t ->
+  half:int ->
+  kappa:int ->
+  gap:bool ->
+  Matprod_matrix.Imat.t * Matprod_matrix.Imat.t
+(** Embedded Gap-ℓ∞ instance: x uniform in [0, κ]^t, y = x ± at most 1
+    coordinate-wise; when [gap] is set, one coordinate is pushed to
+    distance κ. The returned matrices satisfy ‖A·B‖∞ ≤ 1 (no gap) or
+    ‖A·B‖∞ ≥ κ (gap). *)

@@ -1,0 +1,103 @@
+module Prng = Matprod_util.Prng
+module Bmat = Matprod_matrix.Bmat
+
+type instance = {
+  a : Bmat.t;
+  b : Bmat.t;
+  sum_value : int;
+  beta : float;
+  k : int;
+  replicas : int;
+}
+
+let parameters ?(beta_const = 50.0) ~n ~kappa () =
+  if n < 4 then invalid_arg "Sum_hard: n too small";
+  if kappa < 1.0 then invalid_arg "Sum_hard: kappa >= 1";
+  let beta = sqrt (beta_const *. log (float_of_int n) /. float_of_int n) in
+  let k =
+    int_of_float (Float.round (1.0 /. (4.0 *. kappa *. beta *. beta)))
+  in
+  if k < 2 || k > n then
+    invalid_arg
+      (Printf.sprintf
+         "Sum_hard: degenerate regime (k = %d for n = %d, kappa = %.1f); \
+          increase n or decrease beta_const"
+         k n kappa);
+  (beta, k)
+
+(* nu1: (0,1) w.p. beta/2, (1,0) w.p. beta/2, else (0,0) — never (1,1). *)
+let nu1 rng beta =
+  if Prng.bernoulli rng beta then
+    if Prng.bool rng then (0, 1) else (1, 0)
+  else (0, 0)
+
+let mu1 rng = if Prng.bool rng then (1, 1) else (0, 0)
+
+let nuk rng beta k =
+  let x = Array.make k 0 and y = Array.make k 0 in
+  for c = 0 to k - 1 do
+    let xv, yv = nu1 rng beta in
+    x.(c) <- xv;
+    y.(c) <- yv
+  done;
+  (x, y)
+
+let build rng ~n ~kappa ~beta_const ~forced_sum =
+  let beta, k = parameters ?beta_const ~n ~kappa () in
+  let us = Array.make n [||] and vs = Array.make n [||] in
+  for i = 0 to n - 1 do
+    let x, y = nuk rng beta k in
+    us.(i) <- x;
+    vs.(i) <- y
+  done;
+  (* Plant the mu_k coordinate: row D, coordinate M. *)
+  let d = Prng.int rng n in
+  let m = Prng.int rng k in
+  let mx, my = match forced_sum with
+    | None -> mu1 rng
+    | Some 1 -> (1, 1)
+    | Some 0 -> (0, 0)
+    | Some _ -> invalid_arg "Sum_hard: sum must be 0 or 1"
+  in
+  us.(d).(m) <- mx;
+  vs.(d).(m) <- my;
+  let sum_value = if mx = 1 && my = 1 then 1 else 0 in
+  let replicas = n / k in
+  (* A: row i repeats U_i across the replicas; B: row (z*k + c) has a 1 in
+     column j iff V_j(c) = 1. *)
+  let a_sets =
+    Array.init n (fun i ->
+        let cols = ref [] in
+        for z = replicas - 1 downto 0 do
+          for c = k - 1 downto 0 do
+            if us.(i).(c) = 1 then cols := ((z * k) + c) :: !cols
+          done
+        done;
+        Array.of_list !cols)
+  in
+  let b_sets =
+    Array.init n (fun r ->
+        if r >= replicas * k then [||]
+        else begin
+          let c = r mod k in
+          let cols = ref [] in
+          for j = n - 1 downto 0 do
+            if vs.(j).(c) = 1 then cols := j :: !cols
+          done;
+          Array.of_list !cols
+        end)
+  in
+  {
+    a = Bmat.create ~rows:n ~cols:n a_sets;
+    b = Bmat.create ~rows:n ~cols:n b_sets;
+    sum_value;
+    beta;
+    k;
+    replicas;
+  }
+
+let sample ?beta_const rng ~n ~kappa =
+  build rng ~n ~kappa ~beta_const ~forced_sum:None
+
+let sample_conditioned ?beta_const rng ~n ~kappa ~sum =
+  build rng ~n ~kappa ~beta_const ~forced_sum:(Some sum)

@@ -1,0 +1,39 @@
+(** Theorem 4.5 — the SUM-of-DISJ hard distribution showing κ-approximation
+    of ‖A·B‖∞ for binary matrices needs Ω̃(n^1.5/κ) bits.
+
+    Parameters (following §4.2.2): β = √(50·ln n / n), k = 1/(4κβ²).
+    Alice's input U = (U₁,…,U_n) and Bob's V with (U_i, V_i) ∈
+    ({0,1}^k)² drawn from ν_k (no intersecting coordinate) except one
+    planted index D redrawn from μ_k (intersecting with probability ½).
+    The inputs are tiled into n×n block matrices A = [A¹ … A^{n/k}]
+    (each Aᶻ has row i = U_i) and B = [B¹ … B^{n/k}]ᵀ (column i = V_i),
+    so that SUM = 1 forces ‖A·B‖∞ ≥ n/k while SUM = 0 keeps every entry
+    near its mean ≈ β²n — a gap of 2κ. *)
+
+type instance = {
+  a : Matprod_matrix.Bmat.t;
+  b : Matprod_matrix.Bmat.t;
+  sum_value : int;  (** SUM(U, V) ∈ {0, 1} *)
+  beta : float;
+  k : int;
+  replicas : int;  (** number of horizontal/vertical tiles n/k *)
+}
+
+val parameters :
+  ?beta_const:float -> n:int -> kappa:float -> unit -> float * int
+(** (β, k) for the given n and κ; raises if the regime is degenerate
+    (k < 2 or k > n). [beta_const] defaults to the paper's 50; smaller
+    values keep the regime non-degenerate at laptop scales. *)
+
+val sample :
+  ?beta_const:float -> Matprod_util.Prng.t -> n:int -> kappa:float -> instance
+(** Draw (U, V) ~ φ and build the embedded matrices. *)
+
+val sample_conditioned :
+  ?beta_const:float ->
+  Matprod_util.Prng.t ->
+  n:int ->
+  kappa:float ->
+  sum:int ->
+  instance
+(** Same, conditioned on SUM(U,V) = [sum] (∈ {0,1}). *)

@@ -1,0 +1,1 @@
+lib/matrix/bitmat.mli: Bmat

@@ -1,0 +1,1 @@
+lib/matrix/bmat.ml: Array Format List Printf

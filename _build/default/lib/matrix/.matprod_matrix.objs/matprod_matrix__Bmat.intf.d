@@ -1,0 +1,1 @@
+lib/matrix/bmat.mli: Format

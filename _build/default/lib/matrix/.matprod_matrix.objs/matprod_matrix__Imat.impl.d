@@ -1,0 +1,1 @@
+lib/matrix/imat.ml: Array Bmat Float Format List Printf

@@ -1,0 +1,1 @@
+lib/matrix/imat.mli: Bmat Format

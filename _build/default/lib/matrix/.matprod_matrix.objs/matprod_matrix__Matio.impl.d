@@ -1,0 +1,1 @@
+lib/matrix/matio.ml: Array Bmat Float Fun Imat List Printf String

@@ -1,0 +1,1 @@
+lib/matrix/matio.mli: Bmat Imat

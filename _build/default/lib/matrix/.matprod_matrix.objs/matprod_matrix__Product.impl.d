@@ -1,0 +1,1 @@
+lib/matrix/product.ml: Array Bmat Float Hashtbl Imat List Option

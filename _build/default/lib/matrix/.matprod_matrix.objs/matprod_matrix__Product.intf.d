@@ -1,0 +1,1 @@
+lib/matrix/product.mli: Bmat Imat

@@ -1,0 +1,82 @@
+(* 62 columns per word keeps every word non-negative (bits 0..61), so no
+   sign-bit special cases anywhere. *)
+let bits_per_word = 62
+
+type t = { rows : int; cols : int; words_per_row : int; data : int array }
+
+let create ~rows ~cols =
+  if rows < 0 || cols < 0 then invalid_arg "Bitmat.create";
+  let words_per_row = (cols + bits_per_word - 1) / bits_per_word in
+  { rows; cols; words_per_row; data = Array.make (max 1 (rows * words_per_row)) 0 }
+
+let rows t = t.rows
+let cols t = t.cols
+
+let index t i k =
+  if i < 0 || i >= t.rows || k < 0 || k >= t.cols then
+    invalid_arg "Bitmat: out of range";
+  ((i * t.words_per_row) + (k / bits_per_word), k mod bits_per_word)
+
+let get t i k =
+  let w, b = index t i k in
+  t.data.(w) land (1 lsl b) <> 0
+
+let set t i k v =
+  let w, b = index t i k in
+  if v then t.data.(w) <- t.data.(w) lor (1 lsl b)
+  else t.data.(w) <- t.data.(w) land lnot (1 lsl b)
+
+let of_bmat m =
+  let t = create ~rows:(Bmat.rows m) ~cols:(Bmat.cols m) in
+  for i = 0 to Bmat.rows m - 1 do
+    Array.iter (fun k -> set t i k true) (Bmat.row m i)
+  done;
+  t
+
+let to_bmat t =
+  let sets =
+    Array.init t.rows (fun i ->
+        let out = ref [] in
+        for k = t.cols - 1 downto 0 do
+          if get t i k then out := k :: !out
+        done;
+        Array.of_list !out)
+  in
+  Bmat.create ~rows:t.rows ~cols:t.cols sets
+
+(* SWAR popcount; inputs are 62-bit non-negative words (also correct for
+   any non-negative 63-bit int). *)
+let popcount x =
+  if x < 0 then invalid_arg "Bitmat.popcount: negative";
+  let m1 = 0x5555555555555555 and m2 = 0x3333333333333333 in
+  let m4 = 0x0F0F0F0F0F0F0F0F in
+  let x = x - ((x lsr 1) land m1) in
+  let x = (x land m2) + ((x lsr 2) land m2) in
+  let x = (x + (x lsr 4)) land m4 in
+  (x * 0x0101010101010101) lsr 56
+
+let nnz t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.data
+
+let row_intersection x i y j =
+  if x.cols <> y.cols then invalid_arg "Bitmat.row_intersection: cols differ";
+  if i < 0 || i >= x.rows || j < 0 || j >= y.rows then
+    invalid_arg "Bitmat.row_intersection: row range";
+  let acc = ref 0 in
+  let xi = i * x.words_per_row and yj = j * y.words_per_row in
+  for w = 0 to x.words_per_row - 1 do
+    acc := !acc + popcount (x.data.(xi + w) land y.data.(yj + w))
+  done;
+  !acc
+
+let product_entry ~a ~bt i j = row_intersection a i bt j
+
+let product_linf ~a ~bt =
+  if a.cols <> bt.cols then invalid_arg "Bitmat.product_linf: inner dims";
+  let best = ref 0 in
+  for i = 0 to a.rows - 1 do
+    for j = 0 to bt.rows - 1 do
+      let v = row_intersection a i bt j in
+      if v > !best then best := v
+    done
+  done;
+  !best

@@ -1,0 +1,161 @@
+let fail_at ~line msg = failwith (Printf.sprintf "Matio: line %d: %s" line msg)
+
+let with_out path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+let write_bmat path m =
+  with_out path (fun oc ->
+      Printf.fprintf oc "matprod bmat %d %d\n" (Bmat.rows m) (Bmat.cols m);
+      for i = 0 to Bmat.rows m - 1 do
+        Array.iter (fun k -> Printf.fprintf oc "%d %d\n" i k) (Bmat.row m i)
+      done)
+
+let write_imat path m =
+  with_out path (fun oc ->
+      Printf.fprintf oc "matprod imat %d %d\n" (Imat.rows m) (Imat.cols m);
+      for i = 0 to Imat.rows m - 1 do
+        Array.iter
+          (fun (k, v) -> Printf.fprintf oc "%d %d %d\n" i k v)
+          (Imat.row m i)
+      done)
+
+type parsed = {
+  rows : int;
+  cols : int;
+  entries : (int * int * int) list; (* (row, col, value) 0-indexed *)
+}
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let out = ref [] in
+      (try
+         while true do
+           out := input_line ic :: !out
+         done
+       with End_of_file -> ());
+      List.rev !out)
+
+let tokens line =
+  String.split_on_char ' ' (String.trim line)
+  |> List.filter (fun s -> s <> "")
+
+let parse_native ~kind ~header_line rest =
+  let rows, cols =
+    match tokens header_line with
+    | [ "matprod"; _; r; c ] -> (
+        try (int_of_string r, int_of_string c)
+        with _ -> fail_at ~line:1 "bad dimensions")
+    | _ -> fail_at ~line:1 "bad matprod header"
+  in
+  let entries = ref [] in
+  List.iteri
+    (fun idx line ->
+      let lineno = idx + 2 in
+      let line = String.trim line in
+      if line <> "" && line.[0] <> '#' then
+        match (kind, tokens line) with
+        | `Bmat, [ i; k ] -> (
+            try entries := (int_of_string i, int_of_string k, 1) :: !entries
+            with _ -> fail_at ~line:lineno "bad entry")
+        | `Imat, [ i; k; v ] -> (
+            try
+              entries :=
+                (int_of_string i, int_of_string k, int_of_string v) :: !entries
+            with _ -> fail_at ~line:lineno "bad entry")
+        | _ -> fail_at ~line:lineno "wrong number of fields")
+    rest;
+  { rows; cols; entries = !entries }
+
+let parse_matrixmarket ~header_line rest =
+  let field =
+    match tokens (String.lowercase_ascii header_line) with
+    | "%%matrixmarket" :: "matrix" :: "coordinate" :: field :: _ -> field
+    | _ -> fail_at ~line:1 "unsupported MatrixMarket header"
+  in
+  (* Skip % comment lines; first data line is "rows cols nnz". *)
+  let rec split_comments idx = function
+    | [] -> fail_at ~line:idx "missing size line"
+    | line :: rest ->
+        let line = String.trim line in
+        if line = "" || line.[0] = '%' then split_comments (idx + 1) rest
+        else ((idx, line), rest)
+  in
+  let (size_lineno, size_line), data = split_comments 2 rest in
+  let rows, cols =
+    match tokens size_line with
+    | [ r; c; _nnz ] -> (
+        try (int_of_string r, int_of_string c)
+        with _ -> fail_at ~line:size_lineno "bad size line")
+    | _ -> fail_at ~line:size_lineno "bad size line"
+  in
+  let entries = ref [] in
+  List.iteri
+    (fun idx line ->
+      let lineno = size_lineno + 1 + idx in
+      let line = String.trim line in
+      if line <> "" && line.[0] <> '%' then begin
+        let value_of v =
+          match field with
+          | "pattern" -> fail_at ~line:lineno "value in pattern file"
+          | "integer" -> (
+              try int_of_string v with _ -> fail_at ~line:lineno "bad value")
+          | "real" -> (
+              try int_of_float (Float.round (float_of_string v))
+              with _ -> fail_at ~line:lineno "bad value")
+          | other -> fail_at ~line:lineno ("unsupported field " ^ other)
+        in
+        match tokens line with
+        | [ i; k ] when field = "pattern" -> (
+            try
+              entries :=
+                (int_of_string i - 1, int_of_string k - 1, 1) :: !entries
+            with _ -> fail_at ~line:lineno "bad entry")
+        | [ i; k; v ] when field <> "pattern" -> (
+            try
+              entries :=
+                (int_of_string i - 1, int_of_string k - 1, value_of v)
+                :: !entries
+            with _ -> fail_at ~line:lineno "bad entry")
+        | _ -> fail_at ~line:lineno "wrong number of fields"
+      end)
+    data;
+  { rows; cols; entries = !entries }
+
+let parse path =
+  match read_lines path with
+  | [] -> failwith "Matio: empty file"
+  | header :: rest ->
+      let h = String.lowercase_ascii (String.trim header) in
+      if String.length h >= 14 && String.sub h 0 14 = "%%matrixmarket" then
+        parse_matrixmarket ~header_line:header rest
+      else if String.length h >= 12 && String.sub h 0 12 = "matprod bmat" then
+        parse_native ~kind:`Bmat ~header_line:header rest
+      else if String.length h >= 12 && String.sub h 0 12 = "matprod imat" then
+        parse_native ~kind:`Imat ~header_line:header rest
+      else failwith "Matio: unrecognised header"
+
+let read_imat path =
+  let p = parse path in
+  let rows = Array.make p.rows [] in
+  List.iter
+    (fun (i, k, v) ->
+      if i < 0 || i >= p.rows || k < 0 || k >= p.cols then
+        failwith "Matio: entry out of declared dimensions";
+      rows.(i) <- (k, v) :: rows.(i))
+    p.entries;
+  Imat.create ~rows:p.rows ~cols:p.cols (Array.map Array.of_list rows)
+
+let read_bmat path =
+  let p = parse path in
+  let rows = Array.make p.rows [] in
+  List.iter
+    (fun (i, k, v) ->
+      if i < 0 || i >= p.rows || k < 0 || k >= p.cols then
+        failwith "Matio: entry out of declared dimensions";
+      if v <> 0 then rows.(i) <- k :: rows.(i))
+    p.entries;
+  Bmat.create ~rows:p.rows ~cols:p.cols (Array.map Array.of_list rows)

@@ -1,0 +1,24 @@
+(** Reading and writing matrices.
+
+    Two formats:
+
+    - the native text format ("matprod"): a header line
+      [matprod bmat <rows> <cols>] or [matprod imat <rows> <cols>], then
+      one entry per line ([i k] for binary, [i k v] for integer),
+      0-indexed, ['#'] comments allowed;
+    - MatrixMarket coordinate files ([%%MatrixMarket matrix coordinate
+      (pattern|integer|real) general]), 1-indexed, as distributed by
+      SuiteSparse/SNAP — real values are accepted and rounded.
+
+    [read_*] dispatches on the first line. All functions raise [Failure]
+    with a line number on malformed input. *)
+
+val write_bmat : string -> Bmat.t -> unit
+val write_imat : string -> Imat.t -> unit
+
+val read_bmat : string -> Bmat.t
+(** Reads native bmat or any MatrixMarket coordinate file (nonzero values
+    become 1s). *)
+
+val read_imat : string -> Imat.t
+(** Reads native imat/bmat or MatrixMarket. *)

@@ -1,0 +1,102 @@
+type t = { rows : int; cols : int; tbl : (int, int) Hashtbl.t }
+
+let rows t = t.rows
+let cols t = t.cols
+
+let key t i j = (i * t.cols) + j
+
+let add_entry t i j v =
+  if v <> 0 then
+    let k = key t i j in
+    match Hashtbl.find_opt t.tbl k with
+    | None -> Hashtbl.replace t.tbl k v
+    | Some old ->
+        let s = old + v in
+        if s = 0 then Hashtbl.remove t.tbl k else Hashtbl.replace t.tbl k s
+
+let bool_product a b =
+  if Bmat.cols a <> Bmat.rows b then invalid_arg "Product.bool_product: dims";
+  let t = { rows = Bmat.rows a; cols = Bmat.cols b; tbl = Hashtbl.create 1024 } in
+  let at = Bmat.transpose a in
+  for k = 0 to Bmat.cols a - 1 do
+    let lefts = Bmat.row at k (* rows i of A with A_{i,k} = 1 *) in
+    let rights = Bmat.row b k (* cols j of B with B_{k,j} = 1 *) in
+    Array.iter
+      (fun i -> Array.iter (fun j -> add_entry t i j 1) rights)
+      lefts
+  done;
+  t
+
+let int_product a b =
+  if Imat.cols a <> Imat.rows b then invalid_arg "Product.int_product: dims";
+  let t = { rows = Imat.rows a; cols = Imat.cols b; tbl = Hashtbl.create 1024 } in
+  let at = Imat.transpose a in
+  for k = 0 to Imat.cols a - 1 do
+    let lefts = Imat.row at k in
+    let rights = Imat.row b k in
+    Array.iter
+      (fun (i, va) ->
+        Array.iter (fun (j, vb) -> add_entry t i j (va * vb)) rights)
+      lefts
+  done;
+  t
+
+let get t i j =
+  if i < 0 || i >= t.rows || j < 0 || j >= t.cols then
+    invalid_arg "Product.get: out of range";
+  Option.value ~default:0 (Hashtbl.find_opt t.tbl (key t i j))
+
+let nnz t = Hashtbl.length t.tbl
+let iter t f = Hashtbl.iter (fun k v -> f (k / t.cols) (k mod t.cols) v) t.tbl
+
+let l1 t = Hashtbl.fold (fun _ v acc -> acc + abs v) t.tbl 0
+
+let lp_pow t ~p =
+  let acc = ref 0.0 in
+  Hashtbl.iter
+    (fun _ v ->
+      acc := !acc +. if p = 0.0 then 1.0 else Float.abs (float_of_int v) ** p)
+    t.tbl;
+  !acc
+
+let linf t = Hashtbl.fold (fun _ v acc -> max acc (abs v)) t.tbl 0
+
+let argmax t =
+  Hashtbl.fold
+    (fun k v best ->
+      match best with
+      | Some (_, _, bv) when bv >= abs v -> best
+      | _ -> Some (k / t.cols, k mod t.cols, abs v))
+    t.tbl None
+
+let entries t =
+  let out = Array.make (nnz t) (0, 0, 0) in
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun k v ->
+      out.(!i) <- (k / t.cols, k mod t.cols, v);
+      incr i)
+    t.tbl;
+  out
+
+let row_lp_pow t ~p =
+  let acc = Array.make t.rows 0.0 in
+  iter t (fun i _ v ->
+      acc.(i) <-
+        acc.(i) +. if p = 0.0 then 1.0 else Float.abs (float_of_int v) ** p);
+  acc
+
+let col_lp_pow t ~p =
+  let acc = Array.make t.cols 0.0 in
+  iter t (fun _ j v ->
+      acc.(j) <-
+        acc.(j) +. if p = 0.0 then 1.0 else Float.abs (float_of_int v) ** p);
+  acc
+
+let heavy_hitters t ~p ~phi =
+  let total = lp_pow t ~p in
+  let out = ref [] in
+  iter t (fun i j v ->
+      let w = Float.abs (float_of_int v) ** p in
+      if w >= phi *. total then out := (i, j) :: !out);
+  List.sort compare !out

@@ -1,0 +1,47 @@
+(** Exact matrix products, computed output-sensitively.
+
+    Ground truth for every experiment: C = A·B is accumulated bucket-wise
+    (for every inner index k, combine the k-th column of A with the k-th row
+    of B), which costs Σ_k nnz(A_{*,k})·nnz(B_{k,*}) = ‖|A|·|B|‖₁ updates
+    instead of n³. The result is a sparse map from (i, j) to C_{i,j}, with
+    the norm/heavy-hitter queries the paper studies. *)
+
+type t
+
+val rows : t -> int
+val cols : t -> int
+
+val bool_product : Bmat.t -> Bmat.t -> t
+(** C = A·B over the integers for binary A, B: C_{i,j} = |A_i ∩ B^j|. *)
+
+val int_product : Imat.t -> Imat.t -> t
+(** C = A·B over the integers. *)
+
+val get : t -> int -> int -> int
+val nnz : t -> int
+(** ‖C‖₀ — the set-intersection join size. *)
+
+val l1 : t -> int
+(** Σ |C_{i,j}| — for non-negative inputs, the natural join size ‖C‖₁. *)
+
+val lp_pow : t -> p:float -> float
+(** ‖C‖_p^p with the 0^0 = 0 convention (p = 0 gives ‖C‖₀). *)
+
+val linf : t -> int
+(** max |C_{i,j}| — the maximum intersection size. *)
+
+val argmax : t -> (int * int * int) option
+(** An entry attaining the ℓ∞ norm, if the product is nonzero. *)
+
+val entries : t -> (int * int * int) array
+(** All nonzero (i, j, C_{i,j}), in unspecified order. *)
+
+val row_lp_pow : t -> p:float -> float array
+(** Per-row ‖C_{i,*}‖_p^p — the quantities Algorithm 1 estimates. *)
+
+val col_lp_pow : t -> p:float -> float array
+
+val heavy_hitters : t -> p:float -> phi:float -> (int * int) list
+(** HH^p_ϕ(C) = {(i,j) : |C_{i,j}|^p ≥ ϕ·‖C‖_p^p}, sorted. *)
+
+val iter : t -> (int -> int -> int -> unit) -> unit

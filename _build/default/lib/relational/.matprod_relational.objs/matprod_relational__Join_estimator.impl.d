@@ -1,0 +1,1 @@
+lib/relational/join_estimator.ml: Matprod_comm Matprod_core Matprod_matrix Option Relation

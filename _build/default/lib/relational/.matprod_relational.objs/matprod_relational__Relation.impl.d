@@ -1,0 +1,1 @@
+lib/relational/relation.ml: Array List Matprod_matrix Matprod_util Set

@@ -1,0 +1,66 @@
+module Prng = Matprod_util.Prng
+module Bmat = Matprod_matrix.Bmat
+
+module Pair_set = Set.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+type t = { x_dom : int; y_dom : int; set : Pair_set.t }
+
+let of_tuples ~x_dom ~y_dom tuples =
+  if x_dom < 0 || y_dom < 0 then invalid_arg "Relation.of_tuples: domains";
+  let set =
+    List.fold_left
+      (fun acc (x, y) ->
+        if x < 0 || x >= x_dom || y < 0 || y >= y_dom then
+          invalid_arg "Relation.of_tuples: attribute out of domain";
+        Pair_set.add (x, y) acc)
+      Pair_set.empty tuples
+  in
+  { x_dom; y_dom; set }
+
+let x_dom t = t.x_dom
+let y_dom t = t.y_dom
+let cardinality t = Pair_set.cardinal t.set
+let tuples t = Pair_set.elements t.set
+let mem t x y = Pair_set.mem (x, y) t.set
+
+let to_matrix t =
+  let rows = Array.make t.x_dom [] in
+  Pair_set.iter (fun (x, y) -> rows.(x) <- y :: rows.(x)) t.set;
+  Bmat.create ~rows:t.x_dom ~cols:t.y_dom (Array.map Array.of_list rows)
+
+let of_matrix m =
+  let out = ref [] in
+  for i = Bmat.rows m - 1 downto 0 do
+    Array.iter (fun k -> out := (i, k) :: !out) (Bmat.row m i)
+  done;
+  of_tuples ~x_dom:(Bmat.rows m) ~y_dom:(Bmat.cols m) !out
+
+let compose r s =
+  if r.y_dom <> s.x_dom then invalid_arg "Relation.compose: domain mismatch";
+  (* Index S by its first attribute, then expand. *)
+  let by_y = Array.make s.x_dom [] in
+  Pair_set.iter (fun (y, z) -> by_y.(y) <- z :: by_y.(y)) s.set;
+  let out = ref Pair_set.empty in
+  Pair_set.iter
+    (fun (x, y) -> List.iter (fun z -> out := Pair_set.add (x, z) !out) by_y.(y))
+    r.set;
+  { x_dom = r.x_dom; y_dom = s.y_dom; set = !out }
+
+let natural_join_size r s =
+  if r.y_dom <> s.x_dom then
+    invalid_arg "Relation.natural_join_size: domain mismatch";
+  let s_count = Array.make s.x_dom 0 in
+  Pair_set.iter (fun (y, _) -> s_count.(y) <- s_count.(y) + 1) s.set;
+  Pair_set.fold (fun (_, y) acc -> acc + s_count.(y)) r.set 0
+
+let random rng ~x_dom ~y_dom ~tuples =
+  if tuples > x_dom * y_dom then invalid_arg "Relation.random: too many tuples";
+  let set = ref Pair_set.empty in
+  while Pair_set.cardinal !set < tuples do
+    set := Pair_set.add (Prng.int rng x_dom, Prng.int rng y_dom) !set
+  done;
+  { x_dom; y_dom; set = !set }

@@ -1,0 +1,40 @@
+(** Binary relations over integer attribute domains — the §1.1 view.
+
+    A relation R ⊆ [x_dom] × [y_dom] is what a database site actually
+    holds; its incidence matrix (row i = the projection set
+    R_i = {y | (i, y) ∈ R}) is what the protocols consume. Conversions are
+    exact and the tuple set is kept, so tests can compute joins directly
+    from tuples as an independent ground-truth path. *)
+
+type t
+
+val of_tuples : x_dom:int -> y_dom:int -> (int * int) list -> t
+(** Duplicates collapse; raises [Invalid_argument] on out-of-domain
+    attributes. *)
+
+val x_dom : t -> int
+val y_dom : t -> int
+
+val cardinality : t -> int
+(** Number of (distinct) tuples. *)
+
+val tuples : t -> (int * int) list
+(** Sorted. *)
+
+val mem : t -> int -> int -> bool
+
+val to_matrix : t -> Matprod_matrix.Bmat.t
+(** The x_dom × y_dom incidence matrix. *)
+
+val of_matrix : Matprod_matrix.Bmat.t -> t
+
+val compose : t -> t -> t
+(** R ∘ S = {(x, z) | ∃y : (x,y) ∈ R ∧ (y,z) ∈ S} — reference
+    implementation straight from the definition, for ground truth.
+    Requires y_dom r = x_dom s. *)
+
+val natural_join_size : t -> t -> int
+(** |R ⋈ S| = |{(x, y, z) | (x,y) ∈ R ∧ (y,z) ∈ S}|, from the tuples. *)
+
+val random : Matprod_util.Prng.t -> x_dom:int -> y_dom:int -> tuples:int -> t
+(** Uniform random distinct tuples. *)

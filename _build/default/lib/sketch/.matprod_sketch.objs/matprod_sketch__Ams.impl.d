@@ -1,0 +1,1 @@
+lib/sketch/ams.ml: Array Float Matprod_util

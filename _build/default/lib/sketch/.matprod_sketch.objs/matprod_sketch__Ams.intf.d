@@ -1,0 +1,1 @@
+lib/sketch/ams.mli: Matprod_util

@@ -1,0 +1,1 @@
+lib/sketch/blocked_ams.ml: Ams Array Float Matprod_util

@@ -1,0 +1,1 @@
+lib/sketch/blocked_ams.mli: Matprod_util

@@ -1,0 +1,1 @@
+lib/sketch/cohen.ml: Array Float Matprod_util

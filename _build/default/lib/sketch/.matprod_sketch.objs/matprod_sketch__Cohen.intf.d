@@ -1,0 +1,1 @@
+lib/sketch/cohen.mli: Matprod_util

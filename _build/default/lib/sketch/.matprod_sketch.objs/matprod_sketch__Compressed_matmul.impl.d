@@ -1,0 +1,1 @@
+lib/sketch/compressed_matmul.ml: Array Matprod_util

@@ -1,0 +1,1 @@
+lib/sketch/compressed_matmul.mli: Matprod_util

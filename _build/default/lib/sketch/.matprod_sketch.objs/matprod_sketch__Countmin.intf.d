@@ -1,0 +1,1 @@
+lib/sketch/countmin.mli: Matprod_util

@@ -1,0 +1,1 @@
+lib/sketch/countsketch.ml: Array Matprod_util

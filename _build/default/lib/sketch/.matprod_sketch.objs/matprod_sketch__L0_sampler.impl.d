@@ -1,0 +1,1 @@
+lib/sketch/l0_sampler.ml: Array Float L0_sketch List Matprod_comm Matprod_util One_sparse Option S_sparse

@@ -1,0 +1,1 @@
+lib/sketch/l0_sketch.ml: Array Float Matprod_util

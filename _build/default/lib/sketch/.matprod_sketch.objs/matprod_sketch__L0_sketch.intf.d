@@ -1,0 +1,1 @@
+lib/sketch/l0_sketch.mli: Matprod_util

@@ -1,0 +1,1 @@
+lib/sketch/lp.ml: Ams L0_sketch Matprod_comm Stable_sketch

@@ -1,0 +1,1 @@
+lib/sketch/lp.mli: Matprod_comm Matprod_util

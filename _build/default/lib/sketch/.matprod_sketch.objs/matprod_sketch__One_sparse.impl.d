@@ -1,0 +1,1 @@
+lib/sketch/one_sparse.ml: Array List Matprod_comm Matprod_util

@@ -1,0 +1,1 @@
+lib/sketch/one_sparse.mli: Matprod_comm Matprod_util

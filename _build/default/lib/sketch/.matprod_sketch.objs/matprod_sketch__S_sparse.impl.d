@@ -1,0 +1,1 @@
+lib/sketch/s_sparse.ml: Array Hashtbl List Matprod_comm Matprod_util One_sparse Option

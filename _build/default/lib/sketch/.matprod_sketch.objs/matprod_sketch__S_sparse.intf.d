@@ -1,0 +1,1 @@
+lib/sketch/s_sparse.mli: Matprod_comm Matprod_util One_sparse

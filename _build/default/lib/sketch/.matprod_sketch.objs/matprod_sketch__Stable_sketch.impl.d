@@ -1,0 +1,1 @@
+lib/sketch/stable_sketch.ml: Array Float Hashtbl Matprod_util

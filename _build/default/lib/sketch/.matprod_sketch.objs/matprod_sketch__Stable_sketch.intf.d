@@ -1,0 +1,1 @@
+lib/sketch/stable_sketch.mli: Matprod_util

@@ -1,0 +1,51 @@
+module Prng = Matprod_util.Prng
+module Hashing = Matprod_util.Hashing
+module Stats = Matprod_util.Stats
+
+type t = {
+  rows_per_group : int;
+  groups : int;
+  signs : Hashing.t array; (* one 4-wise sign hash per sketch row *)
+}
+
+let create_rows rng ~rows_per_group ~groups =
+  if rows_per_group <= 0 || groups <= 0 then
+    invalid_arg "Ams.create_rows: dimensions must be positive";
+  let total = rows_per_group * groups in
+  { rows_per_group; groups; signs = Array.init total (fun _ -> Hashing.create rng ~k:4) }
+
+let create rng ~eps ~groups =
+  if not (eps > 0.0 && eps <= 1.0) then invalid_arg "Ams.create: eps range";
+  let rows_per_group = max 4 (int_of_float (Float.ceil (6.0 /. (eps *. eps)))) in
+  create_rows rng ~rows_per_group ~groups
+
+let size t = t.rows_per_group * t.groups
+let empty t = Array.make (size t) 0.0
+
+let sketch t vec =
+  let y = empty t in
+  Array.iter
+    (fun (i, v) ->
+      if v <> 0 then
+        let fv = float_of_int v in
+        for r = 0 to size t - 1 do
+          y.(r) <- y.(r) +. (fv *. float_of_int (Hashing.sign t.signs.(r) i))
+        done)
+    vec;
+  y
+
+let add_scaled t ~dst ~coeff src =
+  if Array.length dst <> size t || Array.length src <> size t then
+    invalid_arg "Ams.add_scaled: size mismatch";
+  if coeff <> 0 then
+    let c = float_of_int coeff in
+    for r = 0 to size t - 1 do
+      dst.(r) <- dst.(r) +. (c *. src.(r))
+    done
+
+let estimate_sq t y =
+  if Array.length y <> size t then invalid_arg "Ams.estimate_sq: size";
+  let sq = Array.map (fun v -> v *. v) y in
+  Float.max 0.0 (Stats.median_of_means sq ~groups:t.groups)
+
+let entry t ~row i = float_of_int (Hashing.sign t.signs.(row) i)

@@ -1,0 +1,37 @@
+module Prng = Matprod_util.Prng
+
+type t = { reps : int; rows : int; seed : int }
+
+let create rng ~reps ~rows =
+  if reps < 2 then invalid_arg "Cohen.create: need reps >= 2";
+  if rows <= 0 then invalid_arg "Cohen.create: rows";
+  { reps; rows; seed = Prng.fresh_seed rng }
+
+let reps t = t.reps
+
+let label t ~rep i =
+  if i < 0 || i >= t.rows then invalid_arg "Cohen.label: row range";
+  Prng.exponential (Prng.derive t.seed rep i)
+
+let column_mins t ~supp_of_col ~cols =
+  Array.init cols (fun k ->
+      let supp = supp_of_col k in
+      Array.init t.reps (fun rep ->
+          Array.fold_left
+            (fun acc i -> Float.min acc (label t ~rep i))
+            Float.infinity supp))
+
+let estimate_union t mins bcol =
+  if Array.length bcol = 0 then 0.0
+  else begin
+    let acc = Array.make t.reps Float.infinity in
+    Array.iter
+      (fun k ->
+        let m = mins.(k) in
+        for rep = 0 to t.reps - 1 do
+          if m.(rep) < acc.(rep) then acc.(rep) <- m.(rep)
+        done)
+      bcol;
+    let sum = Array.fold_left ( +. ) 0.0 acc in
+    if Float.is_finite sum then float_of_int (t.reps - 1) /. sum else 0.0
+  end

@@ -1,0 +1,91 @@
+module Prng = Matprod_util.Prng
+module Hashing = Matprod_util.Hashing
+module Stats = Matprod_util.Stats
+module Fft = Matprod_util.Fft
+
+type rep = {
+  h1 : Hashing.t;
+  h2 : Hashing.t;
+  s1 : Hashing.t;
+  s2 : Hashing.t;
+}
+
+type t = { buckets : int; reps : rep array }
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (2 * p) in
+  go 1
+
+let create rng ~buckets ~reps =
+  if buckets <= 0 || reps <= 0 then invalid_arg "Compressed_matmul.create";
+  {
+    buckets = next_pow2 buckets;
+    reps =
+      Array.init reps (fun _ ->
+          {
+            h1 = Hashing.create rng ~k:2;
+            h2 = Hashing.create rng ~k:2;
+            s1 = Hashing.create rng ~k:4;
+            s2 = Hashing.create rng ~k:4;
+          });
+  }
+
+let buckets t = t.buckets
+let reps t = Array.length t.reps
+
+let half_sketch t ~hash ~sign vec =
+  let out = Array.make t.buckets 0.0 in
+  Array.iter
+    (fun (i, v) ->
+      if v <> 0 then
+        let b = Hashing.bucket hash ~buckets:t.buckets i in
+        out.(b) <-
+          out.(b) +. float_of_int (v * Hashing.sign sign i))
+    vec;
+  out
+
+let half_sketch_left t ~rep vec =
+  let r = t.reps.(rep) in
+  half_sketch t ~hash:r.h1 ~sign:r.s1 vec
+
+let half_sketch_right t ~rep vec =
+  let r = t.reps.(rep) in
+  half_sketch t ~hash:r.h2 ~sign:r.s2 vec
+
+let combine t ~rep:_ ~left ~right =
+  if Array.length left <> Array.length right then
+    invalid_arg "Compressed_matmul.combine: inner dimensions differ";
+  let b = t.buckets in
+  let acc_re = Array.make b 0.0 and acc_im = Array.make b 0.0 in
+  Array.iteri
+    (fun k p ->
+      let q = right.(k) in
+      let pr = Array.copy p and pi = Array.make b 0.0 in
+      let qr = Array.copy q and qi = Array.make b 0.0 in
+      Fft.fft ~re:pr ~im:pi;
+      Fft.fft ~re:qr ~im:qi;
+      for f = 0 to b - 1 do
+        acc_re.(f) <- acc_re.(f) +. ((pr.(f) *. qr.(f)) -. (pi.(f) *. qi.(f)));
+        acc_im.(f) <- acc_im.(f) +. ((pr.(f) *. qi.(f)) +. (pi.(f) *. qr.(f)))
+      done)
+    left;
+  Fft.ifft ~re:acc_re ~im:acc_im;
+  acc_re
+
+let query t ~sketches i j =
+  if Array.length sketches <> reps t then
+    invalid_arg "Compressed_matmul.query: sketch count";
+  let ests =
+    Array.mapi
+      (fun ridx sk ->
+        let r = t.reps.(ridx) in
+        let bucket =
+          (Hashing.bucket r.h1 ~buckets:t.buckets i
+          + Hashing.bucket r.h2 ~buckets:t.buckets j)
+          mod t.buckets
+        in
+        let sign = Hashing.sign r.s1 i * Hashing.sign r.s2 j in
+        float_of_int sign *. sk.(bucket))
+      sketches
+  in
+  Stats.median ests

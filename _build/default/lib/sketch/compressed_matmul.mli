@@ -1,0 +1,38 @@
+(** Pagh's compressed matrix multiplication [32] — CountSketch of the
+    entries of C = A·B, computed without forming C.
+
+    The n² entries of C are CountSketched with the decomposable hash
+    h(i,j) = (h₁(i) + h₂(j)) mod b and sign s(i,j) = s₁(i)·s₂(j). For each
+    inner index k, the contribution of the outer product A_{*,k}·B_{k,*} to
+    the sketch is the circular convolution of two b-bucket half-sketches,
+    so the whole sketch is Σ_k fft(p_k) ⊙ fft(q_k), inverted once.
+
+    §1.3 of the paper discusses why this gives no two-party advantage:
+    Alice's half-sketches alone are Θ̃(n·b) bits — the baseline
+    [Matprod_core.Hh_countsketch] measures exactly that. *)
+
+type t
+
+val create : Matprod_util.Prng.t -> buckets:int -> reps:int -> t
+(** [buckets] is rounded up to a power of two. *)
+
+val buckets : t -> int
+val reps : t -> int
+
+val half_sketch_left : t -> rep:int -> (int * int) array -> float array
+(** [half_sketch_left t ~rep col] = p-vector of one column of A:
+    p[t] = Σ_i s₁(i)·A_{i,k} over i with h₁(i) = t. *)
+
+val half_sketch_right : t -> rep:int -> (int * int) array -> float array
+(** q-vector of one row of B (hashes h₂/s₂). *)
+
+val combine :
+  t -> rep:int -> left:float array array -> right:float array array ->
+  float array
+(** [combine t ~rep ~left ~right] = the CountSketch of C for one
+    repetition, from the per-inner-index half-sketches:
+    ifft(Σ_k fft(left.(k)) ⊙ fft(right.(k))). *)
+
+val query : t -> sketches:float array array -> int -> int -> float
+(** Median-over-repetitions point query of C_{i,j}; [sketches.(rep)] is
+    the output of [combine] for that repetition. *)

@@ -1,0 +1,46 @@
+module Prng = Matprod_util.Prng
+module Hashing = Matprod_util.Hashing
+
+type t = { buckets : int; reps : int; bucket_hash : Hashing.t array }
+
+let create rng ~buckets ~reps =
+  if buckets <= 0 || reps <= 0 then invalid_arg "Countmin.create";
+  {
+    buckets;
+    reps;
+    bucket_hash = Array.init reps (fun _ -> Hashing.create rng ~k:2);
+  }
+
+let size t = t.buckets * t.reps
+let empty t = Array.make (size t) 0.0
+
+let update t arr i v =
+  if v <> 0 then
+    for r = 0 to t.reps - 1 do
+      let b = Hashing.bucket t.bucket_hash.(r) ~buckets:t.buckets i in
+      let idx = (r * t.buckets) + b in
+      arr.(idx) <- arr.(idx) +. float_of_int v
+    done
+
+let sketch t vec =
+  let arr = empty t in
+  Array.iter (fun (i, v) -> update t arr i v) vec;
+  arr
+
+let add_scaled t ~dst ~coeff src =
+  if Array.length dst <> size t || Array.length src <> size t then
+    invalid_arg "Countmin.add_scaled: size mismatch";
+  if coeff <> 0 then
+    let c = float_of_int coeff in
+    for i = 0 to size t - 1 do
+      dst.(i) <- dst.(i) +. (c *. src.(i))
+    done
+
+let query t arr i =
+  let best = ref Float.infinity in
+  for r = 0 to t.reps - 1 do
+    let b = Hashing.bucket t.bucket_hash.(r) ~buckets:t.buckets i in
+    let v = arr.((r * t.buckets) + b) in
+    if v < !best then best := v
+  done;
+  !best

@@ -1,0 +1,19 @@
+(** Count-Min sketch (Cormode–Muthukrishnan) for non-negative vectors.
+
+    Companion baseline to {!Countsketch} for point queries on C = A·B when
+    all entries are non-negative (the database-join setting): estimates
+    overshoot by at most ε‖x‖₁ with [buckets = ⌈e/ε⌉] per rep. Linear
+    under non-negative combinations. *)
+
+type t
+
+val create : Matprod_util.Prng.t -> buckets:int -> reps:int -> t
+
+val size : t -> int
+val empty : t -> float array
+val update : t -> float array -> int -> int -> unit
+val sketch : t -> (int * int) array -> float array
+val add_scaled : t -> dst:float array -> coeff:int -> float array -> unit
+
+val query : t -> float array -> int -> float
+(** Upper-biased estimate of x_i (minimum over reps). *)

@@ -1,0 +1,62 @@
+module Prng = Matprod_util.Prng
+module Hashing = Matprod_util.Hashing
+module Stats = Matprod_util.Stats
+
+type t = {
+  buckets : int;
+  reps : int;
+  bucket_hash : Hashing.t array;
+  sign_hash : Hashing.t array;
+}
+
+let create rng ~buckets ~reps =
+  if buckets <= 0 || reps <= 0 then invalid_arg "Countsketch.create";
+  {
+    buckets;
+    reps;
+    bucket_hash = Array.init reps (fun _ -> Hashing.create rng ~k:2);
+    sign_hash = Array.init reps (fun _ -> Hashing.create rng ~k:4);
+  }
+
+let size t = t.buckets * t.reps
+let empty t = Array.make (size t) 0.0
+
+let update t arr i v =
+  if v <> 0 then
+    for r = 0 to t.reps - 1 do
+      let b = Hashing.bucket t.bucket_hash.(r) ~buckets:t.buckets i in
+      let s = Hashing.sign t.sign_hash.(r) i in
+      let idx = (r * t.buckets) + b in
+      arr.(idx) <- arr.(idx) +. float_of_int (v * s)
+    done
+
+let sketch t vec =
+  let arr = empty t in
+  Array.iter (fun (i, v) -> update t arr i v) vec;
+  arr
+
+let add_scaled t ~dst ~coeff src =
+  if Array.length dst <> size t || Array.length src <> size t then
+    invalid_arg "Countsketch.add_scaled: size mismatch";
+  if coeff <> 0 then
+    let c = float_of_int coeff in
+    for i = 0 to size t - 1 do
+      dst.(i) <- dst.(i) +. (c *. src.(i))
+    done
+
+let query t arr i =
+  let ests =
+    Array.init t.reps (fun r ->
+        let b = Hashing.bucket t.bucket_hash.(r) ~buckets:t.buckets i in
+        let s = Hashing.sign t.sign_hash.(r) i in
+        float_of_int s *. arr.((r * t.buckets) + b))
+  in
+  Stats.median ests
+
+let heavy_candidates t arr ~dim ~threshold =
+  let out = ref [] in
+  for i = dim - 1 downto 0 do
+    let est = query t arr i in
+    if est >= threshold then out := (i, est) :: !out
+  done;
+  !out

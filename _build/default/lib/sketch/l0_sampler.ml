@@ -1,0 +1,123 @@
+module Prng = Matprod_util.Prng
+module Hashing = Matprod_util.Hashing
+module Stats = Matprod_util.Stats
+module Codec = Matprod_comm.Codec
+
+type t = {
+  dim : int;
+  levels : int;
+  s : int;
+  level_hash : Hashing.t;
+  recover : S_sparse.t array; (* one per level *)
+  l0 : L0_sketch.t;
+}
+
+type state = { rec_states : S_sparse.state array; l0_state : int array }
+
+let levels_for dim =
+  let rec go l acc = if acc >= dim then l else go (l + 1) (acc * 2) in
+  max 1 (go 1 2)
+
+let create rng ~dim ?(s = 12) ?(reps = 3) () =
+  if dim <= 0 then invalid_arg "L0_sampler.create: dim";
+  let levels = levels_for dim in
+  {
+    dim;
+    levels;
+    s;
+    level_hash = Hashing.create rng ~k:2;
+    recover = Array.init levels (fun _ -> S_sparse.create rng ~s ~reps);
+    l0 = L0_sketch.create rng ~eps:0.25 ~groups:3 ~dim;
+  }
+
+let dim t = t.dim
+
+let scalars t =
+  (4 * Array.fold_left (fun acc r -> acc + S_sparse.cells r) 0 t.recover)
+  + L0_sketch.size t.l0
+
+let fresh t =
+  {
+    rec_states = Array.map S_sparse.fresh t.recover;
+    l0_state = L0_sketch.empty t.l0;
+  }
+
+(* Coordinate i survives at levels 0 .. min(levels-1, floor(-log2 u_i)). *)
+let coord_depth t i =
+  let u = Hashing.float01 t.level_hash i in
+  let u = if u <= 0.0 then 1e-12 else u in
+  min (t.levels - 1) (int_of_float (Float.floor (-.Stats.log2 u)))
+
+let update t st i v =
+  if i < 0 || i >= t.dim then invalid_arg "L0_sampler.update: index range";
+  if v <> 0 then begin
+    let depth = coord_depth t i in
+    for l = 0 to depth do
+      S_sparse.update t.recover.(l) st.rec_states.(l) i v
+    done;
+    L0_sketch.update t.l0 st.l0_state i v
+  end
+
+let sketch t vec =
+  let st = fresh t in
+  Array.iter (fun (i, v) -> update t st i v) vec;
+  st
+
+let add_scaled t ~dst ~coeff src =
+  if coeff <> 0 then begin
+    for l = 0 to t.levels - 1 do
+      S_sparse.add_scaled t.recover.(l) ~dst:dst.rec_states.(l) ~coeff
+        src.rec_states.(l)
+    done;
+    L0_sketch.add_scaled t.l0 ~dst:dst.l0_state ~coeff src.l0_state
+  end
+
+let estimate_l0 t st = L0_sketch.estimate t.l0 st.l0_state
+
+let sample t st =
+  let r = estimate_l0 t st in
+  if r <= 0.0 then None
+  else
+    let target =
+      (* level where about s/2 coordinates survive *)
+      let l = int_of_float (Float.ceil (Stats.log2 (2.0 *. r /. float_of_int t.s))) in
+      max 0 (min (t.levels - 1) l)
+    in
+    (* Try the target level first, then neighbours. *)
+    let candidates =
+      List.filter
+        (fun l -> l >= 0 && l < t.levels)
+        [ target; target + 1; target - 1; target + 2 ]
+    in
+    let decode_at l =
+      match S_sparse.decode t.recover.(l) st.rec_states.(l) with
+      | S_sparse.Ok ((_ :: _ as pairs)) -> Some pairs
+      | S_sparse.Ok [] | S_sparse.Fail -> None
+    in
+    let rec first = function
+      | [] -> None
+      | l :: rest -> (
+          match decode_at l with Some pairs -> Some pairs | None -> first rest)
+    in
+    match first candidates with
+    | None -> None
+    | Some pairs ->
+        (* Survivor with the minimum subsampling hash = global minimum over
+           the support (it survives deepest), hence uniform over supp(x). *)
+        let best =
+          List.fold_left
+            (fun acc (i, v) ->
+              let u = Hashing.float01 t.level_hash i in
+              match acc with
+              | Some (_, _, ubest) when ubest <= u -> acc
+              | _ -> Some (i, v, u))
+            None pairs
+        in
+        Option.map (fun (i, v, _) -> (i, v)) best
+
+let wire _t =
+  let rec_codec = Codec.array One_sparse.cells_wire in
+  Codec.map
+    (fun st -> (st.rec_states, st.l0_state))
+    (fun (rec_states, l0_state) -> { rec_states; l0_state })
+    (Codec.pair rec_codec Codec.counter_array)

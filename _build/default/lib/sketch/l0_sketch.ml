@@ -1,0 +1,119 @@
+module Prng = Matprod_util.Prng
+module Hashing = Matprod_util.Hashing
+module Field31 = Matprod_util.Field31
+module Stats = Matprod_util.Stats
+
+type rep = {
+  level_hash : Hashing.t;
+  bucket_hashes : Hashing.t array; (* one per level *)
+  coeff_hash : Hashing.t;
+}
+
+type t = { dim : int; levels : int; buckets : int; reps : rep array }
+
+let levels_for dim =
+  let rec go l acc = if acc >= dim then l else go (l + 1) (acc * 2) in
+  max 1 (go 1 2)
+
+let create_explicit rng ~buckets ~groups ~dim =
+  if buckets <= 1 || groups <= 0 || dim <= 0 then
+    invalid_arg "L0_sketch.create_explicit: parameters";
+  let levels = levels_for dim in
+  let rep _ =
+    {
+      level_hash = Hashing.create rng ~k:2;
+      bucket_hashes = Array.init levels (fun _ -> Hashing.create rng ~k:2);
+      coeff_hash = Hashing.create rng ~k:2;
+    }
+  in
+  { dim; levels; buckets; reps = Array.init groups rep }
+
+let create rng ~eps ~groups ~dim =
+  if not (eps > 0.0 && eps <= 1.0) then invalid_arg "L0_sketch.create: eps";
+  let buckets = max 32 (int_of_float (Float.ceil (12.0 /. (eps *. eps)))) in
+  create_explicit rng ~buckets ~groups ~dim
+
+let size t = Array.length t.reps * t.levels * t.buckets
+let dim t = t.dim
+let empty t = Array.make (size t) 0
+
+(* Level of coordinate j: P(level >= l) = 2^-l, capped at levels-1. *)
+let coord_level rep ~levels j =
+  let u = Hashing.float01 rep.level_hash j in
+  let u = if u <= 0.0 then 1e-12 else u in
+  min (levels - 1) (int_of_float (Float.floor (-.Stats.log2 u)))
+
+let cell_index t ~rep_idx ~level ~bucket =
+  (((rep_idx * t.levels) + level) * t.buckets) + bucket
+
+let add_coord t arr ~rep_idx ~coord ~weight =
+  let rep = t.reps.(rep_idx) in
+  let lmax = coord_level rep ~levels:t.levels coord in
+  let c = Field31.mul (Hashing.field_coeff rep.coeff_hash coord) weight in
+  for l = 0 to lmax do
+    let b = Hashing.bucket rep.bucket_hashes.(l) ~buckets:t.buckets coord in
+    let idx = cell_index t ~rep_idx ~level:l ~bucket:b in
+    arr.(idx) <- Field31.add arr.(idx) c
+  done
+
+let update t arr i v =
+  if i < 0 || i >= t.dim then invalid_arg "L0_sketch.update: index range";
+  let w = Field31.of_int v in
+  if w <> 0 then
+    for g = 0 to Array.length t.reps - 1 do
+      add_coord t arr ~rep_idx:g ~coord:i ~weight:w
+    done
+
+let sketch t vec =
+  let arr = empty t in
+  Array.iter (fun (i, v) -> update t arr i v) vec;
+  arr
+
+let add_scaled t ~dst ~coeff src =
+  if Array.length dst <> size t || Array.length src <> size t then
+    invalid_arg "L0_sketch.add_scaled: size mismatch";
+  let c = Field31.of_int coeff in
+  if c <> 0 then
+    for i = 0 to size t - 1 do
+      dst.(i) <- Field31.add dst.(i) (Field31.mul c src.(i))
+    done
+
+(* Linear-counting estimate at one level: m ≈ ln(empty/K) / ln(1 - 1/K). *)
+let level_estimate ~buckets occupied =
+  if occupied = 0 then 0.0
+  else if occupied >= buckets then Float.infinity
+  else
+    let k = float_of_int buckets in
+    log (1.0 -. (float_of_int occupied /. k)) /. log (1.0 -. (1.0 /. k))
+
+let rep_estimate t arr ~rep_idx =
+  let occ level =
+    let base = cell_index t ~rep_idx ~level ~bucket:0 in
+    let c = ref 0 in
+    for b = 0 to t.buckets - 1 do
+      if arr.(base + b) <> 0 then incr c
+    done;
+    !c
+  in
+  let occs = Array.init t.levels occ in
+  (* Prefer the shallowest level whose load is comfortably sub-saturated:
+     deeper levels multiply the subsampling variance by 2^level. *)
+  let target = int_of_float (0.7 *. float_of_int t.buckets) in
+  let rec pick l =
+    if l >= t.levels then t.levels - 1
+    else if occs.(l) <= target then l
+    else pick (l + 1)
+  in
+  let l = pick 0 in
+  let est = level_estimate ~buckets:t.buckets occs.(l) in
+  if Float.is_finite est then est *. Float.of_int (1 lsl l)
+  else
+    (* Every level saturated: report the coarsest level's capacity bound. *)
+    float_of_int t.buckets *. Float.of_int (1 lsl (t.levels - 1))
+
+let estimate t arr =
+  if Array.length arr <> size t then invalid_arg "L0_sketch.estimate: size";
+  let per_rep =
+    Array.init (Array.length t.reps) (fun g -> rep_estimate t arr ~rep_idx:g)
+  in
+  Stats.median per_rep

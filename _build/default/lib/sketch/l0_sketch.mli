@@ -1,0 +1,41 @@
+(** Linear ℓ0 (distinct elements) sketch — Lemma 2.1 with p = 0.
+
+    Structure per repetition: geometric subsampling levels (coordinate j
+    survives to level l with probability 2^{−l}, nested), and K buckets per
+    level. A bucket accumulates Σ c_j·x_j over GF(2^31−1), with c_j a
+    random field coefficient, so a bucket is nonzero iff it contains a
+    nonzero coordinate (up to 1/p cancellation probability). The number of
+    nonzero coordinates is read off the bucket-occupancy ("linear
+    counting") estimator at a level whose load is moderate, rescaled by
+    2^level; the final answer is the median over independent repetitions.
+
+    The sketch is linear over the field, so sketches of rows of B combine
+    with Alice's integer coefficients into sketches of rows of A·B, exactly
+    as the float sketches do. *)
+
+type t
+
+val create :
+  Matprod_util.Prng.t -> eps:float -> groups:int -> dim:int -> t
+(** [dim] is the vector length (determines the number of levels);
+    buckets per level = Θ(1/ε²), [groups] independent repetitions. *)
+
+val create_explicit :
+  Matprod_util.Prng.t -> buckets:int -> groups:int -> dim:int -> t
+
+val size : t -> int
+(** Total number of field counters. *)
+
+val dim : t -> int
+
+val sketch : t -> (int * int) array -> int array
+
+val empty : t -> int array
+
+val update : t -> int array -> int -> int -> unit
+(** [update t state i v] adds v·e_i in place. *)
+
+val add_scaled : t -> dst:int array -> coeff:int -> int array -> unit
+
+val estimate : t -> int array -> float
+(** Estimated number of nonzero coordinates; exact 0 for the zero vector. *)

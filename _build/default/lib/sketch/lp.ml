@@ -1,0 +1,74 @@
+module Codec = Matprod_comm.Codec
+
+type impl = L0 of L0_sketch.t | Stable of Stable_sketch.t | Ams_l2 of Ams.t
+type t = { p : float; impl : impl }
+type value = F of float array | Z of int array
+
+let create rng ~p ~eps ~groups ~dim =
+  if not (p >= 0.0 && p <= 2.0) then invalid_arg "Lp.create: p range";
+  let impl =
+    if p = 0.0 then L0 (L0_sketch.create rng ~eps ~groups ~dim)
+    else if p = 2.0 then Ams_l2 (Ams.create rng ~eps ~groups)
+    else Stable (Stable_sketch.create rng ~p ~eps ~groups)
+  in
+  { p; impl }
+
+let p t = t.p
+
+let size t =
+  match t.impl with
+  | L0 s -> L0_sketch.size s
+  | Stable s -> Stable_sketch.size s
+  | Ams_l2 s -> Ams.size s
+
+let empty t =
+  match t.impl with
+  | L0 s -> Z (L0_sketch.empty s)
+  | Stable s -> F (Stable_sketch.empty s)
+  | Ams_l2 s -> F (Ams.empty s)
+
+let sketch t vec =
+  match t.impl with
+  | L0 s -> Z (L0_sketch.sketch s vec)
+  | Stable s -> F (Stable_sketch.sketch s vec)
+  | Ams_l2 s -> F (Ams.sketch s vec)
+
+let type_error () = invalid_arg "Lp: mismatched sketch value type"
+
+let add_scaled t ~dst ~coeff src =
+  match (t.impl, dst, src) with
+  | L0 s, Z d, Z v -> L0_sketch.add_scaled s ~dst:d ~coeff v
+  | Stable s, F d, F v -> Stable_sketch.add_scaled s ~dst:d ~coeff v
+  | Ams_l2 s, F d, F v -> Ams.add_scaled s ~dst:d ~coeff v
+  | _ -> type_error ()
+
+let estimate_pow t v =
+  match (t.impl, v) with
+  | L0 s, Z a -> L0_sketch.estimate s a
+  | Stable s, F a -> Stable_sketch.estimate_pow s a
+  | Ams_l2 s, F a -> Ams.estimate_sq s a
+  | _ -> type_error ()
+
+let estimate t v =
+  match (t.impl, v) with
+  | L0 s, Z a -> L0_sketch.estimate s a
+  | Stable s, F a -> Stable_sketch.estimate s a
+  | Ams_l2 s, F a -> sqrt (Ams.estimate_sq s a)
+  | _ -> type_error ()
+
+let wire t =
+  match t.impl with
+  (* Norm sketches ship dense: their Θ(1/ε²) word count is exactly the
+     quantity the paper's bounds speak about, so compressing zero counters
+     away would hide the ε-scaling being measured. Recovery structures
+     (samplers), whose content is genuinely sparse, do ship sparsely. *)
+  | L0 _ ->
+      Codec.map
+        (function Z a -> a | F _ -> type_error ())
+        (fun a -> Z a)
+        Codec.uint_array
+  | Stable _ | Ams_l2 _ ->
+      Codec.map
+        (function F a -> a | Z _ -> type_error ())
+        (fun a -> F a)
+        Codec.float32_array

@@ -1,0 +1,35 @@
+(** Unified ℓp sketch for p ∈ [0, 2] — the paper's Lemma 2.1 interface.
+
+    Dispatches to {!L0_sketch} (p = 0), {!Stable_sketch} (0 < p < 2) and
+    {!Ams} (p = 2) behind one value type, so protocol code is written once
+    for the whole range. Values are linear: [add_scaled] with integer
+    coefficients implements sk(Σ aₖ·xₖ) = Σ aₖ·sk(xₖ), the composition
+    through the matrix product. *)
+
+type t
+
+type value = F of float array | Z of int array
+    (** Float counters (p > 0) or field counters (p = 0). *)
+
+val create :
+  Matprod_util.Prng.t -> p:float -> eps:float -> groups:int -> dim:int -> t
+(** Requires p ∈ [0,2], eps ∈ (0,1], groups ≥ 1. [dim] is the length of the
+    vectors to be sketched (only the ℓ0 branch uses it). *)
+
+val p : t -> float
+val size : t -> int
+(** Number of scalar counters — the per-vector message cost driver. *)
+
+val empty : t -> value
+val sketch : t -> (int * int) array -> value
+val add_scaled : t -> dst:value -> coeff:int -> value -> unit
+
+val estimate_pow : t -> value -> float
+(** Estimate of ‖x‖_p^p (with ‖x‖₀⁰ = ‖x‖₀ as in the paper, 0⁰ = 0). *)
+
+val estimate : t -> value -> float
+(** Estimate of ‖x‖_p (for p = 0 this equals [estimate_pow]). *)
+
+val wire : t -> value Matprod_comm.Codec.t
+(** Codec for shipping sketch values: float32 per float counter, varint per
+    field counter. *)

@@ -1,0 +1,92 @@
+module Prng = Matprod_util.Prng
+module Hashing = Matprod_util.Hashing
+module Codec = Matprod_comm.Codec
+
+type t = {
+  s : int;
+  reps : int;
+  buckets : int;
+  spec : One_sparse.spec;
+  hashes : Hashing.t array;
+}
+
+type state = One_sparse.cell array
+
+let create rng ~s ~reps =
+  if s < 1 || reps < 1 then invalid_arg "S_sparse.create: parameters";
+  {
+    s;
+    reps;
+    buckets = 2 * s;
+    spec = One_sparse.spec rng;
+    hashes = Array.init reps (fun _ -> Hashing.create rng ~k:2);
+  }
+
+let sparsity t = t.s
+let cells t = t.reps * t.buckets
+let fresh t = Array.init (cells t) (fun _ -> One_sparse.fresh ())
+
+let bucket_of t ~rep i = (rep * t.buckets) + Hashing.bucket t.hashes.(rep) ~buckets:t.buckets i
+
+let update t state i v =
+  if v <> 0 then
+    for r = 0 to t.reps - 1 do
+      One_sparse.update t.spec state.(bucket_of t ~rep:r i) i v
+    done
+
+let sketch t vec =
+  let st = fresh t in
+  Array.iter (fun (i, v) -> update t st i v) vec;
+  st
+
+let add_scaled t ~dst ~coeff src =
+  if Array.length dst <> cells t || Array.length src <> cells t then
+    invalid_arg "S_sparse.add_scaled: size mismatch";
+  for c = 0 to cells t - 1 do
+    One_sparse.add_scaled dst.(c) ~coeff src.(c)
+  done
+
+type result = Ok of (int * int) list | Fail
+
+let copy_state st =
+  Array.map
+    (fun (c : One_sparse.cell) ->
+      { One_sparse.sum = c.sum; isum = c.isum; fp1 = c.fp1; fp2 = c.fp2 })
+    st
+
+let decode t state =
+  let work = copy_state state in
+  let recovered : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let subtract i v =
+    for r = 0 to t.reps - 1 do
+      One_sparse.update t.spec work.(bucket_of t ~rep:r i) i (-v)
+    done
+  in
+  let progress = ref true in
+  (* Each successful peel removes a coordinate; cap the passes defensively. *)
+  let passes = ref 0 in
+  while !progress && !passes <= cells t + 1 do
+    progress := false;
+    incr passes;
+    Array.iter
+      (fun cell ->
+        match One_sparse.decode t.spec cell with
+        | One_sparse.One (i, v) ->
+            let prev = Option.value ~default:0 (Hashtbl.find_opt recovered i) in
+            Hashtbl.replace recovered i (prev + v);
+            subtract i v;
+            progress := true
+        | One_sparse.Zero | One_sparse.Many -> ())
+      work
+  done;
+  if Array.for_all One_sparse.is_zero work then
+    let pairs =
+      Hashtbl.fold
+        (fun i v acc -> if v = 0 then acc else (i, v) :: acc)
+        recovered []
+      |> List.sort compare
+    in
+    Ok pairs
+  else Fail
+
+let wire _t = One_sparse.cells_wire

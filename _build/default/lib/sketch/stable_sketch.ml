@@ -1,0 +1,78 @@
+module Prng = Matprod_util.Prng
+module Stable = Matprod_util.Stable
+module Stats = Matprod_util.Stats
+
+type t = {
+  p : float;
+  rows : int;
+  seed : int;
+  median_abs : float;
+  (* The implicit matrix column for index i, materialised lazily: every
+     vector sketched against this instance shares coordinates, so caching
+     turns the per-nonzero cost from [rows] stable draws into [rows]
+     multiply-adds after first touch. *)
+  columns : (int, float array) Hashtbl.t;
+}
+
+let create_rows rng ~p ~rows =
+  if not (p > 0.0 && p <= 2.0) then invalid_arg "Stable_sketch: p range";
+  if rows <= 0 then invalid_arg "Stable_sketch: rows must be positive";
+  {
+    p;
+    rows;
+    seed = Prng.fresh_seed rng;
+    median_abs = Stable.median_abs ~p;
+    columns = Hashtbl.create 256;
+  }
+
+let create rng ~p ~eps ~groups =
+  if not (eps > 0.0 && eps <= 1.0) then invalid_arg "Stable_sketch: eps range";
+  if groups <= 0 then invalid_arg "Stable_sketch: groups";
+  let per = max 8 (int_of_float (Float.ceil (12.0 /. (eps *. eps)))) in
+  create_rows rng ~p ~rows:(per * groups)
+
+let p t = t.p
+let size t = t.rows
+let empty t = Array.make t.rows 0.0
+
+let entry t ~row i =
+  let cell = Prng.derive t.seed row i in
+  Stable.sample cell ~p:t.p
+
+let column t i =
+  match Hashtbl.find_opt t.columns i with
+  | Some col -> col
+  | None ->
+      let col = Array.init t.rows (fun r -> entry t ~row:r i) in
+      Hashtbl.replace t.columns i col;
+      col
+
+let sketch t vec =
+  let y = empty t in
+  Array.iter
+    (fun (i, v) ->
+      if v <> 0 then begin
+        let fv = float_of_int v in
+        let col = column t i in
+        for r = 0 to t.rows - 1 do
+          y.(r) <- y.(r) +. (fv *. col.(r))
+        done
+      end)
+    vec;
+  y
+
+let add_scaled t ~dst ~coeff src =
+  if Array.length dst <> t.rows || Array.length src <> t.rows then
+    invalid_arg "Stable_sketch.add_scaled: size mismatch";
+  if coeff <> 0 then
+    let c = float_of_int coeff in
+    for r = 0 to t.rows - 1 do
+      dst.(r) <- dst.(r) +. (c *. src.(r))
+    done
+
+let estimate t y =
+  if Array.length y <> t.rows then invalid_arg "Stable_sketch.estimate: size";
+  let abs = Array.map Float.abs y in
+  Stats.median abs /. t.median_abs
+
+let estimate_pow t y = estimate t y ** t.p

@@ -1,0 +1,1 @@
+lib/util/fft.ml: Array Float

@@ -1,0 +1,1 @@
+lib/util/field31.mli:

@@ -1,0 +1,1 @@
+lib/util/hashing.ml: Array Field31 Int64 Prng

@@ -1,0 +1,1 @@
+lib/util/stable.ml: Array Float Hashtbl Prng

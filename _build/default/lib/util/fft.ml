@@ -1,0 +1,84 @@
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let check_len re im =
+  let n = Array.length re in
+  if Array.length im <> n then invalid_arg "Fft: re/im length mismatch";
+  if not (is_power_of_two n) then invalid_arg "Fft: length must be a power of two";
+  n
+
+(* Iterative Cooley–Tukey with bit-reversal permutation. *)
+let transform ~inverse re im =
+  let n = check_len re im in
+  if n > 1 then begin
+    (* Bit reversal. *)
+    let j = ref 0 in
+    for i = 0 to n - 2 do
+      if i < !j then begin
+        let tr = re.(i) in
+        re.(i) <- re.(!j);
+        re.(!j) <- tr;
+        let ti = im.(i) in
+        im.(i) <- im.(!j);
+        im.(!j) <- ti
+      end;
+      let m = ref (n lsr 1) in
+      while !m >= 1 && !j land !m <> 0 do
+        j := !j lxor !m;
+        m := !m lsr 1
+      done;
+      j := !j lor !m
+    done;
+    (* Butterflies. *)
+    let len = ref 2 in
+    while !len <= n do
+      let half = !len / 2 in
+      let ang =
+        (if inverse then 2.0 else -2.0) *. Float.pi /. float_of_int !len
+      in
+      let wr = cos ang and wi = sin ang in
+      let i = ref 0 in
+      while !i < n do
+        let cr = ref 1.0 and ci = ref 0.0 in
+        for k = !i to !i + half - 1 do
+          let ur = re.(k) and ui = im.(k) in
+          let vr = (re.(k + half) *. !cr) -. (im.(k + half) *. !ci) in
+          let vi = (re.(k + half) *. !ci) +. (im.(k + half) *. !cr) in
+          re.(k) <- ur +. vr;
+          im.(k) <- ui +. vi;
+          re.(k + half) <- ur -. vr;
+          im.(k + half) <- ui -. vi;
+          let nr = (!cr *. wr) -. (!ci *. wi) in
+          ci := (!cr *. wi) +. (!ci *. wr);
+          cr := nr
+        done;
+        i := !i + !len
+      done;
+      len := !len * 2
+    done;
+    if inverse then begin
+      let scale = 1.0 /. float_of_int n in
+      for k = 0 to n - 1 do
+        re.(k) <- re.(k) *. scale;
+        im.(k) <- im.(k) *. scale
+      done
+    end
+  end
+
+let fft ~re ~im = transform ~inverse:false re im
+let ifft ~re ~im = transform ~inverse:true re im
+
+let convolve x y =
+  let n = Array.length x in
+  if Array.length y <> n then invalid_arg "Fft.convolve: length mismatch";
+  if not (is_power_of_two n) then invalid_arg "Fft.convolve: power of two";
+  let xr = Array.copy x and xi = Array.make n 0.0 in
+  let yr = Array.copy y and yi = Array.make n 0.0 in
+  fft ~re:xr ~im:xi;
+  fft ~re:yr ~im:yi;
+  let zr = Array.make n 0.0 and zi = Array.make n 0.0 in
+  for k = 0 to n - 1 do
+    zr.(k) <- (xr.(k) *. yr.(k)) -. (xi.(k) *. yi.(k));
+    zi.(k) <- (xr.(k) *. yi.(k)) +. (xi.(k) *. yr.(k))
+  done;
+  ifft ~re:zr ~im:zi;
+  zr

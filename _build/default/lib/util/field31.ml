@@ -1,0 +1,40 @@
+let p = (1 lsl 31) - 1
+
+(* Mersenne reduction for values in [0, 2^62): fold the high bits down.
+   Two folds suffice because x < 2^62 = (2^31)^2. *)
+let reduce x =
+  let x = (x land p) + (x lsr 31) in
+  let x = (x land p) + (x lsr 31) in
+  if x >= p then x - p else x
+
+let of_int x =
+  let r = x mod p in
+  if r < 0 then r + p else r
+
+let add a b =
+  let s = a + b in
+  if s >= p then s - p else s
+
+let sub a b =
+  let d = a - b in
+  if d < 0 then d + p else d
+
+let mul a b = reduce (a * b)
+
+let pow b e =
+  if e < 0 then invalid_arg "Field31.pow: negative exponent";
+  let rec go b e acc =
+    if e = 0 then acc
+    else if e land 1 = 1 then go (mul b b) (e lsr 1) (mul acc b)
+    else go (mul b b) (e lsr 1) acc
+  in
+  go b e 1
+
+let inv a = if a = 0 then raise Division_by_zero else pow a (p - 2)
+
+let poly_eval coeffs x =
+  let acc = ref 0 in
+  for i = Array.length coeffs - 1 downto 0 do
+    acc := add (mul !acc x) coeffs.(i)
+  done;
+  !acc

@@ -1,0 +1,26 @@
+(** Arithmetic in GF(p) for the Mersenne prime p = 2^31 − 1.
+
+    All values are native OCaml [int]s in [0, p). Products of two field
+    elements fit in 62 bits, so everything stays within OCaml's 63-bit
+    native integers with no boxing. This field backs the library's k-wise
+    independent hash functions and the fingerprints of the sparse-recovery
+    sketches. *)
+
+val p : int
+(** The modulus, 2^31 − 1 = 2147483647. *)
+
+val of_int : int -> int
+(** Canonical representative of an arbitrary integer (handles negatives). *)
+
+val add : int -> int -> int
+val sub : int -> int -> int
+val mul : int -> int -> int
+
+val pow : int -> int -> int
+(** [pow b e] for [e >= 0], by squaring. *)
+
+val inv : int -> int
+(** Multiplicative inverse; raises [Division_by_zero] on 0. *)
+
+val poly_eval : int array -> int -> int
+(** [poly_eval coeffs x] evaluates [Σ coeffs.(i) · x^i] by Horner's rule. *)

@@ -1,0 +1,41 @@
+(** k-wise independent hash families over GF(2^31 − 1).
+
+    A hash function is a random degree-(k−1) polynomial over {!Field31};
+    evaluating it at a key gives a k-wise independent value in [0, p).
+    Derived helpers map that value to buckets, to ±1 signs, or to field
+    fingerprint coefficients. All constructors consume randomness from an
+    explicit {!Prng.t}. *)
+
+type t
+(** A sampled hash function. *)
+
+val create : Prng.t -> k:int -> t
+(** [create rng ~k] samples a k-wise independent function ([k >= 1]).
+    [k = 2] is pairwise, [k = 4] suffices for AMS sign hashes. *)
+
+val degree : t -> int
+(** Independence parameter [k] the function was created with. *)
+
+val value : t -> int -> int
+(** [value h key] in [0, 2^31 − 1); keys may be any non-negative int below
+    the field modulus. *)
+
+val bucket : t -> buckets:int -> int -> int
+(** [bucket h ~buckets key] maps to [0, buckets). Bias is at most
+    [buckets / 2^31], negligible for the bucket counts used here. *)
+
+val sign : t -> int -> int
+(** [sign h key] is ±1, determined by one bit of [value]. *)
+
+val field_coeff : t -> int -> int
+(** [field_coeff h key] is a nonzero field element usable as a fingerprint
+    coefficient (value 0 is remapped to 1). The polynomial value is passed
+    through a bijective finalizer first: raw polynomial coefficients make
+    Σ_{i∈S} c(i) a function of S's power sums, so structured supports
+    (equal size and sum) would collide under {e every} draw of the hash —
+    a soundness hole for sparse-recovery verification and set
+    fingerprints. *)
+
+val float01 : t -> int -> float
+(** [float01 h key] deterministic pseudo-uniform in [0,1) derived from
+    [value]; used for consistent subsampling of coordinates. *)

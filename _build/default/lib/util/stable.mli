@@ -1,0 +1,17 @@
+(** Sampling from symmetric p-stable distributions, 0 < p <= 2.
+
+    Indyk's ℓp sketch (Lemma 2.1 of the paper, citing [19]) fills the
+    sketching matrix with i.i.d. p-stable variables and estimates ‖x‖p as
+    the median of |(Sx)_i| divided by the median of the absolute p-stable
+    distribution. This module provides the sampler (Chambers–Mallows–Stuck)
+    and the normalising median constant. *)
+
+val sample : Prng.t -> p:float -> float
+(** One draw from the standard symmetric p-stable distribution.
+    [p = 2] is Gaussian (scaled so that sums behave p-stably, i.e. N(0,2)),
+    [p = 1] is standard Cauchy. Requires [0 < p <= 2]. *)
+
+val median_abs : p:float -> float
+(** Median of |X| for X standard symmetric p-stable. Closed form for
+    p ∈ {1, 2}; otherwise computed once per [p] by deterministic Monte
+    Carlo calibration (fixed internal seed) and cached. *)

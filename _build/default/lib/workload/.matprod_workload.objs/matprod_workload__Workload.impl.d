@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Array Hashtbl List Matprod_matrix Matprod_util

@@ -1,0 +1,1 @@
+test/test_adversarial.ml: Alcotest Array List Matprod_comm Matprod_core Matprod_matrix Matprod_util Matprod_workload Printf

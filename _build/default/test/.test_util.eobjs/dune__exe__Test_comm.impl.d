@@ -1,0 +1,1 @@
+test/test_comm.ml: Alcotest Array Float Gen Int List Map Matprod_comm Matprod_util QCheck QCheck_alcotest String Test

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Float Hashtbl List Matprod_comm Matprod_core Matprod_matrix Matprod_util Matprod_workload Option Printf QCheck QCheck_alcotest String Test

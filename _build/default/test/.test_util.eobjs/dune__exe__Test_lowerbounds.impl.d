@@ -1,0 +1,1 @@
+test/test_lowerbounds.ml: Alcotest List Matprod_lowerbounds Matprod_matrix Matprod_util Printf

@@ -1,0 +1,1 @@
+test/test_matrix.ml: Alcotest Array Filename List Matprod_matrix Matprod_util QCheck QCheck_alcotest Sys Test

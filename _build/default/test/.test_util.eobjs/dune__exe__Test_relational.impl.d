@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Gen List Matprod_matrix Matprod_relational Matprod_util QCheck QCheck_alcotest Test

@@ -1,0 +1,1 @@
+test/test_sketch.ml: Alcotest Array Float Gen Int List Map Matprod_comm Matprod_matrix Matprod_sketch Matprod_util Matprod_workload Option Printf QCheck QCheck_alcotest String Test

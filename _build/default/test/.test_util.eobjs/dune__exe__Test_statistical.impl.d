@@ -1,0 +1,1 @@
+test/test_statistical.ml: Alcotest Array Float List Matprod_comm Matprod_core Matprod_matrix Matprod_sketch Matprod_util Matprod_workload Printf

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Gen List Matprod_util Printf QCheck QCheck_alcotest Test

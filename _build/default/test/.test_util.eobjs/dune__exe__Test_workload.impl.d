@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Float List Matprod_matrix Matprod_util Matprod_workload

@@ -1,0 +1,170 @@
+(* Adversarial robustness: run the protocols on pathological input shapes
+   — concentrated mass, permutations, dense blocks, near-complete
+   matrices, symmetric products — and check the guarantees still hold.
+   These shapes stress the estimators in ways uniform workloads do not
+   (extreme skew across rows/groups, saturated sketches, empty levels). *)
+
+module Prng = Matprod_util.Prng
+module Stats = Matprod_util.Stats
+module Bmat = Matprod_matrix.Bmat
+module Imat = Matprod_matrix.Imat
+module Product = Matprod_matrix.Product
+module Ctx = Matprod_comm.Ctx
+module Workload = Matprod_workload.Workload
+module Lp_protocol = Matprod_core.Lp_protocol
+module L1_exact = Matprod_core.L1_exact
+module L1_sampling = Matprod_core.L1_sampling
+module Linf_binary = Matprod_core.Linf_binary
+module Matprod_protocol = Matprod_core.Matprod_protocol
+module Common = Matprod_core.Common
+
+let check = Alcotest.check
+let n = 64
+
+(* The adversarial gallery. *)
+let gallery =
+  let rng = Prng.create 99 in
+  let full_row =
+    Bmat.create ~rows:n ~cols:n
+      (Array.init n (fun i -> if i = 7 then Array.init n (fun k -> k) else [||]))
+  in
+  let full_col =
+    Bmat.create ~rows:n ~cols:n (Array.init n (fun _ -> [| 13 |]))
+  in
+  let permutation =
+    Bmat.create ~rows:n ~cols:n (Array.init n (fun i -> [| (i * 17 + 3) mod n |]))
+  in
+  let two_blocks =
+    Bmat.create ~rows:n ~cols:n
+      (Array.init n (fun i ->
+           if i < n / 2 then Array.init (n / 2) (fun k -> k)
+           else Array.init (n / 2) (fun k -> (n / 2) + k)))
+  in
+  let near_complete =
+    Workload.uniform_bool rng ~rows:n ~cols:n ~density:0.95
+  in
+  let sparse = Workload.uniform_bool rng ~rows:n ~cols:n ~density:0.05 in
+  [
+    ("mass in one row", full_row, sparse);
+    ("mass in one column", full_col, sparse);
+    ("permutation * permutation", permutation, permutation);
+    ("two dense blocks", two_blocks, two_blocks);
+    ("near-complete * sparse", near_complete, sparse);
+    ("symmetric A * A^T", sparse, Bmat.transpose sparse);
+  ]
+
+let test_l1_exact_on_gallery () =
+  List.iter
+    (fun (name, a, b) ->
+      let actual = Product.l1 (Product.bool_product a b) in
+      let r = Ctx.run ~seed:1 (fun ctx -> L1_exact.run_bool ctx ~a ~b) in
+      check Alcotest.int (name ^ ": l1 exact") actual r.Ctx.output)
+    gallery
+
+let test_matprod_shares_on_gallery () =
+  List.iter
+    (fun (name, a, b) ->
+      let c = Product.bool_product a b in
+      let r =
+        Ctx.run ~seed:2 (fun ctx ->
+            Matprod_protocol.run ctx ~a:(Imat.of_bmat a) ~b:(Imat.of_bmat b))
+      in
+      let m = Common.Entry_map.create () in
+      Common.Entry_map.merge_into ~dst:m r.Ctx.output.Matprod_protocol.alice;
+      Common.Entry_map.merge_into ~dst:m r.Ctx.output.Matprod_protocol.bob;
+      check Alcotest.int (name ^ ": share support") (Product.nnz c)
+        (Common.Entry_map.nnz m);
+      Product.iter c (fun i j v ->
+          check Alcotest.int (name ^ ": share entry") v (Common.Entry_map.get m i j)))
+    gallery
+
+let test_lp0_on_gallery () =
+  List.iter
+    (fun (name, a, b) ->
+      let actual = Product.lp_pow (Product.bool_product a b) ~p:0.0 in
+      (* Median of 3 seeds to keep flakiness out of the gallery. *)
+      let ests =
+        Array.init 3 (fun s ->
+            (Ctx.run ~seed:(s + 1) (fun ctx ->
+                 Lp_protocol.run ctx
+                   (Lp_protocol.default_params ~eps:0.25 ())
+                   ~a:(Imat.of_bmat a) ~b:(Imat.of_bmat b)))
+              .Ctx.output)
+      in
+      let est = Stats.median ests in
+      let ok =
+        if actual = 0.0 then est < 1.0
+        else Stats.relative_error ~actual ~estimate:est < 0.35
+      in
+      check Alcotest.bool (Printf.sprintf "%s: l0 est %.0f vs %.0f" name est actual)
+        true ok)
+    gallery
+
+let test_linf_on_gallery () =
+  List.iter
+    (fun (name, a, b) ->
+      let actual = float_of_int (Product.linf (Product.bool_product a b)) in
+      let est =
+        (Ctx.run ~seed:3 (fun ctx ->
+             Linf_binary.run ctx (Linf_binary.default_params ~eps:0.25) ~a ~b))
+          .Ctx.output
+          .Linf_binary.estimate
+      in
+      let ok =
+        if actual = 0.0 then est = 0.0
+        else est >= actual /. 2.6 && est <= actual *. 1.6
+      in
+      check Alcotest.bool
+        (Printf.sprintf "%s: linf est %.0f vs %.0f" name est actual)
+        true ok)
+    gallery
+
+let test_l1_sampling_on_gallery () =
+  List.iter
+    (fun (name, a, b) ->
+      let c = Product.bool_product a b in
+      let r =
+        Ctx.run ~seed:4 (fun ctx ->
+            L1_sampling.run ctx ~a:(Imat.of_bmat a) ~b:(Imat.of_bmat b))
+      in
+      match r.Ctx.output with
+      | Some s ->
+          check Alcotest.bool (name ^ ": sample in support") true
+            (Product.get c s.L1_sampling.row s.L1_sampling.col > 0)
+      | None ->
+          check Alcotest.int (name ^ ": empty product") 0 (Product.l1 c))
+    gallery
+
+let test_concentrated_row_dominates_sampling () =
+  (* With all of C's mass in row 7, Algorithm 1's row sampling must pick
+     row 7 (any correct importance sampler does) — the estimate should be
+     essentially exact. *)
+  let a =
+    Bmat.create ~rows:n ~cols:n
+      (Array.init n (fun i -> if i = 7 then Array.init n (fun k -> k) else [||]))
+  in
+  let rng = Prng.create 98 in
+  let b = Workload.uniform_bool rng ~rows:n ~cols:n ~density:0.3 in
+  let actual = Product.lp_pow (Product.bool_product a b) ~p:1.0 in
+  let r =
+    Ctx.run ~seed:5 (fun ctx ->
+        Lp_protocol.run ctx
+          (Lp_protocol.default_params ~p:1.0 ~eps:0.3 ())
+          ~a:(Imat.of_bmat a) ~b:(Imat.of_bmat b))
+  in
+  check Alcotest.bool "concentrated mass estimated well" true
+    (Stats.relative_error ~actual ~estimate:r.Ctx.output < 0.2)
+
+let () =
+  Alcotest.run "adversarial"
+    [
+      ( "gallery",
+        [
+          Alcotest.test_case "l1 exact everywhere" `Quick test_l1_exact_on_gallery;
+          Alcotest.test_case "product shares everywhere" `Quick test_matprod_shares_on_gallery;
+          Alcotest.test_case "l0 estimates everywhere" `Slow test_lp0_on_gallery;
+          Alcotest.test_case "linf everywhere" `Slow test_linf_on_gallery;
+          Alcotest.test_case "l1 sampling everywhere" `Quick test_l1_sampling_on_gallery;
+          Alcotest.test_case "concentrated row" `Quick test_concentrated_row_dominates_sampling;
+        ] );
+    ]

@@ -1,0 +1,312 @@
+(* Tests for the communication framework: codecs, transcripts, channels. *)
+
+module Codec = Matprod_comm.Codec
+module Transcript = Matprod_comm.Transcript
+module Channel = Matprod_comm.Channel
+module Ctx = Matprod_comm.Ctx
+
+let check = Alcotest.check
+
+let roundtrip codec v = Codec.decode codec (Codec.encode codec v)
+
+(* ------------------------------------------------------------------ *)
+(* Codec *)
+
+let test_codec_uint () =
+  List.iter
+    (fun n -> check Alcotest.int "uint roundtrip" n (roundtrip Codec.uint n))
+    [ 0; 1; 127; 128; 300; 1 lsl 20; 1 lsl 40; max_int ];
+  Alcotest.check_raises "negative rejected" (Invalid_argument "Codec.uint: negative")
+    (fun () -> ignore (Codec.encode Codec.uint (-1)))
+
+let test_codec_uint_sizes () =
+  check Alcotest.int "small = 1 byte" 1 (Codec.encoded_bytes Codec.uint 0);
+  check Alcotest.int "127 = 1 byte" 1 (Codec.encoded_bytes Codec.uint 127);
+  check Alcotest.int "128 = 2 bytes" 2 (Codec.encoded_bytes Codec.uint 128);
+  check Alcotest.int "2^14 = 3 bytes" 3 (Codec.encoded_bytes Codec.uint (1 lsl 14))
+
+let test_codec_int () =
+  List.iter
+    (fun n -> check Alcotest.int "int roundtrip" n (roundtrip Codec.int n))
+    [ 0; 1; -1; 63; -64; 1000; -1000; max_int; min_int + 1 ]
+
+let test_codec_bool_unit () =
+  check Alcotest.bool "true" true (roundtrip Codec.bool true);
+  check Alcotest.bool "false" false (roundtrip Codec.bool false);
+  check Alcotest.unit "unit" () (roundtrip Codec.unit ())
+
+let test_codec_float () =
+  List.iter
+    (fun f ->
+      check (Alcotest.float 0.0) "float64 exact" f (roundtrip Codec.float64 f))
+    [ 0.0; 1.5; -3.25; Float.pi; 1e300; -1e-300 ];
+  (* float32 is lossy but within 1e-7 relative. *)
+  let f = 1.2345678 in
+  let g = roundtrip Codec.float32 f in
+  check Alcotest.bool "float32 close" true (Float.abs (f -. g) /. f < 1e-6)
+
+let test_codec_containers () =
+  let c = Codec.pair Codec.int (Codec.list Codec.uint) in
+  let v = (-5, [ 1; 2; 3 ]) in
+  check Alcotest.bool "pair+list" true (roundtrip c v = v);
+  let c3 = Codec.triple Codec.bool Codec.int Codec.float64 in
+  let v3 = (true, -7, 2.5) in
+  check Alcotest.bool "triple" true (roundtrip c3 v3 = v3);
+  check Alcotest.bool "option none" true (roundtrip (Codec.option Codec.int) None = None);
+  check Alcotest.bool "option some" true
+    (roundtrip (Codec.option Codec.int) (Some 9) = Some 9);
+  let arr = [| 4; 5; 6 |] in
+  check Alcotest.bool "array" true (roundtrip Codec.int_array arr = arr)
+
+let test_codec_sorted_array () =
+  let v = [| 0; 1; 5; 100; 101 |] in
+  check Alcotest.bool "roundtrip" true (roundtrip Codec.sorted_int_array v = v);
+  check Alcotest.bool "empty" true (roundtrip Codec.sorted_int_array [||] = [||]);
+  Alcotest.check_raises "non increasing"
+    (Invalid_argument "Codec.sorted_int_array: not strictly increasing")
+    (fun () -> ignore (Codec.encode Codec.sorted_int_array [| 3; 3 |]))
+
+let test_codec_sorted_array_compression () =
+  (* Dense increasing indices should take ~1 byte each. *)
+  let v = Array.init 1000 (fun i -> i * 2) in
+  let bytes = Codec.encoded_bytes Codec.sorted_int_array v in
+  check Alcotest.bool "delta coding compresses" true (bytes < 1100)
+
+let test_codec_counter_array () =
+  let v = [| 0; 5; 0; 0; 7; 0 |] in
+  check Alcotest.bool "roundtrip" true (roundtrip Codec.counter_array v = v);
+  check Alcotest.bool "empty" true (roundtrip Codec.counter_array [||] = [||]);
+  check Alcotest.bool "all zero" true
+    (roundtrip Codec.counter_array (Array.make 1000 0) = Array.make 1000 0);
+  (* Sparse states are cheap; the all-zero array costs a few bytes. *)
+  check Alcotest.bool "zeros compress" true
+    (Codec.encoded_bytes Codec.counter_array (Array.make 10_000 0) < 8)
+
+let test_codec_sparse_vec () =
+  let v = [| (0, -5); (3, 7); (900, 1) |] in
+  check Alcotest.bool "roundtrip" true (roundtrip Codec.sparse_int_vec v = v)
+
+let test_codec_truncated_input () =
+  let s = Codec.encode Codec.uint 300 in
+  let cut = String.sub s 0 (String.length s - 1) in
+  Alcotest.check_raises "truncated" (Failure "Codec: truncated input") (fun () ->
+      ignore (Codec.decode Codec.uint cut))
+
+let test_codec_trailing_garbage () =
+  let s = Codec.encode Codec.uint 5 ^ "x" in
+  Alcotest.check_raises "trailing" (Failure "Codec.decode: trailing bytes")
+    (fun () -> ignore (Codec.decode Codec.uint s))
+
+let test_codec_map () =
+  let c = Codec.map (fun s -> String.length s) (fun n -> String.make n 'a') Codec.uint in
+  check Alcotest.string "map" "aaa" (roundtrip c "bbb" |> fun s -> String.map (fun _ -> 'a') s)
+
+(* ------------------------------------------------------------------ *)
+(* Transcript *)
+
+let test_transcript_rounds () =
+  let t = Transcript.create () in
+  check Alcotest.int "0 rounds" 0 (Transcript.rounds t);
+  Transcript.record t ~sender:Transcript.Alice ~label:"m1" ~bytes:10;
+  check Alcotest.int "1 round" 1 (Transcript.rounds t);
+  Transcript.record t ~sender:Transcript.Alice ~label:"m2" ~bytes:5;
+  check Alcotest.int "same round" 1 (Transcript.rounds t);
+  Transcript.record t ~sender:Transcript.Bob ~label:"m3" ~bytes:2;
+  check Alcotest.int "2 rounds" 2 (Transcript.rounds t);
+  Transcript.record t ~sender:Transcript.Alice ~label:"m4" ~bytes:1;
+  check Alcotest.int "3 rounds" 3 (Transcript.rounds t)
+
+let test_transcript_totals () =
+  let t = Transcript.create () in
+  Transcript.record t ~sender:Transcript.Alice ~label:"a" ~bytes:10;
+  Transcript.record t ~sender:Transcript.Bob ~label:"b" ~bytes:7;
+  Transcript.record t ~sender:Transcript.Alice ~label:"a" ~bytes:3;
+  check Alcotest.int "total bytes" 20 (Transcript.total_bytes t);
+  check Alcotest.int "total bits" 160 (Transcript.total_bits t);
+  check Alcotest.int "messages" 3 (Transcript.message_count t);
+  check Alcotest.int "alice" 13 (Transcript.bytes_from t Transcript.Alice);
+  check Alcotest.int "bob" 7 (Transcript.bytes_from t Transcript.Bob);
+  match Transcript.by_label t with
+  | [ ("a", 13); ("b", 7) ] -> ()
+  | _ -> Alcotest.fail "by_label aggregation"
+
+let test_transcript_message_order () =
+  let t = Transcript.create () in
+  Transcript.record t ~sender:Transcript.Alice ~label:"first" ~bytes:1;
+  Transcript.record t ~sender:Transcript.Bob ~label:"second" ~bytes:1;
+  match Transcript.messages t with
+  | [ m1; m2 ] ->
+      check Alcotest.string "order" "first" m1.Transcript.label;
+      check Alcotest.string "order" "second" m2.Transcript.label;
+      check Alcotest.int "rounds assigned" 1 m1.Transcript.round;
+      check Alcotest.int "rounds assigned" 2 m2.Transcript.round
+  | _ -> Alcotest.fail "expected two messages"
+
+(* ------------------------------------------------------------------ *)
+(* Channel / Ctx *)
+
+let test_channel_charges_real_bytes () =
+  let ch = Channel.create () in
+  let v = Array.init 100 (fun i -> i) in
+  let got =
+    Channel.send ch ~from:Transcript.Alice ~label:"xs" Codec.sorted_int_array v
+  in
+  check Alcotest.bool "value intact" true (got = v);
+  let want = Codec.encoded_bytes Codec.sorted_int_array v in
+  check Alcotest.int "bytes charged" want
+    (Transcript.total_bytes (Channel.transcript ch))
+
+let test_channel_lossy_codec_loses () =
+  let ch = Channel.create () in
+  let f = 1.23456789012345 in
+  let got = Channel.send ch ~from:Transcript.Bob ~label:"f" Codec.float32 f in
+  check Alcotest.bool "precision lost in transit" true (got <> f)
+
+let test_ctx_reproducible () =
+  let run () =
+    Ctx.run ~seed:99 (fun ctx ->
+        let x = Matprod_util.Prng.int ctx.Ctx.public 1000 in
+        let y = Matprod_util.Prng.int ctx.Ctx.alice 1000 in
+        let z = Matprod_util.Prng.int ctx.Ctx.bob 1000 in
+        ignore (Ctx.a2b ctx ~label:"x" Codec.uint x);
+        (x, y, z))
+  in
+  let r1 = run () and r2 = run () in
+  check Alcotest.bool "same outputs" true (r1.Ctx.output = r2.Ctx.output);
+  check Alcotest.int "same bits" r1.Ctx.bits r2.Ctx.bits
+
+let test_ctx_streams_independent () =
+  let ctx = Ctx.create ~seed:5 in
+  let a = List.init 8 (fun _ -> Matprod_util.Prng.bits ctx.Ctx.alice) in
+  let b = List.init 8 (fun _ -> Matprod_util.Prng.bits ctx.Ctx.bob) in
+  let p = List.init 8 (fun _ -> Matprod_util.Prng.bits ctx.Ctx.public) in
+  check Alcotest.bool "alice<>bob" true (a <> b);
+  check Alcotest.bool "alice<>public" true (a <> p)
+
+let test_ctx_run_counts () =
+  let r =
+    Ctx.run ~seed:1 (fun ctx ->
+        ignore (Ctx.a2b ctx ~label:"m1" Codec.uint 1);
+        ignore (Ctx.b2a ctx ~label:"m2" Codec.uint 2);
+        ignore (Ctx.a2b ctx ~label:"m3" Codec.uint 3);
+        42)
+  in
+  check Alcotest.int "output" 42 r.Ctx.output;
+  check Alcotest.int "rounds" 3 r.Ctx.rounds;
+  check Alcotest.int "bits" 24 r.Ctx.bits
+
+(* ------------------------------------------------------------------ *)
+(* Netmodel *)
+
+module Netmodel = Matprod_comm.Netmodel
+
+let test_netmodel_formula () =
+  let t = Transcript.create () in
+  Transcript.record t ~sender:Transcript.Alice ~label:"a" ~bytes:1250;
+  (* 1250 bytes = 10_000 bits; 1 round *)
+  let net = Netmodel.make ~name:"x" ~latency:0.01 ~bandwidth:1e6 in
+  check (Alcotest.float 1e-12) "time" (0.01 +. 0.01)
+    (Netmodel.transfer_time net t)
+
+let test_netmodel_rounds_dominate_on_wan () =
+  (* Same bits, more rounds: strictly slower on a latency-bound network. *)
+  let one = Transcript.create () in
+  Transcript.record one ~sender:Transcript.Alice ~label:"m" ~bytes:1000;
+  let three = Transcript.create () in
+  Transcript.record three ~sender:Transcript.Alice ~label:"m" ~bytes:400;
+  Transcript.record three ~sender:Transcript.Bob ~label:"m" ~bytes:300;
+  Transcript.record three ~sender:Transcript.Alice ~label:"m" ~bytes:300;
+  check Alcotest.bool "wan prefers fewer rounds" true
+    (Netmodel.transfer_time Netmodel.wan one
+    < Netmodel.transfer_time Netmodel.wan three)
+
+let test_netmodel_bits_dominate_on_lan () =
+  let small = Transcript.create () in
+  Transcript.record small ~sender:Transcript.Alice ~label:"m" ~bytes:100;
+  Transcript.record small ~sender:Transcript.Bob ~label:"m" ~bytes:100;
+  let big = Transcript.create () in
+  Transcript.record big ~sender:Transcript.Alice ~label:"m" ~bytes:100_000_000;
+  check Alcotest.bool "lan prefers fewer bits" true
+    (Netmodel.transfer_time Netmodel.lan small
+    < Netmodel.transfer_time Netmodel.lan big)
+
+let test_netmodel_rejects_bad () =
+  Alcotest.check_raises "bad bandwidth" (Invalid_argument "Netmodel.make")
+    (fun () -> ignore (Netmodel.make ~name:"x" ~latency:0.0 ~bandwidth:0.0))
+
+(* ------------------------------------------------------------------ *)
+(* qcheck properties *)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"codec: int roundtrip" ~count:1000 int (fun n ->
+        roundtrip Codec.int n = n);
+    Test.make ~name:"codec: uint roundtrip" ~count:1000 (map abs int) (fun n ->
+        roundtrip Codec.uint n = n);
+    Test.make ~name:"codec: float64 roundtrip" ~count:500 float (fun f ->
+        let g = roundtrip Codec.float64 f in
+        g = f || (Float.is_nan f && Float.is_nan g));
+    Test.make ~name:"codec: int array roundtrip" ~count:200
+      (array_of_size Gen.(0 -- 100) int)
+      (fun a -> roundtrip Codec.int_array a = a);
+    Test.make ~name:"codec: sorted array roundtrip" ~count:200
+      (array_of_size Gen.(0 -- 100) (int_bound 10_000))
+      (fun a ->
+        let sorted = List.sort_uniq compare (Array.to_list a) |> Array.of_list in
+        roundtrip Codec.sorted_int_array sorted = sorted);
+    Test.make ~name:"codec: counter array roundtrip" ~count:200
+      (array_of_size Gen.(0 -- 200) (int_bound 1_000_000))
+      (fun a -> roundtrip Codec.counter_array a = a);
+    Test.make ~name:"codec: sparse vec roundtrip" ~count:200
+      (list_of_size Gen.(0 -- 50) (pair (int_bound 10_000) (int_range (-1000) 1000)))
+      (fun l ->
+        let module IM = Map.Make (Int) in
+        let m = List.fold_left (fun m (k, v) -> IM.add k v m) IM.empty l in
+        let a = IM.bindings m |> List.filter (fun (_, v) -> v <> 0) |> Array.of_list in
+        roundtrip Codec.sparse_int_vec a = a);
+  ]
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest qcheck_tests in
+  Alcotest.run "comm"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "uint" `Quick test_codec_uint;
+          Alcotest.test_case "uint sizes" `Quick test_codec_uint_sizes;
+          Alcotest.test_case "int" `Quick test_codec_int;
+          Alcotest.test_case "bool/unit" `Quick test_codec_bool_unit;
+          Alcotest.test_case "floats" `Quick test_codec_float;
+          Alcotest.test_case "containers" `Quick test_codec_containers;
+          Alcotest.test_case "sorted array" `Quick test_codec_sorted_array;
+          Alcotest.test_case "delta compression" `Quick test_codec_sorted_array_compression;
+          Alcotest.test_case "counter array" `Quick test_codec_counter_array;
+          Alcotest.test_case "sparse vec" `Quick test_codec_sparse_vec;
+          Alcotest.test_case "truncated input" `Quick test_codec_truncated_input;
+          Alcotest.test_case "trailing garbage" `Quick test_codec_trailing_garbage;
+          Alcotest.test_case "map" `Quick test_codec_map;
+        ] );
+      ( "transcript",
+        [
+          Alcotest.test_case "rounds" `Quick test_transcript_rounds;
+          Alcotest.test_case "totals" `Quick test_transcript_totals;
+          Alcotest.test_case "message order" `Quick test_transcript_message_order;
+        ] );
+      ( "channel",
+        [
+          Alcotest.test_case "charges real bytes" `Quick test_channel_charges_real_bytes;
+          Alcotest.test_case "lossy codec loses" `Quick test_channel_lossy_codec_loses;
+          Alcotest.test_case "ctx reproducible" `Quick test_ctx_reproducible;
+          Alcotest.test_case "ctx streams independent" `Quick test_ctx_streams_independent;
+          Alcotest.test_case "ctx run counts" `Quick test_ctx_run_counts;
+        ] );
+      ( "netmodel",
+        [
+          Alcotest.test_case "formula" `Quick test_netmodel_formula;
+          Alcotest.test_case "rounds dominate on wan" `Quick test_netmodel_rounds_dominate_on_wan;
+          Alcotest.test_case "bits dominate on lan" `Quick test_netmodel_bits_dominate_on_lan;
+          Alcotest.test_case "rejects bad" `Quick test_netmodel_rejects_bad;
+        ] );
+      ("properties", qsuite);
+    ]

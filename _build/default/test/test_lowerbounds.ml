@@ -1,0 +1,168 @@
+(* Tests of the lower-bound hard-instance generators: the reductions must
+   produce exactly the ||AB||_inf gaps the paper's proofs rely on. *)
+
+module Prng = Matprod_util.Prng
+module Bmat = Matprod_matrix.Bmat
+module Imat = Matprod_matrix.Imat
+module Product = Matprod_matrix.Product
+module Disj = Matprod_lowerbounds.Disj_reduction
+module Gap = Matprod_lowerbounds.Gap_linf_reduction
+module Sum_hard = Matprod_lowerbounds.Sum_hard
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 4.4 (DISJ reduction) *)
+
+let test_disj_embed_block_structure () =
+  (* AB = [[A'+B', 0],[0,0]] for explicit small blocks. *)
+  let a' = Bmat.of_dense [| [| 1; 0 |]; [| 0; 0 |] |] in
+  let b' = Bmat.of_dense [| [| 0; 0 |]; [| 1; 0 |] |] in
+  let a, b = Disj.embed ~a' ~b' in
+  let c = Product.bool_product a b in
+  check Alcotest.int "sum entry (0,0)" 1 (Product.get c 0 0);
+  check Alcotest.int "sum entry (1,0)" 1 (Product.get c 1 0);
+  (* Right and bottom blocks are identically zero. *)
+  for i = 0 to 3 do
+    for j = 2 to 3 do
+      check Alcotest.int "right block" 0 (Product.get c i j)
+    done
+  done;
+  for i = 2 to 3 do
+    for j = 0 to 3 do
+      check Alcotest.int "bottom block" 0 (Product.get c i j)
+    done
+  done
+
+let test_disj_embed_overlap_gives_two () =
+  let a' = Bmat.of_dense [| [| 1 |] |] in
+  let b' = Bmat.of_dense [| [| 1 |] |] in
+  let a, b = Disj.embed ~a' ~b' in
+  check Alcotest.int "intersecting -> 2" 2
+    (Product.linf (Product.bool_product a b))
+
+let test_disj_instances_gap () =
+  let rng = Prng.create 1 in
+  for _ = 1 to 10 do
+    let a, b = Disj.instance rng ~half:12 ~intersecting:false ~density:0.3 in
+    let linf = Product.linf (Product.bool_product a b) in
+    check Alcotest.bool "disjoint -> linf <= 1" true (linf <= 1);
+    let a2, b2 = Disj.instance rng ~half:12 ~intersecting:true ~density:0.3 in
+    let linf2 = Product.linf (Product.bool_product a2 b2) in
+    check Alcotest.int "intersecting -> linf = 2" 2 linf2
+  done
+
+let test_disj_embed_rejects_nonsquare () =
+  let a' = Bmat.zero ~rows:2 ~cols:3 in
+  Alcotest.check_raises "nonsquare"
+    (Invalid_argument "Disj_reduction.embed: blocks must be square and equal")
+    (fun () -> ignore (Disj.embed ~a' ~b':a'))
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 4.8 lower bound (Gap-l_inf reduction) *)
+
+let test_gap_embed_difference () =
+  let a' = Imat.of_dense [| [| 5 |] |] in
+  let b' = Imat.of_dense [| [| -3 |] |] in
+  let a, b = Gap.embed ~a' ~b' in
+  check Alcotest.int "A'+B' = 2" 2 (Product.linf (Product.int_product a b))
+
+let test_gap_instances () =
+  let rng = Prng.create 2 in
+  let kappa = 16 in
+  for _ = 1 to 10 do
+    let a, b = Gap.instance rng ~half:10 ~kappa ~gap:false in
+    let linf = Product.linf (Product.int_product a b) in
+    check Alcotest.bool "no gap -> <= 1" true (linf <= 1);
+    let a2, b2 = Gap.instance rng ~half:10 ~kappa ~gap:true in
+    let linf2 = Product.linf (Product.int_product a2 b2) in
+    check Alcotest.bool "gap -> >= kappa" true (linf2 >= kappa)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 4.5 (SUM hard distribution) *)
+
+let test_sum_parameters () =
+  let beta, k = Sum_hard.parameters ~beta_const:2.0 ~n:256 ~kappa:2.0 () in
+  check Alcotest.bool "beta in (0,1)" true (beta > 0.0 && beta < 1.0);
+  check Alcotest.bool "k in range" true (k >= 2 && k <= 256)
+
+let test_sum_parameters_degenerate () =
+  match Sum_hard.parameters ~n:16 ~kappa:64.0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected degenerate-regime rejection"
+
+let test_sum_instance_gap () =
+  let rng = Prng.create 3 in
+  let n = 256 and kappa = 2.0 in
+  (* SUM = 1: planted intersecting pair forces a big entry. *)
+  let inst1 = Sum_hard.sample_conditioned ~beta_const:2.0 rng ~n ~kappa ~sum:1 in
+  check Alcotest.int "sum_value 1" 1 inst1.Sum_hard.sum_value;
+  let c1 = Product.bool_product inst1.Sum_hard.a inst1.Sum_hard.b in
+  check Alcotest.bool "linf >= replicas" true
+    (Product.linf c1 >= inst1.Sum_hard.replicas);
+  (* Entries are always multiples of the replica count (identical tiles). *)
+  Product.iter c1 (fun _ _ v ->
+      check Alcotest.int "quantised to replicas" 0 (v mod inst1.Sum_hard.replicas))
+
+(* Reproduction note (see EXPERIMENTS.md §E11): with the identical tiled
+   blocks of §4.2.2, off-diagonal pairs i ≠ j intersect with probability
+   ≈ kβ²/4 each, so over n² pairs the SUM = 0 noise maximum also reaches
+   multiples of n/k — the whole-matrix ℓ∞ gap claimed in (8) does not
+   materialise. The *diagonal* does separate perfectly: under ν_k no U_i
+   intersects its own V_i, so max_i C_{i,i} is 0 vs ≥ n/k. We assert the
+   faithful property. *)
+let test_sum_diagonal_separates () =
+  let rng = Prng.create 4 in
+  List.iter
+    (fun (kappa, n) ->
+      let i1 = Sum_hard.sample_conditioned ~beta_const:2.0 rng ~n ~kappa ~sum:1 in
+      let i0 = Sum_hard.sample_conditioned ~beta_const:2.0 rng ~n ~kappa ~sum:0 in
+      let diag_max inst =
+        let c = Product.bool_product inst.Sum_hard.a inst.Sum_hard.b in
+        let m = ref 0 in
+        for i = 0 to n - 1 do
+          m := max !m (Product.get c i i)
+        done;
+        !m
+      in
+      check Alcotest.bool
+        (Printf.sprintf "diag separates at kappa=%.0f" kappa)
+        true
+        (diag_max i1 >= i1.Sum_hard.replicas && diag_max i0 = 0))
+    [ (2.0, 256); (4.0, 512) ]
+
+let test_sum_diag_zero_when_sum0 () =
+  (* Under nu_k no U_i intersects its V_i, so with SUM = 0 every diagonal
+     entry C_{i,i} = replicas * <U_i, V_i> is zero. *)
+  let rng = Prng.create 5 in
+  let inst = Sum_hard.sample_conditioned ~beta_const:2.0 rng ~n:128 ~kappa:2.0 ~sum:0 in
+  let c = Product.bool_product inst.Sum_hard.a inst.Sum_hard.b in
+  for i = 0 to 127 do
+    check Alcotest.int "diagonal zero" 0 (Product.get c i i)
+  done
+
+let () =
+  Alcotest.run "lowerbounds"
+    [
+      ( "disj (thm 4.4)",
+        [
+          Alcotest.test_case "block structure" `Quick test_disj_embed_block_structure;
+          Alcotest.test_case "overlap gives 2" `Quick test_disj_embed_overlap_gives_two;
+          Alcotest.test_case "instance gap" `Quick test_disj_instances_gap;
+          Alcotest.test_case "rejects nonsquare" `Quick test_disj_embed_rejects_nonsquare;
+        ] );
+      ( "gap-linf (thm 4.8)",
+        [
+          Alcotest.test_case "embed difference" `Quick test_gap_embed_difference;
+          Alcotest.test_case "instances" `Quick test_gap_instances;
+        ] );
+      ( "sum (thm 4.5)",
+        [
+          Alcotest.test_case "parameters" `Quick test_sum_parameters;
+          Alcotest.test_case "degenerate regime" `Quick test_sum_parameters_degenerate;
+          Alcotest.test_case "instance gap" `Slow test_sum_instance_gap;
+          Alcotest.test_case "diagonal separates" `Slow test_sum_diagonal_separates;
+          Alcotest.test_case "diag zero when sum=0" `Slow test_sum_diag_zero_when_sum0;
+        ] );
+    ]

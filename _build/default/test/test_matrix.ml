@@ -1,0 +1,485 @@
+(* Tests for the matrix substrate: binary matrices, integer matrices, and
+   exact output-sensitive products. *)
+
+module Prng = Matprod_util.Prng
+module Bmat = Matprod_matrix.Bmat
+module Imat = Matprod_matrix.Imat
+module Product = Matprod_matrix.Product
+
+let check = Alcotest.check
+
+(* Reference dense multiply. *)
+let dense_mul a b =
+  let n = Array.length a
+  and m = Array.length b.(0)
+  and inner = Array.length b in
+  Array.init n (fun i ->
+      Array.init m (fun j ->
+          let acc = ref 0 in
+          for k = 0 to inner - 1 do
+            acc := !acc + (a.(i).(k) * b.(k).(j))
+          done;
+          !acc))
+
+let random_dense rng ~rows ~cols ~density ~maxval =
+  Array.init rows (fun _ ->
+      Array.init cols (fun _ ->
+          if Prng.float rng < density then 1 + Prng.int rng maxval else 0))
+
+let random_bool_dense rng ~rows ~cols ~density =
+  random_dense rng ~rows ~cols ~density ~maxval:1
+
+(* ------------------------------------------------------------------ *)
+(* Bmat *)
+
+let test_bmat_roundtrip () =
+  let rng = Prng.create 1 in
+  let d = random_bool_dense rng ~rows:13 ~cols:17 ~density:0.3 in
+  let m = Bmat.of_dense d in
+  check Alcotest.int "rows" 13 (Bmat.rows m);
+  check Alcotest.int "cols" 17 (Bmat.cols m);
+  let d' = Bmat.to_dense m in
+  check Alcotest.bool "dense roundtrip" true (d = d')
+
+let test_bmat_get () =
+  let m = Bmat.create ~rows:3 ~cols:4 [| [| 0; 2 |]; [||]; [| 3 |] |] in
+  check Alcotest.bool "0,0" true (Bmat.get m 0 0);
+  check Alcotest.bool "0,1" false (Bmat.get m 0 1);
+  check Alcotest.bool "0,2" true (Bmat.get m 0 2);
+  check Alcotest.bool "2,3" true (Bmat.get m 2 3);
+  check Alcotest.int "nnz" 3 (Bmat.nnz m)
+
+let test_bmat_create_dedups () =
+  let m = Bmat.create ~rows:1 ~cols:5 [| [| 3; 1; 3; 1 |] |] in
+  check Alcotest.bool "row sorted dedup" true (Bmat.row m 0 = [| 1; 3 |])
+
+let test_bmat_create_rejects_bad_index () =
+  Alcotest.check_raises "col out of range"
+    (Invalid_argument "Bmat: row 0 has a column index outside [0,3)") (fun () ->
+      ignore (Bmat.create ~rows:1 ~cols:3 [| [| 5 |] |]))
+
+let test_bmat_transpose () =
+  let rng = Prng.create 2 in
+  let d = random_bool_dense rng ~rows:11 ~cols:7 ~density:0.4 in
+  let m = Bmat.of_dense d in
+  let mt = Bmat.transpose m in
+  check Alcotest.int "t rows" 7 (Bmat.rows mt);
+  check Alcotest.int "t cols" 11 (Bmat.cols mt);
+  for i = 0 to 10 do
+    for j = 0 to 6 do
+      check Alcotest.bool "entry" (Bmat.get m i j) (Bmat.get mt j i)
+    done
+  done;
+  check Alcotest.bool "double transpose" true (Bmat.equal m (Bmat.transpose mt))
+
+let test_bmat_col_weights () =
+  let rng = Prng.create 3 in
+  let d = random_bool_dense rng ~rows:20 ~cols:9 ~density:0.5 in
+  let m = Bmat.of_dense d in
+  let w = Bmat.col_weights m in
+  for j = 0 to 8 do
+    let expect = Array.fold_left (fun acc r -> acc + r.(j)) 0 d in
+    check Alcotest.int "col weight" expect w.(j)
+  done
+
+let test_bmat_identity () =
+  let i5 = Bmat.identity 5 in
+  check Alcotest.int "nnz" 5 (Bmat.nnz i5);
+  for i = 0 to 4 do
+    check Alcotest.bool "diag" true (Bmat.get i5 i i)
+  done
+
+let test_bmat_filter_entries () =
+  let m = Bmat.identity 6 in
+  let even = Bmat.filter_entries m (fun i _ -> i mod 2 = 0) in
+  check Alcotest.int "kept half" 3 (Bmat.nnz even)
+
+(* ------------------------------------------------------------------ *)
+(* Imat *)
+
+let test_imat_roundtrip () =
+  let rng = Prng.create 4 in
+  let d = random_dense rng ~rows:9 ~cols:12 ~density:0.35 ~maxval:50 in
+  let m = Imat.of_dense d in
+  check Alcotest.bool "roundtrip" true (Imat.to_dense m = d)
+
+let test_imat_create_sums_duplicates () =
+  let m = Imat.create ~rows:1 ~cols:5 [| [| (2, 3); (2, 4); (1, -1) |] |] in
+  check Alcotest.int "summed" 7 (Imat.get m 0 2);
+  check Alcotest.int "other" (-1) (Imat.get m 0 1);
+  (* Cancelling duplicates vanish. *)
+  let z = Imat.create ~rows:1 ~cols:5 [| [| (2, 3); (2, -3) |] |] in
+  check Alcotest.int "cancelled" 0 (Imat.nnz z)
+
+let test_imat_transpose () =
+  let rng = Prng.create 5 in
+  let d = random_dense rng ~rows:8 ~cols:6 ~density:0.4 ~maxval:9 in
+  let m = Imat.of_dense d in
+  let mt = Imat.transpose m in
+  for i = 0 to 7 do
+    for j = 0 to 5 do
+      check Alcotest.int "entry" (Imat.get m i j) (Imat.get mt j i)
+    done
+  done
+
+let test_imat_norms () =
+  let m = Imat.of_dense [| [| 1; -2; 0 |]; [| 0; 0; 3 |] |] in
+  check Alcotest.int "row_l1 0" 3 (Imat.row_l1 m 0);
+  check Alcotest.int "row_l1 1" 3 (Imat.row_l1 m 1);
+  check Alcotest.bool "col_l1" true (Imat.col_l1 m = [| 1; 2; 3 |]);
+  check (Alcotest.float 1e-9) "row_lp p=2" 5.0 (Imat.row_lp_pow m ~p:2.0 0);
+  check (Alcotest.float 1e-9) "row_lp p=0" 2.0 (Imat.row_lp_pow m ~p:0.0 0);
+  check Alcotest.int "max_abs" 3 (Imat.max_abs m);
+  check Alcotest.bool "nonneg false" false (Imat.nonneg m)
+
+let test_imat_of_bmat () =
+  let b = Bmat.identity 4 in
+  let m = Imat.of_bmat b in
+  check Alcotest.int "diag value" 1 (Imat.get m 2 2);
+  check Alcotest.int "nnz" 4 (Imat.nnz m)
+
+(* ------------------------------------------------------------------ *)
+(* Product *)
+
+let test_bool_product_matches_dense () =
+  let rng = Prng.create 6 in
+  for _ = 1 to 5 do
+    let da = random_bool_dense rng ~rows:15 ~cols:10 ~density:0.3 in
+    let db = random_bool_dense rng ~rows:10 ~cols:12 ~density:0.3 in
+    let c = Product.bool_product (Bmat.of_dense da) (Bmat.of_dense db) in
+    let want = dense_mul da db in
+    for i = 0 to 14 do
+      for j = 0 to 11 do
+        check Alcotest.int "entry" want.(i).(j) (Product.get c i j)
+      done
+    done
+  done
+
+let test_int_product_matches_dense () =
+  let rng = Prng.create 7 in
+  for _ = 1 to 5 do
+    let da = random_dense rng ~rows:9 ~cols:11 ~density:0.4 ~maxval:5 in
+    let db = random_dense rng ~rows:11 ~cols:8 ~density:0.4 ~maxval:5 in
+    let c = Product.int_product (Imat.of_dense da) (Imat.of_dense db) in
+    let want = dense_mul da db in
+    for i = 0 to 8 do
+      for j = 0 to 7 do
+        check Alcotest.int "entry" want.(i).(j) (Product.get c i j)
+      done
+    done
+  done
+
+let test_product_norms () =
+  (* A = [[1,1],[0,1]], B = [[1,0],[1,1]] -> C = [[2,1],[1,1]] *)
+  let a = Bmat.of_dense [| [| 1; 1 |]; [| 0; 1 |] |] in
+  let b = Bmat.of_dense [| [| 1; 0 |]; [| 1; 1 |] |] in
+  let c = Product.bool_product a b in
+  check Alcotest.int "l0" 4 (Product.nnz c);
+  check Alcotest.int "l1" 5 (Product.l1 c);
+  check Alcotest.int "linf" 2 (Product.linf c);
+  check (Alcotest.float 1e-9) "l2^2" 7.0 (Product.lp_pow c ~p:2.0);
+  match Product.argmax c with
+  | Some (0, 0, 2) -> ()
+  | _ -> Alcotest.fail "argmax should be (0,0,2)"
+
+let test_product_row_col_norms () =
+  let a = Bmat.of_dense [| [| 1; 1 |]; [| 0; 1 |] |] in
+  let b = Bmat.of_dense [| [| 1; 0 |]; [| 1; 1 |] |] in
+  let c = Product.bool_product a b in
+  let rl1 = Product.row_lp_pow c ~p:1.0 in
+  check (Alcotest.float 1e-9) "row0 l1" 3.0 rl1.(0);
+  check (Alcotest.float 1e-9) "row1 l1" 2.0 rl1.(1);
+  let cl0 = Product.col_lp_pow c ~p:0.0 in
+  check (Alcotest.float 1e-9) "col0 l0" 2.0 cl0.(0)
+
+let test_product_heavy_hitters () =
+  (* C = [[2,1],[1,1]]; l1 = 5. phi=0.4: only entry 2 qualifies (2 >= 2). *)
+  let a = Bmat.of_dense [| [| 1; 1 |]; [| 0; 1 |] |] in
+  let b = Bmat.of_dense [| [| 1; 0 |]; [| 1; 1 |] |] in
+  let c = Product.bool_product a b in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "hh p=1 phi=0.4" [ (0, 0) ]
+    (Product.heavy_hitters c ~p:1.0 ~phi:0.4);
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "hh p=1 phi=0.2"
+    [ (0, 0); (0, 1); (1, 0); (1, 1) ]
+    (Product.heavy_hitters c ~p:1.0 ~phi:0.2)
+
+let test_product_zero () =
+  let z = Bmat.zero ~rows:5 ~cols:5 in
+  let c = Product.bool_product z z in
+  check Alcotest.int "nnz" 0 (Product.nnz c);
+  check Alcotest.int "linf" 0 (Product.linf c);
+  check Alcotest.bool "argmax none" true (Product.argmax c = None)
+
+let test_product_cancellation () =
+  (* Integer entries can cancel: C must drop exact zeros. *)
+  let a = Imat.of_dense [| [| 1; 1 |] |] in
+  let b = Imat.of_dense [| [| 1 |]; [| -1 |] |] in
+  let c = Product.int_product a b in
+  check Alcotest.int "cancelled nnz" 0 (Product.nnz c);
+  check Alcotest.int "entry" 0 (Product.get c 0 0)
+
+let test_product_rectangular () =
+  let rng = Prng.create 8 in
+  let da = random_bool_dense rng ~rows:4 ~cols:20 ~density:0.3 in
+  let db = random_bool_dense rng ~rows:20 ~cols:3 ~density:0.3 in
+  let c = Product.bool_product (Bmat.of_dense da) (Bmat.of_dense db) in
+  check Alcotest.int "rows" 4 (Product.rows c);
+  check Alcotest.int "cols" 3 (Product.cols c);
+  let want = dense_mul da db in
+  for i = 0 to 3 do
+    for j = 0 to 2 do
+      check Alcotest.int "entry" want.(i).(j) (Product.get c i j)
+    done
+  done
+
+let test_product_dim_mismatch () =
+  let a = Bmat.zero ~rows:3 ~cols:4 in
+  let b = Bmat.zero ~rows:5 ~cols:3 in
+  Alcotest.check_raises "dims" (Invalid_argument "Product.bool_product: dims")
+    (fun () -> ignore (Product.bool_product a b))
+
+(* ------------------------------------------------------------------ *)
+(* Matio *)
+
+module Matio = Matprod_matrix.Matio
+
+let tmpfile name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+let test_matio_bmat_roundtrip () =
+  let rng = Prng.create 33 in
+  let m = Bmat.of_dense (random_bool_dense rng ~rows:13 ~cols:21 ~density:0.3) in
+  let path = tmpfile "matio_test_b.txt" in
+  Matio.write_bmat path m;
+  let m' = Matio.read_bmat path in
+  check Alcotest.bool "roundtrip" true (Bmat.equal m m');
+  (* A binary file also reads as a 0/1 integer matrix. *)
+  let mi = Matio.read_imat path in
+  check Alcotest.bool "as imat" true (Imat.equal mi (Imat.of_bmat m));
+  Sys.remove path
+
+let test_matio_imat_roundtrip () =
+  let rng = Prng.create 34 in
+  let m = Imat.of_dense (random_dense rng ~rows:9 ~cols:14 ~density:0.4 ~maxval:50) in
+  let path = tmpfile "matio_test_i.txt" in
+  Matio.write_imat path m;
+  check Alcotest.bool "roundtrip" true (Imat.equal m (Matio.read_imat path));
+  Sys.remove path
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let test_matio_mm_pattern () =
+  let path = tmpfile "matio_test_mm.mtx" in
+  write_file path
+    "%%MatrixMarket matrix coordinate pattern general\n\
+     % a comment\n\
+     3 4 2\n\
+     1 1\n\
+     3 4\n";
+  let m = Matio.read_bmat path in
+  check Alcotest.int "rows" 3 (Bmat.rows m);
+  check Alcotest.int "cols" 4 (Bmat.cols m);
+  check Alcotest.bool "0-indexed (0,0)" true (Bmat.get m 0 0);
+  check Alcotest.bool "0-indexed (2,3)" true (Bmat.get m 2 3);
+  check Alcotest.int "nnz" 2 (Bmat.nnz m);
+  Sys.remove path
+
+let test_matio_mm_integer_real () =
+  let path = tmpfile "matio_test_mm2.mtx" in
+  write_file path
+    "%%MatrixMarket matrix coordinate integer general\n2 2 2\n1 2 7\n2 1 -3\n";
+  let m = Matio.read_imat path in
+  check Alcotest.int "entry" 7 (Imat.get m 0 1);
+  check Alcotest.int "negative" (-3) (Imat.get m 1 0);
+  write_file path
+    "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 2.6\n";
+  let m2 = Matio.read_imat path in
+  check Alcotest.int "real rounded" 3 (Imat.get m2 0 0);
+  Sys.remove path
+
+let test_matio_rejects () =
+  let path = tmpfile "matio_test_bad.txt" in
+  write_file path "not a matrix\n";
+  (match Matio.read_bmat path with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected header rejection");
+  write_file path "matprod bmat 2 2\n5 0\n";
+  (match Matio.read_bmat path with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected out-of-bounds rejection");
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Bitmat *)
+
+module Bitmat = Matprod_matrix.Bitmat
+
+let test_bitmat_popcount () =
+  check Alcotest.int "0" 0 (Bitmat.popcount 0);
+  check Alcotest.int "1" 1 (Bitmat.popcount 1);
+  check Alcotest.int "0xFF" 8 (Bitmat.popcount 0xFF);
+  check Alcotest.int "max_int" 62 (Bitmat.popcount max_int);
+  let rng = Prng.create 30 in
+  for _ = 1 to 500 do
+    let x = Prng.bits rng in
+    let slow = ref 0 in
+    for b = 0 to 62 do
+      if x land (1 lsl b) <> 0 then incr slow
+    done;
+    check Alcotest.int "matches bit loop" !slow (Bitmat.popcount x)
+  done
+
+let test_bitmat_roundtrip () =
+  let rng = Prng.create 31 in
+  let d = random_bool_dense rng ~rows:17 ~cols:130 ~density:0.3 in
+  let m = Bmat.of_dense d in
+  let packed = Bitmat.of_bmat m in
+  check Alcotest.int "rows" 17 (Bitmat.rows packed);
+  check Alcotest.int "cols" 130 (Bitmat.cols packed);
+  check Alcotest.int "nnz preserved" (Bmat.nnz m) (Bitmat.nnz packed);
+  check Alcotest.bool "roundtrip" true (Bmat.equal m (Bitmat.to_bmat packed));
+  for i = 0 to 16 do
+    for k = 0 to 129 do
+      check Alcotest.bool "entry" (Bmat.get m i k) (Bitmat.get packed i k)
+    done
+  done
+
+let test_bitmat_set_clear () =
+  let t = Bitmat.create ~rows:3 ~cols:70 in
+  Bitmat.set t 1 65 true;
+  check Alcotest.bool "set" true (Bitmat.get t 1 65);
+  check Alcotest.int "nnz" 1 (Bitmat.nnz t);
+  Bitmat.set t 1 65 false;
+  check Alcotest.bool "cleared" false (Bitmat.get t 1 65);
+  check Alcotest.int "nnz back to 0" 0 (Bitmat.nnz t)
+
+let test_bitmat_product_matches () =
+  let rng = Prng.create 32 in
+  let da = random_bool_dense rng ~rows:20 ~cols:90 ~density:0.25 in
+  let db = random_bool_dense rng ~rows:90 ~cols:15 ~density:0.25 in
+  let a = Bmat.of_dense da and b = Bmat.of_dense db in
+  let c = Product.bool_product a b in
+  let pa = Bitmat.of_bmat a and pbt = Bitmat.of_bmat (Bmat.transpose b) in
+  for i = 0 to 19 do
+    for j = 0 to 14 do
+      check Alcotest.int "entry" (Product.get c i j)
+        (Bitmat.product_entry ~a:pa ~bt:pbt i j)
+    done
+  done;
+  check Alcotest.int "linf" (Product.linf c) (Bitmat.product_linf ~a:pa ~bt:pbt)
+
+(* ------------------------------------------------------------------ *)
+(* qcheck properties *)
+
+let gen_dense rows cols density maxval =
+  let open QCheck.Gen in
+  let cell = map (fun x -> if x < density then 1 + (abs x * 7919 mod maxval) else 0)
+      (int_bound 99) in
+  array_size (return rows) (array_size (return cols) cell)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"product: l1 = sum over inner of colA*rowB (binary)"
+      ~count:50
+      (make (gen_dense 8 8 30 1))
+      (fun d ->
+        (* For binary A, B: ||AB||_1 = sum_k colweightA(k) * rowweightB(k),
+           the Remark 2 identity, here with B = A^T. *)
+        let a = Bmat.of_dense d in
+        let b = Bmat.transpose a in
+        let c = Product.bool_product a b in
+        let wa = Bmat.col_weights a in
+        let wb = Array.init (Bmat.rows b) (fun k -> Bmat.row_weight b k) in
+        let expect = Array.to_list (Array.mapi (fun k w -> w * wb.(k)) wa)
+                     |> List.fold_left ( + ) 0 in
+        Product.l1 c = expect);
+    Test.make ~name:"product: nnz <= rows*cols and linf <= inner dim" ~count:50
+      (make (gen_dense 6 10 40 1))
+      (fun d ->
+        let a = Bmat.of_dense d in
+        let b = Bmat.transpose a in
+        let c = Product.bool_product a b in
+        Product.nnz c <= Product.rows c * Product.cols c
+        && Product.linf c <= Bmat.cols a);
+    Test.make ~name:"bmat: transpose involutive" ~count:50
+      (make (gen_dense 7 9 35 1))
+      (fun d ->
+        let m = Bmat.of_dense d in
+        Bmat.equal m (Bmat.transpose (Bmat.transpose m)));
+    Test.make ~name:"imat: transpose involutive" ~count:50
+      (make (gen_dense 7 9 35 20))
+      (fun d ->
+        let m = Imat.of_dense d in
+        Imat.equal m (Imat.transpose (Imat.transpose m)));
+    Test.make ~name:"product: heavy hitters contain argmax (p=1)" ~count:50
+      (make (gen_dense 6 6 50 1))
+      (fun d ->
+        let a = Bmat.of_dense d in
+        let b = Bmat.transpose a in
+        let c = Product.bool_product a b in
+        match Product.argmax c with
+        | None -> true
+        | Some (i, j, v) ->
+            let phi = float_of_int v /. float_of_int (Product.l1 c) in
+            List.mem (i, j) (Product.heavy_hitters c ~p:1.0 ~phi));
+  ]
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest qcheck_tests in
+  Alcotest.run "matrix"
+    [
+      ( "bmat",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_bmat_roundtrip;
+          Alcotest.test_case "get" `Quick test_bmat_get;
+          Alcotest.test_case "create dedups" `Quick test_bmat_create_dedups;
+          Alcotest.test_case "rejects bad index" `Quick test_bmat_create_rejects_bad_index;
+          Alcotest.test_case "transpose" `Quick test_bmat_transpose;
+          Alcotest.test_case "col weights" `Quick test_bmat_col_weights;
+          Alcotest.test_case "identity" `Quick test_bmat_identity;
+          Alcotest.test_case "filter entries" `Quick test_bmat_filter_entries;
+        ] );
+      ( "imat",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_imat_roundtrip;
+          Alcotest.test_case "duplicate columns" `Quick test_imat_create_sums_duplicates;
+          Alcotest.test_case "transpose" `Quick test_imat_transpose;
+          Alcotest.test_case "norms" `Quick test_imat_norms;
+          Alcotest.test_case "of_bmat" `Quick test_imat_of_bmat;
+        ] );
+      ( "product",
+        [
+          Alcotest.test_case "bool matches dense" `Quick test_bool_product_matches_dense;
+          Alcotest.test_case "int matches dense" `Quick test_int_product_matches_dense;
+          Alcotest.test_case "norms" `Quick test_product_norms;
+          Alcotest.test_case "row/col norms" `Quick test_product_row_col_norms;
+          Alcotest.test_case "heavy hitters" `Quick test_product_heavy_hitters;
+          Alcotest.test_case "zero" `Quick test_product_zero;
+          Alcotest.test_case "cancellation" `Quick test_product_cancellation;
+          Alcotest.test_case "rectangular" `Quick test_product_rectangular;
+          Alcotest.test_case "dim mismatch" `Quick test_product_dim_mismatch;
+        ] );
+      ( "matio",
+        [
+          Alcotest.test_case "bmat roundtrip" `Quick test_matio_bmat_roundtrip;
+          Alcotest.test_case "imat roundtrip" `Quick test_matio_imat_roundtrip;
+          Alcotest.test_case "matrixmarket pattern" `Quick test_matio_mm_pattern;
+          Alcotest.test_case "matrixmarket integer & real" `Quick test_matio_mm_integer_real;
+          Alcotest.test_case "rejects malformed" `Quick test_matio_rejects;
+        ] );
+      ( "bitmat",
+        [
+          Alcotest.test_case "popcount" `Quick test_bitmat_popcount;
+          Alcotest.test_case "roundtrip" `Quick test_bitmat_roundtrip;
+          Alcotest.test_case "set/clear" `Quick test_bitmat_set_clear;
+          Alcotest.test_case "product matches" `Quick test_bitmat_product_matches;
+        ] );
+      ("properties", qsuite);
+    ]

@@ -1,0 +1,185 @@
+(* Tests of the relational facade: the definition-level join computations
+   (tuple sets) serve as an independent ground-truth path, cross-checked
+   against both the matrix products and the protocols. *)
+
+module Prng = Matprod_util.Prng
+module Stats = Matprod_util.Stats
+module Bmat = Matprod_matrix.Bmat
+module Product = Matprod_matrix.Product
+module Relation = Matprod_relational.Relation
+module Join_estimator = Matprod_relational.Join_estimator
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Relation *)
+
+let test_relation_tuples_roundtrip () =
+  let r = Relation.of_tuples ~x_dom:4 ~y_dom:5 [ (0, 1); (3, 4); (0, 1) ] in
+  check Alcotest.int "dedup" 2 (Relation.cardinality r);
+  check Alcotest.bool "mem" true (Relation.mem r 0 1);
+  check Alcotest.bool "not mem" false (Relation.mem r 1 1);
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "sorted tuples" [ (0, 1); (3, 4) ] (Relation.tuples r)
+
+let test_relation_rejects_out_of_domain () =
+  Alcotest.check_raises "domain"
+    (Invalid_argument "Relation.of_tuples: attribute out of domain") (fun () ->
+      ignore (Relation.of_tuples ~x_dom:2 ~y_dom:2 [ (2, 0) ]))
+
+let test_relation_matrix_roundtrip () =
+  let rng = Prng.create 1 in
+  let r = Relation.random rng ~x_dom:20 ~y_dom:30 ~tuples:80 in
+  let m = Relation.to_matrix r in
+  check Alcotest.int "nnz = cardinality" (Relation.cardinality r) (Bmat.nnz m);
+  let r' = Relation.of_matrix m in
+  check Alcotest.bool "roundtrip" true (Relation.tuples r = Relation.tuples r')
+
+let test_relation_compose_matches_matrix () =
+  let rng = Prng.create 2 in
+  let r = Relation.random rng ~x_dom:25 ~y_dom:20 ~tuples:60 in
+  let s = Relation.random rng ~x_dom:20 ~y_dom:25 ~tuples:60 in
+  let composed = Relation.compose r s in
+  let c = Product.bool_product (Relation.to_matrix r) (Relation.to_matrix s) in
+  check Alcotest.int "composition = support of AB" (Product.nnz c)
+    (Relation.cardinality composed);
+  List.iter
+    (fun (x, z) ->
+      check Alcotest.bool "entry nonzero" true (Product.get c x z > 0))
+    (Relation.tuples composed)
+
+let test_relation_join_size_matches_matrix () =
+  let rng = Prng.create 3 in
+  let r = Relation.random rng ~x_dom:25 ~y_dom:20 ~tuples:70 in
+  let s = Relation.random rng ~x_dom:20 ~y_dom:25 ~tuples:70 in
+  let c = Product.bool_product (Relation.to_matrix r) (Relation.to_matrix s) in
+  check Alcotest.int "natural join = l1 of AB" (Product.l1 c)
+    (Relation.natural_join_size r s)
+
+let test_relation_compose_rejects_mismatch () =
+  let r = Relation.of_tuples ~x_dom:2 ~y_dom:3 [] in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Relation.compose: domain mismatch") (fun () ->
+      ignore (Relation.compose r r))
+
+(* ------------------------------------------------------------------ *)
+(* Join_estimator *)
+
+let mk_pair seed =
+  let rng = Prng.create seed in
+  let r = Relation.random rng ~x_dom:80 ~y_dom:60 ~tuples:400 in
+  let s = Relation.random rng ~x_dom:60 ~y_dom:80 ~tuples:400 in
+  (r, s)
+
+let test_estimator_composition_size () =
+  let r, s = mk_pair 4 in
+  let actual = float_of_int (Relation.cardinality (Relation.compose r s)) in
+  let ans = Join_estimator.composition_size ~seed:1 ~r ~s () in
+  check Alcotest.bool "within eps-ish" true
+    (Stats.relative_error ~actual ~estimate:ans.Join_estimator.value < 0.4);
+  check Alcotest.int "2 rounds" 2 ans.Join_estimator.rounds
+
+let test_estimator_natural_join_exact () =
+  let r, s = mk_pair 5 in
+  let ans = Join_estimator.natural_join_size ~seed:1 ~r ~s in
+  check Alcotest.int "exact" (Relation.natural_join_size r s)
+    ans.Join_estimator.value;
+  check Alcotest.int "1 round" 1 ans.Join_estimator.rounds
+
+let test_estimator_join_tuple_valid () =
+  let r, s = mk_pair 6 in
+  for seed = 1 to 10 do
+    let ans = Join_estimator.sample_join_tuple ~seed ~r ~s in
+    match ans.Join_estimator.value with
+    | Some (x, y, z) ->
+        check Alcotest.bool "tuple in join" true
+          (Relation.mem r x y && Relation.mem s y z)
+    | None -> Alcotest.fail "expected a sample on a nonempty join"
+  done
+
+let test_estimator_output_pair_valid () =
+  let r, s = mk_pair 7 in
+  let composed = Relation.compose r s in
+  let got = ref 0 in
+  for seed = 1 to 10 do
+    let ans = Join_estimator.sample_output_pair ~seed ~r ~s () in
+    match ans.Join_estimator.value with
+    | Some (x, z) ->
+        incr got;
+        check Alcotest.bool "pair in composition" true (Relation.mem composed x z)
+    | None -> ()
+  done;
+  check Alcotest.bool "mostly succeeds" true (!got >= 8)
+
+let test_estimator_max_witness () =
+  let r, s = mk_pair 8 in
+  let actual =
+    float_of_int
+      (Product.linf (Product.bool_product (Relation.to_matrix r) (Relation.to_matrix s)))
+  in
+  let ans = Join_estimator.max_witness_count ~seed:1 ~r ~s () in
+  check Alcotest.bool "within (2+eps) band" true
+    (ans.Join_estimator.value >= actual /. 2.6
+    && ans.Join_estimator.value <= actual *. 1.6)
+
+let test_estimator_rejects_domain_mismatch () =
+  let r = Relation.of_tuples ~x_dom:5 ~y_dom:6 [] in
+  let s = Relation.of_tuples ~x_dom:7 ~y_dom:5 [] in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Join_estimator: shared attribute domains differ")
+    (fun () -> ignore (Join_estimator.natural_join_size ~seed:1 ~r ~s))
+
+(* ------------------------------------------------------------------ *)
+(* qcheck *)
+
+let qcheck_tests =
+  let open QCheck in
+  let rel_pair_gen =
+    Gen.(
+      let* seed = int_bound 1_000_000 in
+      let* xd = 2 -- 20 in
+      let* yd = 2 -- 20 in
+      let* zd = 2 -- 20 in
+      let rng = Prng.create seed in
+      let cap a b = max 1 (a * b / 3) in
+      return
+        ( Relation.random rng ~x_dom:xd ~y_dom:yd ~tuples:(cap xd yd),
+          Relation.random rng ~x_dom:yd ~y_dom:zd ~tuples:(cap yd zd) ))
+  in
+  [
+    Test.make ~name:"natural join size: protocol = tuple-level definition"
+      ~count:50 (make rel_pair_gen) (fun (r, s) ->
+        (Join_estimator.natural_join_size ~seed:1 ~r ~s).Join_estimator.value
+        = Relation.natural_join_size r s);
+    Test.make ~name:"composition via matrices = tuple-level definition"
+      ~count:50 (make rel_pair_gen) (fun (r, s) ->
+        let c =
+          Product.bool_product (Relation.to_matrix r) (Relation.to_matrix s)
+        in
+        Product.nnz c = Relation.cardinality (Relation.compose r s));
+  ]
+
+let () =
+  Alcotest.run "relational"
+    [
+      ( "relation",
+        [
+          Alcotest.test_case "tuples roundtrip" `Quick test_relation_tuples_roundtrip;
+          Alcotest.test_case "rejects out of domain" `Quick test_relation_rejects_out_of_domain;
+          Alcotest.test_case "matrix roundtrip" `Quick test_relation_matrix_roundtrip;
+          Alcotest.test_case "compose matches matrix" `Quick test_relation_compose_matches_matrix;
+          Alcotest.test_case "join size matches matrix" `Quick test_relation_join_size_matches_matrix;
+          Alcotest.test_case "compose rejects mismatch" `Quick test_relation_compose_rejects_mismatch;
+        ] );
+      ( "join-estimator",
+        [
+          Alcotest.test_case "composition size" `Slow test_estimator_composition_size;
+          Alcotest.test_case "natural join exact" `Quick test_estimator_natural_join_exact;
+          Alcotest.test_case "join tuples valid" `Slow test_estimator_join_tuple_valid;
+          Alcotest.test_case "output pairs valid" `Slow test_estimator_output_pair_valid;
+          Alcotest.test_case "max witness" `Slow test_estimator_max_witness;
+          Alcotest.test_case "rejects mismatch" `Quick test_estimator_rejects_domain_mismatch;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

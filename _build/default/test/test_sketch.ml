@@ -1,0 +1,771 @@
+(* Tests for the sketching substrate: linearity laws, estimator accuracy,
+   sparse recovery exactness and failure detection, sampler uniformity. *)
+
+module Prng = Matprod_util.Prng
+module Stats = Matprod_util.Stats
+module Ams = Matprod_sketch.Ams
+module Stable_sketch = Matprod_sketch.Stable_sketch
+module L0_sketch = Matprod_sketch.L0_sketch
+module Lp = Matprod_sketch.Lp
+module One_sparse = Matprod_sketch.One_sparse
+module S_sparse = Matprod_sketch.S_sparse
+module L0_sampler = Matprod_sketch.L0_sampler
+module Countsketch = Matprod_sketch.Countsketch
+module Countmin = Matprod_sketch.Countmin
+module Cohen = Matprod_sketch.Cohen
+module Blocked_ams = Matprod_sketch.Blocked_ams
+
+let check = Alcotest.check
+
+let random_sparse_vec rng ~dim ~nnz ~maxval =
+  let idx = Array.init dim (fun i -> i) in
+  Prng.shuffle rng idx;
+  let chosen = Array.sub idx 0 (min nnz dim) in
+  Array.sort compare chosen;
+  Array.map
+    (fun i ->
+      let v = 1 + Prng.int rng maxval in
+      (i, if Prng.bool rng then v else -v))
+    chosen
+
+let lp_pow_of_vec ~p vec =
+  Array.fold_left
+    (fun acc (_, v) ->
+      if v = 0 then acc
+      else acc +. if p = 0.0 then 1.0 else Float.abs (float_of_int v) ** p)
+    0.0 vec
+
+(* ------------------------------------------------------------------ *)
+(* AMS *)
+
+let test_ams_exact_on_singleton () =
+  let rng = Prng.create 1 in
+  let t = Ams.create rng ~eps:0.5 ~groups:5 in
+  let y = Ams.sketch t [| (7, 3) |] in
+  check (Alcotest.float 1e-6) "singleton norm exact" 9.0 (Ams.estimate_sq t y)
+
+let test_ams_accuracy () =
+  let rng = Prng.create 2 in
+  let failures = ref 0 in
+  for trial = 1 to 20 do
+    let t = Ams.create rng ~eps:0.2 ~groups:7 in
+    let vec = random_sparse_vec rng ~dim:500 ~nnz:100 ~maxval:20 in
+    let actual = lp_pow_of_vec ~p:2.0 vec in
+    let est = Ams.estimate_sq t (Ams.sketch t vec) in
+    if Stats.relative_error ~actual ~estimate:est > 0.25 then incr failures;
+    ignore trial
+  done;
+  check Alcotest.bool "most estimates within eps" true (!failures <= 2)
+
+let test_ams_linearity () =
+  let rng = Prng.create 3 in
+  let t = Ams.create rng ~eps:0.3 ~groups:3 in
+  let v1 = random_sparse_vec rng ~dim:100 ~nnz:30 ~maxval:10 in
+  let v2 = random_sparse_vec rng ~dim:100 ~nnz:30 ~maxval:10 in
+  (* sketch(3*v1 + 2*v2) = 3*sketch(v1) + 2*sketch(v2) *)
+  let dense = Array.make 100 0 in
+  Array.iter (fun (i, v) -> dense.(i) <- dense.(i) + (3 * v)) v1;
+  Array.iter (fun (i, v) -> dense.(i) <- dense.(i) + (2 * v)) v2;
+  let combined =
+    Array.of_list
+      (List.filter_map
+         (fun i -> if dense.(i) <> 0 then Some (i, dense.(i)) else None)
+         (List.init 100 (fun i -> i)))
+  in
+  let direct = Ams.sketch t combined in
+  let composed = Ams.empty t in
+  Ams.add_scaled t ~dst:composed ~coeff:3 (Ams.sketch t v1);
+  Ams.add_scaled t ~dst:composed ~coeff:2 (Ams.sketch t v2);
+  Array.iteri
+    (fun r x ->
+      check (Alcotest.float 1e-6) "linear" x composed.(r))
+    direct
+
+let test_ams_zero () =
+  let rng = Prng.create 4 in
+  let t = Ams.create rng ~eps:0.5 ~groups:3 in
+  check (Alcotest.float 0.0) "zero vector" 0.0 (Ams.estimate_sq t (Ams.empty t))
+
+let test_ams_entries_pm1 () =
+  let rng = Prng.create 5 in
+  let t = Ams.create_rows rng ~rows_per_group:4 ~groups:2 in
+  for r = 0 to 7 do
+    for i = 0 to 20 do
+      let e = Ams.entry t ~row:r i in
+      check Alcotest.bool "pm1" true (e = 1.0 || e = -1.0)
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Stable *)
+
+let test_stable_accuracy_per_p () =
+  List.iter
+    (fun p ->
+      let rng = Prng.create 6 in
+      let failures = ref 0 in
+      for _ = 1 to 10 do
+        let t = Stable_sketch.create rng ~p ~eps:0.2 ~groups:5 in
+        let vec = random_sparse_vec rng ~dim:300 ~nnz:80 ~maxval:10 in
+        let actual = lp_pow_of_vec ~p vec ** (1.0 /. p) in
+        let est = Stable_sketch.estimate t (Stable_sketch.sketch t vec) in
+        if Stats.relative_error ~actual ~estimate:est > 0.3 then incr failures
+      done;
+      check Alcotest.bool
+        (Printf.sprintf "p=%.1f mostly accurate" p)
+        true (!failures <= 2))
+    [ 0.5; 1.0; 1.5; 2.0 ]
+
+let test_stable_linearity () =
+  let rng = Prng.create 7 in
+  let t = Stable_sketch.create_rows rng ~p:1.0 ~rows:50 in
+  let v = [| (3, 2); (10, -1) |] in
+  let direct = Stable_sketch.sketch t [| (3, 4); (10, -2) |] in
+  let doubled = Stable_sketch.empty t in
+  Stable_sketch.add_scaled t ~dst:doubled ~coeff:2 (Stable_sketch.sketch t v);
+  Array.iteri
+    (fun r x -> check (Alcotest.float 1e-6) "2x" x doubled.(r))
+    direct
+
+let test_stable_entry_deterministic () =
+  let rng = Prng.create 8 in
+  let t = Stable_sketch.create_rows rng ~p:1.3 ~rows:10 in
+  check (Alcotest.float 0.0) "same entry"
+    (Stable_sketch.entry t ~row:4 77)
+    (Stable_sketch.entry t ~row:4 77)
+
+let test_stable_estimate_pow () =
+  let rng = Prng.create 9 in
+  let t = Stable_sketch.create rng ~p:2.0 ~eps:0.3 ~groups:5 in
+  let vec = [| (0, 3); (5, 4) |] in
+  (* ||x||_2 = 5, ||x||_2^2 = 25 *)
+  let y = Stable_sketch.sketch t vec in
+  let pow = Stable_sketch.estimate_pow t y in
+  check Alcotest.bool "pow consistent" true
+    (Float.abs (pow -. (Stable_sketch.estimate t y ** 2.0)) < 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* L0 sketch *)
+
+let test_l0_exact_zero_and_small () =
+  let rng = Prng.create 10 in
+  let t = L0_sketch.create rng ~eps:0.3 ~groups:3 ~dim:1000 in
+  check (Alcotest.float 0.0) "zero" 0.0 (L0_sketch.estimate t (L0_sketch.empty t));
+  let one = L0_sketch.sketch t [| (123, 5) |] in
+  let est = L0_sketch.estimate t one in
+  check Alcotest.bool "singleton ~1" true (est >= 0.5 && est <= 2.0)
+
+let test_l0_accuracy () =
+  let rng = Prng.create 11 in
+  List.iter
+    (fun nnz ->
+      let failures = ref 0 in
+      for _ = 1 to 10 do
+        let t = L0_sketch.create rng ~eps:0.2 ~groups:5 ~dim:4096 in
+        let vec = random_sparse_vec rng ~dim:4096 ~nnz ~maxval:100 in
+        let est = L0_sketch.estimate t (L0_sketch.sketch t vec) in
+        if Stats.relative_error ~actual:(float_of_int nnz) ~estimate:est > 0.3
+        then incr failures
+      done;
+      check Alcotest.bool
+        (Printf.sprintf "nnz=%d mostly accurate" nnz)
+        true (!failures <= 2))
+    [ 10; 100; 1000; 4000 ]
+
+let test_l0_ignores_values () =
+  (* l0 depends only on the support: values 1 vs 1000 give same estimate. *)
+  let rng = Prng.create 12 in
+  let t = L0_sketch.create rng ~eps:0.25 ~groups:3 ~dim:500 in
+  let supp = [| 5; 17; 100; 300; 499 |] in
+  let v1 = Array.map (fun i -> (i, 1)) supp in
+  let v2 = Array.map (fun i -> (i, 1000)) supp in
+  check (Alcotest.float 1e-9) "same estimate"
+    (L0_sketch.estimate t (L0_sketch.sketch t v1))
+    (L0_sketch.estimate t (L0_sketch.sketch t v2))
+
+let test_l0_linearity () =
+  let rng = Prng.create 13 in
+  let t = L0_sketch.create rng ~eps:0.3 ~groups:3 ~dim:200 in
+  let v1 = [| (3, 1); (7, 2) |] and v2 = [| (7, 1); (50, 4) |] in
+  let dense = Array.make 200 0 in
+  Array.iter (fun (i, v) -> dense.(i) <- dense.(i) + v) v1;
+  Array.iter (fun (i, v) -> dense.(i) <- dense.(i) + (3 * v)) v2;
+  let combined =
+    Array.of_list
+      (List.filter_map
+         (fun i -> if dense.(i) <> 0 then Some (i, dense.(i)) else None)
+         (List.init 200 (fun i -> i)))
+  in
+  let direct = L0_sketch.sketch t combined in
+  let composed = L0_sketch.empty t in
+  L0_sketch.add_scaled t ~dst:composed ~coeff:1 (L0_sketch.sketch t v1);
+  L0_sketch.add_scaled t ~dst:composed ~coeff:3 (L0_sketch.sketch t v2);
+  check Alcotest.bool "field linear" true (direct = composed)
+
+(* ------------------------------------------------------------------ *)
+(* Lp dispatcher *)
+
+let test_lp_dispatch_types () =
+  let rng = Prng.create 14 in
+  let l0 = Lp.create rng ~p:0.0 ~eps:0.3 ~groups:3 ~dim:100 in
+  let l1 = Lp.create rng ~p:1.0 ~eps:0.3 ~groups:3 ~dim:100 in
+  let l2 = Lp.create rng ~p:2.0 ~eps:0.3 ~groups:3 ~dim:100 in
+  (match Lp.sketch l0 [| (1, 1) |] with
+  | Lp.Z _ -> ()
+  | Lp.F _ -> Alcotest.fail "l0 should be field-valued");
+  (match Lp.sketch l1 [| (1, 1) |] with
+  | Lp.F _ -> ()
+  | Lp.Z _ -> Alcotest.fail "l1 should be float-valued");
+  match Lp.sketch l2 [| (1, 1) |] with
+  | Lp.F _ -> ()
+  | Lp.Z _ -> Alcotest.fail "l2 should be float-valued"
+
+let test_lp_estimates_each_p () =
+  let rng = Prng.create 15 in
+  List.iter
+    (fun p ->
+      let t = Lp.create rng ~p ~eps:0.25 ~groups:5 ~dim:512 in
+      let vec = random_sparse_vec rng ~dim:512 ~nnz:64 ~maxval:8 in
+      let actual = lp_pow_of_vec ~p vec in
+      let est = Lp.estimate_pow t (Lp.sketch t vec) in
+      check Alcotest.bool
+        (Printf.sprintf "p=%.1f in ballpark" p)
+        true
+        (Stats.relative_error ~actual ~estimate:est < 0.5))
+    [ 0.0; 0.5; 1.0; 2.0 ]
+
+let test_lp_wire_roundtrip () =
+  let rng = Prng.create 16 in
+  List.iter
+    (fun p ->
+      let t = Lp.create rng ~p ~eps:0.5 ~groups:3 ~dim:64 in
+      let v = Lp.sketch t [| (3, 2); (9, -1) |] in
+      let codec = Lp.wire t in
+      let v' =
+        Matprod_comm.Codec.decode codec (Matprod_comm.Codec.encode codec v)
+      in
+      (* Field sketches survive exactly; float sketches go through float32. *)
+      match (v, v') with
+      | Lp.Z a, Lp.Z b -> check Alcotest.bool "field exact" true (a = b)
+      | Lp.F a, Lp.F b ->
+          Array.iteri
+            (fun i x ->
+              check Alcotest.bool "f32 close" true (Float.abs (x -. b.(i)) <= Float.abs x *. 1e-6 +. 1e-6))
+            a
+      | _ -> Alcotest.fail "wire changed variant")
+    [ 0.0; 1.0; 2.0 ]
+
+let test_lp_rejects_bad_p () =
+  let rng = Prng.create 17 in
+  Alcotest.check_raises "p=3" (Invalid_argument "Lp.create: p range") (fun () ->
+      ignore (Lp.create rng ~p:3.0 ~eps:0.5 ~groups:3 ~dim:10))
+
+(* ------------------------------------------------------------------ *)
+(* One-sparse recovery *)
+
+let test_one_sparse_zero () =
+  let rng = Prng.create 18 in
+  let spec = One_sparse.spec rng in
+  let c = One_sparse.fresh () in
+  (match One_sparse.decode spec c with
+  | One_sparse.Zero -> ()
+  | _ -> Alcotest.fail "fresh cell should decode Zero");
+  check Alcotest.bool "is_zero" true (One_sparse.is_zero c)
+
+let test_one_sparse_singleton () =
+  let rng = Prng.create 19 in
+  let spec = One_sparse.spec rng in
+  let c = One_sparse.fresh () in
+  One_sparse.update spec c 42 7;
+  (match One_sparse.decode spec c with
+  | One_sparse.One (42, 7) -> ()
+  | _ -> Alcotest.fail "should recover (42,7)");
+  (* negative values too *)
+  let c2 = One_sparse.fresh () in
+  One_sparse.update spec c2 13 (-5);
+  match One_sparse.decode spec c2 with
+  | One_sparse.One (13, -5) -> ()
+  | _ -> Alcotest.fail "should recover (13,-5)"
+
+let test_one_sparse_cancellation_back_to_zero () =
+  let rng = Prng.create 20 in
+  let spec = One_sparse.spec rng in
+  let c = One_sparse.fresh () in
+  One_sparse.update spec c 42 7;
+  One_sparse.update spec c 42 (-7);
+  match One_sparse.decode spec c with
+  | One_sparse.Zero -> ()
+  | _ -> Alcotest.fail "cancel to zero"
+
+let test_one_sparse_many () =
+  let rng = Prng.create 21 in
+  let spec = One_sparse.spec rng in
+  let misdecodes = ref 0 in
+  for trial = 1 to 500 do
+    let c = One_sparse.fresh () in
+    One_sparse.update spec c (trial mod 97) 3;
+    One_sparse.update spec c ((trial mod 89) + 100) 5;
+    match One_sparse.decode spec c with
+    | One_sparse.Many -> ()
+    | _ -> incr misdecodes
+  done;
+  check Alcotest.int "never misdecodes a 2-sparse vector" 0 !misdecodes
+
+(* Regression: with raw polynomial fingerprint coefficients, equal values
+   at positions i and j with i + j even ALWAYS verified as a singleton at
+   (i+j)/2 — the sum Σ c(k) only depended on the positions' power sums.
+   The mixed coefficients must reject every such symmetric pattern. *)
+let test_one_sparse_symmetric_patterns () =
+  let rng = Prng.create 51 in
+  let misdecodes = ref 0 in
+  for trial = 1 to 300 do
+    let spec = One_sparse.spec rng in
+    let gap = 2 * (1 + (trial mod 50)) in
+    let i = trial mod 1000 in
+    let c = One_sparse.fresh () in
+    One_sparse.update spec c i 1;
+    One_sparse.update spec c (i + gap) 1;
+    (match One_sparse.decode spec c with
+    | One_sparse.Many -> ()
+    | _ -> incr misdecodes);
+    (* Equal-size, equal-sum supports must not share a fingerprint-sum:
+       a {i, i+3} vs {i+1, i+2} pair through a fresh cell pair. *)
+    let c1 = One_sparse.fresh () and c2 = One_sparse.fresh () in
+    One_sparse.update spec c1 i 1;
+    One_sparse.update spec c1 (i + 3) 1;
+    One_sparse.update spec c2 (i + 1) 1;
+    One_sparse.update spec c2 (i + 2) 1;
+    One_sparse.add_scaled c1 ~coeff:(-1) c2;
+    (* c1 - c2 is 4-sparse and nonzero; it must not decode Zero or One. *)
+    match One_sparse.decode spec c1 with
+    | One_sparse.Many -> ()
+    | _ -> incr misdecodes
+  done;
+  check Alcotest.int "symmetric patterns rejected" 0 !misdecodes
+
+let test_one_sparse_add_scaled () =
+  let rng = Prng.create 22 in
+  let spec = One_sparse.spec rng in
+  let a = One_sparse.fresh () and b = One_sparse.fresh () in
+  One_sparse.update spec a 10 2;
+  One_sparse.update spec b 10 3;
+  (* a - ... combine: a + (-2)*b + 4e10... check linear combo decodes *)
+  One_sparse.add_scaled a ~coeff:2 b;
+  match One_sparse.decode spec a with
+  | One_sparse.One (10, 8) -> ()
+  | _ -> Alcotest.fail "2+2*3=8 at index 10"
+
+(* ------------------------------------------------------------------ *)
+(* S-sparse recovery *)
+
+let test_s_sparse_recovers_exactly () =
+  let rng = Prng.create 23 in
+  let ok = ref 0 in
+  let trials = 50 in
+  for _ = 1 to trials do
+    let t = S_sparse.create rng ~s:16 ~reps:3 in
+    let vec = random_sparse_vec rng ~dim:10_000 ~nnz:12 ~maxval:50 in
+    match S_sparse.decode t (S_sparse.sketch t vec) with
+    | S_sparse.Ok pairs when pairs = Array.to_list vec -> incr ok
+    | _ -> ()
+  done;
+  check Alcotest.bool "recovery succeeds almost always" true (!ok >= trials - 2)
+
+let test_s_sparse_detects_overflow () =
+  let rng = Prng.create 24 in
+  let lies = ref 0 in
+  for _ = 1 to 30 do
+    let t = S_sparse.create rng ~s:4 ~reps:3 in
+    let vec = random_sparse_vec rng ~dim:10_000 ~nnz:200 ~maxval:10 in
+    match S_sparse.decode t (S_sparse.sketch t vec) with
+    | S_sparse.Fail -> ()
+    | S_sparse.Ok pairs ->
+        (* If it does claim success, the answer must actually be right. *)
+        if pairs <> Array.to_list vec then incr lies
+  done;
+  check Alcotest.int "never lies" 0 !lies
+
+let test_s_sparse_zero () =
+  let rng = Prng.create 25 in
+  let t = S_sparse.create rng ~s:4 ~reps:2 in
+  match S_sparse.decode t (S_sparse.fresh t) with
+  | S_sparse.Ok [] -> ()
+  | _ -> Alcotest.fail "zero vector decodes to empty"
+
+let test_s_sparse_linear_composition () =
+  let rng = Prng.create 26 in
+  let t = S_sparse.create rng ~s:8 ~reps:3 in
+  let v1 = [| (5, 2); (100, 1) |] and v2 = [| (5, 1); (200, -3) |] in
+  let st = S_sparse.sketch t v1 in
+  S_sparse.add_scaled t ~dst:st ~coeff:3 (S_sparse.sketch t v2);
+  (* v1 + 3*v2 = { 5 -> 5, 100 -> 1, 200 -> -9 } *)
+  match S_sparse.decode t st with
+  | S_sparse.Ok [ (5, 5); (100, 1); (200, -9) ] -> ()
+  | S_sparse.Ok other ->
+      Alcotest.failf "wrong recovery: %s"
+        (String.concat ";"
+           (List.map (fun (i, v) -> Printf.sprintf "(%d,%d)" i v) other))
+  | S_sparse.Fail -> Alcotest.fail "recovery failed"
+
+(* ------------------------------------------------------------------ *)
+(* L0 sampler *)
+
+let test_l0_sampler_returns_support () =
+  let rng = Prng.create 27 in
+  let misses = ref 0 and wrong = ref 0 in
+  for _ = 1 to 50 do
+    let t = L0_sampler.create rng ~dim:2000 () in
+    let vec = random_sparse_vec rng ~dim:2000 ~nnz:50 ~maxval:9 in
+    match L0_sampler.sample t (L0_sampler.sketch t vec) with
+    | None -> incr misses
+    | Some (i, v) ->
+        if not (Array.exists (fun (j, w) -> j = i && w = v) vec) then incr wrong
+  done;
+  check Alcotest.int "sampled values always correct" 0 !wrong;
+  check Alcotest.bool "few failures" true (!misses <= 3)
+
+let test_l0_sampler_zero_vector () =
+  let rng = Prng.create 28 in
+  let t = L0_sampler.create rng ~dim:100 () in
+  check Alcotest.bool "none on zero" true
+    (L0_sampler.sample t (L0_sampler.fresh t) = None)
+
+let test_l0_sampler_uniformity () =
+  (* Fix a support of size 8 and draw with many independent samplers:
+     each support element should come up roughly uniformly. *)
+  let rng = Prng.create 29 in
+  let supp = [| 3; 50; 120; 400; 777; 1500; 1800; 1999 |] in
+  let vec = Array.map (fun i -> (i, 1)) supp in
+  let counts = Array.make (Array.length supp) 0 in
+  let trials = 800 in
+  let got = ref 0 in
+  for _ = 1 to trials do
+    let t = L0_sampler.create rng ~dim:2000 () in
+    match L0_sampler.sample t (L0_sampler.sketch t vec) with
+    | Some (i, _) ->
+        incr got;
+        Array.iteri (fun k j -> if j = i then counts.(k) <- counts.(k) + 1) supp
+    | None -> ()
+  done;
+  check Alcotest.bool "mostly succeeds" true (!got > trials * 9 / 10);
+  let expected = Array.make 8 (float_of_int !got /. 8.0) in
+  let chi2 = Stats.chi_square ~observed:counts ~expected in
+  (* 7 dof, 99.9th percentile ~ 24.3; allow margin for near-uniformity. *)
+  check Alcotest.bool "uniform over support" true (chi2 < 35.0)
+
+let test_l0_sampler_linear_composition () =
+  let rng = Prng.create 30 in
+  let t = L0_sampler.create rng ~dim:500 () in
+  let st = L0_sampler.sketch t [| (5, 2) |] in
+  L0_sampler.add_scaled t ~dst:st ~coeff:1 (L0_sampler.sketch t [| (5, -2); (9, 4) |]);
+  (* combined vector is {9 -> 4} *)
+  match L0_sampler.sample t st with
+  | Some (9, 4) -> ()
+  | Some (i, v) -> Alcotest.failf "expected (9,4), got (%d,%d)" i v
+  | None -> Alcotest.fail "sampler failed on 1-sparse vector"
+
+let test_l0_sampler_wire () =
+  let rng = Prng.create 31 in
+  let t = L0_sampler.create rng ~dim:300 () in
+  let st = L0_sampler.sketch t [| (17, 3); (200, -1) |] in
+  let codec = L0_sampler.wire t in
+  let st' = Matprod_comm.Codec.decode codec (Matprod_comm.Codec.encode codec st) in
+  check Alcotest.bool "sample survives transport" true
+    (L0_sampler.sample t st = L0_sampler.sample t st')
+
+(* ------------------------------------------------------------------ *)
+(* CountSketch / CountMin *)
+
+let test_countsketch_point_queries () =
+  let rng = Prng.create 32 in
+  let t = Countsketch.create rng ~buckets:256 ~reps:5 in
+  let vec = [| (3, 100); (70, -50); (500, 5) |] in
+  let arr = Countsketch.sketch t vec in
+  check Alcotest.bool "big entry" true (Float.abs (Countsketch.query t arr 3 -. 100.0) < 15.0);
+  check Alcotest.bool "negative entry" true (Float.abs (Countsketch.query t arr 70 +. 50.0) < 15.0);
+  check Alcotest.bool "absent entry small" true (Float.abs (Countsketch.query t arr 999) < 15.0)
+
+let test_countsketch_heavy_candidates () =
+  let rng = Prng.create 33 in
+  let t = Countsketch.create rng ~buckets:512 ~reps:5 in
+  let vec = Array.append [| (42, 1000) |] (Array.init 100 (fun i -> (i + 100, 3))) in
+  let arr = Countsketch.sketch t vec in
+  let heavy = Countsketch.heavy_candidates t arr ~dim:1000 ~threshold:500.0 in
+  check Alcotest.bool "finds planted heavy" true (List.mem_assoc 42 heavy);
+  check Alcotest.bool "few false positives" true (List.length heavy <= 3)
+
+let test_countmin_overestimates () =
+  let rng = Prng.create 34 in
+  let t = Countmin.create rng ~buckets:128 ~reps:4 in
+  let vec = Array.init 200 (fun i -> (i, 1 + (i mod 5))) in
+  let arr = Countmin.sketch t vec in
+  Array.iter
+    (fun (i, v) ->
+      let q = Countmin.query t arr i in
+      check Alcotest.bool "never underestimates" true (q >= float_of_int v -. 1e-9))
+    vec
+
+(* ------------------------------------------------------------------ *)
+(* Cohen *)
+
+let test_cohen_estimates_union_sizes () =
+  let rng = Prng.create 35 in
+  let t = Cohen.create rng ~reps:400 ~rows:1000 in
+  (* Columns of A: k=0 has rows {0..99}, k=1 has {50..149}, union = 150. *)
+  let supp_of_col = function
+    | 0 -> Array.init 100 (fun i -> i)
+    | 1 -> Array.init 100 (fun i -> i + 50)
+    | _ -> [||]
+  in
+  let mins = Cohen.column_mins t ~supp_of_col ~cols:3 in
+  let est_union = Cohen.estimate_union t mins [| 0; 1 |] in
+  check Alcotest.bool "union ~150" true
+    (Stats.relative_error ~actual:150.0 ~estimate:est_union < 0.2);
+  let est_single = Cohen.estimate_union t mins [| 0 |] in
+  check Alcotest.bool "single ~100" true
+    (Stats.relative_error ~actual:100.0 ~estimate:est_single < 0.2);
+  check (Alcotest.float 0.0) "empty" 0.0 (Cohen.estimate_union t mins [||]);
+  check (Alcotest.float 0.0) "empty col" 0.0 (Cohen.estimate_union t mins [| 2 |])
+
+let test_cohen_labels_deterministic () =
+  let rng = Prng.create 36 in
+  let t = Cohen.create rng ~reps:3 ~rows:10 in
+  check (Alcotest.float 0.0) "deterministic" (Cohen.label t ~rep:1 5)
+    (Cohen.label t ~rep:1 5)
+
+(* ------------------------------------------------------------------ *)
+(* Blocked AMS *)
+
+let test_blocked_ams_linf_bounds () =
+  let rng = Prng.create 37 in
+  let kappa = 4.0 in
+  let successes = ref 0 in
+  for _ = 1 to 20 do
+    let t = Blocked_ams.create rng ~dim:1024 ~kappa in
+    let vec = random_sparse_vec rng ~dim:1024 ~nnz:60 ~maxval:30 in
+    let actual =
+      Array.fold_left (fun acc (_, v) -> max acc (abs v)) 0 vec |> float_of_int
+    in
+    let est = Blocked_ams.estimate_linf t (Blocked_ams.sketch t vec) in
+    (* est should be within [actual/2, 2*kappa*actual] roughly *)
+    if est >= actual /. 2.0 && est <= 2.0 *. kappa *. actual then incr successes
+  done;
+  check Alcotest.bool "kappa-approx mostly holds" true (!successes >= 18)
+
+let test_blocked_ams_zero () =
+  let rng = Prng.create 38 in
+  let t = Blocked_ams.create rng ~dim:100 ~kappa:3.0 in
+  check (Alcotest.float 0.0) "zero" 0.0 (Blocked_ams.estimate_linf t (Blocked_ams.empty t))
+
+let test_blocked_ams_size_shrinks_with_kappa () =
+  let rng = Prng.create 39 in
+  let t2 = Blocked_ams.create rng ~dim:4096 ~kappa:2.0 in
+  let t8 = Blocked_ams.create rng ~dim:4096 ~kappa:8.0 in
+  check Alcotest.bool "larger kappa -> smaller sketch" true
+    (Blocked_ams.size t8 < Blocked_ams.size t2);
+  check Alcotest.int "blocks kappa=8" 64 (Blocked_ams.blocks t8)
+
+(* ------------------------------------------------------------------ *)
+(* Compressed matrix multiplication (Pagh [32]) *)
+
+module Cm = Matprod_sketch.Compressed_matmul
+module Imat = Matprod_matrix.Imat
+module Product = Matprod_matrix.Product
+
+let test_cm_buckets_power_of_two () =
+  let rng = Prng.create 40 in
+  let t = Cm.create rng ~buckets:100 ~reps:2 in
+  check Alcotest.int "rounded up" 128 (Cm.buckets t);
+  check Alcotest.int "reps" 2 (Cm.reps t)
+
+let cm_sketch_of rng ~buckets ~reps a b =
+  let t = Cm.create rng ~buckets ~reps in
+  let at = Imat.transpose a in
+  let inner = Imat.cols a in
+  let sketches =
+    Array.init reps (fun rep ->
+        let left = Array.init inner (fun k -> Cm.half_sketch_left t ~rep (Imat.row at k)) in
+        let right = Array.init inner (fun k -> Cm.half_sketch_right t ~rep (Imat.row b k)) in
+        Cm.combine t ~rep ~left ~right)
+  in
+  (t, sketches)
+
+let test_cm_exact_when_buckets_large () =
+  (* With b >= n^2-ish and a single repetition the sketch is essentially a
+     perfect hash: point queries recover C exactly (up to fp rounding). *)
+  let rng = Prng.create 41 in
+  let d = [| [| 1; 2; 0 |]; [| 0; 1; 1 |]; [| 3; 0; 1 |] |] in
+  let a = Imat.of_dense d and b = Imat.of_dense d in
+  let c = Product.int_product a b in
+  let t, sketches = cm_sketch_of rng ~buckets:4096 ~reps:5 a b in
+  for i = 0 to 2 do
+    for j = 0 to 2 do
+      let q = Cm.query t ~sketches i j in
+      check Alcotest.bool
+        (Printf.sprintf "entry (%d,%d)" i j)
+        true
+        (Float.abs (q -. float_of_int (Product.get c i j)) < 1e-6)
+    done
+  done
+
+let test_cm_heavy_entry_visible () =
+  let rng = Prng.create 42 in
+  let a, b, planted =
+    Matprod_workload.Workload.planted_heavy_int rng ~n:64 ~density:0.05
+      ~max_value:3 ~heavy:[ (1, 20, 10) ]
+  in
+  let c = Product.int_product a b in
+  let t, sketches = cm_sketch_of rng ~buckets:512 ~reps:5 a b in
+  let i, j = List.hd planted in
+  let actual = float_of_int (Product.get c i j) in
+  let q = Cm.query t ~sketches i j in
+  check Alcotest.bool "planted entry estimated within 30%" true
+    (Float.abs (q -. actual) < 0.3 *. actual)
+
+let test_cm_linearity_of_halves () =
+  (* The half-sketch is linear in the vector. *)
+  let rng = Prng.create 43 in
+  let t = Cm.create rng ~buckets:64 ~reps:1 in
+  let v1 = [| (3, 2); (10, 1) |] and v2 = [| (3, 1); (20, 4) |] in
+  let sum = [| (3, 3); (10, 1); (20, 4) |] in
+  let h1 = Cm.half_sketch_left t ~rep:0 v1 in
+  let h2 = Cm.half_sketch_left t ~rep:0 v2 in
+  let hsum = Cm.half_sketch_left t ~rep:0 sum in
+  Array.iteri
+    (fun idx x ->
+      check Alcotest.bool "linear" true
+        (Float.abs (x -. (h1.(idx) +. h2.(idx))) < 1e-9))
+    hsum
+
+(* ------------------------------------------------------------------ *)
+(* qcheck properties *)
+
+let qcheck_tests =
+  let open QCheck in
+  let sparse_vec_gen =
+    Gen.(
+      list_size (0 -- 20) (pair (int_bound 499) (int_range (-50) 50))
+      |> map (fun l ->
+             let module IM = Map.Make (Int) in
+             let m =
+               List.fold_left
+                 (fun m (k, v) -> IM.update k (fun o -> Some (Option.value ~default:0 o + v)) m)
+                 IM.empty l
+             in
+             IM.bindings m |> List.filter (fun (_, v) -> v <> 0) |> Array.of_list))
+  in
+  [
+    Test.make ~name:"one-sparse: decode of singleton is exact" ~count:300
+      (pair (int_bound 100_000) (int_range (-1000) 1000))
+      (fun (i, v) ->
+        QCheck.assume (v <> 0);
+        let rng = Prng.create (i + v) in
+        let spec = One_sparse.spec rng in
+        let c = One_sparse.fresh () in
+        One_sparse.update spec c i v;
+        One_sparse.decode spec c = One_sparse.One (i, v));
+    Test.make ~name:"s-sparse: decode inverts sketch (within budget)" ~count:100
+      (make sparse_vec_gen) (fun vec ->
+        let rng = Prng.create (Array.length vec + 17) in
+        let t = S_sparse.create rng ~s:24 ~reps:4 in
+        match S_sparse.decode t (S_sparse.sketch t vec) with
+        | S_sparse.Ok pairs -> pairs = Array.to_list vec
+        | S_sparse.Fail -> Array.length vec > 24);
+    Test.make ~name:"ams: sketch of empty is zeros" ~count:20 (int_bound 1000)
+      (fun seed ->
+        let rng = Prng.create seed in
+        let t = Ams.create rng ~eps:0.5 ~groups:3 in
+        Array.for_all (fun x -> x = 0.0) (Ams.sketch t [||]));
+    Test.make ~name:"l0 sketch: add_scaled with coeff 0 is identity" ~count:50
+      (make sparse_vec_gen) (fun vec ->
+        let rng = Prng.create 123 in
+        let t = L0_sketch.create rng ~eps:0.5 ~groups:2 ~dim:500 in
+        let st = L0_sketch.sketch t vec in
+        let before = Array.copy st in
+        L0_sketch.add_scaled t ~dst:st ~coeff:0 (L0_sketch.sketch t [| (1, 1) |]);
+        st = before);
+  ]
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest qcheck_tests in
+  Alcotest.run "sketch"
+    [
+      ( "ams",
+        [
+          Alcotest.test_case "singleton exact" `Quick test_ams_exact_on_singleton;
+          Alcotest.test_case "accuracy" `Slow test_ams_accuracy;
+          Alcotest.test_case "linearity" `Quick test_ams_linearity;
+          Alcotest.test_case "zero" `Quick test_ams_zero;
+          Alcotest.test_case "entries pm1" `Quick test_ams_entries_pm1;
+        ] );
+      ( "stable",
+        [
+          Alcotest.test_case "accuracy per p" `Slow test_stable_accuracy_per_p;
+          Alcotest.test_case "linearity" `Quick test_stable_linearity;
+          Alcotest.test_case "entry deterministic" `Quick test_stable_entry_deterministic;
+          Alcotest.test_case "estimate_pow" `Quick test_stable_estimate_pow;
+        ] );
+      ( "l0-sketch",
+        [
+          Alcotest.test_case "zero & singleton" `Quick test_l0_exact_zero_and_small;
+          Alcotest.test_case "accuracy" `Slow test_l0_accuracy;
+          Alcotest.test_case "value independence" `Quick test_l0_ignores_values;
+          Alcotest.test_case "linearity" `Quick test_l0_linearity;
+        ] );
+      ( "lp",
+        [
+          Alcotest.test_case "dispatch types" `Quick test_lp_dispatch_types;
+          Alcotest.test_case "estimates each p" `Slow test_lp_estimates_each_p;
+          Alcotest.test_case "wire roundtrip" `Quick test_lp_wire_roundtrip;
+          Alcotest.test_case "rejects bad p" `Quick test_lp_rejects_bad_p;
+        ] );
+      ( "one-sparse",
+        [
+          Alcotest.test_case "zero" `Quick test_one_sparse_zero;
+          Alcotest.test_case "singleton" `Quick test_one_sparse_singleton;
+          Alcotest.test_case "cancellation" `Quick test_one_sparse_cancellation_back_to_zero;
+          Alcotest.test_case "many" `Quick test_one_sparse_many;
+          Alcotest.test_case "symmetric patterns" `Quick test_one_sparse_symmetric_patterns;
+          Alcotest.test_case "add_scaled" `Quick test_one_sparse_add_scaled;
+        ] );
+      ( "s-sparse",
+        [
+          Alcotest.test_case "recovers exactly" `Quick test_s_sparse_recovers_exactly;
+          Alcotest.test_case "detects overflow" `Quick test_s_sparse_detects_overflow;
+          Alcotest.test_case "zero" `Quick test_s_sparse_zero;
+          Alcotest.test_case "linear composition" `Quick test_s_sparse_linear_composition;
+        ] );
+      ( "l0-sampler",
+        [
+          Alcotest.test_case "returns support" `Slow test_l0_sampler_returns_support;
+          Alcotest.test_case "zero vector" `Quick test_l0_sampler_zero_vector;
+          Alcotest.test_case "uniformity" `Slow test_l0_sampler_uniformity;
+          Alcotest.test_case "linear composition" `Quick test_l0_sampler_linear_composition;
+          Alcotest.test_case "wire" `Quick test_l0_sampler_wire;
+        ] );
+      ( "countsketch",
+        [
+          Alcotest.test_case "point queries" `Quick test_countsketch_point_queries;
+          Alcotest.test_case "heavy candidates" `Quick test_countsketch_heavy_candidates;
+          Alcotest.test_case "countmin overestimates" `Quick test_countmin_overestimates;
+        ] );
+      ( "cohen",
+        [
+          Alcotest.test_case "union sizes" `Slow test_cohen_estimates_union_sizes;
+          Alcotest.test_case "deterministic labels" `Quick test_cohen_labels_deterministic;
+        ] );
+      ( "compressed-matmul",
+        [
+          Alcotest.test_case "buckets power of two" `Quick test_cm_buckets_power_of_two;
+          Alcotest.test_case "exact with large b" `Quick test_cm_exact_when_buckets_large;
+          Alcotest.test_case "heavy entry visible" `Quick test_cm_heavy_entry_visible;
+          Alcotest.test_case "halves linear" `Quick test_cm_linearity_of_halves;
+        ] );
+      ( "blocked-ams",
+        [
+          Alcotest.test_case "linf bounds" `Slow test_blocked_ams_linf_bounds;
+          Alcotest.test_case "zero" `Quick test_blocked_ams_zero;
+          Alcotest.test_case "size vs kappa" `Quick test_blocked_ams_size_shrinks_with_kappa;
+        ] );
+      ("properties", qsuite);
+    ]

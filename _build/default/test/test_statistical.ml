@@ -1,0 +1,244 @@
+(* Statistical validation: error *distributions* of the estimators and
+   protocols over many seeds, not just single-run spot checks. These
+   assert the quantiles the paper's (1+eps)/(2+eps)/kappa guarantees
+   imply, with slack for the implementation's tuned constants. *)
+
+module Prng = Matprod_util.Prng
+module Stats = Matprod_util.Stats
+module Bmat = Matprod_matrix.Bmat
+module Imat = Matprod_matrix.Imat
+module Product = Matprod_matrix.Product
+module Ctx = Matprod_comm.Ctx
+module Workload = Matprod_workload.Workload
+module Lp_protocol = Matprod_core.Lp_protocol
+module Lp_oneround = Matprod_core.Lp_oneround
+module Linf_binary = Matprod_core.Linf_binary
+module Hh_general = Matprod_core.Hh_general
+module Stable_sketch = Matprod_sketch.Stable_sketch
+module Cohen = Matprod_sketch.Cohen
+module L0_sampling = Matprod_core.L0_sampling
+
+let check = Alcotest.check
+
+let errs_over_seeds ~seeds ~actual f =
+  Array.init seeds (fun s ->
+      let r = Ctx.run ~seed:(s + 1) f in
+      Stats.relative_error ~actual ~estimate:r.Ctx.output)
+
+(* ------------------------------------------------------------------ *)
+
+let test_alg1_error_quantiles () =
+  let rng = Prng.create 1 in
+  let a = Workload.uniform_bool rng ~rows:96 ~cols:96 ~density:0.07 in
+  let b = Workload.uniform_bool rng ~rows:96 ~cols:96 ~density:0.07 in
+  let actual = Product.lp_pow (Product.bool_product a b) ~p:0.0 in
+  let ai = Imat.of_bmat a and bi = Imat.of_bmat b in
+  List.iter
+    (fun eps ->
+      let errs =
+        errs_over_seeds ~seeds:20 ~actual (fun ctx ->
+            Lp_protocol.run ctx (Lp_protocol.default_params ~eps ()) ~a:ai ~b:bi)
+      in
+      check Alcotest.bool
+        (Printf.sprintf "median err <= eps at eps=%.2f" eps)
+        true
+        (Stats.median errs <= eps);
+      check Alcotest.bool
+        (Printf.sprintf "q90 err <= 2 eps at eps=%.2f" eps)
+        true
+        (Stats.quantile errs 0.9 <= 2.0 *. eps))
+    [ 0.5; 0.25 ]
+
+let test_alg1_error_shrinks_with_eps () =
+  let rng = Prng.create 2 in
+  let a = Workload.uniform_bool rng ~rows:96 ~cols:96 ~density:0.07 in
+  let b = Workload.uniform_bool rng ~rows:96 ~cols:96 ~density:0.07 in
+  let actual = Product.lp_pow (Product.bool_product a b) ~p:1.0 in
+  let ai = Imat.of_bmat a and bi = Imat.of_bmat b in
+  let med eps =
+    Stats.median
+      (errs_over_seeds ~seeds:15 ~actual (fun ctx ->
+           Lp_protocol.run ctx
+             (Lp_protocol.default_params ~p:1.0 ~eps ())
+             ~a:ai ~b:bi))
+  in
+  check Alcotest.bool "finer eps gives smaller (or equal) median error" true
+    (med 0.1 <= med 0.6 +. 0.01)
+
+let test_oneround_error_quantiles () =
+  let rng = Prng.create 3 in
+  let a = Workload.uniform_bool rng ~rows:80 ~cols:80 ~density:0.08 in
+  let b = Workload.uniform_bool rng ~rows:80 ~cols:80 ~density:0.08 in
+  let actual = Product.lp_pow (Product.bool_product a b) ~p:0.0 in
+  let errs =
+    errs_over_seeds ~seeds:20 ~actual (fun ctx ->
+        Lp_oneround.run ctx
+          (Lp_oneround.default_params ~eps:0.25 ())
+          ~a:(Imat.of_bmat a) ~b:(Imat.of_bmat b))
+  in
+  check Alcotest.bool "median within eps" true (Stats.median errs <= 0.25);
+  check Alcotest.bool "q90 within 2eps" true (Stats.quantile errs 0.9 <= 0.5)
+
+let test_linf_factor_distribution () =
+  let eps = 0.25 in
+  let factors =
+    Array.init 12 (fun s ->
+        let rng = Prng.create (100 + s) in
+        let a, b, _ = Workload.planted_pair rng ~n:96 ~density:0.05 ~overlap:40 in
+        let actual = float_of_int (Product.linf (Product.bool_product a b)) in
+        let r =
+          Ctx.run ~seed:(s + 1) (fun ctx ->
+              Linf_binary.run ctx (Linf_binary.default_params ~eps) ~a ~b)
+        in
+        actual /. r.Ctx.output.Linf_binary.estimate)
+  in
+  (* All runs within the (2+eps) band, with sketch slack. *)
+  Array.iter
+    (fun f ->
+      check Alcotest.bool "within band" true (f >= 0.6 && f <= 2.0 +. (2.0 *. eps)))
+    factors;
+  (* The estimate is a max of two shares: typically half to all of the
+     truth. The median over runs should sit inside [1, 2.2]. *)
+  let m = Stats.median factors in
+  check Alcotest.bool "median factor plausible" true (m >= 0.9 && m <= 2.3)
+
+let test_hh_band_failure_rate () =
+  let ok = ref 0 in
+  let runs = 15 in
+  for s = 1 to runs do
+    let rng = Prng.create (200 + s) in
+    let a, b, _ =
+      Workload.planted_heavy_int rng ~n:96 ~density:0.03 ~max_value:6
+        ~heavy:[ (2, 30, 15) ]
+    in
+    let c = Product.int_product a b in
+    let l1 = float_of_int (Product.l1 c) in
+    let phi = 0.8 *. float_of_int (Product.linf c) /. l1 in
+    let eps = phi /. 2.0 in
+    let r =
+      Ctx.run ~seed:s (fun ctx ->
+          Hh_general.run ctx (Hh_general.default_params ~phi ~eps ()) ~a ~b)
+    in
+    let must = Product.heavy_hitters c ~p:1.0 ~phi in
+    let may = Product.heavy_hitters c ~p:1.0 ~phi:(phi -. eps) in
+    if
+      List.for_all (fun e -> List.mem e r.Ctx.output) must
+      && List.for_all (fun e -> List.mem e may) r.Ctx.output
+    then incr ok
+  done;
+  check Alcotest.bool
+    (Printf.sprintf "band holds on %d/%d runs" !ok runs)
+    true
+    (!ok >= runs - 1)
+
+let test_l0_sampling_chi_square () =
+  (* Medium product, many samples, chi-square against uniform over the
+     support aggregated by column (keeps the cell counts healthy). *)
+  let rng = Prng.create 4 in
+  let a = Workload.uniform_bool rng ~rows:40 ~cols:40 ~density:0.1 in
+  let b = Workload.uniform_bool rng ~rows:40 ~cols:40 ~density:0.1 in
+  let c = Product.bool_product a b in
+  let col_support = Array.map int_of_float (Product.col_lp_pow c ~p:0.0) in
+  let support = Array.fold_left ( + ) 0 col_support in
+  let trials = 600 in
+  let counts = Array.make 40 0 in
+  let got = ref 0 in
+  for seed = 1 to trials do
+    match
+      (Ctx.run ~seed (fun ctx ->
+           L0_sampling.run ctx
+             (L0_sampling.default_params ~eps:0.3)
+             ~a:(Imat.of_bmat a) ~b:(Imat.of_bmat b)))
+        .Ctx.output
+    with
+    | Some s ->
+        incr got;
+        counts.(s.L0_sampling.col) <- counts.(s.L0_sampling.col) + 1
+    | None -> ()
+  done;
+  check Alcotest.bool "success rate" true (!got > trials * 8 / 10);
+  (* Expected per column ∝ its support size. *)
+  let nonzero_cols = ref [] in
+  Array.iteri
+    (fun j s -> if s > 0 then nonzero_cols := (j, s) :: !nonzero_cols)
+    col_support;
+  let observed =
+    Array.of_list (List.map (fun (j, _) -> counts.(j)) !nonzero_cols)
+  in
+  let expected =
+    Array.of_list
+      (List.map
+         (fun (_, s) -> float_of_int !got *. float_of_int s /. float_of_int support)
+         !nonzero_cols)
+  in
+  let chi2 = Stats.chi_square ~observed ~expected in
+  let dof = float_of_int (Array.length observed - 1) in
+  (* Mean of chi2 is dof; allow 2x + slack for the (1±eps) skew. *)
+  check Alcotest.bool
+    (Printf.sprintf "chi2 %.0f vs dof %.0f" chi2 dof)
+    true
+    (chi2 < (2.5 *. dof) +. 20.0)
+
+let test_stable_error_vs_p () =
+  let rng = Prng.create 5 in
+  List.iter
+    (fun p ->
+      let errs =
+        Array.init 12 (fun s ->
+            let rng2 = Prng.create (300 + s) in
+            let t = Stable_sketch.create rng ~p ~eps:0.25 ~groups:5 in
+            let idx = Array.init 400 (fun i -> i) in
+            Prng.shuffle rng2 idx;
+            let vec =
+              Array.map (fun i -> (i, 1 + Prng.int rng2 9)) (Array.sub idx 0 64)
+            in
+            let actual =
+              Array.fold_left
+                (fun acc (_, v) -> acc +. (Float.abs (float_of_int v) ** p))
+                0.0 vec
+              ** (1.0 /. p)
+            in
+            Stats.relative_error ~actual
+              ~estimate:(Stable_sketch.estimate t (Stable_sketch.sketch t vec)))
+      in
+      check Alcotest.bool
+        (Printf.sprintf "median err small at p=%.2f" p)
+        true
+        (Stats.median errs <= 0.3))
+    [ 0.25; 0.75; 1.25; 1.75 ]
+
+let test_cohen_error_scales_with_reps () =
+  let supp = Array.init 400 (fun i -> i * 2) in
+  let err_with reps seed =
+    let rng = Prng.create seed in
+    let t = Cohen.create rng ~reps ~rows:1000 in
+    let mins = Cohen.column_mins t ~supp_of_col:(fun _ -> supp) ~cols:1 in
+    Stats.relative_error ~actual:400.0
+      ~estimate:(Cohen.estimate_union t mins [| 0 |])
+  in
+  let med reps =
+    Stats.median (Array.init 15 (fun s -> err_with reps (400 + s)))
+  in
+  let coarse = med 16 and fine = med 256 in
+  check Alcotest.bool
+    (Printf.sprintf "err %.3f@16 reps vs %.3f@256 reps" coarse fine)
+    true (fine < coarse)
+
+let () =
+  Alcotest.run "statistical"
+    [
+      ( "estimation-error",
+        [
+          Alcotest.test_case "alg1 quantiles" `Slow test_alg1_error_quantiles;
+          Alcotest.test_case "alg1 error vs eps" `Slow test_alg1_error_shrinks_with_eps;
+          Alcotest.test_case "one-round quantiles" `Slow test_oneround_error_quantiles;
+          Alcotest.test_case "linf factor distribution" `Slow test_linf_factor_distribution;
+          Alcotest.test_case "hh band failure rate" `Slow test_hh_band_failure_rate;
+          Alcotest.test_case "stable error vs p" `Slow test_stable_error_vs_p;
+          Alcotest.test_case "cohen error vs reps" `Slow test_cohen_error_scales_with_reps;
+        ] );
+      ( "sampling-distributions",
+        [
+          Alcotest.test_case "l0 sampling chi-square" `Slow test_l0_sampling_chi_square;
+        ] );
+    ]

@@ -1,0 +1,107 @@
+(* Tests of the synthetic workload generators. *)
+
+module Prng = Matprod_util.Prng
+module Stats = Matprod_util.Stats
+module Bmat = Matprod_matrix.Bmat
+module Imat = Matprod_matrix.Imat
+module Product = Matprod_matrix.Product
+module Workload = Matprod_workload.Workload
+
+let check = Alcotest.check
+
+let test_uniform_bool_density () =
+  let rng = Prng.create 1 in
+  let m = Workload.uniform_bool rng ~rows:200 ~cols:200 ~density:0.1 in
+  let frac = float_of_int (Bmat.nnz m) /. 40_000.0 in
+  check Alcotest.bool "density ~ 0.1" true (Float.abs (frac -. 0.1) < 0.01);
+  check Alcotest.int "rows" 200 (Bmat.rows m)
+
+let test_uniform_bool_extremes () =
+  let rng = Prng.create 2 in
+  let empty = Workload.uniform_bool rng ~rows:10 ~cols:10 ~density:0.0 in
+  check Alcotest.int "density 0" 0 (Bmat.nnz empty);
+  let full = Workload.uniform_bool rng ~rows:10 ~cols:10 ~density:1.0 in
+  check Alcotest.int "density 1" 100 (Bmat.nnz full)
+
+let test_zipf_bool_skew () =
+  let rng = Prng.create 3 in
+  let m = Workload.zipf_bool rng ~rows:400 ~cols:200 ~row_degree:10 ~skew:1.2 in
+  let w = Bmat.col_weights m in
+  (* Column 0 must be far more popular than the median column. *)
+  let sorted = Array.copy w in
+  Array.sort compare sorted;
+  check Alcotest.bool "head much heavier than median" true
+    (w.(0) > 5 * max 1 sorted.(100));
+  (* Every row has at most row_degree items (duplicates collapse). *)
+  for i = 0 to 399 do
+    check Alcotest.bool "degree bound" true (Bmat.row_weight m i <= 10)
+  done
+
+let test_uniform_int_values () =
+  let rng = Prng.create 4 in
+  let m = Workload.uniform_int rng ~rows:50 ~cols:50 ~density:0.2 ~max_value:7 in
+  check Alcotest.bool "nonneg" true (Imat.nonneg m);
+  check Alcotest.bool "max value respected" true (Imat.max_abs m <= 7);
+  check Alcotest.bool "values at least 1" true
+    (Array.for_all
+       (fun i -> Array.for_all (fun (_, v) -> v >= 1) (Imat.row m i))
+       (Array.init 50 (fun i -> i)))
+
+let test_planted_pair_is_max () =
+  let rng = Prng.create 5 in
+  let a, b, (i, j) = Workload.planted_pair rng ~n:120 ~density:0.04 ~overlap:50 in
+  let c = Product.bool_product a b in
+  let planted = Product.get c i j in
+  check Alcotest.bool "planted at least overlap" true (planted >= 50);
+  check Alcotest.int "planted is the max" (Product.linf c) planted
+
+let test_planted_heavy_hitters_heavy () =
+  let rng = Prng.create 6 in
+  let a, b =
+    Workload.planted_heavy_hitters rng ~n:120 ~density:0.02 ~heavy:[ (3, 40) ]
+  in
+  let c = Product.bool_product a b in
+  (* At least 3 entries with value >= 40 (the planted ones). *)
+  let big = List.length (List.filter (fun (_, _, v) -> v >= 40)
+                           (Array.to_list (Product.entries c))) in
+  check Alcotest.bool "planted heavy entries present" true (big >= 3)
+
+let test_job_matching_star () =
+  let rng = Prng.create 7 in
+  let jm =
+    Workload.job_matching rng ~applicants:150 ~jobs:100 ~skills:300
+      ~avg_skills:8 ~avg_requirements:6
+  in
+  check Alcotest.int "dims applicants" 150 (Bmat.rows jm.Workload.applicants);
+  check Alcotest.int "dims jobs" 100 (Bmat.cols jm.Workload.jobs);
+  check Alcotest.int "inner dims match" (Bmat.cols jm.Workload.applicants)
+    (Bmat.rows jm.Workload.jobs);
+  let c = Product.bool_product jm.Workload.applicants jm.Workload.jobs in
+  let star = Product.get c jm.Workload.star_applicant jm.Workload.star_job in
+  check Alcotest.bool "star pair is heavy" true
+    (star >= Product.linf c / 2 && star > 5)
+
+let test_generators_deterministic () =
+  let gen seed =
+    let rng = Prng.create seed in
+    Workload.uniform_bool rng ~rows:30 ~cols:30 ~density:0.2
+  in
+  check Alcotest.bool "same seed same matrix" true (Bmat.equal (gen 8) (gen 8));
+  check Alcotest.bool "different seed differs" true
+    (not (Bmat.equal (gen 8) (gen 9)))
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "generators",
+        [
+          Alcotest.test_case "uniform density" `Quick test_uniform_bool_density;
+          Alcotest.test_case "uniform extremes" `Quick test_uniform_bool_extremes;
+          Alcotest.test_case "zipf skew" `Quick test_zipf_bool_skew;
+          Alcotest.test_case "uniform int" `Quick test_uniform_int_values;
+          Alcotest.test_case "planted pair" `Quick test_planted_pair_is_max;
+          Alcotest.test_case "planted heavy hitters" `Quick test_planted_heavy_hitters_heavy;
+          Alcotest.test_case "job matching" `Quick test_job_matching_star;
+          Alcotest.test_case "deterministic" `Quick test_generators_deterministic;
+        ] );
+    ]
