@@ -1,0 +1,28 @@
+# Convenience targets; all real build logic lives in dune.
+
+.PHONY: all check build test bench bench-json clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Tier-1 verification: everything must build and every test must pass.
+check:
+	dune build && dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# Quick machine-readable benchmark sidecars (BENCH_e1.json, BENCH_e9.json,
+# BENCH_e10.json) for the headline lp and heavy-hitters experiments.
+# See docs/OBSERVABILITY.md for the schema.
+bench-json:
+	dune exec bench/main.exe -- --quick e1 e9 e10
+
+clean:
+	dune clean
+	rm -f BENCH_*.json

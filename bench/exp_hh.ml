@@ -63,17 +63,34 @@ let e9 ~quick =
     (fun (phi, eps) ->
       List.iter
         (fun seed ->
+          let t0 = Matprod_obs.Clock.now_ns () in
           let r =
             Ctx.run ~seed (fun ctx ->
                 Hh_general.run_full ctx
                   (Hh_general.default_params ~phi ~eps ())
                   ~a ~b)
           in
+          let elapsed_ns = Matprod_obs.Clock.elapsed_ns t0 in
           let out = r.Ctx.output in
           let recall, precision, n_must, _ =
             band_check ~p:1.0 ~phi ~eps c out.Hh_general.set
           in
           if not (recall && precision) then all_ok := false;
+          Report.bench_row
+            [
+              ("n", Matprod_obs.Json.Int n);
+              ("phi", Matprod_obs.Json.Float phi);
+              ("eps", Matprod_obs.Json.Float eps);
+              ("seed", Matprod_obs.Json.Int seed);
+              ("hh_exact", Matprod_obs.Json.Int n_must);
+              ("set_size", Matprod_obs.Json.Int (List.length out.Hh_general.set));
+              ("recall_ok", Matprod_obs.Json.Bool recall);
+              ("precision_ok", Matprod_obs.Json.Bool precision);
+              ("beta", Matprod_obs.Json.Float out.Hh_general.beta);
+              ("bits", Matprod_obs.Json.Int r.Ctx.bits);
+              ("rounds", Matprod_obs.Json.Int r.Ctx.rounds);
+              ("elapsed_ns", Matprod_obs.Json.Int elapsed_ns);
+            ];
           if seed = 1 then
             Report.row cols
               [
@@ -157,10 +174,12 @@ let e10 ~quick =
           ~heavy:[ (1, min (n - 10) 300) ]
       in
       let c = Product.bool_product a b in
+      let t0 = Matprod_obs.Clock.now_ns () in
       let r =
         Ctx.run ~seed:1 (fun ctx ->
             Hh_binary.run ctx (Hh_binary.default_params ~phi ~eps ()) ~a ~b)
       in
+      let elapsed_ns = Matprod_obs.Clock.elapsed_ns t0 in
       let g =
         Ctx.run ~seed:1 (fun ctx ->
             Hh_general.run ctx
@@ -170,6 +189,21 @@ let e10 ~quick =
       let recall, precision, n_must, _ = band_check ~p:1.0 ~phi ~eps c r.Ctx.output in
       if not (recall && precision) then all_ok := false;
       bin_bits := (n, r.Ctx.bits) :: !bin_bits;
+      Report.bench_row
+        [
+          ("n", Matprod_obs.Json.Int n);
+          ("phi", Matprod_obs.Json.Float phi);
+          ("eps", Matprod_obs.Json.Float eps);
+          ("seed", Matprod_obs.Json.Int 1);
+          ("hh_exact", Matprod_obs.Json.Int n_must);
+          ("set_size", Matprod_obs.Json.Int (List.length r.Ctx.output));
+          ("recall_ok", Matprod_obs.Json.Bool recall);
+          ("precision_ok", Matprod_obs.Json.Bool precision);
+          ("bits", Matprod_obs.Json.Int r.Ctx.bits);
+          ("general_bits", Matprod_obs.Json.Int g.Ctx.bits);
+          ("rounds", Matprod_obs.Json.Int r.Ctx.rounds);
+          ("elapsed_ns", Matprod_obs.Json.Int elapsed_ns);
+        ];
       Report.row cols
         [
           string_of_int n;

@@ -18,18 +18,29 @@ let seeds ~quick = if quick then [ 1 ] else [ 1; 2; 3 ]
 
 let med = Report.median_of
 
-(* Run a protocol over seeds; report (median rel-err, median bits, rounds). *)
+(* Run a protocol over seeds; report medians of rel-err, bits and
+   wall-clock, plus the (seed-independent) round count. *)
+type proto_result = { err : float; bits : int; rounds : int; elapsed_ns : int }
+
 let run_protocol ~seeds ~actual f =
-  let errs, bits, rounds =
+  let errs, bits, rounds, times =
     List.fold_left
-      (fun (es, bs, _) seed ->
+      (fun (es, bs, _, ts) seed ->
+        let t0 = Matprod_obs.Clock.now_ns () in
         let r = Ctx.run ~seed f in
+        let dt = float_of_int (Matprod_obs.Clock.elapsed_ns t0) in
         ( Stats.relative_error ~actual ~estimate:r.Ctx.output :: es,
           float_of_int r.Ctx.bits :: bs,
-          r.Ctx.rounds ))
-      ([], [], 0) seeds
+          r.Ctx.rounds,
+          dt :: ts ))
+      ([], [], 0, []) seeds
   in
-  (med errs, int_of_float (med bits), rounds)
+  {
+    err = med errs;
+    bits = int_of_float (med bits);
+    rounds;
+    elapsed_ns = int_of_float (med times);
+  }
 
 (* ------------------------------------------------------------------ *)
 
@@ -68,15 +79,26 @@ let e1 ~quick =
         ]
       in
       List.iter
-        (fun (name, (err, bits, rounds)) ->
-          Hashtbl.replace results (name, eps) bits;
+        (fun (name, r) ->
+          Hashtbl.replace results (name, eps) r.bits;
+          Report.bench_row
+            [
+              ("n", Matprod_obs.Json.Int n);
+              ("eps", Matprod_obs.Json.Float eps);
+              ("protocol", Matprod_obs.Json.String name);
+              ("seeds", Matprod_obs.Json.Int (List.length (seeds ~quick)));
+              ("bits", Matprod_obs.Json.Int r.bits);
+              ("rounds", Matprod_obs.Json.Int r.rounds);
+              ("rel_err", Matprod_obs.Json.Float r.err);
+              ("elapsed_ns", Matprod_obs.Json.Int r.elapsed_ns);
+            ];
           Report.row cols
             [
               Report.f3 eps;
               name;
-              Report.fbits bits;
-              string_of_int rounds;
-              Report.f3 err;
+              Report.fbits r.bits;
+              string_of_int r.rounds;
+              Report.f3 r.err;
             ])
         entries)
     eps_list;
@@ -164,18 +186,28 @@ let e2 ~quick =
       let actual = Product.lp_pow (Product.int_product a b) ~p in
       List.iter
         (fun eps ->
-          let err, bits, _ =
+          let r =
             run_protocol ~seeds:(seeds ~quick) ~actual (fun ctx ->
                 Lp_protocol.run ctx (Lp_protocol.default_params ~p ~eps ()) ~a ~b)
           in
-          if err > 3.0 *. eps then all_ok := false;
+          if r.err > 3.0 *. eps then all_ok := false;
+          Report.bench_row
+            [
+              ("n", Matprod_obs.Json.Int n);
+              ("p", Matprod_obs.Json.Float p);
+              ("eps", Matprod_obs.Json.Float eps);
+              ("bits", Matprod_obs.Json.Int r.bits);
+              ("rounds", Matprod_obs.Json.Int r.rounds);
+              ("rel_err", Matprod_obs.Json.Float r.err);
+              ("elapsed_ns", Matprod_obs.Json.Int r.elapsed_ns);
+            ];
           Report.row cols
             [
               Report.f2 p;
               Report.f3 eps;
               Printf.sprintf "%.3g" actual;
-              Report.fbits bits;
-              Report.f3 err;
+              Report.fbits r.bits;
+              Report.f3 r.err;
             ])
         eps_list)
     (if quick then [ 0.5; 1.0; 2.0 ] else [ 0.25; 0.5; 1.0; 1.5; 2.0 ]);

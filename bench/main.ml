@@ -54,7 +54,11 @@ let () =
     "Distributed Statistical Estimation of Matrix Products — experiment \
      harness%s\n"
     (if quick then " (quick mode)" else "");
+  (* Per-experiment counters/histograms feed the BENCH_<exp>.json sidecars. *)
+  Matprod_obs.Metrics.set_enabled true;
   List.iter (fun (_, f) -> f ~quick) to_run;
+  Report.write_bench_json ();
+  Matprod_obs.Metrics.set_enabled false;
   if micro && selected = [] then Microbench.run ();
   Report.summary ();
   if Report.outcome.Report.failed > 0 then exit 1

@@ -86,13 +86,37 @@ let bench_product_backends =
       (Staged.stage (fun () -> ignore (Bitmat.product_linf ~a:pa ~bt:pbt)));
   ]
 
+(* Overhead of the observability instrumentation on the protocol
+   simulator: the same small Ctx.run with the metrics registry off vs on
+   (the "off" path is the default for every test and experiment, and must
+   stay within a few percent of free). *)
+let bench_obs_overhead =
+  let module Ctx = Matprod_comm.Ctx in
+  let module Codec = Matprod_comm.Codec in
+  let payload = Array.init 64 (fun i -> i * i) in
+  let body ctx =
+    ignore (Ctx.a2b ctx ~label:"xs" Codec.int_array payload);
+    ignore (Ctx.b2a ctx ~label:"ack" Codec.uint 1)
+  in
+  [
+    Test.make ~name:"ctx.run 2-message exchange (obs disabled)"
+      (Staged.stage (fun () ->
+           Matprod_obs.Metrics.set_enabled false;
+           ignore (Ctx.run ~seed:1 body)));
+    Test.make ~name:"ctx.run 2-message exchange (metrics enabled)"
+      (Staged.stage (fun () ->
+           Matprod_obs.Metrics.set_enabled true;
+           ignore (Ctx.run ~seed:1 body);
+           Matprod_obs.Metrics.set_enabled false));
+  ]
+
 let all_tests =
   Test.make_grouped ~name:"sketches"
     ([
        bench_ams; bench_stable; bench_l0_sketch; bench_l0_estimate;
        bench_l0_sampler; bench_countsketch; bench_s_sparse_decode;
      ]
-    @ bench_product_backends)
+    @ bench_product_backends @ bench_obs_overhead)
 
 let run () =
   Printf.printf "\n%s\n" Report.hrule;

@@ -1,12 +1,83 @@
-(* Table and verdict printing for the experiment harness. *)
+(* Table and verdict printing for the experiment harness, plus a JSON
+   sidecar: each experiment's structured rows and the Matprod_obs metrics
+   it accumulated are written to BENCH_<exp>.json at exit. *)
+
+module Json = Matprod_obs.Json
+module Metrics = Matprod_obs.Metrics
 
 let hrule = String.make 78 '-'
 
+(* --- per-experiment JSON accumulator --------------------------------- *)
+
+type bench_exp = {
+  claim : string;
+  mutable rows : Json.t list; (* reverse order *)
+  mutable metrics : Json.t option;
+}
+
+let bench : (string, bench_exp) Hashtbl.t = Hashtbl.create 8
+let bench_order : string list ref = ref []
+let current_exp : string option ref = ref None
+
+(* Seal the in-flight experiment: capture the metrics it accumulated and
+   reset the registry so the next section starts from zero. *)
+let finish_current_exp () =
+  match !current_exp with
+  | None -> ()
+  | Some id ->
+      let e = Hashtbl.find bench id in
+      e.metrics <- (if Metrics.enabled () then Some (Metrics.snapshot ()) else None);
+      Metrics.reset ();
+      current_exp := None
+
 let section ~id ~claim =
+  finish_current_exp ();
+  let exp =
+    match String.index_opt id ' ' with
+    | Some i -> String.lowercase_ascii (String.sub id 0 i)
+    | None -> String.lowercase_ascii id
+  in
+  if not (Hashtbl.mem bench exp) then begin
+    Hashtbl.replace bench exp { claim; rows = []; metrics = None };
+    bench_order := exp :: !bench_order
+  end;
+  current_exp := Some exp;
   Printf.printf "\n%s\n" hrule;
   Printf.printf "%s\n" id;
   Printf.printf "paper claim: %s\n" claim;
   Printf.printf "%s\n" hrule
+
+(* Record one structured measurement row for the current experiment. *)
+let bench_row fields =
+  match !current_exp with
+  | None -> ()
+  | Some id ->
+      let e = Hashtbl.find bench id in
+      e.rows <- Json.Obj fields :: e.rows
+
+let write_bench_json () =
+  finish_current_exp ();
+  List.iter
+    (fun exp ->
+      let e = Hashtbl.find bench exp in
+      let doc =
+        Json.Obj
+          [
+            ("schema", Json.String "matprod.bench.v1");
+            ("experiment", Json.String exp);
+            ("claim", Json.String e.claim);
+            ("rows", Json.List (List.rev e.rows));
+            ( "metrics",
+              match e.metrics with Some m -> m | None -> Json.Null );
+          ]
+      in
+      let path = Printf.sprintf "BENCH_%s.json" exp in
+      let oc = open_out path in
+      output_string oc (Json.to_string doc);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote %s\n" path)
+    (List.rev !bench_order)
 
 let table_header cols =
   let line =

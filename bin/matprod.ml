@@ -46,15 +46,82 @@ let verbose_arg =
     value & flag
     & info [ "v"; "verbose" ] ~doc:"Print the per-message transcript breakdown.")
 
+(* ------------------------------------------------------------------ *)
+(* Observability plumbing: every subcommand takes --json and --trace. *)
+
+module Obs = Matprod_obs
+
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Print a single-line JSON run summary (schema matprod.run.v1, see \
+           docs/OBSERVABILITY.md) instead of the human-readable report.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write spans and per-message events as JSON lines to $(docv).")
+
+let obs_start ~json ~trace =
+  if json || trace <> None then Obs.Metrics.set_enabled true;
+  if trace <> None then Obs.Trace.enable ()
+
+(* Emit the trace file and, in JSON mode, the run summary. [fields] come
+   first so the subcommand's own parameters lead the object. *)
+let obs_finish ~json ~trace fields =
+  (match trace with
+  | Some path -> (
+      try Obs.Export.write_trace path
+      with Sys_error msg ->
+        Printf.eprintf "matprod: cannot write trace file: %s\n" msg;
+        exit 1)
+  | None -> ());
+  if json then Obs.Export.print_run_summary ~extra:fields ()
+
+let transcript_fields (tr : Transcript.t) =
+  [
+    ("bits", Obs.Json.Int (Transcript.total_bits tr));
+    ("bytes", Obs.Json.Int (Transcript.total_bytes tr));
+    ("rounds", Obs.Json.Int (Transcript.rounds tr));
+    ("messages", Obs.Json.Int (Transcript.message_count tr));
+    ( "bytes_by_label",
+      Obs.Json.Obj
+        (List.map
+           (fun (label, bytes) -> (label, Obs.Json.Int bytes))
+           (Transcript.by_label tr)) );
+  ]
+
+let estimate_fields ~actual ~estimate =
+  [
+    ("exact", Obs.Json.Float actual);
+    ("estimate", Obs.Json.Float estimate);
+    ( "estimate_ratio",
+      if actual = 0.0 then Obs.Json.Null
+      else Obs.Json.Float (estimate /. actual) );
+    ( "relative_error",
+      if actual > 0.0 then
+        Obs.Json.Float (Stats.relative_error ~actual ~estimate)
+      else Obs.Json.Null );
+  ]
+
 let gen_pair ~zipf ~seed ~n ~density =
-  let rng = Prng.create seed in
+  (* Split the seed into two independent streams (as Ctx.create does for
+     the parties): drawing both matrices from one sequential stream would
+     correlate Alice's and Bob's inputs across seeds in zipf mode. *)
+  let root = Prng.create seed in
+  let rng_a = Prng.split root in
+  let rng_b = Prng.split root in
   if zipf then
     let deg = max 1 (int_of_float (density *. float_of_int n)) in
-    ( Workload.zipf_bool rng ~rows:n ~cols:n ~row_degree:deg ~skew:1.1,
-      Bmat.transpose (Workload.zipf_bool rng ~rows:n ~cols:n ~row_degree:deg ~skew:1.1) )
+    ( Workload.zipf_bool rng_a ~rows:n ~cols:n ~row_degree:deg ~skew:1.1,
+      Bmat.transpose (Workload.zipf_bool rng_b ~rows:n ~cols:n ~row_degree:deg ~skew:1.1) )
   else
-    ( Workload.uniform_bool rng ~rows:n ~cols:n ~density,
-      Workload.uniform_bool rng ~rows:n ~cols:n ~density )
+    ( Workload.uniform_bool rng_a ~rows:n ~cols:n ~density,
+      Workload.uniform_bool rng_b ~rows:n ~cols:n ~density )
 
 let report ~verbose ~actual ~estimate (run : _ Ctx.run) =
   Printf.printf "exact answer      : %.6g\n" actual;
@@ -71,7 +138,8 @@ let report ~verbose ~actual ~estimate (run : _ Ctx.run) =
 (* ------------------------------------------------------------------ *)
 (* join-size: lp norms, p in [0,2] *)
 
-let join_size n density eps seed zipf verbose p algo load_a load_b =
+let join_size n density eps seed zipf verbose p algo load_a load_b json trace =
+  obs_start ~json ~trace;
   let a, b =
     match (load_a, load_b) with
     | Some pa, Some pb ->
@@ -106,13 +174,30 @@ let join_size n density eps seed zipf verbose p algo load_a load_b =
             float_of_int (Matprod_core.L1_exact.run_bool ctx ~a ~b))
     | other -> failwith (Printf.sprintf "unknown algorithm %S" other)
   in
-  Printf.printf "workload: %s %dx%d binary, p = %g, ||C||_p^p exact below\n"
-    (match load_a with
+  let workload =
+    match load_a with
     | Some f -> "file " ^ f
-    | None -> if zipf then "zipf" else "uniform")
-    (Bmat.rows a) (Bmat.cols b) p;
+    | None -> if zipf then "zipf" else "uniform"
+  in
+  if not json then begin
+    Printf.printf "workload: %s %dx%d binary, p = %g, ||C||_p^p exact below\n"
+      workload (Bmat.rows a) (Bmat.cols b) p;
+    report ~verbose ~actual ~estimate:run.Ctx.output run
+  end;
   ignore n;
-  report ~verbose ~actual ~estimate:run.Ctx.output run
+  obs_finish ~json ~trace
+    ([
+       ("subcommand", Obs.Json.String "join-size");
+       ("n", Obs.Json.Int (Bmat.rows a));
+       ("density", Obs.Json.Float density);
+       ("eps", Obs.Json.Float eps);
+       ("seed", Obs.Json.Int seed);
+       ("p", Obs.Json.Float p);
+       ("algo", Obs.Json.String algo);
+       ("workload", Obs.Json.String workload);
+     ]
+    @ estimate_fields ~actual ~estimate:run.Ctx.output
+    @ transcript_fields run.Ctx.transcript)
 
 let load_a_arg =
   Arg.(
@@ -146,52 +231,100 @@ let join_size_cmd =
        ~doc:"Estimate ||AB||_p^p (set-intersection / natural join size).")
     Term.(
       const join_size $ n_arg $ density_arg $ eps_arg $ seed_arg $ zipf_arg
-      $ verbose_arg $ p_arg $ algo_arg $ load_a_arg $ load_b_arg)
+      $ verbose_arg $ p_arg $ algo_arg $ load_a_arg $ load_b_arg $ json_arg
+      $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* linf *)
 
-let linf n density seed verbose overlap eps kappa general =
+let linf n density seed verbose overlap eps kappa general json trace =
+  obs_start ~json ~trace;
   let rng = Prng.create seed in
-  if general then begin
-    let a = Workload.uniform_int rng ~rows:n ~cols:n ~density ~max_value:8 in
-    let b = Workload.uniform_int rng ~rows:n ~cols:n ~density ~max_value:8 in
-    let actual = float_of_int (Product.linf (Product.int_product a b)) in
-    let kappa = Option.value ~default:4.0 kappa in
-    let run =
-      Ctx.run ~seed (fun ctx ->
-          Matprod_core.Linf_general.run ctx { Matprod_core.Linf_general.kappa } ~a ~b)
-    in
-    Printf.printf "integer matrices, kappa = %.1f (Theorem 4.8)\n" kappa;
-    report ~verbose ~actual ~estimate:run.Ctx.output run
-  end
-  else begin
-    let a, b, (i, j) = Workload.planted_pair rng ~n ~density ~overlap in
-    let actual = float_of_int (Product.linf (Product.bool_product a b)) in
-    match kappa with
-    | Some kappa ->
-        let run =
-          Ctx.run ~seed (fun ctx ->
-              Matprod_core.Linf_kappa.run ctx
-                (Matprod_core.Linf_kappa.default_params ~kappa)
-                ~a ~b)
-        in
-        Printf.printf
-          "binary planted pair at (%d,%d), kappa = %.1f (Algorithm 3)\n" i j kappa;
-        report ~verbose ~actual
-          ~estimate:run.Ctx.output.Matprod_core.Linf_kappa.estimate run
-    | None ->
-        let run =
-          Ctx.run ~seed (fun ctx ->
-              Matprod_core.Linf_binary.run ctx
-                (Matprod_core.Linf_binary.default_params ~eps)
-                ~a ~b)
-        in
-        Printf.printf
-          "binary planted pair at (%d,%d), (2+%.2f)-approx (Algorithm 2)\n" i j eps;
-        report ~verbose ~actual
-          ~estimate:run.Ctx.output.Matprod_core.Linf_binary.estimate run
-  end
+  let banner, algo, actual, estimate, run_bits, run_rounds, tr =
+    if general then begin
+      let a = Workload.uniform_int rng ~rows:n ~cols:n ~density ~max_value:8 in
+      let b = Workload.uniform_int rng ~rows:n ~cols:n ~density ~max_value:8 in
+      let actual = float_of_int (Product.linf (Product.int_product a b)) in
+      let kappa = Option.value ~default:4.0 kappa in
+      let run =
+        Ctx.run ~seed (fun ctx ->
+            Matprod_core.Linf_general.run ctx
+              { Matprod_core.Linf_general.kappa }
+              ~a ~b)
+      in
+      ( Printf.sprintf "integer matrices, kappa = %.1f (Theorem 4.8)" kappa,
+        "general",
+        actual,
+        run.Ctx.output,
+        run.Ctx.bits,
+        run.Ctx.rounds,
+        run.Ctx.transcript )
+    end
+    else begin
+      let a, b, (i, j) = Workload.planted_pair rng ~n ~density ~overlap in
+      let actual = float_of_int (Product.linf (Product.bool_product a b)) in
+      match kappa with
+      | Some kappa ->
+          let run =
+            Ctx.run ~seed (fun ctx ->
+                Matprod_core.Linf_kappa.run ctx
+                  (Matprod_core.Linf_kappa.default_params ~kappa)
+                  ~a ~b)
+          in
+          ( Printf.sprintf
+              "binary planted pair at (%d,%d), kappa = %.1f (Algorithm 3)" i j
+              kappa,
+            "kappa",
+            actual,
+            run.Ctx.output.Matprod_core.Linf_kappa.estimate,
+            run.Ctx.bits,
+            run.Ctx.rounds,
+            run.Ctx.transcript )
+      | None ->
+          let run =
+            Ctx.run ~seed (fun ctx ->
+                Matprod_core.Linf_binary.run ctx
+                  (Matprod_core.Linf_binary.default_params ~eps)
+                  ~a ~b)
+          in
+          ( Printf.sprintf
+              "binary planted pair at (%d,%d), (2+%.2f)-approx (Algorithm 2)" i
+              j eps,
+            "binary",
+            actual,
+            run.Ctx.output.Matprod_core.Linf_binary.estimate,
+            run.Ctx.bits,
+            run.Ctx.rounds,
+            run.Ctx.transcript )
+    end
+  in
+  if not json then begin
+    Printf.printf "%s\n" banner;
+    Printf.printf "exact answer      : %.6g\n" actual;
+    Printf.printf "protocol estimate : %.6g\n" estimate;
+    if actual > 0.0 then
+      Printf.printf "relative error    : %.4f\n"
+        (Stats.relative_error ~actual ~estimate);
+    Printf.printf "communication     : %d bits (%d bytes)\n" run_bits
+      (run_bits / 8);
+    Printf.printf "rounds            : %d\n" run_rounds;
+    if verbose then Format.printf "transcript:@.%a@." Transcript.pp_summary tr
+  end;
+  obs_finish ~json ~trace
+    ([
+       ("subcommand", Obs.Json.String "linf");
+       ("n", Obs.Json.Int n);
+       ("density", Obs.Json.Float density);
+       ("eps", Obs.Json.Float eps);
+       ("seed", Obs.Json.Int seed);
+       ("algo", Obs.Json.String algo);
+       ( "kappa",
+         match kappa with
+         | Some k -> Obs.Json.Float k
+         | None -> Obs.Json.Null );
+     ]
+    @ estimate_fields ~actual ~estimate
+    @ transcript_fields tr)
 
 let linf_cmd =
   let overlap_arg =
@@ -215,18 +348,50 @@ let linf_cmd =
     (Cmd.info "linf" ~doc:"Approximate ||AB||_inf (maximum intersection size).")
     Term.(
       const linf $ n_arg $ density_arg $ seed_arg $ verbose_arg $ overlap_arg
-      $ eps_arg $ kappa_arg $ general_arg)
+      $ eps_arg $ kappa_arg $ general_arg $ json_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* heavy-hitters *)
 
-let heavy_hitters n density seed verbose phi eps binary =
+let heavy_hitters n density seed verbose phi eps binary json trace =
+  obs_start ~json ~trace;
   let rng = Prng.create seed in
   if phi <= 0.0 || eps <= 0.0 || eps > phi then
     failwith "need 0 < eps <= phi";
-  let run_and_print ~c ~set ~bits ~rounds =
-    let must = Product.heavy_hitters c ~p:1.0 ~phi in
-    let may = Product.heavy_hitters c ~p:1.0 ~phi:(phi -. eps) in
+  let banner, c, run =
+    if binary then begin
+      let overlap = max 40 (n / 3) in
+      let a, b =
+        Workload.planted_heavy_hitters rng ~n ~density ~heavy:[ (2, overlap) ]
+      in
+      ( Printf.sprintf "binary matrices, planted overlaps %d (Theorem 5.3)"
+          overlap,
+        Product.bool_product a b,
+        Ctx.run ~seed (fun ctx ->
+            Matprod_core.Hh_binary.run ctx
+              (Matprod_core.Hh_binary.default_params ~phi ~eps ())
+              ~a ~b) )
+    end
+    else begin
+      let a, b, _ =
+        Workload.planted_heavy_int rng ~n ~density ~max_value:8
+          ~heavy:[ (2, 50, 25) ]
+      in
+      ( "integer matrices, planted heavy entries (Algorithm 4)",
+        Product.int_product a b,
+        Ctx.run ~seed (fun ctx ->
+            Matprod_core.Hh_general.run ctx
+              (Matprod_core.Hh_general.default_params ~phi ~eps ())
+              ~a ~b) )
+    end
+  in
+  let set = run.Ctx.output in
+  let must = Product.heavy_hitters c ~p:1.0 ~phi in
+  let may = Product.heavy_hitters c ~p:1.0 ~phi:(phi -. eps) in
+  let recall = List.for_all (fun e -> List.mem e set) must in
+  let precision = List.for_all (fun e -> List.mem e may) set in
+  if not json then begin
+    Printf.printf "%s\n" banner;
     Printf.printf "exact HH_phi      : %d entries\n" (List.length must);
     Printf.printf "allowed superset  : %d entries (HH_{phi-eps})\n"
       (List.length may);
@@ -238,45 +403,35 @@ let heavy_hitters n density seed verbose phi eps binary =
            else if List.mem (i, j) may then "  [allowed]"
            else "  [VIOLATION]"))
       set;
-    let recall = List.for_all (fun e -> List.mem e set) must in
-    let precision = List.for_all (fun e -> List.mem e may) set in
     Printf.printf "band check        : recall %s, precision %s\n"
       (if recall then "ok" else "VIOLATED")
       (if precision then "ok" else "VIOLATED");
-    Printf.printf "communication     : %d bits\n" bits;
-    Printf.printf "rounds            : %d\n" rounds
-  in
-  if binary then begin
-    let overlap = max 40 (n / 3) in
-    let a, b = Workload.planted_heavy_hitters rng ~n ~density ~heavy:[ (2, overlap) ] in
-    let c = Product.bool_product a b in
-    let run =
-      Ctx.run ~seed (fun ctx ->
-          Matprod_core.Hh_binary.run ctx
-            (Matprod_core.Hh_binary.default_params ~phi ~eps ())
-            ~a ~b)
-    in
-    Printf.printf "binary matrices, planted overlaps %d (Theorem 5.3)\n" overlap;
-    run_and_print ~c ~set:run.Ctx.output ~bits:run.Ctx.bits ~rounds:run.Ctx.rounds;
+    Printf.printf "communication     : %d bits\n" run.Ctx.bits;
+    Printf.printf "rounds            : %d\n" run.Ctx.rounds;
     if verbose then
       Format.printf "transcript:@.%a@." Transcript.pp_summary run.Ctx.transcript
-  end
-  else begin
-    let a, b, _ =
-      Workload.planted_heavy_int rng ~n ~density ~max_value:8 ~heavy:[ (2, 50, 25) ]
-    in
-    let c = Product.int_product a b in
-    let run =
-      Ctx.run ~seed (fun ctx ->
-          Matprod_core.Hh_general.run ctx
-            (Matprod_core.Hh_general.default_params ~phi ~eps ())
-            ~a ~b)
-    in
-    Printf.printf "integer matrices, planted heavy entries (Algorithm 4)\n";
-    run_and_print ~c ~set:run.Ctx.output ~bits:run.Ctx.bits ~rounds:run.Ctx.rounds;
-    if verbose then
-      Format.printf "transcript:@.%a@." Transcript.pp_summary run.Ctx.transcript
-  end
+  end;
+  obs_finish ~json ~trace
+    ([
+       ("subcommand", Obs.Json.String "heavy-hitters");
+       ("n", Obs.Json.Int n);
+       ("density", Obs.Json.Float density);
+       ("phi", Obs.Json.Float phi);
+       ("eps", Obs.Json.Float eps);
+       ("seed", Obs.Json.Int seed);
+       ("algo", Obs.Json.String (if binary then "binary" else "general"));
+       ("exact_hh", Obs.Json.Int (List.length must));
+       ("allowed_superset", Obs.Json.Int (List.length may));
+       ("output_size", Obs.Json.Int (List.length set));
+       ( "output",
+         Obs.Json.List
+           (List.map
+              (fun (i, j) -> Obs.Json.List [ Obs.Json.Int i; Obs.Json.Int j ])
+              set) );
+       ("recall_ok", Obs.Json.Bool recall);
+       ("precision_ok", Obs.Json.Bool precision);
+     ]
+    @ transcript_fields run.Ctx.transcript)
 
 let heavy_hitters_cmd =
   let phi_arg =
@@ -293,20 +448,24 @@ let heavy_hitters_cmd =
        ~doc:"Find the lp-(phi,eps)-heavy-hitters of AB.")
     Term.(
       const heavy_hitters $ n_arg $ density_arg $ seed_arg $ verbose_arg
-      $ phi_arg $ hh_eps_arg $ binary_arg)
+      $ phi_arg $ hh_eps_arg $ binary_arg $ json_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sample *)
 
-let sample n density seed verbose kind count =
+let sample n density seed verbose kind count json trace =
+  obs_start ~json ~trace;
   let rng = Prng.create seed in
   let a = Workload.uniform_bool rng ~rows:n ~cols:n ~density in
   let b = Workload.uniform_bool rng ~rows:n ~cols:n ~density in
   let c = Product.bool_product a b in
   let ai = Imat.of_bmat a and bi = Imat.of_bmat b in
-  Printf.printf "sampling %d %s-samples from a product with ||C||_0 = %d, ||C||_1 = %d\n"
-    count kind (Product.nnz c) (Product.l1 c);
+  if not json then
+    Printf.printf
+      "sampling %d %s-samples from a product with ||C||_0 = %d, ||C||_1 = %d\n"
+      count kind (Product.nnz c) (Product.l1 c);
   let total_bits = ref 0 in
+  let drawn = ref [] in
   for t = 1 to count do
     match kind with
     | "l1" ->
@@ -317,12 +476,20 @@ let sample n density seed verbose kind count =
         total_bits := !total_bits + run.Ctx.bits;
         (match run.Ctx.output with
         | Some s ->
-            Printf.printf "  (%d, %d) via witness %d   [C entry = %d]\n"
-              s.Matprod_core.L1_sampling.row s.Matprod_core.L1_sampling.col
-              s.Matprod_core.L1_sampling.witness
-              (Product.get c s.Matprod_core.L1_sampling.row
-                 s.Matprod_core.L1_sampling.col)
-        | None -> Printf.printf "  (product empty)\n")
+            drawn :=
+              Obs.Json.List
+                [
+                  Obs.Json.Int s.Matprod_core.L1_sampling.row;
+                  Obs.Json.Int s.Matprod_core.L1_sampling.col;
+                ]
+              :: !drawn;
+            if not json then
+              Printf.printf "  (%d, %d) via witness %d   [C entry = %d]\n"
+                s.Matprod_core.L1_sampling.row s.Matprod_core.L1_sampling.col
+                s.Matprod_core.L1_sampling.witness
+                (Product.get c s.Matprod_core.L1_sampling.row
+                   s.Matprod_core.L1_sampling.col)
+        | None -> if not json then Printf.printf "  (product empty)\n")
     | "l0" ->
         let run =
           Ctx.run ~seed:(seed + t) (fun ctx ->
@@ -333,15 +500,36 @@ let sample n density seed verbose kind count =
         total_bits := !total_bits + run.Ctx.bits;
         (match run.Ctx.output with
         | Some s ->
-            Printf.printf "  (%d, %d) with value %d\n"
-              s.Matprod_core.L0_sampling.row s.Matprod_core.L0_sampling.col
-              s.Matprod_core.L0_sampling.value
-        | None -> Printf.printf "  (sampler failed this run)\n")
+            drawn :=
+              Obs.Json.List
+                [
+                  Obs.Json.Int s.Matprod_core.L0_sampling.row;
+                  Obs.Json.Int s.Matprod_core.L0_sampling.col;
+                ]
+              :: !drawn;
+            if not json then
+              Printf.printf "  (%d, %d) with value %d\n"
+                s.Matprod_core.L0_sampling.row s.Matprod_core.L0_sampling.col
+                s.Matprod_core.L0_sampling.value
+        | None -> if not json then Printf.printf "  (sampler failed this run)\n")
     | other -> failwith (Printf.sprintf "unknown sample kind %S (l0|l1)" other)
   done;
-  Printf.printf "total communication: %d bits (%d per sample)\n" !total_bits
-    (!total_bits / max 1 count);
-  ignore verbose
+  if not json then
+    Printf.printf "total communication: %d bits (%d per sample)\n" !total_bits
+      (!total_bits / max 1 count);
+  ignore verbose;
+  obs_finish ~json ~trace
+    [
+      ("subcommand", Obs.Json.String "sample");
+      ("n", Obs.Json.Int n);
+      ("density", Obs.Json.Float density);
+      ("seed", Obs.Json.Int seed);
+      ("kind", Obs.Json.String kind);
+      ("count", Obs.Json.Int count);
+      ("samples", Obs.Json.List (List.rev !drawn));
+      ("bits", Obs.Json.Int !total_bits);
+      ("bits_per_sample", Obs.Json.Int (!total_bits / max 1 count));
+    ]
 
 let sample_cmd =
   let kind_arg =
@@ -354,7 +542,7 @@ let sample_cmd =
     (Cmd.info "sample" ~doc:"Draw l0- or l1-samples from the product AB.")
     Term.(
       const sample $ n_arg $ density_arg $ seed_arg $ verbose_arg $ kind_arg
-      $ count_arg)
+      $ count_arg $ json_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* lowerbound *)
@@ -423,50 +611,71 @@ let lowerbound_cmd =
 (* ------------------------------------------------------------------ *)
 (* joins ([16] family) *)
 
-let joins n density seed kind t =
+let joins n density seed kind t json trace =
+  obs_start ~json ~trace;
   let rng = Prng.create seed in
   let a = Workload.uniform_bool rng ~rows:n ~cols:n ~density in
   let b = Workload.uniform_bool rng ~rows:n ~cols:n ~density in
   let c = Product.bool_product a b in
-  match kind with
-  | "equality" ->
-      let bt = Bmat.transpose b in
-      let exact = ref 0 in
-      for i = 0 to n - 1 do
-        for j = 0 to n - 1 do
-          if Bmat.row a i = Bmat.row bt j then incr exact
-        done
-      done;
-      let r =
-        Ctx.run ~seed (fun ctx -> Matprod_core.Joins.equality_join ctx ~a ~b)
-      in
-      Printf.printf "set-equality join: %d pairs (exact %d), %d bits, %d round\n"
-        r.Ctx.output !exact r.Ctx.bits r.Ctx.rounds
-  | "disjointness" ->
-      let actual = (n * n) - Product.nnz c in
-      let r =
-        Ctx.run ~seed (fun ctx ->
-            Matprod_core.Joins.disjointness_join ctx ~eps:0.25 ~a ~b)
-      in
-      Printf.printf
-        "set-disjointness join: ~%.0f pairs (exact %d), %d bits, %d rounds\n"
-        r.Ctx.output actual r.Ctx.bits r.Ctx.rounds
-  | "atleast" ->
-      let actual =
-        Array.fold_left
-          (fun acc (_, _, v) -> if v >= t then acc + 1 else acc)
-          0 (Product.entries c)
-      in
-      let r =
-        Ctx.run ~seed (fun ctx ->
-            Matprod_core.Joins.at_least_t_join ctx
-              (Matprod_core.Joins.default_threshold_params ~eps:0.25)
-              ~t ~a ~b)
-      in
-      Printf.printf
-        "at-least-%d join: ~%.0f pairs (exact %d), %d bits, %d rounds\n" t
-        r.Ctx.output actual r.Ctx.bits r.Ctx.rounds
-  | other -> failwith (Printf.sprintf "unknown join kind %S" other)
+  let actual, estimate, tr =
+    match kind with
+    | "equality" ->
+        let bt = Bmat.transpose b in
+        let exact = ref 0 in
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            if Bmat.row a i = Bmat.row bt j then incr exact
+          done
+        done;
+        let r =
+          Ctx.run ~seed (fun ctx -> Matprod_core.Joins.equality_join ctx ~a ~b)
+        in
+        if not json then
+          Printf.printf
+            "set-equality join: %d pairs (exact %d), %d bits, %d round\n"
+            r.Ctx.output !exact r.Ctx.bits r.Ctx.rounds;
+        (float_of_int !exact, float_of_int r.Ctx.output, r.Ctx.transcript)
+    | "disjointness" ->
+        let actual = (n * n) - Product.nnz c in
+        let r =
+          Ctx.run ~seed (fun ctx ->
+              Matprod_core.Joins.disjointness_join ctx ~eps:0.25 ~a ~b)
+        in
+        if not json then
+          Printf.printf
+            "set-disjointness join: ~%.0f pairs (exact %d), %d bits, %d rounds\n"
+            r.Ctx.output actual r.Ctx.bits r.Ctx.rounds;
+        (float_of_int actual, r.Ctx.output, r.Ctx.transcript)
+    | "atleast" ->
+        let actual =
+          Array.fold_left
+            (fun acc (_, _, v) -> if v >= t then acc + 1 else acc)
+            0 (Product.entries c)
+        in
+        let r =
+          Ctx.run ~seed (fun ctx ->
+              Matprod_core.Joins.at_least_t_join ctx
+                (Matprod_core.Joins.default_threshold_params ~eps:0.25)
+                ~t ~a ~b)
+        in
+        if not json then
+          Printf.printf
+            "at-least-%d join: ~%.0f pairs (exact %d), %d bits, %d rounds\n" t
+            r.Ctx.output actual r.Ctx.bits r.Ctx.rounds;
+        (float_of_int actual, r.Ctx.output, r.Ctx.transcript)
+    | other -> failwith (Printf.sprintf "unknown join kind %S" other)
+  in
+  obs_finish ~json ~trace
+    ([
+       ("subcommand", Obs.Json.String "joins");
+       ("n", Obs.Json.Int n);
+       ("density", Obs.Json.Float density);
+       ("seed", Obs.Json.Int seed);
+       ("kind", Obs.Json.String kind);
+       ("threshold", Obs.Json.Int t);
+     ]
+    @ estimate_fields ~actual ~estimate
+    @ transcript_fields tr)
 
 let joins_cmd =
   let kind_arg =
@@ -483,12 +692,15 @@ let joins_cmd =
     (Cmd.info "joins"
        ~doc:"The predecessor join family of [16]: set-equality, \
              set-disjointness and at-least-T joins.")
-    Term.(const joins $ n_arg $ density_arg $ seed_arg $ kind_arg $ t_arg)
+    Term.(
+      const joins $ n_arg $ density_arg $ seed_arg $ kind_arg $ t_arg
+      $ json_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* session *)
 
-let session n density seed beta =
+let session n density seed beta json trace =
+  obs_start ~json ~trace;
   let rng = Prng.create seed in
   let a = Workload.uniform_bool rng ~rows:n ~cols:n ~density in
   let b = Workload.uniform_bool rng ~rows:n ~cols:n ~density in
@@ -499,19 +711,44 @@ let session n density seed beta =
       ~b:(Imat.of_bmat b)
   in
   let establish_bits = Transcript.total_bits (Ctx.transcript ctx) in
-  Printf.printf "session established: beta = %.2f, %d bits\n" beta establish_bits;
-  Printf.printf "||C||_0 (coarse)   : %.0f (exact %d) — free\n"
-    (Matprod_core.Session.norm_pow s) (Product.nnz c);
-  Printf.printf "top rows by support — free:\n";
-  List.iter
-    (fun (i, est) ->
-      let exact = (Product.row_lp_pow c ~p:0.0).(i) in
-      Printf.printf "  row %3d: ~%.0f (exact %.0f)\n" i est exact)
-    (Matprod_core.Session.top_rows s ~k:5);
+  let coarse = Matprod_core.Session.norm_pow s in
+  let top = Matprod_core.Session.top_rows s ~k:5 in
+  if not json then begin
+    Printf.printf "session established: beta = %.2f, %d bits\n" beta
+      establish_bits;
+    Printf.printf "||C||_0 (coarse)   : %.0f (exact %d) — free\n" coarse
+      (Product.nnz c);
+    Printf.printf "top rows by support — free:\n";
+    List.iter
+      (fun (i, est) ->
+        let exact = (Product.row_lp_pow c ~p:0.0).(i) in
+        Printf.printf "  row %3d: ~%.0f (exact %.0f)\n" i est exact)
+      top
+  end;
   let refined = Matprod_core.Session.refine ctx s in
   let total_bits = Transcript.total_bits (Ctx.transcript ctx) in
-  Printf.printf "||C||_0 (refined)  : %.0f — %d extra bits\n" refined
-    (total_bits - establish_bits)
+  if not json then
+    Printf.printf "||C||_0 (refined)  : %.0f — %d extra bits\n" refined
+      (total_bits - establish_bits);
+  obs_finish ~json ~trace
+    ([
+       ("subcommand", Obs.Json.String "session");
+       ("n", Obs.Json.Int n);
+       ("density", Obs.Json.Float density);
+       ("seed", Obs.Json.Int seed);
+       ("beta", Obs.Json.Float beta);
+       ("establish_bits", Obs.Json.Int establish_bits);
+       ("coarse_estimate", Obs.Json.Float coarse);
+       ("refined_estimate", Obs.Json.Float refined);
+       ("exact_l0", Obs.Json.Int (Product.nnz c));
+       ( "top_rows",
+         Obs.Json.List
+           (List.map
+              (fun (i, est) ->
+                Obs.Json.List [ Obs.Json.Int i; Obs.Json.Float est ])
+              top) );
+     ]
+    @ transcript_fields (Ctx.transcript ctx))
 
 let session_cmd =
   let beta_arg =
@@ -523,7 +760,9 @@ let session_cmd =
     (Cmd.info "session"
        ~doc:"Establish an amortised query session and answer several \
              questions from one sketch exchange.")
-    Term.(const session $ n_arg $ density_arg $ seed_arg $ beta_arg)
+    Term.(
+      const session $ n_arg $ density_arg $ seed_arg $ beta_arg $ json_arg
+      $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 

@@ -1,10 +1,43 @@
+module Metrics = Matprod_obs.Metrics
+module Trace = Matprod_obs.Trace
+
 type t = { transcript : Transcript.t }
 
 let create () = { transcript = Transcript.create () }
 let transcript t = t.transcript
 
+let c_messages = Metrics.counter "messages_sent"
+let h_encode = Metrics.histogram "codec_encode_ns"
+let h_decode = Metrics.histogram "codec_decode_ns"
+
 let send t ~from ~label codec v =
-  let wire = Codec.encode codec v in
-  Transcript.record t.transcript ~sender:from ~label
-    ~bytes:(String.length wire);
-  Codec.decode codec wire
+  let wire = Metrics.timed h_encode (fun () -> Codec.encode codec v) in
+  let bytes = String.length wire in
+  let round_before = Transcript.rounds t.transcript in
+  Transcript.record t.transcript ~sender:from ~label ~bytes;
+  let round = Transcript.rounds t.transcript in
+  if Metrics.enabled () then begin
+    Metrics.incr c_messages;
+    Metrics.incr_by (Metrics.counter ~label "bytes_sent") bytes
+  end;
+  if Trace.enabled () then begin
+    if round > round_before then
+      Trace.event ~name:"channel.round"
+        ~attrs:
+          [
+            ("round", Matprod_obs.Json.Int round);
+            ( "speaker",
+              Matprod_obs.Json.String (Transcript.party_name from) );
+          ]
+        ();
+    Trace.event ~name:"channel.msg"
+      ~attrs:
+        [
+          ("sender", Matprod_obs.Json.String (Transcript.party_name from));
+          ("label", Matprod_obs.Json.String label);
+          ("bytes", Matprod_obs.Json.Int bytes);
+          ("round", Matprod_obs.Json.Int round);
+        ]
+      ()
+  end;
+  Metrics.timed h_decode (fun () -> Codec.decode codec wire)

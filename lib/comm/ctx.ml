@@ -1,4 +1,5 @@
 module Prng = Matprod_util.Prng
+module Obs = Matprod_obs
 
 type t = {
   chan : Channel.t;
@@ -26,13 +27,23 @@ type 'r run = {
   transcript : Transcript.t;
 }
 
+let c_runs = Obs.Metrics.counter "ctx_runs"
+let c_bits = Obs.Metrics.counter "bits_sent_total"
+let c_rounds = Obs.Metrics.counter "rounds_total"
+let h_run = Obs.Metrics.histogram "ctx_run_ns"
+
 let run ~seed f =
   let t = create ~seed in
-  let output = f t in
+  let output =
+    Obs.Trace.with_span ~name:"ctx.run"
+      ~attrs:[ ("seed", Obs.Json.Int seed) ]
+      (fun () -> Obs.Metrics.timed h_run (fun () -> f t))
+  in
   let tr = transcript t in
-  {
-    output;
-    bits = Transcript.total_bits tr;
-    rounds = Transcript.rounds tr;
-    transcript = tr;
-  }
+  let bits = Transcript.total_bits tr and rounds = Transcript.rounds tr in
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.incr c_runs;
+    Obs.Metrics.incr_by c_bits bits;
+    Obs.Metrics.incr_by c_rounds rounds
+  end;
+  { output; bits; rounds; transcript = tr }

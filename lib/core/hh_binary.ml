@@ -4,6 +4,7 @@ module Imat = Matprod_matrix.Imat
 module Ctx = Matprod_comm.Ctx
 module Codec = Matprod_comm.Codec
 module Entry_map = Common.Entry_map
+module Trace = Matprod_obs.Trace
 
 type params = {
   p : float;
@@ -31,6 +32,9 @@ let run ctx prm ~a ~b =
      For p = 1 the Remark 2 identity gives it exactly in O(n log n) bits;
      otherwise run Algorithm 1. *)
   let lpp =
+    Trace.with_span ~name:"hh_binary.norm_estimation"
+      ~attrs:[ ("p", Matprod_obs.Json.Float prm.p) ]
+    @@ fun () ->
     if prm.p = 1.0 then float_of_int (L1_exact.run_bool ctx ~a ~b)
     else
       let eps1 = Float.min prm.lp_eps (prm.eps /. (4.0 *. prm.phi)) in
@@ -48,12 +52,18 @@ let run ctx prm ~a ~b =
     let beta =
       Float.min 1.0 (alpha /. ((prm.phi ** inv_p) *. lp_norm))
     in
-    let survives = Array.init inner (fun _ -> Prng.bernoulli ctx.Ctx.public beta) in
-    let a' = Bmat.filter_entries a (fun _ k -> survives.(k)) in
-    let b' = Bmat.filter_entries b (fun k _ -> survives.(k)) in
     let shares =
+      Trace.with_span ~name:"hh_binary.sampling_round"
+        ~attrs:[ ("beta", Matprod_obs.Json.Float beta) ]
+      @@ fun () ->
+      let survives =
+        Array.init inner (fun _ -> Prng.bernoulli ctx.Ctx.public beta)
+      in
+      let a' = Bmat.filter_entries a (fun _ k -> survives.(k)) in
+      let b' = Bmat.filter_entries b (fun k _ -> survives.(k)) in
       Matprod_protocol.run ctx ~a:(Imat.of_bmat a') ~b:(Imat.of_bmat b')
     in
+    Trace.with_span ~name:"hh_binary.candidate_verification" @@ fun () ->
     (* Step 3: share entries that look heavy become candidates. Besides the
        paper's β·(ϕ(L'_p)^p/20)^{1/p} cut, any entry that can clear the
        final threshold must leave one share ≥ ~β·out_value/2 (shares split

@@ -3,6 +3,7 @@ module Imat = Matprod_matrix.Imat
 module Ctx = Matprod_comm.Ctx
 module Codec = Matprod_comm.Codec
 module Entry_map = Common.Entry_map
+module Trace = Matprod_obs.Trace
 
 type params = {
   p : float;
@@ -35,6 +36,9 @@ let run_full ctx prm ~a ~b =
   let n = max (Imat.rows a) (Imat.cols b) in
   (* Step 1: ||C||_p^p — exact for p = 1, Algorithm 1 otherwise. *)
   let lpp =
+    Trace.with_span ~name:"hh_general.norm_estimation"
+      ~attrs:[ ("p", Matprod_obs.Json.Float prm.p) ]
+    @@ fun () ->
     if prm.p = 1.0 then float_of_int (L1_exact.run ctx ~a ~b)
     else
       let eps1 = Float.min prm.lp_eps (prm.eps /. (4.0 *. prm.phi)) in
@@ -59,7 +63,12 @@ let run_full ctx prm ~a ~b =
       else Imat.map_values a (fun _ _ v -> Prng.binomial ctx.Ctx.alice v beta)
     in
     (* Steps 3–4: recover C^beta = C_A + C_B, additively shared. *)
-    let shares = Matprod_protocol.run ctx ~a:a_beta ~b in
+    let shares =
+      Trace.with_span ~name:"hh_general.sampled_product"
+        ~attrs:[ ("beta", Matprod_obs.Json.Float beta) ]
+        (fun () -> Matprod_protocol.run ctx ~a:a_beta ~b)
+    in
+    Trace.with_span ~name:"hh_general.threshold_estimation" @@ fun () ->
     (* Step 5: Alice ships her heavy share entries... *)
     let tau_alice = beta *. prm.eps *. heavy_value /. (8.0 *. prm.phi) in
     let ca_heavy =

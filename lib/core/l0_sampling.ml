@@ -4,6 +4,7 @@ module L0_sketch = Matprod_sketch.L0_sketch
 module L0_sampler = Matprod_sketch.L0_sampler
 module Ctx = Matprod_comm.Ctx
 module Codec = Matprod_comm.Codec
+module Trace = Matprod_obs.Trace
 
 type params = { eps : float; sketch_groups : int; sampler_s : int }
 
@@ -27,9 +28,12 @@ let run_many ctx prm ~count ~a ~b =
   in
   let at = Imat.transpose a in
   let alice_cols = Array.init inner (fun k -> Imat.row at k) in
-  let msg_sketches = Array.map (L0_sketch.sketch sk) alice_cols in
-  let msg_samplers =
-    Array.map (fun smp -> Array.map (L0_sampler.sketch smp) alice_cols) samplers
+  let msg_sketches, msg_samplers =
+    Trace.with_span ~name:"l0_sampling.sketch_build" (fun () ->
+        ( Array.map (L0_sketch.sketch sk) alice_cols,
+          Array.map
+            (fun smp -> Array.map (L0_sampler.sketch smp) alice_cols)
+            samplers ))
   in
   (* One speaking phase: the column-norm sketches plus [count] independent
      sampler structures per column. *)
@@ -49,12 +53,14 @@ let run_many ctx prm ~count ~a ~b =
   (* Bob: estimate ||C_{*,j}||_0 for every output column j, once. *)
   let bt = Imat.transpose b in
   let col_est =
-    Array.init (Imat.cols b) (fun j ->
-        let acc = L0_sketch.empty sk in
-        Array.iter
-          (fun (k, v) -> L0_sketch.add_scaled sk ~dst:acc ~coeff:v sketches.(k))
-          (Imat.row bt j);
-        Float.max 0.0 (L0_sketch.estimate sk acc))
+    Trace.with_span ~name:"l0_sampling.column_estimation" (fun () ->
+        Array.init (Imat.cols b) (fun j ->
+            let acc = L0_sketch.empty sk in
+            Array.iter
+              (fun (k, v) ->
+                L0_sketch.add_scaled sk ~dst:acc ~coeff:v sketches.(k))
+              (Imat.row bt j);
+            Float.max 0.0 (L0_sketch.estimate sk acc)))
   in
   let total = Array.fold_left ( +. ) 0.0 col_est in
   Array.init count (fun t ->

@@ -3,6 +3,7 @@ module Imat = Matprod_matrix.Imat
 module Lp = Matprod_sketch.Lp
 module Ctx = Matprod_comm.Ctx
 module Codec = Matprod_comm.Codec
+module Trace = Matprod_obs.Trace
 
 type params = {
   p : float;
@@ -24,6 +25,13 @@ let validate prm ~a ~b =
 (* Round 1: Bob ships sketches of his rows; Alice combines them into
    estimates of every row norm of C = A·B. [beta] is the sketch accuracy. *)
 let round1 ctx prm ~beta ~a ~b =
+  Trace.with_span ~name:"lp_protocol.round1_sketch_exchange"
+    ~attrs:
+      [
+        ("p", Matprod_obs.Json.Float prm.p);
+        ("beta", Matprod_obs.Json.Float beta);
+      ]
+  @@ fun () ->
   let out_cols = Imat.cols b in
   let lp =
     Lp.create ctx.Ctx.public ~p:prm.p ~eps:beta ~groups:prm.sketch_groups
@@ -46,6 +54,9 @@ let estimate_row_norms ctx prm ~a ~b =
    and ships the sampled rows; Bob computes those rows of C exactly and
    returns the Horvitz–Thompson sum. *)
 let round2 ctx ~p ~beta ~rho_const ~est ~a ~b =
+  Trace.with_span ~name:"lp_protocol.round2_sampled_rows"
+    ~attrs:[ ("p", Matprod_obs.Json.Float p) ]
+  @@ fun () ->
   let nrows = Imat.rows a in
   if Array.length est <> nrows then invalid_arg "Lp_protocol.round2: est size";
   let level = Array.map (fun e -> Common.group_of ~beta e) est in

@@ -1,0 +1,153 @@
+let on = ref false
+let enabled () = !on
+let set_enabled b = on := b
+
+type counter = { mutable count : int }
+type gauge = { mutable gval : float; mutable gset : bool }
+
+let hist_buckets = 63
+
+type histogram = {
+  mutable hcount : int;
+  mutable hsum : float;
+  mutable hmin : float;
+  mutable hmax : float;
+  buckets : int array; (* buckets.(b) counts samples in [2^b, 2^(b+1)) *)
+}
+
+type metric = C of counter | G of gauge | H of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let key ?label name =
+  match label with None -> name | Some l -> Printf.sprintf "%s{%s}" name l
+
+let counter ?label name =
+  let k = key ?label name in
+  match Hashtbl.find_opt registry k with
+  | Some (C c) -> c
+  | Some _ -> invalid_arg ("Metrics.counter: " ^ k ^ " registered as another type")
+  | None ->
+      let c = { count = 0 } in
+      Hashtbl.replace registry k (C c);
+      c
+
+let incr c = if !on then c.count <- c.count + 1
+let incr_by c n = if !on then c.count <- c.count + n
+let value c = c.count
+
+let gauge ?label name =
+  let k = key ?label name in
+  match Hashtbl.find_opt registry k with
+  | Some (G g) -> g
+  | Some _ -> invalid_arg ("Metrics.gauge: " ^ k ^ " registered as another type")
+  | None ->
+      let g = { gval = 0.0; gset = false } in
+      Hashtbl.replace registry k (G g);
+      g
+
+let set_gauge g v =
+  if !on then begin
+    g.gval <- v;
+    g.gset <- true
+  end
+
+let gauge_value g = if g.gset then Some g.gval else None
+
+let histogram ?label name =
+  let k = key ?label name in
+  match Hashtbl.find_opt registry k with
+  | Some (H h) -> h
+  | Some _ ->
+      invalid_arg ("Metrics.histogram: " ^ k ^ " registered as another type")
+  | None ->
+      let h =
+        {
+          hcount = 0;
+          hsum = 0.0;
+          hmin = Float.infinity;
+          hmax = Float.neg_infinity;
+          buckets = Array.make hist_buckets 0;
+        }
+      in
+      Hashtbl.replace registry k (H h);
+      h
+
+let bucket_of v =
+  if v < 1.0 then 0
+  else min (hist_buckets - 1) (int_of_float (Float.log2 v))
+
+let observe h v =
+  if !on then begin
+    h.hcount <- h.hcount + 1;
+    h.hsum <- h.hsum +. v;
+    if v < h.hmin then h.hmin <- v;
+    if v > h.hmax then h.hmax <- v;
+    let b = bucket_of v in
+    h.buckets.(b) <- h.buckets.(b) + 1
+  end
+
+let observe_ns h ns = observe h (float_of_int ns)
+
+let timed h f =
+  if !on then begin
+    let t0 = Clock.now_ns () in
+    let r = f () in
+    observe_ns h (Clock.elapsed_ns t0);
+    r
+  end
+  else f ()
+
+let hist_count h = h.hcount
+let hist_sum h = h.hsum
+
+let reset () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | C c -> c.count <- 0
+      | G g ->
+          g.gval <- 0.0;
+          g.gset <- false
+      | H h ->
+          h.hcount <- 0;
+          h.hsum <- 0.0;
+          h.hmin <- Float.infinity;
+          h.hmax <- Float.neg_infinity;
+          Array.fill h.buckets 0 hist_buckets 0)
+    registry
+
+let snapshot () =
+  let counters = ref [] and gauges = ref [] and hists = ref [] in
+  Hashtbl.iter
+    (fun k m ->
+      match m with
+      | C c -> if c.count <> 0 then counters := (k, Json.Int c.count) :: !counters
+      | G g -> if g.gset then gauges := (k, Json.Float g.gval) :: !gauges
+      | H h ->
+          if h.hcount > 0 then begin
+            let buckets = ref [] in
+            for b = hist_buckets - 1 downto 0 do
+              if h.buckets.(b) > 0 then
+                buckets := Json.List [ Json.Int b; Json.Int h.buckets.(b) ] :: !buckets
+            done;
+            hists :=
+              ( k,
+                Json.Obj
+                  [
+                    ("count", Json.Int h.hcount);
+                    ("sum", Json.Float h.hsum);
+                    ("min", Json.Float h.hmin);
+                    ("max", Json.Float h.hmax);
+                    ("log2_buckets", Json.List !buckets);
+                  ] )
+              :: !hists
+          end)
+    registry;
+  let sorted l = List.sort (fun (a, _) (b, _) -> compare a b) l in
+  Json.Obj
+    [
+      ("counters", Json.Obj (sorted !counters));
+      ("gauges", Json.Obj (sorted !gauges));
+      ("histograms", Json.Obj (sorted !hists));
+    ]

@@ -1,0 +1,57 @@
+(** Process-wide metrics registry: counters, gauges, and log-scale
+    histograms.
+
+    The registry is disabled by default so uninstrumented callers (and hot
+    sketch loops) pay only a boolean test. Handles are interned by
+    [name{label}] — asking twice for the same metric returns the same
+    handle, and {!reset} zeroes values without invalidating handles, so
+    modules may hold handles at top level.
+
+    Naming scheme (see docs/OBSERVABILITY.md): snake_case metric names,
+    optional [~label] for a per-site breakdown, [_ns] suffix for
+    nanosecond timing histograms. Core metrics emitted by the stack:
+    [bytes_sent{label}], [messages_sent], [hash_evals], [prng_draws],
+    [sketch_cells_touched], [sketch_build_ns{kind}],
+    [sketch_query_ns{kind}], [codec_encode_ns], [codec_decode_ns]. *)
+
+type counter
+type gauge
+type histogram
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val counter : ?label:string -> string -> counter
+(** Find-or-create. The registry key is [name] or ["name{label}"]. *)
+
+val incr : counter -> unit
+val incr_by : counter -> int -> unit
+val value : counter -> int
+
+val gauge : ?label:string -> string -> gauge
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float option
+(** [None] until the first (enabled) [set_gauge]. *)
+
+val histogram : ?label:string -> string -> histogram
+
+val observe : histogram -> float -> unit
+(** Record one sample. Buckets are log-scale: bucket [b] counts samples in
+    [[2^b, 2^(b+1))], with everything below 1 in bucket 0. *)
+
+val observe_ns : histogram -> int -> unit
+
+val timed : histogram -> (unit -> 'a) -> 'a
+(** Run the thunk and observe its wall time in nanoseconds; when the
+    registry is disabled this is just the call, no clock reads. *)
+
+val hist_count : histogram -> int
+val hist_sum : histogram -> float
+
+val reset : unit -> unit
+(** Zero every registered metric; existing handles stay valid. *)
+
+val snapshot : unit -> Json.t
+(** Deterministically ordered (sorted by key) JSON object:
+    [{"counters": {...}, "gauges": {...}, "histograms": {...}}].
+    Zero-valued counters and never-set gauges are omitted. *)

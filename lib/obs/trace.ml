@@ -1,0 +1,100 @@
+type span = {
+  id : int;
+  parent : int option;
+  depth : int;
+  name : string;
+  attrs : (string * Json.t) list;
+  start_ns : int64;
+  dur_ns : int;
+}
+
+let on = ref false
+let enabled () = !on
+let enable () = on := true
+let disable () = on := false
+
+let next_id = ref 0
+let stack : (int * int) list ref = ref [] (* (id, depth) of open spans *)
+let completed : span list ref = ref []
+
+let fresh_id () =
+  incr next_id;
+  !next_id
+
+let current_parent () =
+  match !stack with [] -> (None, 0) | (id, d) :: _ -> (Some id, d + 1)
+
+let record sp = completed := sp :: !completed
+
+let with_span ?(attrs = []) ~name f =
+  if not !on then f ()
+  else begin
+    let id = fresh_id () in
+    let parent, depth = current_parent () in
+    let start_ns = Clock.now_ns () in
+    stack := (id, depth) :: !stack;
+    Fun.protect
+      ~finally:(fun () ->
+        (match !stack with
+        | (id', _) :: rest when id' = id -> stack := rest
+        | _ -> ());
+        record
+          {
+            id;
+            parent;
+            depth;
+            name;
+            attrs;
+            start_ns;
+            dur_ns = Clock.elapsed_ns start_ns;
+          })
+      f
+  end
+
+let event ?(attrs = []) ~name () =
+  if !on then begin
+    let id = fresh_id () in
+    let parent, depth = current_parent () in
+    record
+      {
+        id;
+        parent;
+        depth;
+        name;
+        attrs;
+        start_ns = Clock.now_ns ();
+        dur_ns = 0;
+      }
+  end
+
+let spans () =
+  (* ids are assigned at span start, so sorting by id restores start
+     order even though spans complete innermost-first. *)
+  List.sort (fun a b -> compare a.id b.id) !completed
+
+let span_count () = List.length !completed
+let reset () = completed := []
+
+let to_json sp =
+  Json.Obj
+    [
+      ("id", Json.Int sp.id);
+      ( "parent",
+        match sp.parent with None -> Json.Null | Some p -> Json.Int p );
+      ("depth", Json.Int sp.depth);
+      ("name", Json.String sp.name);
+      ("start_ns", Json.Int (Int64.to_int sp.start_ns));
+      ("dur_ns", Json.Int sp.dur_ns);
+      ("attrs", Json.Obj sp.attrs);
+    ]
+
+let write_jsonl path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun sp ->
+          output_string oc (Json.to_string (to_json sp));
+          output_char oc '\n')
+        (spans ()))

@@ -1,0 +1,46 @@
+(** Span-based tracer.
+
+    Disabled by default: {!with_span} then costs one boolean test and a
+    direct call of the thunk, so instrumented hot paths pay ~nothing.
+    When enabled, spans nest via a stack (each records its parent id and
+    depth) and are buffered in memory until {!write_jsonl} or {!reset}.
+
+    Span names are dot-separated [component.phase] (see
+    docs/OBSERVABILITY.md); per-message channel events reuse the
+    transcript label as the ["label"] attribute. *)
+
+type span = {
+  id : int;  (** 1-based, in start order. *)
+  parent : int option;
+  depth : int;
+  name : string;
+  attrs : (string * Json.t) list;
+  start_ns : int64;
+  dur_ns : int;  (** 0 for instant events. *)
+}
+
+val enabled : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+val with_span : ?attrs:(string * Json.t) list -> name:string -> (unit -> 'a) -> 'a
+(** Runs the thunk inside a fresh span. Exception-safe: the span closes
+    (and records its duration) even if the thunk raises. *)
+
+val event : ?attrs:(string * Json.t) list -> name:string -> unit -> unit
+(** An instant (zero-duration) span at the current nesting level. *)
+
+val spans : unit -> span list
+(** Completed spans in start order. An open enclosing span is not included
+    until it finishes. *)
+
+val span_count : unit -> int
+
+val reset : unit -> unit
+(** Drop buffered spans (open spans on the stack survive and still record
+    when they close). *)
+
+val to_json : span -> Json.t
+
+val write_jsonl : string -> unit
+(** Write buffered spans, one JSON object per line, to a file. *)

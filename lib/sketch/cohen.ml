@@ -1,4 +1,10 @@
 module Prng = Matprod_util.Prng
+module Metrics = Matprod_obs.Metrics
+
+let c_labels = Metrics.counter "cohen_label_evals"
+let c_prng = Metrics.counter "prng_draws"
+let h_build = Metrics.histogram ~label:"cohen" "sketch_build_ns"
+let h_query = Metrics.histogram ~label:"cohen" "sketch_query_ns"
 
 type t = { reps : int; rows : int; seed : int }
 
@@ -11,17 +17,22 @@ let reps t = t.reps
 
 let label t ~rep i =
   if i < 0 || i >= t.rows then invalid_arg "Cohen.label: row range";
+  if Metrics.enabled () then begin
+    Metrics.incr c_labels;
+    Metrics.incr c_prng
+  end;
   Prng.exponential (Prng.derive t.seed rep i)
 
 let column_mins t ~supp_of_col ~cols =
-  Array.init cols (fun k ->
-      let supp = supp_of_col k in
-      Array.init t.reps (fun rep ->
-          Array.fold_left
-            (fun acc i -> Float.min acc (label t ~rep i))
-            Float.infinity supp))
+  Metrics.timed h_build (fun () ->
+      Array.init cols (fun k ->
+          let supp = supp_of_col k in
+          Array.init t.reps (fun rep ->
+              Array.fold_left
+                (fun acc i -> Float.min acc (label t ~rep i))
+                Float.infinity supp)))
 
-let estimate_union t mins bcol =
+let estimate_union_raw t mins bcol =
   if Array.length bcol = 0 then 0.0
   else begin
     let acc = Array.make t.reps Float.infinity in
@@ -35,3 +46,6 @@ let estimate_union t mins bcol =
     let sum = Array.fold_left ( +. ) 0.0 acc in
     if Float.is_finite sum then float_of_int (t.reps - 1) /. sum else 0.0
   end
+
+let estimate_union t mins bcol =
+  Metrics.timed h_query (fun () -> estimate_union_raw t mins bcol)

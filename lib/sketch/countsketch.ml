@@ -1,6 +1,13 @@
 module Prng = Matprod_util.Prng
 module Hashing = Matprod_util.Hashing
 module Stats = Matprod_util.Stats
+module Metrics = Matprod_obs.Metrics
+
+let c_hash = Metrics.counter "hash_evals"
+let c_cells = Metrics.counter "sketch_cells_touched"
+let c_prng = Metrics.counter "prng_draws"
+let h_build = Metrics.histogram ~label:"countsketch" "sketch_build_ns"
+let h_query = Metrics.histogram ~label:"countsketch" "sketch_query_ns"
 
 type t = {
   buckets : int;
@@ -11,6 +18,8 @@ type t = {
 
 let create rng ~buckets ~reps =
   if buckets <= 0 || reps <= 0 then invalid_arg "Countsketch.create";
+  (* 2-wise bucket + 4-wise sign polynomial per repetition. *)
+  Metrics.incr_by c_prng (reps * 6);
   {
     buckets;
     reps;
@@ -22,18 +31,24 @@ let size t = t.buckets * t.reps
 let empty t = Array.make (size t) 0.0
 
 let update t arr i v =
-  if v <> 0 then
+  if v <> 0 then begin
+    if Metrics.enabled () then begin
+      Metrics.incr_by c_hash (2 * t.reps);
+      Metrics.incr_by c_cells t.reps
+    end;
     for r = 0 to t.reps - 1 do
       let b = Hashing.bucket t.bucket_hash.(r) ~buckets:t.buckets i in
       let s = Hashing.sign t.sign_hash.(r) i in
       let idx = (r * t.buckets) + b in
       arr.(idx) <- arr.(idx) +. float_of_int (v * s)
     done
+  end
 
 let sketch t vec =
-  let arr = empty t in
-  Array.iter (fun (i, v) -> update t arr i v) vec;
-  arr
+  Metrics.timed h_build (fun () ->
+      let arr = empty t in
+      Array.iter (fun (i, v) -> update t arr i v) vec;
+      arr)
 
 let add_scaled t ~dst ~coeff src =
   if Array.length dst <> size t || Array.length src <> size t then
@@ -45,13 +60,15 @@ let add_scaled t ~dst ~coeff src =
     done
 
 let query t arr i =
-  let ests =
-    Array.init t.reps (fun r ->
-        let b = Hashing.bucket t.bucket_hash.(r) ~buckets:t.buckets i in
-        let s = Hashing.sign t.sign_hash.(r) i in
-        float_of_int s *. arr.((r * t.buckets) + b))
-  in
-  Stats.median ests
+  Metrics.timed h_query (fun () ->
+      if Metrics.enabled () then Metrics.incr_by c_hash (2 * t.reps);
+      let ests =
+        Array.init t.reps (fun r ->
+            let b = Hashing.bucket t.bucket_hash.(r) ~buckets:t.buckets i in
+            let s = Hashing.sign t.sign_hash.(r) i in
+            float_of_int s *. arr.((r * t.buckets) + b))
+      in
+      Stats.median ests)
 
 let heavy_candidates t arr ~dim ~threshold =
   let out = ref [] in

@@ -2,6 +2,12 @@ module Prng = Matprod_util.Prng
 module Hashing = Matprod_util.Hashing
 module Field31 = Matprod_util.Field31
 module Stats = Matprod_util.Stats
+module Metrics = Matprod_obs.Metrics
+
+let c_hash = Metrics.counter "hash_evals"
+let c_cells = Metrics.counter "sketch_cells_touched"
+let h_build = Metrics.histogram ~label:"l0_sketch" "sketch_build_ns"
+let h_query = Metrics.histogram ~label:"l0_sketch" "sketch_query_ns"
 
 type rep = {
   level_hash : Hashing.t;
@@ -50,6 +56,11 @@ let add_coord t arr ~rep_idx ~coord ~weight =
   let rep = t.reps.(rep_idx) in
   let lmax = coord_level rep ~levels:t.levels coord in
   let c = Field31.mul (Hashing.field_coeff rep.coeff_hash coord) weight in
+  if Metrics.enabled () then begin
+    (* level hash + coefficient hash + one bucket hash per touched level *)
+    Metrics.incr_by c_hash (lmax + 3);
+    Metrics.incr_by c_cells (lmax + 1)
+  end;
   for l = 0 to lmax do
     let b = Hashing.bucket rep.bucket_hashes.(l) ~buckets:t.buckets coord in
     let idx = cell_index t ~rep_idx ~level:l ~bucket:b in
@@ -65,9 +76,10 @@ let update t arr i v =
     done
 
 let sketch t vec =
-  let arr = empty t in
-  Array.iter (fun (i, v) -> update t arr i v) vec;
-  arr
+  Metrics.timed h_build (fun () ->
+      let arr = empty t in
+      Array.iter (fun (i, v) -> update t arr i v) vec;
+      arr)
 
 let add_scaled t ~dst ~coeff src =
   if Array.length dst <> size t || Array.length src <> size t then
@@ -113,7 +125,8 @@ let rep_estimate t arr ~rep_idx =
 
 let estimate t arr =
   if Array.length arr <> size t then invalid_arg "L0_sketch.estimate: size";
-  let per_rep =
-    Array.init (Array.length t.reps) (fun g -> rep_estimate t arr ~rep_idx:g)
-  in
-  Stats.median per_rep
+  Metrics.timed h_query (fun () ->
+      let per_rep =
+        Array.init (Array.length t.reps) (fun g -> rep_estimate t arr ~rep_idx:g)
+      in
+      Stats.median per_rep)

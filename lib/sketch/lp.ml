@@ -1,4 +1,8 @@
 module Codec = Matprod_comm.Codec
+module Metrics = Matprod_obs.Metrics
+
+let h_build = Metrics.histogram ~label:"lp" "sketch_build_ns"
+let h_query = Metrics.histogram ~label:"lp" "sketch_query_ns"
 
 type impl = L0 of L0_sketch.t | Stable of Stable_sketch.t | Ams_l2 of Ams.t
 type t = { p : float; impl : impl }
@@ -28,10 +32,11 @@ let empty t =
   | Ams_l2 s -> F (Ams.empty s)
 
 let sketch t vec =
-  match t.impl with
-  | L0 s -> Z (L0_sketch.sketch s vec)
-  | Stable s -> F (Stable_sketch.sketch s vec)
-  | Ams_l2 s -> F (Ams.sketch s vec)
+  Metrics.timed h_build (fun () ->
+      match t.impl with
+      | L0 s -> Z (L0_sketch.sketch s vec)
+      | Stable s -> F (Stable_sketch.sketch s vec)
+      | Ams_l2 s -> F (Ams.sketch s vec))
 
 let type_error () = invalid_arg "Lp: mismatched sketch value type"
 
@@ -43,18 +48,20 @@ let add_scaled t ~dst ~coeff src =
   | _ -> type_error ()
 
 let estimate_pow t v =
-  match (t.impl, v) with
-  | L0 s, Z a -> L0_sketch.estimate s a
-  | Stable s, F a -> Stable_sketch.estimate_pow s a
-  | Ams_l2 s, F a -> Ams.estimate_sq s a
-  | _ -> type_error ()
+  Metrics.timed h_query (fun () ->
+      match (t.impl, v) with
+      | L0 s, Z a -> L0_sketch.estimate s a
+      | Stable s, F a -> Stable_sketch.estimate_pow s a
+      | Ams_l2 s, F a -> Ams.estimate_sq s a
+      | _ -> type_error ())
 
 let estimate t v =
-  match (t.impl, v) with
-  | L0 s, Z a -> L0_sketch.estimate s a
-  | Stable s, F a -> Stable_sketch.estimate s a
-  | Ams_l2 s, F a -> sqrt (Ams.estimate_sq s a)
-  | _ -> type_error ()
+  Metrics.timed h_query (fun () ->
+      match (t.impl, v) with
+      | L0 s, Z a -> L0_sketch.estimate s a
+      | Stable s, F a -> Stable_sketch.estimate s a
+      | Ams_l2 s, F a -> sqrt (Ams.estimate_sq s a)
+      | _ -> type_error ())
 
 let wire t =
   match t.impl with

@@ -130,6 +130,33 @@ let test_transcript_totals () =
   | [ ("a", 13); ("b", 7) ] -> ()
   | _ -> Alcotest.fail "by_label aggregation"
 
+let test_transcript_by_label_order () =
+  (* by_label sorts by descending byte total regardless of arrival order. *)
+  let t = Transcript.create () in
+  Transcript.record t ~sender:Transcript.Alice ~label:"small" ~bytes:1;
+  Transcript.record t ~sender:Transcript.Bob ~label:"big" ~bytes:100;
+  Transcript.record t ~sender:Transcript.Alice ~label:"medium" ~bytes:10;
+  match Transcript.by_label t with
+  | [ ("big", 100); ("medium", 10); ("small", 1) ] -> ()
+  | l ->
+      Alcotest.failf "descending order violated: %s"
+        (String.concat ", " (List.map (fun (l, b) -> Printf.sprintf "%s=%d" l b) l))
+
+let test_transcript_by_label_aggregates () =
+  (* Same label from both directions and multiple messages adds up. *)
+  let t = Transcript.create () in
+  Transcript.record t ~sender:Transcript.Alice ~label:"x" ~bytes:4;
+  Transcript.record t ~sender:Transcript.Bob ~label:"x" ~bytes:6;
+  Transcript.record t ~sender:Transcript.Alice ~label:"y" ~bytes:3;
+  Transcript.record t ~sender:Transcript.Alice ~label:"x" ~bytes:5;
+  check Alcotest.int "labels" 2 (List.length (Transcript.by_label t));
+  check Alcotest.int "x aggregated" 15 (List.assoc "x" (Transcript.by_label t));
+  check Alcotest.int "y aggregated" 3 (List.assoc "y" (Transcript.by_label t))
+
+let test_transcript_by_label_empty () =
+  check Alcotest.int "empty transcript" 0
+    (List.length (Transcript.by_label (Transcript.create ())))
+
 let test_transcript_message_order () =
   let t = Transcript.create () in
   Transcript.record t ~sender:Transcript.Alice ~label:"first" ~bytes:1;
@@ -291,6 +318,9 @@ let () =
         [
           Alcotest.test_case "rounds" `Quick test_transcript_rounds;
           Alcotest.test_case "totals" `Quick test_transcript_totals;
+          Alcotest.test_case "by_label order" `Quick test_transcript_by_label_order;
+          Alcotest.test_case "by_label aggregates" `Quick test_transcript_by_label_aggregates;
+          Alcotest.test_case "by_label empty" `Quick test_transcript_by_label_empty;
           Alcotest.test_case "message order" `Quick test_transcript_message_order;
         ] );
       ( "channel",

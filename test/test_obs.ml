@@ -1,0 +1,277 @@
+(* Tests for the observability layer: JSON codec, metrics registry,
+   span tracer, exporters. The registry and tracer are process-global, so
+   each test starts from a clean enabled/disabled state and resets. *)
+
+module Json = Matprod_obs.Json
+module Metrics = Matprod_obs.Metrics
+module Trace = Matprod_obs.Trace
+module Export = Matprod_obs.Export
+
+let check = Alcotest.check
+
+let with_metrics f =
+  Metrics.reset ();
+  Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () ->
+      Metrics.set_enabled false;
+      Metrics.reset ())
+    f
+
+let with_trace f =
+  Trace.reset ();
+  Trace.enable ();
+  Fun.protect ~finally:(fun () ->
+      Trace.disable ();
+      Trace.reset ())
+    f
+
+(* ------------------------------------------------------------------ *)
+(* Json *)
+
+let test_json_to_string () =
+  check Alcotest.string "null" "null" (Json.to_string Json.Null);
+  check Alcotest.string "bool" "true" (Json.to_string (Json.Bool true));
+  check Alcotest.string "int" "-42" (Json.to_string (Json.Int (-42)));
+  check Alcotest.string "string escape" {|"a\"b\n"|}
+    (Json.to_string (Json.String "a\"b\n"));
+  check Alcotest.string "obj"
+    {|{"a":1,"b":[1,2]}|}
+    (Json.to_string
+       (Json.Obj [ ("a", Json.Int 1); ("b", Json.List [ Json.Int 1; Json.Int 2 ]) ]))
+
+let test_json_nonfinite_floats () =
+  check Alcotest.string "nan" "null" (Json.to_string (Json.Float Float.nan));
+  check Alcotest.string "inf" "null"
+    (Json.to_string (Json.Float Float.infinity));
+  check Alcotest.string "neg inf" "null"
+    (Json.to_string (Json.Float Float.neg_infinity));
+  (* Integral floats keep a trailing ".0" so they re-parse as floats. *)
+  check Alcotest.string "integral float" "2.0"
+    (Json.to_string (Json.Float 2.0))
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("s", Json.String "hi \"there\"\n\t");
+        ("n", Json.Int 123456789);
+        ("f", Json.Float 0.1253);
+        ("neg", Json.Float (-1.5e-9));
+        ("b", Json.Bool false);
+        ("z", Json.Null);
+        ("l", Json.List [ Json.Int 1; Json.String "x"; Json.List [] ]);
+        ("o", Json.Obj []);
+      ]
+  in
+  check Alcotest.bool "roundtrip" true (Json.of_string (Json.to_string v) = v)
+
+let test_json_parse_errors () =
+  let fails s =
+    match Json.of_string s with
+    | exception Failure _ -> true
+    | _ -> false
+  in
+  check Alcotest.bool "trailing bytes" true (fails "1 x");
+  check Alcotest.bool "unterminated string" true (fails {|"abc|});
+  check Alcotest.bool "bare word" true (fails "nope");
+  check Alcotest.bool "unclosed obj" true (fails {|{"a":1|})
+
+let test_json_member () =
+  let o = Json.Obj [ ("a", Json.Int 1) ] in
+  check Alcotest.bool "hit" true (Json.member "a" o = Some (Json.Int 1));
+  check Alcotest.bool "miss" true (Json.member "b" o = None);
+  check Alcotest.bool "non-obj" true (Json.member "a" (Json.Int 3) = None)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let test_counter_basic () =
+  with_metrics @@ fun () ->
+  let c = Metrics.counter "test_events" in
+  check Alcotest.int "starts at 0" 0 (Metrics.value c);
+  Metrics.incr c;
+  Metrics.incr_by c 41;
+  check Alcotest.int "42" 42 (Metrics.value c);
+  (* Find-or-create: same name, same cell. *)
+  let c' = Metrics.counter "test_events" in
+  Metrics.incr c';
+  check Alcotest.int "interned" 43 (Metrics.value c)
+
+let test_counter_labels () =
+  with_metrics @@ fun () ->
+  let a = Metrics.counter ~label:"alice" "test_msgs" in
+  let b = Metrics.counter ~label:"bob" "test_msgs" in
+  Metrics.incr_by a 3;
+  Metrics.incr_by b 5;
+  check Alcotest.int "alice" 3 (Metrics.value a);
+  check Alcotest.int "bob" 5 (Metrics.value b)
+
+let test_disabled_noop () =
+  Metrics.reset ();
+  Metrics.set_enabled false;
+  let c = Metrics.counter "test_off" in
+  Metrics.incr c;
+  Metrics.incr_by c 100;
+  check Alcotest.int "no-op when disabled" 0 (Metrics.value c);
+  let h = Metrics.histogram "test_off_ns" in
+  Metrics.observe h 5.0;
+  check Alcotest.int "hist no-op" 0 (Metrics.hist_count h);
+  let x = Metrics.timed h (fun () -> 7) in
+  check Alcotest.int "timed passes value through" 7 x;
+  check Alcotest.int "timed records nothing" 0 (Metrics.hist_count h)
+
+let test_histogram () =
+  with_metrics @@ fun () ->
+  let h = Metrics.histogram "test_hist" in
+  List.iter (Metrics.observe h) [ 1.0; 2.0; 3.0; 1024.0 ];
+  check Alcotest.int "count" 4 (Metrics.hist_count h);
+  check (Alcotest.float 1e-9) "sum" 1030.0 (Metrics.hist_sum h);
+  let snap = Metrics.snapshot () in
+  let hists = Json.member "histograms" snap in
+  let entry = Option.bind hists (Json.member "test_hist") in
+  (match Option.bind entry (Json.member "min") with
+  | Some (Json.Float f) -> check (Alcotest.float 1e-9) "min" 1.0 f
+  | _ -> Alcotest.fail "min missing");
+  (match Option.bind entry (Json.member "max") with
+  | Some (Json.Float f) -> check (Alcotest.float 1e-9) "max" 1024.0 f
+  | _ -> Alcotest.fail "max missing");
+  (* Log-2 buckets: 1 -> b0, 2..3 -> b1, 1024 -> b10. *)
+  match Option.bind entry (Json.member "log2_buckets") with
+  | Some (Json.List l) ->
+      let buckets =
+        List.map
+          (function
+            | Json.List [ Json.Int b; Json.Int n ] -> (b, n)
+            | _ -> Alcotest.fail "bucket shape")
+          l
+      in
+      check Alcotest.bool "buckets" true
+        (buckets = [ (0, 1); (1, 2); (10, 1) ])
+  | _ -> Alcotest.fail "log2_buckets missing"
+
+let test_reset_keeps_handles () =
+  with_metrics @@ fun () ->
+  let c = Metrics.counter "test_reset" in
+  Metrics.incr_by c 9;
+  Metrics.reset ();
+  check Alcotest.int "zeroed" 0 (Metrics.value c);
+  Metrics.incr c;
+  check Alcotest.int "handle still live" 1 (Metrics.value c)
+
+let test_snapshot_shape () =
+  with_metrics @@ fun () ->
+  Metrics.incr (Metrics.counter "test_zz");
+  Metrics.incr (Metrics.counter "test_aa");
+  Metrics.incr (Metrics.counter ~label:"x" "test_aa");
+  ignore (Metrics.counter "test_never_touched");
+  let snap = Metrics.snapshot () in
+  match Json.member "counters" snap with
+  | Some (Json.Obj kvs) ->
+      let keys = List.map fst kvs in
+      check (Alcotest.list Alcotest.string) "sorted, zeros omitted"
+        [ "test_aa"; "test_aa{x}"; "test_zz" ]
+        keys
+  | _ -> Alcotest.fail "counters missing"
+
+(* ------------------------------------------------------------------ *)
+(* Trace *)
+
+let test_trace_disabled () =
+  Trace.reset ();
+  Trace.disable ();
+  let r = Trace.with_span ~name:"t.x" (fun () -> 5) in
+  check Alcotest.int "passthrough" 5 r;
+  check Alcotest.int "no spans" 0 (Trace.span_count ())
+
+let test_trace_nesting () =
+  with_trace @@ fun () ->
+  Trace.with_span ~name:"t.outer" (fun () ->
+      Trace.with_span ~name:"t.inner" (fun () -> Trace.event ~name:"t.ev" ());
+      Trace.with_span ~name:"t.inner2" (fun () -> ()));
+  match Trace.spans () with
+  | [ outer; inner; ev; inner2 ] ->
+      check Alcotest.string "outer" "t.outer" outer.Trace.name;
+      check Alcotest.bool "outer is root" true (outer.Trace.parent = None);
+      check Alcotest.int "outer depth" 0 outer.Trace.depth;
+      check Alcotest.bool "inner under outer" true
+        (inner.Trace.parent = Some outer.Trace.id);
+      check Alcotest.int "inner depth" 1 inner.Trace.depth;
+      check Alcotest.bool "event under inner" true
+        (ev.Trace.parent = Some inner.Trace.id);
+      check Alcotest.int "event duration" 0 ev.Trace.dur_ns;
+      check Alcotest.bool "inner2 also under outer" true
+        (inner2.Trace.parent = Some outer.Trace.id)
+  | spans ->
+      Alcotest.failf "expected 4 spans in start order, got %d"
+        (List.length spans)
+
+let test_trace_exception_safe () =
+  with_trace @@ fun () ->
+  (try Trace.with_span ~name:"t.boom" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  check Alcotest.int "span recorded despite raise" 1 (Trace.span_count ());
+  (* The stack unwound: a new span is a root, not a child of t.boom. *)
+  Trace.with_span ~name:"t.after" (fun () -> ());
+  match Trace.spans () with
+  | [ _; after ] -> check Alcotest.bool "root" true (after.Trace.parent = None)
+  | _ -> Alcotest.fail "expected 2 spans"
+
+let test_trace_to_json () =
+  with_trace @@ fun () ->
+  Trace.with_span ~name:"t.j" ~attrs:[ ("k", Json.Int 7) ] (fun () -> ());
+  match Trace.spans () with
+  | [ s ] ->
+      let j = Trace.to_json s in
+      check Alcotest.bool "name" true
+        (Json.member "name" j = Some (Json.String "t.j"));
+      let attrs = Json.member "attrs" j in
+      check Alcotest.bool "attr" true
+        (Option.bind attrs (Json.member "k") = Some (Json.Int 7));
+      (* Serialized form must be parseable — same contract as the JSONL file. *)
+      check Alcotest.bool "line parses" true
+        (Json.of_string (Json.to_string j) = j)
+  | _ -> Alcotest.fail "expected 1 span"
+
+(* ------------------------------------------------------------------ *)
+(* Export *)
+
+let test_run_summary () =
+  with_metrics @@ fun () ->
+  Metrics.incr_by (Metrics.counter "test_bits") 64;
+  let j = Export.run_summary ~extra:[ ("n", Json.Int 96) ] () in
+  check Alcotest.bool "schema" true
+    (Json.member "schema" j = Some (Json.String "matprod.run.v1"));
+  check Alcotest.bool "extra spliced" true (Json.member "n" j = Some (Json.Int 96));
+  check Alcotest.bool "metrics present" true (Json.member "metrics" j <> None);
+  check Alcotest.bool "roundtrips" true (Json.of_string (Json.to_string j) = j)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "to_string" `Quick test_json_to_string;
+          Alcotest.test_case "non-finite floats" `Quick test_json_nonfinite_floats;
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "member" `Quick test_json_member;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter basic" `Quick test_counter_basic;
+          Alcotest.test_case "counter labels" `Quick test_counter_labels;
+          Alcotest.test_case "disabled no-op" `Quick test_disabled_noop;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "reset keeps handles" `Quick test_reset_keeps_handles;
+          Alcotest.test_case "snapshot shape" `Quick test_snapshot_shape;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "disabled" `Quick test_trace_disabled;
+          Alcotest.test_case "nesting" `Quick test_trace_nesting;
+          Alcotest.test_case "exception safe" `Quick test_trace_exception_safe;
+          Alcotest.test_case "to_json" `Quick test_trace_to_json;
+        ] );
+      ( "export",
+        [ Alcotest.test_case "run summary" `Quick test_run_summary ] );
+    ]
