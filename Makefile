@@ -1,6 +1,6 @@
 # Convenience targets; all real build logic lives in dune.
 
-.PHONY: all check build test bench bench-json clean
+.PHONY: all check build test bench bench-json chaos clean
 
 all: build
 
@@ -22,6 +22,12 @@ bench:
 # See docs/OBSERVABILITY.md for the schema.
 bench-json:
 	dune exec bench/main.exe -- --quick e1 e9 e10
+
+# Chaos sweep: fault injection over every protocol (see docs/ROBUSTNESS.md)
+# plus the C1 retransmission-cost experiment, on a fixed seed matrix.
+chaos:
+	MATPROD_CHAOS_SEEDS=1,2,3,4,5 dune exec test/test_faults.exe
+	dune exec bench/main.exe -- --quick --no-micro c1
 
 clean:
 	dune clean

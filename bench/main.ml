@@ -29,6 +29,7 @@ let experiments =
     ("a4", fun ~quick -> Exp_ablation.a4 ~quick);
     ("s1", fun ~quick -> Exp_scaling.s1 ~quick);
     ("s2", fun ~quick -> Exp_scaling.s2 ~quick);
+    ("c1", fun ~quick -> Exp_chaos.c1 ~quick);
   ]
 
 let () =
@@ -46,7 +47,7 @@ let () =
           match List.assoc_opt (String.lowercase_ascii name) experiments with
           | Some f -> Some (name, f)
           | None ->
-              Printf.eprintf "unknown experiment %S (known: e1..e12, a1..a4, s1, s2)\n" name;
+              Printf.eprintf "unknown experiment %S (known: e1..e12, a1..a4, s1, s2, c1)\n" name;
               exit 1)
         selected
   in

@@ -1,18 +1,85 @@
 module Metrics = Matprod_obs.Metrics
 module Trace = Matprod_obs.Trace
 
-type t = { transcript : Transcript.t }
+type wire = {
+  fault : Fault.t;
+  cfg : Reliable.config;
+  mutable seq : int;
+  mutable data_frames : int;
+  mutable acks : int;
+  mutable retries : int;
+  mutable crc_rejects : int;
+  mutable giveups : int;
+  mutable waited : float;
+}
 
-let create () = { transcript = Transcript.create () }
+type t = { transcript : Transcript.t; mutable wire : wire option }
+
+let create () = { transcript = Transcript.create (); wire = None }
 let transcript t = t.transcript
+
+let install t ~fault ?(reliable = Reliable.default_config) () =
+  t.wire <-
+    Some
+      {
+        fault;
+        cfg = reliable;
+        seq = 0;
+        data_frames = 0;
+        acks = 0;
+        retries = 0;
+        crc_rejects = 0;
+        giveups = 0;
+        waited = 0.0;
+      }
+
+type stats = {
+  data_frames : int;
+  acks : int;
+  retries : int;
+  crc_rejects : int;
+  giveups : int;
+  waited : float;
+  faults : Fault.stats;
+}
+
+let zero_stats =
+  {
+    data_frames = 0;
+    acks = 0;
+    retries = 0;
+    crc_rejects = 0;
+    giveups = 0;
+    waited = 0.0;
+    faults = Fault.zero_stats;
+  }
+
+let stats t =
+  match t.wire with
+  | None -> zero_stats
+  | Some w ->
+      {
+        data_frames = w.data_frames;
+        acks = w.acks;
+        retries = w.retries;
+        crc_rejects = w.crc_rejects;
+        giveups = w.giveups;
+        waited = w.waited;
+        faults = Fault.stats w.fault;
+      }
 
 let c_messages = Metrics.counter "messages_sent"
 let h_encode = Metrics.histogram "codec_encode_ns"
 let h_decode = Metrics.histogram "codec_decode_ns"
+let c_rel_frames = Metrics.counter "reliable_frames"
+let c_rel_acks = Metrics.counter "reliable_acks"
+let c_rel_retries = Metrics.counter "reliable_retries"
+let c_rel_crc = Metrics.counter "reliable_crc_rejects"
+let c_rel_giveups = Metrics.counter "reliable_giveups"
 
-let send t ~from ~label codec v =
-  let wire = Metrics.timed h_encode (fun () -> Codec.encode codec v) in
-  let bytes = String.length wire in
+(* Charge one physical transmission to the transcript, metrics, and trace —
+   the accounting path every message (and every frame) goes through. *)
+let record_msg t ~from ~label ~bytes =
   let round_before = Transcript.rounds t.transcript in
   Transcript.record t.transcript ~sender:from ~label ~bytes;
   let round = Transcript.rounds t.transcript in
@@ -39,5 +106,110 @@ let send t ~from ~label codec v =
           ("round", Matprod_obs.Json.Int round);
         ]
       ()
-  end;
-  Metrics.timed h_decode (fun () -> Codec.decode codec wire)
+  end
+
+(* Stop-and-wait over the faulty wire: frame, transmit, collect what the
+   fault model lets through, ack, retransmit on silence with capped
+   exponential backoff. Every frame and ack — including retransmissions —
+   is charged through [record_msg], so the transcript prices reliability
+   honestly. Returns the payload the receiver accepted; the CRC ensures it
+   equals the payload sent. *)
+let send_reliable t w ~from ~label payload =
+  let seq = w.seq in
+  w.seq <- seq + 1;
+  let to_party = Transcript.other from in
+  let ack_label = label ^ "/ack" in
+  let received = ref None in
+  let rec attempt n timeout =
+    if n > w.cfg.max_attempts then begin
+      w.giveups <- w.giveups + 1;
+      if Metrics.enabled () then Metrics.incr c_rel_giveups;
+      if Trace.enabled () then
+        Trace.event ~name:"reliable.giveup"
+          ~attrs:
+            [
+              ("label", Matprod_obs.Json.String label);
+              ("attempts", Matprod_obs.Json.Int w.cfg.max_attempts);
+            ]
+          ();
+      raise (Reliable.Link_failure { label; attempts = w.cfg.max_attempts })
+    end;
+    if n > 1 then begin
+      w.retries <- w.retries + 1;
+      if Metrics.enabled () then Metrics.incr c_rel_retries;
+      if Trace.enabled () then
+        Trace.event ~name:"reliable.retry"
+          ~attrs:
+            [
+              ("label", Matprod_obs.Json.String label);
+              ("attempt", Matprod_obs.Json.Int n);
+            ]
+          ()
+    end;
+    (* Data frame: sender -> receiver. *)
+    let frame = Reliable.data_frame ~seq payload in
+    w.data_frames <- w.data_frames + 1;
+    if Metrics.enabled () then Metrics.incr c_rel_frames;
+    record_msg t ~from ~label ~bytes:(String.length frame);
+    let deliveries = Fault.apply w.fault ~from ~label frame in
+    let arrived = ref false in
+    List.iter
+      (fun d ->
+        if d.Fault.delay <= timeout then
+          match Reliable.parse d.Fault.bytes with
+          | Ok (Reliable.Data, s, p) when s = seq ->
+              arrived := true;
+              if !received = None then received := Some p
+          | Ok _ -> () (* stale or duplicate sequence number *)
+          | Error _ ->
+              w.crc_rejects <- w.crc_rejects + 1;
+              if Metrics.enabled () then Metrics.incr c_rel_crc)
+      deliveries;
+    if not !arrived then begin
+      (* Silence: wait out the timeout, back off, retransmit. *)
+      w.waited <- w.waited +. timeout;
+      attempt (n + 1) (Reliable.next_timeout w.cfg timeout)
+    end
+    else begin
+      (* Receiver acks (first arrival or duplicate alike); the ack crosses
+         the same faulty wire. *)
+      let ack = Reliable.ack_frame ~seq in
+      w.acks <- w.acks + 1;
+      if Metrics.enabled () then Metrics.incr c_rel_acks;
+      record_msg t ~from:to_party ~label:ack_label ~bytes:(String.length ack);
+      let ack_deliveries =
+        Fault.apply w.fault ~from:to_party ~label:ack_label ack
+      in
+      let ack_ok =
+        List.exists
+          (fun d ->
+            d.Fault.delay <= timeout
+            &&
+            match Reliable.parse d.Fault.bytes with
+            | Ok (Reliable.Ack, s, _) -> s = seq
+            | Ok _ -> false
+            | Error _ ->
+                w.crc_rejects <- w.crc_rejects + 1;
+                if Metrics.enabled () then Metrics.incr c_rel_crc;
+                false)
+          ack_deliveries
+      in
+      if ack_ok then
+        match !received with Some p -> p | None -> assert false
+      else begin
+        w.waited <- w.waited +. timeout;
+        attempt (n + 1) (Reliable.next_timeout w.cfg timeout)
+      end
+    end
+  in
+  attempt 1 w.cfg.base_timeout
+
+let send t ~from ~label codec v =
+  let wire = Metrics.timed h_encode (fun () -> Codec.encode codec v) in
+  match t.wire with
+  | Some w when Fault.is_active w.fault ->
+      let payload = send_reliable t w ~from ~label wire in
+      Metrics.timed h_decode (fun () -> Codec.decode codec payload)
+  | _ ->
+      record_msg t ~from ~label ~bytes:(String.length wire);
+      Metrics.timed h_decode (fun () -> Codec.decode codec wire)

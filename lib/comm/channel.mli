@@ -5,12 +5,47 @@
     and returns the decoded value. Protocol code must use the returned
     value on the receiving side — information that was not actually encoded
     cannot leak across, and lossy codecs (e.g. {!Codec.float32}) lose
-    precision exactly as they would on a network. *)
+    precision exactly as they would on a network.
+
+    By default the wire is perfect. {!install} arms it with a {!Fault}
+    model; while the model is active every message is carried by the
+    {!Reliable} stop-and-wait layer (CRC32 framing, acks, retransmission
+    with capped exponential backoff), and every frame — retransmissions
+    and acks included — is charged to the transcript under the message's
+    label (acks under ["<label>/ack"]). A message that exhausts its
+    attempts raises {!Reliable.Link_failure}; corrupted frames are
+    rejected by checksum, so [send] either returns exactly the value that
+    a perfect wire would have delivered or fails loudly — never a mangled
+    value. An inert fault model (all rates 0) leaves the channel
+    byte-for-byte identical to the default. *)
 
 type t
 
 val create : unit -> t
 val transcript : t -> Transcript.t
 
+val install : t -> fault:Fault.t -> ?reliable:Reliable.config -> unit -> unit
+(** Arm the wire. May be called before any message is sent; installing a
+    new wire resets sequence numbers and reliability stats. *)
+
+(** Cumulative reliability-layer accounting for one channel. *)
+type stats = {
+  data_frames : int;  (** data transmissions, retransmissions included *)
+  acks : int;  (** ack transmissions *)
+  retries : int;  (** retransmission attempts (attempts beyond the first) *)
+  crc_rejects : int;  (** frames discarded for checksum mismatch *)
+  giveups : int;  (** messages that exhausted [max_attempts] *)
+  waited : float;  (** simulated seconds spent in retransmission timeouts *)
+  faults : Fault.stats;
+}
+
+val zero_stats : stats
+
+val stats : t -> stats
+(** {!zero_stats} when no wire is installed. *)
+
 val send :
   t -> from:Transcript.party -> label:string -> 'a Codec.t -> 'a -> 'a
+(** Raises {!Reliable.Link_failure} when an active fault model defeats
+    every transmission attempt, and {!Codec.Decode_error} if the payload
+    does not decode (on an armed wire that requires a 2⁻³² CRC collision). *)

@@ -3,6 +3,17 @@ type 'a t = {
   dec : string -> int ref -> 'a;
 }
 
+exception Decode_error of string
+
+let dec_fail msg = raise (Decode_error msg)
+
+(* Dense-array decoders (counter_array) must allocate the logical length,
+   which a sparse encoding legitimately makes much larger than the wire
+   bytes. This cap bounds what a corrupted or adversarial length prefix can
+   make us allocate: 2^24 words ≈ 128 MB, far above any sketch state the
+   library ships. *)
+let max_dense_length = 1 lsl 24
+
 let encode c v =
   let b = Buffer.create 64 in
   c.enc b v;
@@ -11,13 +22,13 @@ let encode c v =
 let decode c s =
   let pos = ref 0 in
   let v = c.dec s pos in
-  if !pos <> String.length s then failwith "Codec.decode: trailing bytes";
+  if !pos <> String.length s then dec_fail "Codec.decode: trailing bytes";
   v
 
 let encoded_bytes c v = String.length (encode c v)
 
 let read_byte s pos =
-  if !pos >= String.length s then failwith "Codec: truncated input";
+  if !pos >= String.length s then dec_fail "Codec: truncated input";
   let b = Char.code s.[!pos] in
   incr pos;
   b
@@ -43,10 +54,27 @@ let dec_uvarint s pos =
     let byte = read_byte s pos in
     let acc = acc lor ((byte land 0x7f) lsl shift) in
     if byte land 0x80 = 0 then acc
-    else if shift >= 63 then failwith "Codec: varint too long"
+    else if shift >= 63 then dec_fail "Codec: varint too long"
     else go (shift + 7) acc
   in
   go 0 0
+
+(* A 9-byte varint can set bit 63 and come out negative; every unsigned
+   context (values, lengths, deltas) must reject that rather than feed a
+   negative into [Array.make] or index arithmetic. *)
+let dec_unonneg s pos =
+  let n = dec_uvarint s pos in
+  if n < 0 then dec_fail "Codec: negative unsigned varint";
+  n
+
+(* Length prefix for a sequence whose elements each occupy at least one
+   byte: a well-formed count can never exceed the bytes left, so cap the
+   [Array.init]/[List.init] allocation by the remaining input. *)
+let dec_count s pos what =
+  let n = dec_unonneg s pos in
+  if n > String.length s - !pos then
+    dec_fail (what ^ ": length prefix exceeds remaining input");
+  n
 
 let zigzag n = (n lsl 1) lxor (n asr 62)
 let unzigzag z = (z lsr 1) lxor (-(z land 1))
@@ -61,10 +89,10 @@ let bool =
         match read_byte s pos with
         | 0 -> false
         | 1 -> true
-        | _ -> failwith "Codec.bool: bad byte");
+        | _ -> dec_fail "Codec.bool: bad byte");
   }
 
-let uint = { enc = enc_uvarint; dec = dec_uvarint }
+let uint = { enc = enc_uvarint; dec = dec_unonneg }
 
 let int =
   {
@@ -152,7 +180,7 @@ let option c =
         match read_byte s pos with
         | 0 -> None
         | 1 -> Some (c.dec s pos)
-        | _ -> failwith "Codec.option: bad tag");
+        | _ -> dec_fail "Codec.option: bad tag");
   }
 
 let array c =
@@ -163,7 +191,7 @@ let array c =
         Array.iter (c.enc b) a);
     dec =
       (fun s pos ->
-        let n = dec_uvarint s pos in
+        let n = dec_count s pos "Codec.array" in
         Array.init n (fun _ -> c.dec s pos));
   }
 
@@ -175,7 +203,7 @@ let list c =
         List.iter (c.enc b) l);
     dec =
       (fun s pos ->
-        let n = dec_uvarint s pos in
+        let n = dec_count s pos "Codec.list" in
         List.init n (fun _ -> c.dec s pos));
   }
 
@@ -197,11 +225,12 @@ let sorted_int_array =
           a);
     dec =
       (fun s pos ->
-        let n = dec_uvarint s pos in
+        let n = dec_count s pos "Codec.sorted_int_array" in
         let prev = ref (-1) in
         Array.init n (fun _ ->
-            let d = dec_uvarint s pos in
+            let d = dec_unonneg s pos in
             prev := !prev + 1 + d;
+            if !prev < 0 then dec_fail "Codec.sorted_int_array: index overflow";
             !prev));
   }
 
@@ -221,12 +250,13 @@ let sparse_int_vec =
           a);
     dec =
       (fun s pos ->
-        let n = dec_uvarint s pos in
+        let n = dec_count s pos "Codec.sparse_int_vec" in
         let prev = ref (-1) in
         Array.init n (fun _ ->
-            let d = dec_uvarint s pos in
+            let d = dec_unonneg s pos in
             let v = unzigzag (dec_uvarint s pos) in
             prev := !prev + 1 + d;
+            if !prev < 0 then dec_fail "Codec.sparse_int_vec: index overflow";
             (!prev, v)));
   }
 
@@ -241,8 +271,7 @@ let bytes =
         Buffer.add_string b s);
     dec =
       (fun s pos ->
-        let n = dec_uvarint s pos in
-        if !pos + n > String.length s then failwith "Codec: truncated input";
+        let n = dec_count s pos "Codec.bytes" in
         let r = String.sub s !pos n in
         pos := !pos + n;
         r);
@@ -276,14 +305,18 @@ let counter_array =
           pairs);
     dec =
       (fun s pos ->
-        let len = dec_uvarint s pos in
-        let n = dec_uvarint s pos in
+        let len = dec_unonneg s pos in
+        if len > max_dense_length then
+          dec_fail "Codec.counter_array: dense length exceeds cap";
+        let n = dec_count s pos "Codec.counter_array" in
         let prev = ref (-1) in
         let pairs =
           List.init n (fun _ ->
-              let d = dec_uvarint s pos in
-              let v = dec_uvarint s pos in
+              let d = dec_unonneg s pos in
+              let v = dec_unonneg s pos in
               prev := !prev + 1 + d;
+              if !prev < 0 || !prev >= len then
+                dec_fail "Codec.counter_array: index beyond dense length";
               (!prev, v))
         in
         of_sparse (len, pairs));

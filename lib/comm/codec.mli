@@ -9,9 +9,24 @@
 
 type 'a t
 
+exception Decode_error of string
+(** The single exception every decoder raises on malformed input:
+    truncation, trailing garbage, bad tags, overlong or negative varints,
+    length prefixes exceeding the remaining input, and index overflow in
+    delta-coded sequences. Decoders never raise anything else on corrupt
+    bytes, and allocation before the check is bounded by the input length
+    (dense logical lengths are additionally capped at
+    {!max_dense_length}), so feeding adversarial bytes to [decode] is
+    safe. *)
+
+val max_dense_length : int
+(** Upper bound (2^24) on the dense logical length a sparse encoding
+    ({!counter_array}) may declare — the one place a length prefix drives
+    an allocation larger than the wire bytes. *)
+
 val encode : 'a t -> 'a -> string
 val decode : 'a t -> string -> 'a
-(** Raises [Failure] on trailing garbage or truncated input. *)
+(** Raises {!Decode_error} on trailing garbage or any malformed input. *)
 
 val encoded_bytes : 'a t -> 'a -> int
 

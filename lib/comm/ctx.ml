@@ -15,6 +15,10 @@ let create ~seed =
   let bob = Prng.split root in
   { chan = Channel.create (); public; alice; bob }
 
+let install_wire t ~fault ?reliable () =
+  Channel.install t.chan ~fault ?reliable ()
+
+let wire_stats t = Channel.stats t.chan
 let send t ~from ~label codec v = Channel.send t.chan ~from ~label codec v
 let a2b t ~label codec v = send t ~from:Transcript.Alice ~label codec v
 let b2a t ~label codec v = send t ~from:Transcript.Bob ~label codec v

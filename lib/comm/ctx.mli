@@ -22,6 +22,16 @@ type t = {
 
 val create : seed:int -> t
 
+val install_wire :
+  t -> fault:Fault.t -> ?reliable:Reliable.config -> unit -> unit
+(** Arm the context's channel with a fault model (see {!Channel.install}).
+    Call before the first message; typically the first thing a chaos run
+    does inside {!run}'s body. *)
+
+val wire_stats : t -> Channel.stats
+(** Reliability/fault accounting for this run ({!Channel.zero_stats} on a
+    perfect wire). *)
+
 val send :
   t -> from:Transcript.party -> label:string -> 'a Codec.t -> 'a -> 'a
 (** Shorthand for {!Channel.send} on [t.chan]. *)

@@ -1,0 +1,163 @@
+module Prng = Matprod_util.Prng
+module Metrics = Matprod_obs.Metrics
+module Trace = Matprod_obs.Trace
+
+type rates = {
+  drop : float;
+  corrupt : float;
+  truncate : float;
+  duplicate : float;
+  delay : float;
+  delay_s : float;
+}
+
+let zero_rates =
+  { drop = 0.0; corrupt = 0.0; truncate = 0.0; duplicate = 0.0; delay = 0.0;
+    delay_s = 0.0 }
+
+let validate_rates r =
+  let p name v =
+    if not (v >= 0.0 && v <= 1.0) then
+      invalid_arg (Printf.sprintf "Fault: %s must be a probability" name)
+  in
+  p "drop" r.drop;
+  p "corrupt" r.corrupt;
+  p "truncate" r.truncate;
+  p "duplicate" r.duplicate;
+  p "delay" r.delay;
+  if r.delay_s < 0.0 then invalid_arg "Fault: delay_s must be >= 0"
+
+type rule = {
+  from : Transcript.party option;
+  label_prefix : string;
+  rates : rates;
+}
+
+let rule ?from ?(label_prefix = "") rates =
+  validate_rates rates;
+  { from; label_prefix; rates }
+
+type stats = {
+  dropped : int;
+  corrupted : int;
+  truncated : int;
+  duplicated : int;
+  delayed : int;
+  injected_delay : float;
+}
+
+let zero_stats =
+  { dropped = 0; corrupted = 0; truncated = 0; duplicated = 0; delayed = 0;
+    injected_delay = 0.0 }
+
+type t = {
+  prng : Prng.t;
+  rules : rule list;
+  mutable stats : stats;
+}
+
+let create ~seed rules = { prng = Prng.create seed; rules; stats = zero_stats }
+let uniform ~seed rates = create ~seed [ rule rates ]
+let none ~seed = create ~seed []
+let stats t = t.stats
+
+let total_injected s =
+  s.dropped + s.corrupted + s.truncated + s.duplicated + s.delayed
+
+let rates_active r =
+  r.drop > 0.0 || r.corrupt > 0.0 || r.truncate > 0.0 || r.duplicate > 0.0
+  || r.delay > 0.0
+
+let is_active t = List.exists (fun r -> rates_active r.rates) t.rules
+
+let starts_with ~prefix s =
+  String.length prefix <= String.length s
+  && String.sub s 0 (String.length prefix) = prefix
+
+let matching_rule t ~from ~label =
+  List.find_opt
+    (fun r ->
+      (match r.from with None -> true | Some p -> p = from)
+      && starts_with ~prefix:r.label_prefix label)
+    t.rules
+
+type delivery = { bytes : string; delay : float }
+
+let c_dropped = Metrics.counter "faults_dropped"
+let c_corrupted = Metrics.counter "faults_corrupted"
+let c_truncated = Metrics.counter "faults_truncated"
+let c_duplicated = Metrics.counter "faults_duplicated"
+let c_delayed = Metrics.counter "faults_delayed"
+
+let count c kind label =
+  if Metrics.enabled () then Metrics.incr c;
+  if Trace.enabled () then
+    Trace.event ~name:("fault." ^ kind)
+      ~attrs:[ ("label", Matprod_obs.Json.String label) ]
+      ()
+
+(* Flip one uniformly random bit of [bytes]. *)
+let flip_bit prng bytes =
+  let n = String.length bytes in
+  if n = 0 then bytes
+  else begin
+    let bit = Prng.int prng (n * 8) in
+    let b = Bytes.of_string bytes in
+    let i = bit / 8 in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl (bit mod 8))));
+    Bytes.to_string b
+  end
+
+let truncate_at prng bytes =
+  let n = String.length bytes in
+  if n = 0 then bytes else String.sub bytes 0 (Prng.int prng n)
+
+let apply t ~from ~label bytes =
+  match matching_rule t ~from ~label with
+  | None -> [ { bytes; delay = 0.0 } ]
+  | Some { rates = r; _ } when not (rates_active r) -> [ { bytes; delay = 0.0 } ]
+  | Some { rates = r; _ } ->
+      if Prng.bernoulli t.prng r.drop then begin
+        t.stats <- { t.stats with dropped = t.stats.dropped + 1 };
+        count c_dropped "drop" label;
+        []
+      end
+      else begin
+        let copies =
+          if Prng.bernoulli t.prng r.duplicate then begin
+            t.stats <- { t.stats with duplicated = t.stats.duplicated + 1 };
+            count c_duplicated "duplicate" label;
+            2
+          end
+          else 1
+        in
+        List.init copies (fun _ ->
+            let b = ref bytes in
+            if Prng.bernoulli t.prng r.corrupt then begin
+              t.stats <- { t.stats with corrupted = t.stats.corrupted + 1 };
+              count c_corrupted "corrupt" label;
+              b := flip_bit t.prng !b
+            end;
+            if Prng.bernoulli t.prng r.truncate then begin
+              t.stats <- { t.stats with truncated = t.stats.truncated + 1 };
+              count c_truncated "truncate" label;
+              b := truncate_at t.prng !b
+            end;
+            let delay =
+              if Prng.bernoulli t.prng r.delay then begin
+                (* Jittered around delay_s so repeated retries do not all
+                   miss (or all clear) a fixed timeout. *)
+                let d = r.delay_s *. (0.5 +. Prng.float t.prng) in
+                t.stats <-
+                  {
+                    t.stats with
+                    delayed = t.stats.delayed + 1;
+                    injected_delay = t.stats.injected_delay +. d;
+                  };
+                count c_delayed "delay" label;
+                d
+              end
+              else 0.0
+            in
+            { bytes = !b; delay })
+      end

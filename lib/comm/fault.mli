@@ -1,0 +1,75 @@
+(** Seeded, deterministic fault injection for the simulated wire.
+
+    A fault model is applied to the {e encoded bytes} of each frame as it
+    crosses the channel: messages can be dropped, bit-flipped, truncated,
+    duplicated, or delayed, each with its own probability. Rules are
+    matched per direction and per transcript-label prefix, so a test can
+    make only Bob's acks lossy, or only the round-1 sketch exchange.
+
+    All randomness comes from the model's own [seed] — protocol runs stay
+    reproducible, and the parties' coin streams are untouched, so a run
+    that survives the faults produces {e exactly} the output of the
+    fault-free run (the reliability layer delivers intact bytes or
+    nothing). See docs/ROBUSTNESS.md for the full semantics. *)
+
+(** Per-message fault probabilities. [delay_s] is the nominal extra
+    latency (jittered in [0.5, 1.5)×) charged when a delay fault fires. *)
+type rates = {
+  drop : float;
+  corrupt : float;  (** flip one uniformly random bit *)
+  truncate : float;  (** cut to a uniformly random proper prefix *)
+  duplicate : float;  (** deliver the frame twice *)
+  delay : float;  (** probability of delaying by ~[delay_s] *)
+  delay_s : float;
+}
+
+val zero_rates : rates
+(** All probabilities 0 — a rule with these rates is inert. *)
+
+type rule
+(** [rates] scoped to a direction and a label prefix. *)
+
+val rule : ?from:Transcript.party -> ?label_prefix:string -> rates -> rule
+(** [rule rates] applies to every message; restrict with [?from] (only
+    messages sent by that party) and [?label_prefix] (only labels starting
+    with the prefix — acks carry the label ["<label>/ack"]). Raises
+    [Invalid_argument] if any probability is outside [0, 1]. *)
+
+type t
+
+val create : seed:int -> rule list -> t
+(** First matching rule wins; a message matching no rule passes intact. *)
+
+val uniform : seed:int -> rates -> t
+(** One rule covering every message in both directions. *)
+
+val none : seed:int -> t
+(** No rules: a perfectly transparent wire. *)
+
+val is_active : t -> bool
+(** Whether any rule carries a nonzero probability. The channel engages
+    the reliability layer (framing, acks, retries) only on an active
+    model, so an inert one leaves transcripts byte-for-byte unchanged. *)
+
+(** Cumulative injection counts since [create]. *)
+type stats = {
+  dropped : int;
+  corrupted : int;
+  truncated : int;
+  duplicated : int;
+  delayed : int;
+  injected_delay : float;  (** total injected delay, seconds *)
+}
+
+val zero_stats : stats
+val stats : t -> stats
+val total_injected : stats -> int
+
+(** One physical arrival of a (possibly mangled) frame. *)
+type delivery = { bytes : string; delay : float }
+
+val apply : t -> from:Transcript.party -> label:string -> string -> delivery list
+(** Run the fault model over one frame: [] means dropped, two elements
+    mean duplicated; bytes may be corrupted or truncated and each copy
+    carries its injected delay. Emits [faults_*] counters and
+    [fault.<kind>] trace events per docs/OBSERVABILITY.md. *)

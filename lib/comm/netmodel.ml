@@ -1,16 +1,46 @@
-type t = { name : string; latency : float; bandwidth : float }
+type t = {
+  name : string;
+  latency : float;
+  bandwidth : float;
+  loss : float;
+  timeout : float;
+}
 
-let make ~name ~latency ~bandwidth =
+let default_timeout = 0.2
+
+let make ~name ~latency ~bandwidth ?(loss = 0.0) ?(timeout = default_timeout)
+    () =
   if latency < 0.0 || bandwidth <= 0.0 then invalid_arg "Netmodel.make";
-  { name; latency; bandwidth }
+  if not (loss >= 0.0 && loss < 1.0) then invalid_arg "Netmodel.make: loss";
+  if timeout < 0.0 then invalid_arg "Netmodel.make: timeout";
+  { name; latency; bandwidth; loss; timeout }
 
-let lan = make ~name:"LAN" ~latency:1e-4 ~bandwidth:1e10
-let wan = make ~name:"WAN" ~latency:0.05 ~bandwidth:1e8
-let mobile = make ~name:"mobile" ~latency:0.12 ~bandwidth:1e7
+let lan = make ~name:"LAN" ~latency:1e-4 ~bandwidth:1e10 ()
+let wan = make ~name:"WAN" ~latency:0.05 ~bandwidth:1e8 ()
+let mobile = make ~name:"mobile" ~latency:0.12 ~bandwidth:1e7 ()
+
+let with_loss ?(timeout = default_timeout) t ~loss =
+  if not (loss >= 0.0 && loss < 1.0) then invalid_arg "Netmodel.with_loss";
+  if timeout < 0.0 then invalid_arg "Netmodel.with_loss: timeout";
+  { t with loss; timeout }
 
 let transfer_time t tr =
-  (float_of_int (Transcript.rounds tr) *. t.latency)
-  +. (float_of_int (Transcript.total_bits tr) /. t.bandwidth)
+  if t.loss = 0.0 then
+    (float_of_int (Transcript.rounds tr) *. t.latency)
+    +. (float_of_int (Transcript.total_bits tr) /. t.bandwidth)
+  else begin
+    (* Each frame is lost independently with probability [loss], so a
+       message takes 1/(1-loss) transmissions in expectation, and each of
+       the loss/(1-loss) expected failures costs one retransmission
+       timeout on top of the wire time. *)
+    let survive = 1.0 -. t.loss in
+    let expected_timeouts =
+      float_of_int (Transcript.message_count tr) *. t.loss /. survive
+    in
+    (float_of_int (Transcript.rounds tr) *. t.latency)
+    +. (float_of_int (Transcript.total_bits tr) /. (t.bandwidth *. survive))
+    +. (expected_timeouts *. t.timeout)
+  end
 
 let pp_time ppf s =
   if s < 1e-3 then Format.fprintf ppf "%.0f us" (s *. 1e6)

@@ -16,6 +16,8 @@ type t = {
   name : string;
   latency : float;  (** one-way per-round latency, seconds *)
   bandwidth : float;  (** bits per second *)
+  loss : float;  (** per-frame loss probability, in [0, 1) *)
+  timeout : float;  (** retransmission timeout priced per expected loss *)
 }
 
 val lan : t
@@ -27,10 +29,25 @@ val wan : t
 val mobile : t
 (** 120 ms, 10 Mb/s. *)
 
-val make : name:string -> latency:float -> bandwidth:float -> t
+val make :
+  name:string -> latency:float -> bandwidth:float -> ?loss:float ->
+  ?timeout:float -> unit -> t
+(** [loss] defaults to 0 (the built-in models are lossless), [timeout] to
+    {!default_timeout}. *)
+
+val default_timeout : float
+(** 200 ms — the retransmission timeout assumed when pricing loss. *)
+
+val with_loss : ?timeout:float -> t -> loss:float -> t
+(** The same link with a per-frame loss probability. *)
 
 val transfer_time : t -> Transcript.t -> float
-(** Seconds to play the transcript over this network. *)
+(** Seconds to play the transcript over this network. On a lossless link
+    this is [rounds·latency + bits/bandwidth], exactly as before loss
+    modelling existed. With loss [p], every message takes 1/(1−p)
+    transmissions in expectation — the bandwidth term scales by 1/(1−p)
+    and each of the p/(1−p) expected failures per message adds one
+    [timeout] of idle waiting. *)
 
 val pp_time : Format.formatter -> float -> unit
 (** Human-readable duration (µs / ms / s). *)

@@ -1,6 +1,7 @@
 module Prng = Matprod_util.Prng
 module Stats = Matprod_util.Stats
 module Ctx = Matprod_comm.Ctx
+module Transcript = Matprod_comm.Transcript
 
 type result = {
   estimate : float;
@@ -27,7 +28,69 @@ let run_median ~seed ~repetitions f =
     rounds = !rounds;
   }
 
+type verdict = Full_quorum | Degraded of { survived : int; total : int }
+
+type safe_result = {
+  estimate : float;
+  runs : float array;
+  failures : (int * Outcome.error) list;
+  total_bits : int;
+  rounds : int;
+  verdict : verdict;
+}
+
+let run_median_safe ~seed ~repetitions ?(min_survivors = 1) f =
+  if repetitions < 1 then
+    Error (Outcome.Precondition "Boosting.run_median_safe: repetitions >= 1")
+  else if min_survivors < 1 || min_survivors > repetitions then
+    Error
+      (Outcome.Precondition
+         "Boosting.run_median_safe: need 1 <= min_survivors <= repetitions")
+  else begin
+    let root = Prng.create seed in
+    let survivors = ref [] and failures = ref [] in
+    let bits = ref 0 and rounds = ref 0 in
+    for r = 0 to repetitions - 1 do
+      (* Same seed schedule as [run_median], so a fault-free safe run
+         reproduces it exactly. The context is built by hand because a
+         failed repetition's communication must still be charged. *)
+      let ctx = Ctx.create ~seed:(Prng.fresh_seed root) in
+      (match Outcome.guard (fun () -> f ctx) with
+      | Ok output ->
+          survivors := output :: !survivors;
+          rounds := max !rounds (Transcript.rounds (Ctx.transcript ctx))
+      | Error e -> failures := (r, e) :: !failures);
+      bits := !bits + Transcript.total_bits (Ctx.transcript ctx)
+    done;
+    let failures = List.rev !failures in
+    let runs = Array.of_list (List.rev !survivors) in
+    let survived = Array.length runs in
+    if survived < min_survivors then
+      Error
+        (Outcome.Protocol_failure
+           (Printf.sprintf
+              "Boosting: quorum lost — %d of %d repetitions survived \
+               (needed %d); first failure: %s"
+              survived repetitions min_survivors
+              (match failures with
+              | (_, e) :: _ -> Outcome.error_to_string e
+              | [] -> "none")))
+    else
+      Ok
+        {
+          estimate = Stats.median runs;
+          runs;
+          failures;
+          total_bits = !bits;
+          rounds = !rounds;
+          verdict =
+            (if survived = repetitions then Full_quorum
+             else Degraded { survived; total = repetitions });
+        }
+  end
+
 let repetitions_for ~delta =
   if not (delta > 0.0 && delta < 1.0) then invalid_arg "Boosting: delta";
   let r = int_of_float (Float.ceil (12.0 *. log (1.0 /. delta))) in
+  let r = max 1 r in
   if r land 1 = 1 then r else r + 1

@@ -31,3 +31,5 @@ let run ctx prm ~a ~b =
     if est > !best then best := est
   done;
   !best
+
+let run_safe ctx prm ~a ~b = Outcome.capture ctx (fun () -> run ctx prm ~a ~b)

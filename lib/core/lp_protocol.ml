@@ -99,3 +99,5 @@ let run ctx prm ~a ~b =
   let beta = sqrt prm.eps in
   let est = round1 ctx prm ~beta ~a ~b in
   round2 ctx ~p:prm.p ~beta ~rho_const:prm.rho_const ~est ~a ~b
+
+let run_safe ctx prm ~a ~b = Outcome.capture ctx (fun () -> run ctx prm ~a ~b)

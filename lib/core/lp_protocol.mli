@@ -56,3 +56,13 @@ val round2 :
 (** The sampling round on its own, given round-1 row estimates [est] at
     accuracy β: group, sample ≈ rho_const/β² rows, ship, Horvitz–Thompson.
     Used by [run] (with β = √ε) and by {!Session.refine}. *)
+
+val run_safe :
+  Matprod_comm.Ctx.t ->
+  params ->
+  a:Matprod_matrix.Imat.t ->
+  b:Matprod_matrix.Imat.t ->
+  (float * Outcome.diagnostics, Outcome.error) result
+(** Fail-safe [run]: wire failures, decode failures, and precondition
+    breaches come back as typed errors instead of exceptions (see
+    {!Outcome}). *)

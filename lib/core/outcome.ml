@@ -1,0 +1,60 @@
+module Ctx = Matprod_comm.Ctx
+module Channel = Matprod_comm.Channel
+module Codec = Matprod_comm.Codec
+module Fault = Matprod_comm.Fault
+module Reliable = Matprod_comm.Reliable
+module Transcript = Matprod_comm.Transcript
+
+type error =
+  | Link_failure of { label : string; attempts : int }
+  | Decode_failure of string
+  | Precondition of string
+  | Protocol_failure of string
+
+let error_to_string = function
+  | Link_failure { label; attempts } ->
+      Printf.sprintf "link failure: %S unacknowledged after %d attempts" label
+        attempts
+  | Decode_failure m -> Printf.sprintf "decode failure: %s" m
+  | Precondition m -> Printf.sprintf "precondition violated: %s" m
+  | Protocol_failure m -> Printf.sprintf "protocol failure: %s" m
+
+let pp_error ppf e = Format.pp_print_string ppf (error_to_string e)
+
+type diagnostics = {
+  bits : int;
+  rounds : int;
+  retries : int;
+  crc_rejects : int;
+  faults_injected : int;
+  waited : float;
+}
+
+let diagnostics_of_ctx ctx =
+  let tr = Ctx.transcript ctx in
+  let s = Ctx.wire_stats ctx in
+  {
+    bits = Transcript.total_bits tr;
+    rounds = Transcript.rounds tr;
+    retries = s.Channel.retries;
+    crc_rejects = s.Channel.crc_rejects;
+    faults_injected = Fault.total_injected s.Channel.faults;
+    waited = s.Channel.waited +. s.Channel.faults.Fault.injected_delay;
+  }
+
+(* The catch list is deliberately narrow: the failure modes a hostile wire
+   or a bad precondition can produce. Assertion failures, out-of-memory,
+   stack overflow — genuine bugs — still escape. *)
+let guard f =
+  match f () with
+  | v -> Ok v
+  | exception Reliable.Link_failure { label; attempts } ->
+      Error (Link_failure { label; attempts })
+  | exception Codec.Decode_error m -> Error (Decode_failure m)
+  | exception Invalid_argument m -> Error (Precondition m)
+  | exception Failure m -> Error (Protocol_failure m)
+
+let capture ctx f =
+  match guard f with
+  | Ok v -> Ok (v, diagnostics_of_ctx ctx)
+  | Error e -> Error e

@@ -1,0 +1,45 @@
+(** Fail-safe protocol results: the typed errors and run diagnostics shared
+    by every driver's [run_safe] entry point.
+
+    The contract (docs/ROBUSTNESS.md): a protocol run over a hostile wire
+    ends in exactly one of
+
+    - {b success} — [Ok (output, diagnostics)], where [output] is within
+      the protocol's guarantee (the reliability layer delivers intact
+      bytes or nothing, so a completed run equals its fault-free twin);
+    - {b typed failure} — [Error e] naming what went wrong;
+
+    and never in an escaped exception or a silently wrong answer. *)
+
+type error =
+  | Link_failure of { label : string; attempts : int }
+      (** a message exhausted its retransmission budget *)
+  | Decode_failure of string  (** {!Matprod_comm.Codec.Decode_error} *)
+  | Precondition of string  (** [Invalid_argument] from input validation *)
+  | Protocol_failure of string  (** a sketch-level or internal [Failure] *)
+
+val error_to_string : error -> string
+val pp_error : Format.formatter -> error -> unit
+
+(** What a run cost and what the wire did to it. *)
+type diagnostics = {
+  bits : int;  (** transcript bits, retransmissions and acks included *)
+  rounds : int;  (** speaking phases, ack alternations included *)
+  retries : int;  (** retransmissions performed *)
+  crc_rejects : int;  (** frames discarded as corrupt *)
+  faults_injected : int;  (** total fault events the model injected *)
+  waited : float;  (** simulated seconds in timeouts plus injected delay *)
+}
+
+val diagnostics_of_ctx : Matprod_comm.Ctx.t -> diagnostics
+
+val guard : (unit -> 'a) -> ('a, error) result
+(** Run a thunk, converting the wire/precondition exception families
+    ({!Matprod_comm.Reliable.Link_failure}, {!Matprod_comm.Codec.Decode_error},
+    [Invalid_argument], [Failure]) into typed errors. Anything else — an
+    actual bug — still propagates. *)
+
+val capture :
+  Matprod_comm.Ctx.t -> (unit -> 'a) -> ('a * diagnostics, error) result
+(** {!guard} plus {!diagnostics_of_ctx} on success — the shape every
+    driver's [run_safe] returns. *)

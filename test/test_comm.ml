@@ -89,13 +89,36 @@ let test_codec_sparse_vec () =
 let test_codec_truncated_input () =
   let s = Codec.encode Codec.uint 300 in
   let cut = String.sub s 0 (String.length s - 1) in
-  Alcotest.check_raises "truncated" (Failure "Codec: truncated input") (fun () ->
-      ignore (Codec.decode Codec.uint cut))
+  Alcotest.check_raises "truncated" (Codec.Decode_error "Codec: truncated input")
+    (fun () -> ignore (Codec.decode Codec.uint cut))
 
 let test_codec_trailing_garbage () =
   let s = Codec.encode Codec.uint 5 ^ "x" in
-  Alcotest.check_raises "trailing" (Failure "Codec.decode: trailing bytes")
+  Alcotest.check_raises "trailing" (Codec.Decode_error "Codec.decode: trailing bytes")
     (fun () -> ignore (Codec.decode Codec.uint s))
+
+let test_codec_adversarial_lengths () =
+  (* A length prefix claiming far more elements than the input holds must
+     be rejected before allocation, with the one typed exception. *)
+  let huge_count = Codec.encode Codec.uint 1_000_000_000 in
+  List.iter
+    (fun (name, f) ->
+      match f () with
+      | exception Codec.Decode_error _ -> ()
+      | _ -> Alcotest.failf "%s accepted adversarial length" name)
+    [
+      ("array", fun () -> ignore (Codec.decode Codec.int_array huge_count));
+      ("list", fun () -> ignore (Codec.decode (Codec.list Codec.uint) huge_count));
+      ("bytes", fun () -> ignore (Codec.decode Codec.bytes huge_count));
+      ( "sorted",
+        fun () -> ignore (Codec.decode Codec.sorted_int_array huge_count) );
+      ( "counter dense cap",
+        fun () ->
+          let b = Buffer.create 16 in
+          Buffer.add_string b (Codec.encode Codec.uint (1 lsl 40));
+          Buffer.add_string b (Codec.encode Codec.uint 0);
+          ignore (Codec.decode Codec.counter_array (Buffer.contents b)) );
+    ]
 
 let test_codec_map () =
   let c = Codec.map (fun s -> String.length s) (fun n -> String.make n 'a') Codec.uint in
@@ -231,7 +254,7 @@ let test_netmodel_formula () =
   let t = Transcript.create () in
   Transcript.record t ~sender:Transcript.Alice ~label:"a" ~bytes:1250;
   (* 1250 bytes = 10_000 bits; 1 round *)
-  let net = Netmodel.make ~name:"x" ~latency:0.01 ~bandwidth:1e6 in
+  let net = Netmodel.make ~name:"x" ~latency:0.01 ~bandwidth:1e6 () in
   check (Alcotest.float 1e-12) "time" (0.01 +. 0.01)
     (Netmodel.transfer_time net t)
 
@@ -259,14 +282,159 @@ let test_netmodel_bits_dominate_on_lan () =
 
 let test_netmodel_rejects_bad () =
   Alcotest.check_raises "bad bandwidth" (Invalid_argument "Netmodel.make")
-    (fun () -> ignore (Netmodel.make ~name:"x" ~latency:0.0 ~bandwidth:0.0))
+    (fun () -> ignore (Netmodel.make ~name:"x" ~latency:0.0 ~bandwidth:0.0 ()))
+
+let test_netmodel_loss_pricing () =
+  let t = Transcript.create () in
+  Transcript.record t ~sender:Transcript.Alice ~label:"a" ~bytes:1250;
+  Transcript.record t ~sender:Transcript.Bob ~label:"b" ~bytes:1250;
+  (* 2 rounds, 2 messages, 20_000 bits *)
+  let base = Netmodel.make ~name:"x" ~latency:0.01 ~bandwidth:1e6 () in
+  check (Alcotest.float 1e-12) "lossless" (0.02 +. 0.02)
+    (Netmodel.transfer_time base t);
+  (* loss 1/2: bandwidth term doubles, and each message waits an expected
+     p/(1-p) = 1 timeout. *)
+  let lossy = Netmodel.with_loss base ~loss:0.5 ~timeout:0.1 in
+  check (Alcotest.float 1e-12) "lossy"
+    (0.02 +. (0.02 /. 0.5) +. (2.0 *. (0.5 /. 0.5) *. 0.1))
+    (Netmodel.transfer_time lossy t);
+  check Alcotest.bool "monotone in loss" true
+    (Netmodel.transfer_time (Netmodel.with_loss base ~loss:0.25 ~timeout:0.1) t
+    < Netmodel.transfer_time lossy t);
+  check Alcotest.bool "default timeout used" true
+    ((Netmodel.with_loss base ~loss:0.5).Netmodel.timeout
+    = Netmodel.default_timeout)
+
+let test_netmodel_zero_loss_unchanged () =
+  (* The built-in models are lossless: transfer_time must be the literal
+     pre-loss formula, so every LAN/WAN/mobile crossover table in the bench
+     suite is unchanged. *)
+  let t = Transcript.create () in
+  Transcript.record t ~sender:Transcript.Alice ~label:"a" ~bytes:777;
+  Transcript.record t ~sender:Transcript.Bob ~label:"b" ~bytes:31_415;
+  Transcript.record t ~sender:Transcript.Alice ~label:"c" ~bytes:9;
+  List.iter
+    (fun net ->
+      check (Alcotest.float 0.0)
+        (Printf.sprintf "%s literal formula" net.Netmodel.name)
+        ((3.0 *. net.Netmodel.latency)
+        +. (float_of_int (Transcript.total_bits t) /. net.Netmodel.bandwidth))
+        (Netmodel.transfer_time net t))
+    [ Netmodel.lan; Netmodel.wan; Netmodel.mobile ]
 
 (* ------------------------------------------------------------------ *)
 (* qcheck properties *)
 
+(* Every exported codec, packed with a generator of valid values so the
+   fuzzers below can also mutate real encodings. *)
+type packed = P : string * 'a QCheck.arbitrary * 'a Codec.t -> packed
+
+let packed_codecs =
+  let open QCheck in
+  let nonneg = map (fun n -> n land max_int) int in
+  let small = int_bound 10_000 in
+  let sorted =
+    map
+      (fun a -> List.sort_uniq compare (Array.to_list a) |> Array.of_list)
+      (array_of_size Gen.(0 -- 60) small)
+  in
+  let sparse =
+    map
+      (fun l ->
+        let module IM = Map.Make (Int) in
+        let m = List.fold_left (fun m (k, v) -> IM.add k v m) IM.empty l in
+        IM.bindings m |> List.filter (fun (_, v) -> v <> 0) |> Array.of_list)
+      (list_of_size Gen.(0 -- 40) (pair small (int_range (-1000) 1000)))
+  in
+  [
+    P ("unit", unit, Codec.unit);
+    P ("bool", bool, Codec.bool);
+    P ("uint", nonneg, Codec.uint);
+    P ("int", int, Codec.int);
+    P ("float64", float, Codec.float64);
+    P ("float32", float, Codec.float32);
+    P ("pair", pair int nonneg, Codec.pair Codec.int Codec.uint);
+    P
+      ( "triple",
+        triple bool int float,
+        Codec.triple Codec.bool Codec.int Codec.float64 );
+    P ("option", option int, Codec.option Codec.int);
+    P ("list", list_of_size Gen.(0 -- 40) int, Codec.list Codec.int);
+    P ("array", array_of_size Gen.(0 -- 40) nonneg, Codec.array Codec.uint);
+    P ("int_array", array_of_size Gen.(0 -- 60) int, Codec.int_array);
+    P ("uint_array", array_of_size Gen.(0 -- 60) nonneg, Codec.uint_array);
+    P ("sorted_int_array", sorted, Codec.sorted_int_array);
+    P ("sparse_int_vec", sparse, Codec.sparse_int_vec);
+    P ("float_array", array_of_size Gen.(0 -- 40) float, Codec.float_array);
+    P
+      ( "float32_array",
+        array_of_size Gen.(0 -- 40) float,
+        Codec.float32_array );
+    P ("bytes", string, Codec.bytes);
+    P
+      ( "counter_array",
+        array_of_size Gen.(0 -- 60) (int_bound 1_000_000),
+        Codec.counter_array );
+  ]
+
+(* decode must be total up to Decode_error: any other exception fails the
+   property by escaping. *)
+let decodes_safely codec s =
+  match Codec.decode codec s with
+  | _ -> true
+  | exception Codec.Decode_error _ -> true
+
+let fuzz_tests =
+  let open QCheck in
+  let random_bytes = string_gen_of_size Gen.(0 -- 80) Gen.char in
+  let raw (P (name, _, c)) =
+    Test.make
+      ~name:("fuzz: " ^ name ^ " decode total on random bytes")
+      ~count:500 random_bytes
+      (fun s -> decodes_safely c s)
+  in
+  let mutated (P (name, arb, c)) =
+    Test.make
+      ~name:("fuzz: " ^ name ^ " decode total on mutated encodings")
+      ~count:300
+      (triple arb small_nat small_nat)
+      (fun (v, cut, bit) ->
+        let e = Codec.encode c v in
+        let n = String.length e in
+        let truncated = if n = 0 then "" else String.sub e 0 (cut mod n) in
+        let flipped =
+          if n = 0 then e
+          else begin
+            let b = Bytes.of_string e in
+            let pos = bit mod (8 * n) in
+            Bytes.set b (pos / 8)
+              (Char.chr
+                 (Char.code (Bytes.get b (pos / 8)) lxor (1 lsl (pos mod 8))));
+            Bytes.to_string b
+          end
+        in
+        decodes_safely c truncated && decodes_safely c flipped)
+  in
+  let roundtrips (P (name, arb, c)) =
+    (* structural compare so NaN = NaN *)
+    Test.make
+      ~name:("fuzz: " ^ name ^ " roundtrip")
+      ~count:300 arb
+      (fun v -> compare (roundtrip c v) v = 0)
+  in
+  let lossless =
+    List.filter
+      (fun (P (n, _, _)) -> n <> "float32" && n <> "float32_array")
+      packed_codecs
+  in
+  List.map raw packed_codecs
+  @ List.map mutated packed_codecs
+  @ List.map roundtrips lossless
+
 let qcheck_tests =
   let open QCheck in
-  [
+  fuzz_tests
+  @ [
     Test.make ~name:"codec: int roundtrip" ~count:1000 int (fun n ->
         roundtrip Codec.int n = n);
     Test.make ~name:"codec: uint roundtrip" ~count:1000 (map abs int) (fun n ->
@@ -312,6 +480,7 @@ let () =
           Alcotest.test_case "sparse vec" `Quick test_codec_sparse_vec;
           Alcotest.test_case "truncated input" `Quick test_codec_truncated_input;
           Alcotest.test_case "trailing garbage" `Quick test_codec_trailing_garbage;
+          Alcotest.test_case "adversarial lengths" `Quick test_codec_adversarial_lengths;
           Alcotest.test_case "map" `Quick test_codec_map;
         ] );
       ( "transcript",
@@ -336,6 +505,8 @@ let () =
           Alcotest.test_case "formula" `Quick test_netmodel_formula;
           Alcotest.test_case "rounds dominate on wan" `Quick test_netmodel_rounds_dominate_on_wan;
           Alcotest.test_case "bits dominate on lan" `Quick test_netmodel_bits_dominate_on_lan;
+          Alcotest.test_case "loss pricing" `Quick test_netmodel_loss_pricing;
+          Alcotest.test_case "zero loss unchanged" `Quick test_netmodel_zero_loss_unchanged;
           Alcotest.test_case "rejects bad" `Quick test_netmodel_rejects_bad;
         ] );
       ("properties", qsuite);

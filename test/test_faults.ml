@@ -1,0 +1,441 @@
+(* Chaos harness: sweep fault configurations over every core protocol and
+   assert the trichotomy — each run ends in an in-guarantee success or a
+   typed error, never an escaped exception and never a silently wrong
+   answer. "In guarantee" is checked the strong way: the reliability layer
+   delivers intact bytes or nothing, so whenever a chaotic run completes,
+   its output must EQUAL the fault-free run at the same seed.
+
+   The seed matrix is fixed (override with MATPROD_CHAOS_SEEDS=1,2,...). *)
+
+module Prng = Matprod_util.Prng
+module Bmat = Matprod_matrix.Bmat
+module Imat = Matprod_matrix.Imat
+module Workload = Matprod_workload.Workload
+module Fault = Matprod_comm.Fault
+module Reliable = Matprod_comm.Reliable
+module Channel = Matprod_comm.Channel
+module Ctx = Matprod_comm.Ctx
+module Transcript = Matprod_comm.Transcript
+module Metrics = Matprod_obs.Metrics
+
+module Outcome = Matprod_core.Outcome
+module Boosting = Matprod_core.Boosting
+module Lp_protocol = Matprod_core.Lp_protocol
+module L0_sampling = Matprod_core.L0_sampling
+module L1_exact = Matprod_core.L1_exact
+module Linf_binary = Matprod_core.Linf_binary
+module Linf_general = Matprod_core.Linf_general
+module Linf_kappa = Matprod_core.Linf_kappa
+module Hh_binary = Matprod_core.Hh_binary
+module Hh_countsketch = Matprod_core.Hh_countsketch
+module Hh_general = Matprod_core.Hh_general
+module Matprod_protocol = Matprod_core.Matprod_protocol
+module Entry_map = Matprod_core.Common.Entry_map
+
+let check = Alcotest.check
+
+let seeds =
+  match Sys.getenv_opt "MATPROD_CHAOS_SEEDS" with
+  | None -> [ 1; 2; 3 ]
+  | Some s ->
+      let parsed = List.filter_map int_of_string_opt (String.split_on_char ',' s) in
+      if parsed = [] then [ 1; 2; 3 ] else parsed
+
+(* ------------------------------------------------------------------ *)
+(* Fault configurations: >= 4 kinds plus a mixed storm. *)
+
+let z = Fault.zero_rates
+
+let fault_kinds =
+  [
+    ("drop", { z with Fault.drop = 0.15 });
+    ("corrupt", { z with Fault.corrupt = 0.25 });
+    ("truncate", { z with Fault.truncate = 0.25 });
+    ("duplicate", { z with Fault.duplicate = 0.3 });
+    ("delay", { z with Fault.delay = 0.3; delay_s = 0.12 });
+    ( "mixed",
+      {
+        Fault.drop = 0.08;
+        corrupt = 0.1;
+        truncate = 0.08;
+        duplicate = 0.1;
+        delay = 0.15;
+        delay_s = 0.1;
+      } );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* The protocol gallery. Outputs are wrapped in one comparable type so a
+   chaotic Ok can be checked equal to the fault-free baseline. *)
+
+type output =
+  | F of float
+  | Coords of (int * int) list
+  | Sample of (int * int * int) option
+  | Shares of (int * int * int) list * (int * int * int) list
+  | Level of float * int
+
+let protocols ~seed =
+  let rng = Prng.create (7 * seed) in
+  let n = 20 in
+  let a = Workload.uniform_bool rng ~rows:n ~cols:n ~density:0.25 in
+  let b = Workload.uniform_bool rng ~rows:n ~cols:n ~density:0.25 in
+  let ai = Imat.of_bmat a and bi = Imat.of_bmat b in
+  [
+    ( "lp p=0",
+      fun ctx ->
+        F (Lp_protocol.run ctx (Lp_protocol.default_params ~eps:0.5 ()) ~a:ai ~b:bi) );
+    ( "lp p=1",
+      fun ctx ->
+        F
+          (Lp_protocol.run ctx
+             (Lp_protocol.default_params ~p:1.0 ~eps:0.5 ())
+             ~a:ai ~b:bi) );
+    ( "l1_exact",
+      fun ctx -> F (float_of_int (L1_exact.run ctx ~a:ai ~b:bi)) );
+    ( "l0_sampling",
+      fun ctx ->
+        Sample
+          (Option.map
+             (fun s -> L0_sampling.(s.row, s.col, s.value))
+             (L0_sampling.run ctx (L0_sampling.default_params ~eps:0.5) ~a:ai ~b:bi))
+    );
+    ( "linf_binary",
+      fun ctx ->
+        let r = Linf_binary.run ctx (Linf_binary.default_params ~eps:0.5) ~a ~b in
+        Level (r.Linf_binary.estimate, r.Linf_binary.level) );
+    ( "linf_general",
+      fun ctx -> F (Linf_general.run ctx { Linf_general.kappa = 2.0 } ~a:ai ~b:bi) );
+    ( "linf_kappa",
+      fun ctx ->
+        let r = Linf_kappa.run ctx (Linf_kappa.default_params ~kappa:4.0) ~a ~b in
+        Level (r.Linf_kappa.estimate, r.Linf_kappa.level) );
+    ( "hh_binary",
+      fun ctx ->
+        Coords
+          (Hh_binary.run ctx (Hh_binary.default_params ~phi:0.2 ~eps:0.1 ()) ~a ~b)
+    );
+    ( "hh_countsketch",
+      fun ctx ->
+        Coords
+          (Hh_countsketch.run ctx
+             (Hh_countsketch.default_params ~phi:0.2 ~eps:0.1 ~buckets:16)
+             ~a:ai ~b:bi) );
+    ( "hh_general",
+      fun ctx ->
+        Coords
+          (Hh_general.run ctx (Hh_general.default_params ~phi:0.2 ~eps:0.1 ()) ~a:ai ~b:bi)
+    );
+    ( "matprod",
+      fun ctx ->
+        let s = Matprod_protocol.run ctx ~a:ai ~b:bi in
+        Shares
+          ( Entry_map.entries s.Matprod_protocol.alice,
+            Entry_map.entries s.Matprod_protocol.bob ) );
+  ]
+
+let reliable = Reliable.config ~max_attempts:12 ~base_timeout:0.05 ()
+
+let run_baseline ~seed f = (Ctx.run ~seed f).Ctx.output
+
+let run_chaotic ~seed ~fault_seed ~rates f =
+  Outcome.guard (fun () ->
+      Ctx.run ~seed (fun ctx ->
+          Ctx.install_wire ctx
+            ~fault:(Fault.uniform ~seed:fault_seed rates)
+            ~reliable ();
+          f ctx))
+
+(* The trichotomy, for one fault kind over every protocol and seed. Any
+   exception other than the typed families turns into an alcotest error
+   (it escapes), which is exactly what the sweep forbids. *)
+let test_trichotomy (kind, rates) () =
+  let failures = ref 0 and successes = ref 0 in
+  List.iter
+    (fun seed ->
+      List.iteri
+        (fun i (name, f) ->
+          let run_seed = (1000 * seed) + i in
+          let baseline = run_baseline ~seed:run_seed f in
+          match
+            run_chaotic ~seed:run_seed ~fault_seed:(run_seed + 500_000) ~rates f
+          with
+          | Ok run ->
+              incr successes;
+              if run.Ctx.output <> baseline then
+                Alcotest.failf
+                  "%s/%s seed %d: chaotic run completed with an output that \
+                   differs from the fault-free run (silent corruption)"
+                  kind name seed
+          | Error (Outcome.Link_failure _)
+          | Error (Outcome.Decode_failure _)
+          | Error (Outcome.Protocol_failure _) ->
+              incr failures
+          | Error (Outcome.Precondition m) ->
+              (* Valid inputs: a precondition error here is a harness bug. *)
+              Alcotest.failf "%s/%s seed %d: unexpected precondition: %s" kind
+                name seed m)
+        (protocols ~seed))
+    seeds;
+  (* The sweep must actually exercise the success path (the reliability
+     layer recovering), not just fail everything. *)
+  check Alcotest.bool
+    (Printf.sprintf "%s: some chaotic runs complete (%d ok, %d failed)" kind
+       !successes !failures)
+    true (!successes > 0)
+
+(* With every rate at zero the wire must be invisible: same output, same
+   bits, same rounds — byte for byte. *)
+let test_zero_rates_transparent () =
+  List.iter
+    (fun seed ->
+      List.iteri
+        (fun i (name, f) ->
+          let run_seed = (2000 * seed) + i in
+          let base = Ctx.run ~seed:run_seed f in
+          let wired =
+            Ctx.run ~seed:run_seed (fun ctx ->
+                Ctx.install_wire ctx
+                  ~fault:(Fault.uniform ~seed:99 Fault.zero_rates)
+                  ~reliable ();
+                f ctx)
+          in
+          if wired.Ctx.output <> base.Ctx.output then
+            Alcotest.failf "%s: zero-rate wire changed the output" name;
+          check Alcotest.int
+            (Printf.sprintf "%s: bits unchanged" name)
+            base.Ctx.bits wired.Ctx.bits;
+          check Alcotest.int
+            (Printf.sprintf "%s: rounds unchanged" name)
+            base.Ctx.rounds wired.Ctx.rounds)
+        (protocols ~seed))
+    [ List.hd seeds ]
+
+(* A wire that drops everything must end in Link_failure, with every
+   attempt charged to the transcript. *)
+let test_total_loss_is_typed () =
+  let rates = { z with Fault.drop = 1.0 } in
+  let tr = ref None in
+  (match
+     Outcome.guard (fun () ->
+         Ctx.run ~seed:4 (fun ctx ->
+             Ctx.install_wire ctx ~fault:(Fault.uniform ~seed:5 rates)
+               ~reliable:(Reliable.config ~max_attempts:7 ())
+               ();
+             tr := Some (Ctx.transcript ctx);
+             Ctx.a2b ctx ~label:"doomed" Matprod_comm.Codec.uint 42))
+   with
+  | Error (Outcome.Link_failure { label = "doomed"; attempts = 7 }) -> ()
+  | Ok _ -> Alcotest.fail "total loss cannot succeed"
+  | Error e -> Alcotest.failf "wrong error: %s" (Outcome.error_to_string e));
+  match !tr with
+  | None -> Alcotest.fail "transcript not captured"
+  | Some tr ->
+      check Alcotest.int "all 7 attempts charged" 7 (Transcript.message_count tr)
+
+(* Retransmissions show up in the transcript (ack labels, extra bytes) and
+   in the Matprod_obs counters. *)
+let test_accounting_and_counters () =
+  Metrics.set_enabled true;
+  Metrics.reset ();
+  let rates = { z with Fault.drop = 0.3 } in
+  let name, f = List.hd (protocols ~seed:1) in
+  ignore name;
+  let base = Ctx.run ~seed:11 f in
+  let result =
+    run_chaotic ~seed:11 ~fault_seed:42 ~rates f
+  in
+  let retries = Metrics.value (Metrics.counter "reliable_retries") in
+  let dropped = Metrics.value (Metrics.counter "faults_dropped") in
+  let frames = Metrics.value (Metrics.counter "reliable_frames") in
+  Metrics.set_enabled false;
+  check Alcotest.bool "faults injected" true (dropped > 0);
+  check Alcotest.bool "retries counted" true (retries > 0);
+  check Alcotest.bool "frames counted" true (frames > 0);
+  match result with
+  | Ok run ->
+      check Alcotest.bool "retransmission bits priced into transcript" true
+        (run.Ctx.bits > base.Ctx.bits);
+      let labels = Transcript.by_label run.Ctx.transcript in
+      check Alcotest.bool "ack labels present" true
+        (List.exists
+           (fun (l, _) ->
+             String.length l > 4
+             && String.sub l (String.length l - 4) 4 = "/ack")
+           labels)
+  | Error _ -> () (* drop storm killed the run: typed, also fine *)
+
+(* Per-direction / per-label rules: a wire hostile only to Bob leaves
+   Alice's messages untouched. *)
+let test_rule_scoping () =
+  let fault =
+    Fault.create ~seed:3
+      [ Fault.rule ~from:Matprod_comm.Transcript.Bob { z with Fault.drop = 1.0 } ]
+  in
+  match
+    Outcome.guard (fun () ->
+        Ctx.run ~seed:8 (fun ctx ->
+            Ctx.install_wire ctx ~fault
+              ~reliable:(Reliable.config ~max_attempts:3 ())
+              ();
+            let x = Ctx.a2b ctx ~label:"alice speaks" Matprod_comm.Codec.uint 9 in
+            ignore (Ctx.b2a ctx ~label:"bob speaks" Matprod_comm.Codec.uint x);
+            x))
+  with
+  | Error (Outcome.Link_failure { label; _ }) ->
+      (* Alice's message survives (only her data frame crosses; its ack is
+         sent by Bob and is dropped) — so the failing label is either her
+         ack-starved message or Bob's own. Both name the hostile side. *)
+      check Alcotest.bool "failure names a bob-sent frame" true
+        (label = "alice speaks" || label = "bob speaks")
+  | Ok _ -> Alcotest.fail "bob-side total loss must fail"
+  | Error e -> Alcotest.failf "wrong error: %s" (Outcome.error_to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Fail-safe boosting: quorum behaviour under a lossy wire and the edge
+   cases of the result-typed refactor. *)
+
+let flaky_estimator ~fault_seed ~rates ctx =
+  Ctx.install_wire ctx ~fault:(Fault.uniform ~seed:fault_seed rates)
+    ~reliable:(Reliable.config ~max_attempts:2 ())
+    ();
+  ignore (Ctx.a2b ctx ~label:"est" Matprod_comm.Codec.uint 21);
+  21.0
+
+let test_boosting_degrades () =
+  let next_fault = ref 0 in
+  let rates = { z with Fault.drop = 0.55 } in
+  match
+    Boosting.run_median_safe ~seed:5 ~repetitions:9 (fun ctx ->
+        incr next_fault;
+        flaky_estimator ~fault_seed:!next_fault ~rates ctx)
+  with
+  | Ok r ->
+      check (Alcotest.float 0.0) "median over survivors" 21.0 r.Boosting.estimate;
+      (match r.Boosting.verdict with
+      | Boosting.Degraded { survived; total } ->
+          check Alcotest.int "total" 9 total;
+          check Alcotest.int "survivors + casualties" 9
+            (survived + List.length r.Boosting.failures);
+          check Alcotest.bool "some casualties" true
+            (List.length r.Boosting.failures > 0)
+      | Boosting.Full_quorum ->
+          (* With a 0.55 drop rate and 2 attempts some repetition dies with
+             overwhelming probability; but if not, full quorum is honest. *)
+          check Alcotest.int "no casualties" 0 (List.length r.Boosting.failures));
+      check Alcotest.bool "failed repetitions still billed" true
+        (r.Boosting.total_bits > 0)
+  | Error e ->
+      (* All nine dying is possible in principle; it must come back typed. *)
+      check Alcotest.bool "typed quorum loss" true
+        (match e with Outcome.Protocol_failure _ -> true | _ -> false)
+
+let test_boosting_all_failed () =
+  match
+    Boosting.run_median_safe ~seed:1 ~repetitions:5 (fun _ -> failwith "boom")
+  with
+  | Error (Outcome.Protocol_failure m) ->
+      check Alcotest.bool "mentions quorum" true
+        (String.length m > 0 && String.sub m 0 8 = "Boosting")
+  | _ -> Alcotest.fail "all-runs-failed must be a typed error"
+
+let test_boosting_edge_repetitions () =
+  (match Boosting.run_median_safe ~seed:1 ~repetitions:0 (fun _ -> 1.0) with
+  | Error (Outcome.Precondition _) -> ()
+  | _ -> Alcotest.fail "repetitions < 1 must be a typed precondition error");
+  (match Boosting.run_median_safe ~seed:1 ~repetitions:3 ~min_survivors:4 (fun _ -> 1.0) with
+  | Error (Outcome.Precondition _) -> ()
+  | _ -> Alcotest.fail "min_survivors > repetitions must be rejected");
+  (* Even repetition count: median averages the two middle outputs. *)
+  let calls = ref 0 in
+  match
+    Boosting.run_median_safe ~seed:1 ~repetitions:4 (fun _ ->
+        incr calls;
+        float_of_int !calls)
+  with
+  | Ok r ->
+      check (Alcotest.float 1e-9) "even-count median" 2.5 r.Boosting.estimate;
+      check Alcotest.bool "full quorum" true (r.Boosting.verdict = Boosting.Full_quorum)
+  | Error e -> Alcotest.failf "unexpected: %s" (Outcome.error_to_string e)
+
+let test_boosting_matches_unsafe_without_faults () =
+  let f ctx =
+    float_of_int (Ctx.a2b ctx ~label:"x" Matprod_comm.Codec.uint
+                    (Prng.int ctx.Ctx.alice 1000))
+  in
+  let unsafe = Boosting.run_median ~seed:77 ~repetitions:5 f in
+  match Boosting.run_median_safe ~seed:77 ~repetitions:5 f with
+  | Ok safe ->
+      check (Alcotest.float 0.0) "same estimate" unsafe.Boosting.estimate
+        safe.Boosting.estimate;
+      check Alcotest.int "same bits" unsafe.Boosting.total_bits
+        safe.Boosting.total_bits
+  | Error e -> Alcotest.failf "unexpected: %s" (Outcome.error_to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Reliable-layer unit checks. *)
+
+let test_crc32_vectors () =
+  (* Standard check value for "123456789" under IEEE CRC32. *)
+  check Alcotest.int "crc32 check vector" 0xCBF43926
+    (Reliable.crc32 "123456789");
+  check Alcotest.int "crc32 empty" 0 (Reliable.crc32 "")
+
+let test_frame_roundtrip_and_rejection () =
+  let payload = "hello, wire" in
+  let f = Reliable.data_frame ~seq:42 payload in
+  (match Reliable.parse f with
+  | Ok (Reliable.Data, 42, p) -> check Alcotest.string "payload" payload p
+  | _ -> Alcotest.fail "frame roundtrip");
+  (match Reliable.parse (Reliable.ack_frame ~seq:7) with
+  | Ok (Reliable.Ack, 7, "") -> ()
+  | _ -> Alcotest.fail "ack roundtrip");
+  (* Every 1-bit corruption and every truncation must be rejected. *)
+  for bit = 0 to (8 * String.length f) - 1 do
+    let b = Bytes.of_string f in
+    let i = bit / 8 in
+    Bytes.set b i
+      (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl (bit mod 8))));
+    match Reliable.parse (Bytes.to_string b) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "bit flip %d accepted" bit
+  done;
+  for len = 0 to String.length f - 1 do
+    match Reliable.parse (String.sub f 0 len) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "truncation to %d accepted" len
+  done
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "trichotomy",
+        List.map
+          (fun (kind, rates) ->
+            Alcotest.test_case kind `Quick (test_trichotomy (kind, rates)))
+          fault_kinds );
+      ( "transparency",
+        [
+          Alcotest.test_case "zero rates byte-identical" `Quick
+            test_zero_rates_transparent;
+        ] );
+      ( "reliability",
+        [
+          Alcotest.test_case "total loss typed" `Quick test_total_loss_is_typed;
+          Alcotest.test_case "accounting + counters" `Quick
+            test_accounting_and_counters;
+          Alcotest.test_case "rule scoping" `Quick test_rule_scoping;
+          Alcotest.test_case "crc32 vectors" `Quick test_crc32_vectors;
+          Alcotest.test_case "frame rejection" `Quick
+            test_frame_roundtrip_and_rejection;
+        ] );
+      ( "boosting",
+        [
+          Alcotest.test_case "degrades to quorum" `Quick test_boosting_degrades;
+          Alcotest.test_case "all runs failed" `Quick test_boosting_all_failed;
+          Alcotest.test_case "edge repetitions" `Quick
+            test_boosting_edge_repetitions;
+          Alcotest.test_case "matches unsafe without faults" `Quick
+            test_boosting_matches_unsafe_without_faults;
+        ] );
+    ]
