@@ -1,6 +1,6 @@
 # Convenience targets; all real build logic lives in dune.
 
-.PHONY: all check build test bench bench-json chaos clean
+.PHONY: all check build test bench bench-json bench-c2 chaos clean
 
 all: build
 
@@ -23,11 +23,17 @@ bench:
 bench-json:
 	dune exec bench/main.exe -- --quick e1 e9 e10
 
-# Chaos sweep: fault injection over every protocol (see docs/ROBUSTNESS.md)
-# plus the C1 retransmission-cost experiment, on a fixed seed matrix.
+# Crash-recovery experiment: bits saved by journal resume vs rerun as the
+# crash position sweeps the transcript (writes BENCH_c2.json).
+bench-c2:
+	dune exec bench/main.exe -- --no-micro c2
+
+# Chaos sweep: fault injection (link faults and crashes) over every
+# protocol (see docs/ROBUSTNESS.md) plus the C1 retransmission-cost and
+# C2 crash-recovery experiments, on a fixed seed matrix.
 chaos:
 	MATPROD_CHAOS_SEEDS=1,2,3,4,5 dune exec test/test_faults.exe
-	dune exec bench/main.exe -- --quick --no-micro c1
+	dune exec bench/main.exe -- --quick --no-micro c1 c2
 
 clean:
 	dune clean

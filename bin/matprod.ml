@@ -15,6 +15,10 @@ module Imat = Matprod_matrix.Imat
 module Product = Matprod_matrix.Product
 module Ctx = Matprod_comm.Ctx
 module Transcript = Matprod_comm.Transcript
+module Fault = Matprod_comm.Fault
+module Journal = Matprod_comm.Journal
+module Outcome = Matprod_core.Outcome
+module Supervisor = Matprod_core.Supervisor
 module Workload = Matprod_workload.Workload
 
 (* ------------------------------------------------------------------ *)
@@ -138,8 +142,30 @@ let report ~verbose ~actual ~estimate (run : _ Ctx.run) =
 (* ------------------------------------------------------------------ *)
 (* join-size: lp norms, p in [0,2] *)
 
-let join_size n density eps seed zipf verbose p algo load_a load_b json trace =
+let join_size n density eps seed zipf verbose p algo load_a load_b journal
+    resume max_attempts fallback crash_party crash_after drop json trace =
   obs_start ~json ~trace;
+  if max_attempts < 1 then failwith "--max-attempts must be >= 1";
+  let resumed =
+    match resume with
+    | None -> None
+    | Some path -> (
+        match Journal.load path with
+        | Ok j -> Some (path, j)
+        | Error e ->
+            failwith (Printf.sprintf "cannot resume from %s: %s" path e))
+  in
+  (* Replay is sound only at the journal's own seed (it determines both the
+     workload and every protocol coin), so a stored seed wins. *)
+  let seed =
+    match resumed with
+    | Some (_, j) when j.Journal.seed <> seed ->
+        Printf.eprintf
+          "matprod: resuming at journal seed %d (overriding --seed %d)\n%!"
+          j.Journal.seed seed;
+        j.Journal.seed
+    | _ -> seed
+  in
   let a, b =
     match (load_a, load_b) with
     | Some pa, Some pb ->
@@ -150,54 +176,197 @@ let join_size n density eps seed zipf verbose p algo load_a load_b json trace =
   let c = Product.bool_product a b in
   let actual = Product.lp_pow c ~p in
   let ai = Imat.of_bmat a and bi = Imat.of_bmat b in
-  let run =
+  let driver ctx =
     match algo with
     | "alg1" ->
-        Ctx.run ~seed (fun ctx ->
-            Matprod_core.Lp_protocol.run ctx
-              (Matprod_core.Lp_protocol.default_params ~p ~eps ())
-              ~a:ai ~b:bi)
+        Matprod_core.Lp_protocol.run ctx
+          (Matprod_core.Lp_protocol.default_params ~p ~eps ())
+          ~a:ai ~b:bi
     | "oneround" ->
-        Ctx.run ~seed (fun ctx ->
-            Matprod_core.Lp_oneround.run ctx
-              (Matprod_core.Lp_oneround.default_params ~p ~eps ())
-              ~a:ai ~b:bi)
+        Matprod_core.Lp_oneround.run ctx
+          (Matprod_core.Lp_oneround.default_params ~p ~eps ())
+          ~a:ai ~b:bi
     | "cohen" ->
         if p <> 0.0 then failwith "cohen estimates p = 0 only";
-        Ctx.run ~seed (fun ctx ->
-            Matprod_core.Cohen_baseline.run ctx
-              (Matprod_core.Cohen_baseline.params_for_eps ~eps)
-              ~a ~b)
+        Matprod_core.Cohen_baseline.run ctx
+          (Matprod_core.Cohen_baseline.params_for_eps ~eps)
+          ~a ~b
     | "exact" ->
         if p <> 1.0 then failwith "exact protocol covers p = 1 only (Remark 2)";
-        Ctx.run ~seed (fun ctx ->
-            float_of_int (Matprod_core.L1_exact.run_bool ctx ~a ~b))
+        float_of_int (Matprod_core.L1_exact.run_bool ctx ~a ~b)
     | other -> failwith (Printf.sprintf "unknown algorithm %S" other)
   in
+  let install_faults ctx =
+    let crashes =
+      match crash_party with
+      | None -> []
+      | Some s ->
+          let victim =
+            match String.lowercase_ascii s with
+            | "alice" -> Transcript.Alice
+            | "bob" -> Transcript.Bob
+            | other ->
+                failwith
+                  (Printf.sprintf "unknown --crash-party %S (alice|bob)" other)
+          in
+          [ { Fault.victim; site = Fault.After_messages crash_after } ]
+    in
+    if crashes <> [] || drop > 0.0 then
+      Ctx.install_wire ctx
+        ~fault:
+          (Fault.create ~crashes ~seed:(seed + 77)
+             (if drop > 0.0 then
+                [ Fault.rule { Fault.zero_rates with Fault.drop = drop } ]
+              else []))
+        ()
+  in
+  let fallbacks =
+    match fallback with
+    | "none" -> []
+    | "trivial" ->
+        [
+          ( "trivial",
+            fun ctx ->
+              Matprod_core.Trivial.run_bool ctx ~a ~b (fun c ->
+                  Product.lp_pow c ~p) );
+        ]
+    | "l1-exact" ->
+        if p <> 1.0 then failwith "--fallback l1-exact covers p = 1 only";
+        [
+          ( "l1-exact",
+            fun ctx -> float_of_int (Matprod_core.L1_exact.run_bool ctx ~a ~b)
+          );
+        ]
+    | other ->
+        failwith
+          (Printf.sprintf "unknown --fallback %S (trivial|l1-exact|none)" other)
+  in
+  let supervised = max_attempts > 1 || fallback <> "none" in
   let workload =
     match load_a with
     | Some f -> "file " ^ f
     | None -> if zipf then "zipf" else "uniform"
   in
-  if not json then begin
+  let banner () =
     Printf.printf "workload: %s %dx%d binary, p = %g, ||C||_p^p exact below\n"
-      workload (Bmat.rows a) (Bmat.cols b) p;
-    report ~verbose ~actual ~estimate:run.Ctx.output run
-  end;
+      workload (Bmat.rows a) (Bmat.cols b) p
+  in
+  let common_fields =
+    [
+      ("subcommand", Obs.Json.String "join-size");
+      ("n", Obs.Json.Int (Bmat.rows a));
+      ("density", Obs.Json.Float density);
+      ("eps", Obs.Json.Float eps);
+      ("seed", Obs.Json.Int seed);
+      ("p", Obs.Json.Float p);
+      ("algo", Obs.Json.String algo);
+      ("workload", Obs.Json.String workload);
+    ]
+  in
+  let fail_run e =
+    Printf.eprintf "matprod: run failed: %s\n" (Outcome.error_to_string e);
+    (match journal with
+    | Some path ->
+        Printf.eprintf
+          "matprod: journal saved to %s — rerun with --resume %s to replay the \
+           paid-for prefix\n"
+          path path
+    | None -> ());
+    exit 1
+  in
   ignore n;
-  obs_finish ~json ~trace
-    ([
-       ("subcommand", Obs.Json.String "join-size");
-       ("n", Obs.Json.Int (Bmat.rows a));
-       ("density", Obs.Json.Float density);
-       ("eps", Obs.Json.Float eps);
-       ("seed", Obs.Json.Int seed);
-       ("p", Obs.Json.Float p);
-       ("algo", Obs.Json.String algo);
-       ("workload", Obs.Json.String workload);
-     ]
-    @ estimate_fields ~actual ~estimate:run.Ctx.output
-    @ transcript_fields run.Ctx.transcript)
+  match resumed with
+  | Some (path, j) -> (
+      (* Continue a crashed run: replay the journal, then touch the wire.
+         Passing [path] keeps appending, so another crash resumes further. *)
+      match
+        Outcome.guard (fun () ->
+            Ctx.resume ~seed ~path ~journal:j (fun ctx ->
+                install_faults ctx;
+                driver ctx))
+      with
+      | Error e -> fail_run e
+      | Ok run ->
+          if not json then begin
+            Printf.printf
+              "resumed from %s: %d messages (%d bits) replayed for free\n" path
+              run.Ctx.replayed_messages run.Ctx.replayed_bits;
+            banner ();
+            report ~verbose ~actual ~estimate:run.Ctx.output run
+          end;
+          obs_finish ~json ~trace
+            (common_fields
+            @ [
+                ("resumed_from", Obs.Json.String path);
+                ("replayed_messages", Obs.Json.Int run.Ctx.replayed_messages);
+                ("replayed_bits", Obs.Json.Int run.Ctx.replayed_bits);
+              ]
+            @ estimate_fields ~actual ~estimate:run.Ctx.output
+            @ transcript_fields run.Ctx.transcript))
+  | None when supervised -> (
+      let policy =
+        Supervisor.policy ~max_resumes:(max_attempts - 1) ~max_reseeds:1 ()
+      in
+      match
+        Supervisor.run ~policy ?journal
+          ~wire:(fun ~attempt:_ ctx -> install_faults ctx)
+          ~fallbacks ~seed ~protocol:algo driver
+      with
+      | Error e -> fail_run e
+      | Ok r ->
+          if not json then begin
+            banner ();
+            Printf.printf "exact answer      : %.6g\n" actual;
+            Printf.printf "protocol estimate : %.6g%s\n" r.Supervisor.output
+              (if r.Supervisor.degraded then "  (degraded)" else "");
+            if actual > 0.0 then
+              Printf.printf "relative error    : %.4f\n"
+                (Stats.relative_error ~actual ~estimate:r.Supervisor.output);
+            Printf.printf
+              "communication     : %d fresh bits over %d attempts (%d bits \
+               replayed)\n"
+              r.Supervisor.fresh_bits
+              (List.length r.Supervisor.attempts)
+              r.Supervisor.resume_bits_saved;
+            Format.printf "%a@."
+              (fun ppf -> Supervisor.pp_report ppf (Printf.sprintf "%.6g"))
+              r
+          end;
+          obs_finish ~json ~trace
+            (common_fields
+            @ [
+                ("rung", Obs.Json.String (Supervisor.rung_to_string r.Supervisor.rung));
+                ("degraded", Obs.Json.Bool r.Supervisor.degraded);
+                ("attempts", Obs.Json.Int (List.length r.Supervisor.attempts));
+                ("fresh_bits", Obs.Json.Int r.Supervisor.fresh_bits);
+                ("fresh_rounds", Obs.Json.Int r.Supervisor.fresh_rounds);
+                ("resume_bits_saved", Obs.Json.Int r.Supervisor.resume_bits_saved);
+              ]
+            @ estimate_fields ~actual ~estimate:r.Supervisor.output))
+  | None -> (
+      let body ctx =
+        install_faults ctx;
+        driver ctx
+      in
+      match
+        Outcome.guard (fun () ->
+            match journal with
+            | Some path -> Ctx.run_journaled ~seed ~journal:path ~protocol:algo body
+            | None -> Ctx.run ~seed body)
+      with
+      | Error e -> fail_run e
+      | Ok run ->
+          if not json then begin
+            banner ();
+            report ~verbose ~actual ~estimate:run.Ctx.output run
+          end;
+          obs_finish ~json ~trace
+            (common_fields
+            @ (match journal with
+              | Some path -> [ ("journal", Obs.Json.String path) ]
+              | None -> [])
+            @ estimate_fields ~actual ~estimate:run.Ctx.output
+            @ transcript_fields run.Ctx.transcript))
 
 let load_a_arg =
   Arg.(
@@ -212,6 +381,63 @@ let load_b_arg =
     value
     & opt (some string) None
     & info [ "load-b" ] ~docv:"FILE" ~doc:"Read Bob's matrix from FILE.")
+
+let journal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"FILE"
+        ~doc:
+          "Write-ahead log of the transcript to $(docv); after a crash, \
+           --resume $(docv) replays the delivered prefix for zero fresh \
+           bits (docs/ROBUSTNESS.md).")
+
+let resume_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "resume" ] ~docv:"FILE"
+        ~doc:
+          "Resume a crashed run from its journal: replay $(docv) \
+           byte-for-byte, then continue on the wire. The journal's seed \
+           overrides --seed.")
+
+let max_attempts_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "max-attempts" ] ~docv:"N"
+        ~doc:
+          "Supervise the run: on failure, resume from the journal up to \
+           N-1 times (then reseed once) before giving up.")
+
+let fallback_arg =
+  Arg.(
+    value & opt string "none"
+    & info [ "fallback" ] ~docv:"PROTO"
+        ~doc:
+          "Degrade to $(docv) (trivial | l1-exact) when every retry \
+           fails; the report marks the answer as degraded.")
+
+let crash_party_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "crash-party" ] ~docv:"WHO"
+        ~doc:"Inject a crash: kill alice or bob (see --crash-after).")
+
+let crash_after_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "crash-after" ] ~docv:"K"
+        ~doc:
+          "The crash victim dies on its first send after K delivered \
+           messages (default 1).")
+
+let drop_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "drop" ] ~docv:"RATE"
+        ~doc:"Drop each frame with probability RATE (engages the ARQ layer).")
 
 let join_size_cmd =
   let p_arg =
@@ -231,8 +457,9 @@ let join_size_cmd =
        ~doc:"Estimate ||AB||_p^p (set-intersection / natural join size).")
     Term.(
       const join_size $ n_arg $ density_arg $ eps_arg $ seed_arg $ zipf_arg
-      $ verbose_arg $ p_arg $ algo_arg $ load_a_arg $ load_b_arg $ json_arg
-      $ trace_arg)
+      $ verbose_arg $ p_arg $ algo_arg $ load_a_arg $ load_b_arg $ journal_arg
+      $ resume_arg $ max_attempts_arg $ fallback_arg $ crash_party_arg
+      $ crash_after_arg $ drop_arg $ json_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* linf *)

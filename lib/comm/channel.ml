@@ -13,10 +13,47 @@ type wire = {
   mutable waited : float;
 }
 
-type t = { transcript : Transcript.t; mutable wire : wire option }
+type t = {
+  transcript : Transcript.t;
+  mutable wire : wire option;
+  mutable journal : Journal.writer option;
+  mutable replay : Journal.entry list;
+  mutable replayed_messages : int;
+  mutable replayed_bytes : int;
+}
 
-let create () = { transcript = Transcript.create (); wire = None }
+let create () =
+  {
+    transcript = Transcript.create ();
+    wire = None;
+    journal = None;
+    replay = [];
+    replayed_messages = 0;
+    replayed_bytes = 0;
+  }
+
 let transcript t = t.transcript
+
+let arm_journal t w = t.journal <- Some w
+
+let arm_replay t entries =
+  if Transcript.message_count t.transcript > 0 then
+    invalid_arg "Channel.arm_replay: messages already sent";
+  t.replay <- entries
+
+let close_journal t =
+  match t.journal with
+  | None -> ()
+  | Some w ->
+      t.journal <- None;
+      Journal.close w
+
+type replay_stats = { replayed_messages : int; replayed_bytes : int }
+
+let replay_stats (t : t) =
+  { replayed_messages = t.replayed_messages; replayed_bytes = t.replayed_bytes }
+
+let replay_pending t = List.length t.replay
 
 let install t ~fault ?(reliable = Reliable.default_config) () =
   t.wire <-
@@ -204,12 +241,60 @@ let send_reliable t w ~from ~label payload =
   in
   attempt 1 w.cfg.base_timeout
 
+let c_replayed = Metrics.counter "journal_replayed_messages"
+let c_replayed_bytes = Metrics.counter "journal_replayed_bytes"
+
+(* Serve one send from the journal: verify the determinism invariant (the
+   re-run must produce exactly the journaled message) and charge nothing. *)
+let replay_one t ~from ~label ~wire (e : Journal.entry) rest =
+  let mismatch reason = raise (Journal.Replay_mismatch { label; reason }) in
+  if e.Journal.sender <> from then
+    mismatch
+      (Printf.sprintf "journal has %s speaking, run has %s"
+         (Transcript.party_name e.Journal.sender)
+         (Transcript.party_name from));
+  if e.Journal.label <> label then
+    mismatch (Printf.sprintf "journal records label %S" e.Journal.label);
+  if e.Journal.payload <> wire then
+    mismatch
+      (Printf.sprintf "payload differs from journal (%d vs %d bytes)"
+         (String.length wire)
+         (String.length e.Journal.payload));
+  t.replay <- rest;
+  t.replayed_messages <- t.replayed_messages + 1;
+  t.replayed_bytes <- t.replayed_bytes + String.length wire;
+  if Metrics.enabled () then begin
+    Metrics.incr c_replayed;
+    Metrics.incr_by c_replayed_bytes (String.length wire)
+  end;
+  if Trace.enabled () then
+    Trace.event ~name:"journal.replay"
+      ~attrs:
+        [
+          ("label", Matprod_obs.Json.String label);
+          ("bytes", Matprod_obs.Json.Int (String.length wire));
+        ]
+      ()
+
 let send t ~from ~label codec v =
   let wire = Metrics.timed h_encode (fun () -> Codec.encode codec v) in
-  match t.wire with
-  | Some w when Fault.is_active w.fault ->
-      let payload = send_reliable t w ~from ~label wire in
+  match t.replay with
+  | e :: rest ->
+      replay_one t ~from ~label ~wire e rest;
+      Metrics.timed h_decode (fun () -> Codec.decode codec e.Journal.payload)
+  | [] ->
+      (match t.wire with
+      | Some w -> Fault.check_crash w.fault ~from ~label
+      | None -> ());
+      let payload =
+        match t.wire with
+        | Some w when Fault.is_active w.fault ->
+            send_reliable t w ~from ~label wire
+        | _ ->
+            record_msg t ~from ~label ~bytes:(String.length wire);
+            wire
+      in
+      (match t.journal with
+      | Some jw -> Journal.append jw ~sender:from ~label ~payload
+      | None -> ());
       Metrics.timed h_decode (fun () -> Codec.decode codec payload)
-  | _ ->
-      record_msg t ~from ~label ~bytes:(String.length wire);
-      Metrics.timed h_decode (fun () -> Codec.decode codec wire)

@@ -28,6 +28,37 @@ val install : t -> fault:Fault.t -> ?reliable:Reliable.config -> unit -> unit
 (** Arm the wire. May be called before any message is sent; installing a
     new wire resets sequence numbers and reliability stats. *)
 
+(** {1 Crash recovery}
+
+    A channel can write a {!Journal} of every logical message it delivers,
+    and can {e replay} a previously journaled prefix: while replay entries
+    remain, [send] does not touch the wire (no fault model, no reliability
+    frames, no transcript charge) — it checks that the sender, label, and
+    freshly encoded bytes match the journaled record (the determinism
+    invariant: all randomness derives from the seed) and hands the
+    journaled payload to the decoder. See docs/ROBUSTNESS.md. *)
+
+val arm_journal : t -> Journal.writer -> unit
+(** Append every subsequently delivered logical message to the writer.
+    Replayed messages are not re-appended (they are already in the log). *)
+
+val arm_replay : t -> Journal.entry list -> unit
+(** Queue journal entries to satisfy upcoming [send]s. Must be armed
+    before the first message; raises [Invalid_argument] otherwise. *)
+
+val close_journal : t -> unit
+(** Flush and close the armed writer, if any. Idempotent. *)
+
+(** What replay saved: messages and payload bytes served from the journal
+    instead of the wire. *)
+type replay_stats = { replayed_messages : int; replayed_bytes : int }
+
+val replay_stats : t -> replay_stats
+
+val replay_pending : t -> int
+(** Journal entries queued but not yet consumed (0 once fast-forward is
+    complete). *)
+
 (** Cumulative reliability-layer accounting for one channel. *)
 type stats = {
   data_frames : int;  (** data transmissions, retransmissions included *)
@@ -47,5 +78,8 @@ val stats : t -> stats
 val send :
   t -> from:Transcript.party -> label:string -> 'a Codec.t -> 'a -> 'a
 (** Raises {!Reliable.Link_failure} when an active fault model defeats
-    every transmission attempt, and {!Codec.Decode_error} if the payload
-    does not decode (on an armed wire that requires a 2⁻³² CRC collision). *)
+    every transmission attempt, {!Codec.Decode_error} if the payload does
+    not decode (on an armed wire that requires a 2⁻³² CRC collision),
+    {!Fault.Party_crash} when a crash rule fires, and
+    {!Journal.Replay_mismatch} when a replayed run diverges from its
+    journal. *)

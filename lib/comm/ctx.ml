@@ -3,6 +3,7 @@ module Obs = Matprod_obs
 
 type t = {
   chan : Channel.t;
+  seed : int;
   public : Prng.t;
   alice : Prng.t;
   bob : Prng.t;
@@ -13,7 +14,7 @@ let create ~seed =
   let public = Prng.split root in
   let alice = Prng.split root in
   let bob = Prng.split root in
-  { chan = Channel.create (); public; alice; bob }
+  { chan = Channel.create (); seed; public; alice; bob }
 
 let install_wire t ~fault ?reliable () =
   Channel.install t.chan ~fault ?reliable ()
@@ -24,11 +25,32 @@ let a2b t ~label codec v = send t ~from:Transcript.Alice ~label codec v
 let b2a t ~label codec v = send t ~from:Transcript.Bob ~label codec v
 let transcript t = Channel.transcript t.chan
 
+let record t ~journal ~protocol =
+  if Transcript.message_count (transcript t) > 0 then
+    invalid_arg "Ctx.record: messages already sent";
+  Channel.arm_journal t.chan
+    (Journal.create ~path:journal ~protocol ~seed:t.seed)
+
+let resume_from t ?path journal =
+  if journal.Journal.seed <> t.seed then
+    invalid_arg
+      (Printf.sprintf "Ctx.resume: journal seed %d <> run seed %d"
+         journal.Journal.seed t.seed);
+  Channel.arm_replay t.chan journal.Journal.entries;
+  match path with
+  | None -> ()
+  | Some path -> Channel.arm_journal t.chan (Journal.reopen ~path journal)
+
+let close_journal t = Channel.close_journal t.chan
+let replay_stats t = Channel.replay_stats t.chan
+
 type 'r run = {
   output : 'r;
   bits : int;
   rounds : int;
   transcript : Transcript.t;
+  replayed_messages : int;
+  replayed_bits : int;
 }
 
 let c_runs = Obs.Metrics.counter "ctx_runs"
@@ -36,18 +58,38 @@ let c_bits = Obs.Metrics.counter "bits_sent_total"
 let c_rounds = Obs.Metrics.counter "rounds_total"
 let h_run = Obs.Metrics.histogram "ctx_run_ns"
 
-let run ~seed f =
+let run_prepared ~seed ~prepare f =
   let t = create ~seed in
-  let output =
-    Obs.Trace.with_span ~name:"ctx.run"
-      ~attrs:[ ("seed", Obs.Json.Int seed) ]
-      (fun () -> Obs.Metrics.timed h_run (fun () -> f t))
-  in
-  let tr = transcript t in
-  let bits = Transcript.total_bits tr and rounds = Transcript.rounds tr in
-  if Obs.Metrics.enabled () then begin
-    Obs.Metrics.incr c_runs;
-    Obs.Metrics.incr_by c_bits bits;
-    Obs.Metrics.incr_by c_rounds rounds
-  end;
-  { output; bits; rounds; transcript = tr }
+  Fun.protect
+    ~finally:(fun () -> close_journal t)
+    (fun () ->
+      prepare t;
+      let output =
+        Obs.Trace.with_span ~name:"ctx.run"
+          ~attrs:[ ("seed", Obs.Json.Int seed) ]
+          (fun () -> Obs.Metrics.timed h_run (fun () -> f t))
+      in
+      let tr = transcript t in
+      let bits = Transcript.total_bits tr and rounds = Transcript.rounds tr in
+      if Obs.Metrics.enabled () then begin
+        Obs.Metrics.incr c_runs;
+        Obs.Metrics.incr_by c_bits bits;
+        Obs.Metrics.incr_by c_rounds rounds
+      end;
+      let rs = replay_stats t in
+      {
+        output;
+        bits;
+        rounds;
+        transcript = tr;
+        replayed_messages = rs.Channel.replayed_messages;
+        replayed_bits = 8 * rs.Channel.replayed_bytes;
+      })
+
+let run ~seed f = run_prepared ~seed ~prepare:(fun _ -> ()) f
+
+let run_journaled ~seed ~journal ~protocol f =
+  run_prepared ~seed ~prepare:(fun t -> record t ~journal ~protocol) f
+
+let resume ~seed ?path ~journal f =
+  run_prepared ~seed ~prepare:(fun t -> resume_from t ?path journal) f

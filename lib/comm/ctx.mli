@@ -15,6 +15,7 @@
 
 type t = {
   chan : Channel.t;
+  seed : int;
   public : Matprod_util.Prng.t;
   alice : Matprod_util.Prng.t;
   bob : Matprod_util.Prng.t;
@@ -44,12 +45,56 @@ val b2a : t -> label:string -> 'a Codec.t -> 'a -> 'a
 
 val transcript : t -> Transcript.t
 
-(** Outcome of a protocol run with its cost. *)
+(** {1 Crash recovery}
+
+    A context can journal its run (every delivered logical message goes to
+    a write-ahead log) and can resume from a journal: the channel replays
+    the journaled prefix byte-for-byte — zero fresh bits, each message
+    checked against the log — and only then touches the wire. Works
+    because {e all} protocol randomness derives from the context seed, so
+    a restarted run re-derives the same messages. *)
+
+val record : t -> journal:string -> protocol:string -> unit
+(** Start journaling this run to file [journal] (truncated). Must be
+    called before the first message (raises [Invalid_argument]
+    otherwise). *)
+
+val resume_from : t -> ?path:string -> Journal.t -> unit
+(** Arm the channel to replay the journal's entries before any fresh
+    communication. Raises [Invalid_argument] if the journal's seed
+    differs from the context's, or if messages were already sent. With
+    [?path], the journal file is rewritten (dropping any torn tail) and
+    fresh messages are appended to it, so a later crash resumes even
+    further. *)
+
+val close_journal : t -> unit
+(** Flush and close the journal writer, if any. Idempotent; {!run} paths
+    that arm a journal close it on exit, exceptions included. *)
+
+val replay_stats : t -> Channel.replay_stats
+
+(** Outcome of a protocol run with its cost. [bits]/[rounds] count fresh
+    communication only; messages served from a journal during resume are
+    reported in [replayed_*]. *)
 type 'r run = {
   output : 'r;
   bits : int;
   rounds : int;
   transcript : Transcript.t;
+  replayed_messages : int;
+  replayed_bits : int;
 }
 
 val run : seed:int -> (t -> 'r) -> 'r run
+
+val run_journaled :
+  seed:int -> journal:string -> protocol:string -> (t -> 'r) -> 'r run
+(** {!run} with {!record} armed first; the writer is closed on exit even
+    when the body raises (the journal then holds the completed prefix —
+    exactly what {!resume} needs). *)
+
+val resume :
+  seed:int -> ?path:string -> journal:Journal.t -> (t -> 'r) -> 'r run
+(** {!run} with {!resume_from} armed first: fast-forwards through the
+    journal, then continues on the wire. A run resumed from a complete
+    journal costs 0 fresh bits. *)

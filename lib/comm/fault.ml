@@ -37,32 +37,62 @@ let rule ?from ?(label_prefix = "") rates =
   validate_rates rates;
   { from; label_prefix; rates }
 
+type crash_site = After_messages of int | At_label of string
+type crash = { victim : Transcript.party; site : crash_site }
+
+exception Party_crash of { party : Transcript.party; after_messages : int }
+
+(* A crash rule plus its one-shot state. *)
+type crash_state = { spec : crash; mutable fired : bool }
+
 type stats = {
   dropped : int;
   corrupted : int;
   truncated : int;
   duplicated : int;
   delayed : int;
+  crashed : int;
   injected_delay : float;
 }
 
 let zero_stats =
   { dropped = 0; corrupted = 0; truncated = 0; duplicated = 0; delayed = 0;
-    injected_delay = 0.0 }
+    crashed = 0; injected_delay = 0.0 }
 
 type t = {
   prng : Prng.t;
   rules : rule list;
+  crashes : crash_state list;
+  mutable messages_seen : int;  (* logical messages that entered the wire *)
   mutable stats : stats;
 }
 
-let create ~seed rules = { prng = Prng.create seed; rules; stats = zero_stats }
+let validate_crash c =
+  match c.site with
+  | After_messages k when k < 0 ->
+      invalid_arg "Fault: After_messages must be >= 0"
+  | After_messages _ | At_label _ -> ()
+
+let create ?(crashes = []) ~seed rules =
+  List.iter validate_crash crashes;
+  {
+    prng = Prng.create seed;
+    rules;
+    crashes = List.map (fun spec -> { spec; fired = false }) crashes;
+    messages_seen = 0;
+    stats = zero_stats;
+  }
+
 let uniform ~seed rates = create ~seed [ rule rates ]
 let none ~seed = create ~seed []
+
+let crash_only ~party ~at =
+  create ~crashes:[ { victim = party; site = at } ] ~seed:0 []
+
 let stats t = t.stats
 
 let total_injected s =
-  s.dropped + s.corrupted + s.truncated + s.duplicated + s.delayed
+  s.dropped + s.corrupted + s.truncated + s.duplicated + s.delayed + s.crashed
 
 let rates_active r =
   r.drop > 0.0 || r.corrupt > 0.0 || r.truncate > 0.0 || r.duplicate > 0.0
@@ -88,6 +118,7 @@ let c_corrupted = Metrics.counter "faults_corrupted"
 let c_truncated = Metrics.counter "faults_truncated"
 let c_duplicated = Metrics.counter "faults_duplicated"
 let c_delayed = Metrics.counter "faults_delayed"
+let c_crashed = Metrics.counter "faults_crashed"
 
 let count c kind label =
   if Metrics.enabled () then Metrics.incr c;
@@ -95,6 +126,25 @@ let count c kind label =
     Trace.event ~name:("fault." ^ kind)
       ~attrs:[ ("label", Matprod_obs.Json.String label) ]
       ()
+
+let check_crash t ~from ~label =
+  List.iter
+    (fun cs ->
+      if (not cs.fired) && cs.spec.victim = from then
+        let triggers =
+          match cs.spec.site with
+          | After_messages k -> t.messages_seen >= k
+          | At_label prefix -> starts_with ~prefix label
+        in
+        if triggers then begin
+          cs.fired <- true;
+          t.stats <- { t.stats with crashed = t.stats.crashed + 1 };
+          count c_crashed "crash" label;
+          raise
+            (Party_crash { party = from; after_messages = t.messages_seen })
+        end)
+    t.crashes;
+  t.messages_seen <- t.messages_seen + 1
 
 (* Flip one uniformly random bit of [bytes]. *)
 let flip_bit prng bytes =

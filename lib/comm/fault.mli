@@ -35,9 +35,39 @@ val rule : ?from:Transcript.party -> ?label_prefix:string -> rates -> rule
     with the prefix — acks carry the label ["<label>/ack"]). Raises
     [Invalid_argument] if any probability is outside [0, 1]. *)
 
+(** {1 Crash events}
+
+    Link faults mangle bytes; crash events kill a {e party}. A crash rule
+    names its victim and the point at which the victim dies: either after a
+    fixed number of logical messages have crossed the channel, or at the
+    moment the victim is about to speak under a given label (a phase
+    boundary). When the victim's next [send] trips the rule, the channel
+    raises {!Party_crash} {e before} any bytes enter the wire — exactly a
+    process dying between messages. A crash rule fires at most once per
+    model (a restarted process does not re-crash); replayed journal
+    messages (see {!Journal}) never trip crash rules. *)
+
+(** Where a crash rule triggers. *)
+type crash_site =
+  | After_messages of int
+      (** die on the victim's first send once ≥ k logical messages (from
+          either party) have crossed the channel; [After_messages 0] kills
+          the victim's very first send *)
+  | At_label of string
+      (** die when the victim is about to send a message whose label starts
+          with this prefix *)
+
+type crash = { victim : Transcript.party; site : crash_site }
+
+exception
+  Party_crash of { party : Transcript.party; after_messages : int }
+(** [after_messages] is the number of logical messages that completed
+    before the crash. Converted to the typed
+    [Matprod_core.Outcome.Crashed] by [Outcome.guard]. *)
+
 type t
 
-val create : seed:int -> rule list -> t
+val create : ?crashes:crash list -> seed:int -> rule list -> t
 (** First matching rule wins; a message matching no rule passes intact. *)
 
 val uniform : seed:int -> rates -> t
@@ -45,6 +75,16 @@ val uniform : seed:int -> rates -> t
 
 val none : seed:int -> t
 (** No rules: a perfectly transparent wire. *)
+
+val crash_only : party:Transcript.party -> at:crash_site -> t
+(** A model with no byte faults and one crash rule — the wire stays
+    byte-for-byte transparent until the victim dies. *)
+
+val check_crash : t -> from:Transcript.party -> label:string -> unit
+(** Called by {!Channel.send} once per logical message before transmission:
+    raises {!Party_crash} if an unfired crash rule triggers for this
+    sender, otherwise counts the message and returns. Emits the
+    [faults_crashed] counter and a [fault.crash] trace event when firing. *)
 
 val is_active : t -> bool
 (** Whether any rule carries a nonzero probability. The channel engages
@@ -58,6 +98,7 @@ type stats = {
   truncated : int;
   duplicated : int;
   delayed : int;
+  crashed : int;  (** crash rules fired *)
   injected_delay : float;  (** total injected delay, seconds *)
 }
 

@@ -1,0 +1,89 @@
+(** Write-ahead log of a protocol transcript, for crash recovery.
+
+    A journal records every {e logical} message of a run — sender, label,
+    and the exact codec-encoded payload — together with the run's seed and
+    a protocol id. Because every coin in a run derives from the seed
+    (parties' streams are split off it, the fault model is separate), the
+    logical transcript is a deterministic function of the seed: a restarted
+    run re-derives the same values, so {!Ctx.resume} can replay journaled
+    messages byte-for-byte, charging zero fresh communication up to the
+    crash point, and assert along the way that each re-encoded message
+    equals the journaled bytes.
+
+    {2 File format}
+
+    All integers are LEB128 varints (zigzag for the seed). Each record is
+    independently CRC32-guarded, so a torn tail — the expected debris of a
+    crash mid-append — is detected and dropped rather than trusted:
+
+    {v
+    header: "MPJ1" ++ version(1B = 0x01) ++ |protocol| ++ protocol ++ zigzag(seed)
+    entry : 'M'(1B) ++ body ++ CRC32(body)(4B LE)
+    body  : sender(1B: 0 = Alice, 1 = Bob) ++ |label| ++ label ++ |payload| ++ payload
+    v}
+
+    Parsing is total: malformed input yields [Error] (bad header) or a
+    clean prefix of entries with [clean = false] (bad record), never an
+    exception and never allocation beyond the input size. *)
+
+type entry = {
+  sender : Transcript.party;
+  label : string;
+  payload : string;  (** the codec-encoded bytes that crossed the wire *)
+}
+
+val entry_bytes : entry -> int
+(** Payload bytes — what the transcript charged for the message. *)
+
+type t = {
+  protocol : string;
+  seed : int;
+  entries : entry list;  (** in send order; the clean prefix of the log *)
+  clean : bool;
+      (** [false] when trailing bytes (a torn or corrupted record) were
+          discarded — normal after a crash mid-append *)
+}
+
+exception
+  Replay_mismatch of { label : string; reason : string }
+(** Raised by the channel when a resumed run diverges from its journal:
+    different sender, label, or payload bytes than recorded. Indicates a
+    journal from a different seed/protocol or genuine nondeterminism;
+    converted to a typed [Outcome.Protocol_failure] by [Outcome.guard]. *)
+
+(** {1 Serialisation} *)
+
+val to_bytes : protocol:string -> seed:int -> entry list -> string
+
+val of_bytes : string -> (t, string) result
+(** [Error reason] if the header is unusable; otherwise [Ok t] with the
+    longest prefix of records that frame and checksum correctly. *)
+
+val crc32 : entry -> int
+(** CRC32 of the entry's record body, as stored in the file. *)
+
+(** {1 Files} *)
+
+val load : string -> (t, string) result
+(** Read and parse a journal file. [Error] covers unreadable files and bad
+    headers; torn tails come back as [Ok {clean = false; _}]. *)
+
+(** {1 Appending}
+
+    A writer flushes after every record, so entries survive the writing
+    process dying at any point (the in-flight record is the only loss, and
+    parsing drops it). *)
+
+type writer
+
+val create : path:string -> protocol:string -> seed:int -> writer
+(** Truncate [path] and start a fresh journal. Raises [Sys_error] when the
+    file cannot be opened. *)
+
+val reopen : path:string -> t -> writer
+(** Rewrite [path] with [t]'s header and clean entries, positioned to
+    append — how a resumed run continues its journal past a torn tail. *)
+
+val append : writer -> sender:Transcript.party -> label:string -> payload:string -> unit
+val close : writer -> unit
+(** Idempotent. *)

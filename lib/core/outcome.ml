@@ -5,11 +5,15 @@ module Fault = Matprod_comm.Fault
 module Reliable = Matprod_comm.Reliable
 module Transcript = Matprod_comm.Transcript
 
+module Journal = Matprod_comm.Journal
+
 type error =
   | Link_failure of { label : string; attempts : int }
   | Decode_failure of string
   | Precondition of string
   | Protocol_failure of string
+  | Crashed of { party : Transcript.party; after_messages : int }
+  | Budget_exhausted of { resource : string; spent : int; limit : int }
 
 let error_to_string = function
   | Link_failure { label; attempts } ->
@@ -18,6 +22,13 @@ let error_to_string = function
   | Decode_failure m -> Printf.sprintf "decode failure: %s" m
   | Precondition m -> Printf.sprintf "precondition violated: %s" m
   | Protocol_failure m -> Printf.sprintf "protocol failure: %s" m
+  | Crashed { party; after_messages } ->
+      Printf.sprintf "%s crashed after %d messages"
+        (Transcript.party_name party)
+        after_messages
+  | Budget_exhausted { resource; spent; limit } ->
+      Printf.sprintf "budget exhausted: %d %s spent of %d allowed" spent
+        resource limit
 
 let pp_error ppf e = Format.pp_print_string ppf (error_to_string e)
 
@@ -51,6 +62,12 @@ let guard f =
   | exception Reliable.Link_failure { label; attempts } ->
       Error (Link_failure { label; attempts })
   | exception Codec.Decode_error m -> Error (Decode_failure m)
+  | exception Fault.Party_crash { party; after_messages } ->
+      Error (Crashed { party; after_messages })
+  | exception Journal.Replay_mismatch { label; reason } ->
+      Error
+        (Protocol_failure
+           (Printf.sprintf "journal replay mismatch at %S: %s" label reason))
   | exception Invalid_argument m -> Error (Precondition m)
   | exception Failure m -> Error (Protocol_failure m)
 

@@ -17,6 +17,15 @@ type error =
   | Decode_failure of string  (** {!Matprod_comm.Codec.Decode_error} *)
   | Precondition of string  (** [Invalid_argument] from input validation *)
   | Protocol_failure of string  (** a sketch-level or internal [Failure] *)
+  | Crashed of {
+      party : Matprod_comm.Transcript.party;
+      after_messages : int;
+    }
+      (** a {!Matprod_comm.Fault} crash rule killed a party mid-protocol;
+          the journaled prefix (if any) remains valid for resume *)
+  | Budget_exhausted of { resource : string; spent : int; limit : int }
+      (** the {!Supervisor} cumulative budget ([resource] is ["bits"] or
+          ["rounds"]) ran out before any ladder rung succeeded *)
 
 val error_to_string : error -> string
 val pp_error : Format.formatter -> error -> unit
@@ -36,8 +45,9 @@ val diagnostics_of_ctx : Matprod_comm.Ctx.t -> diagnostics
 val guard : (unit -> 'a) -> ('a, error) result
 (** Run a thunk, converting the wire/precondition exception families
     ({!Matprod_comm.Reliable.Link_failure}, {!Matprod_comm.Codec.Decode_error},
-    [Invalid_argument], [Failure]) into typed errors. Anything else — an
-    actual bug — still propagates. *)
+    {!Matprod_comm.Fault.Party_crash},
+    {!Matprod_comm.Journal.Replay_mismatch}, [Invalid_argument], [Failure])
+    into typed errors. Anything else — an actual bug — still propagates. *)
 
 val capture :
   Matprod_comm.Ctx.t -> (unit -> 'a) -> ('a * diagnostics, error) result

@@ -48,3 +48,9 @@ let top_rows t ~k =
 let refine ctx ?(rho_const = 200.0) t =
   Lp_protocol.round2 ctx ~p:t.p ~beta:t.beta ~rho_const ~est:t.est ~a:t.a
     ~b:t.b
+
+let establish_safe ?p ?groups ctx ~beta ~a ~b =
+  Outcome.capture ctx (fun () -> establish ?p ?groups ctx ~beta ~a ~b)
+
+let refine_safe ctx ?rho_const t =
+  Outcome.capture ctx (fun () -> refine ctx ?rho_const t)

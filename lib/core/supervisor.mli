@@ -1,0 +1,100 @@
+(** Degradation supervisor: a typed, costed escalation ladder over any
+    protocol driver.
+
+    A single [run_safe] gives the trichotomy for one attempt; the
+    supervisor decides what to do when that attempt fails, spending a
+    bounded budget along a fixed ladder:
+
+    + {b Resume} — rerun at the {e same seed}, fast-forwarding through the
+      write-ahead {!Matprod_comm.Journal} of the failed attempt: the bits
+      already paid for (e.g. Algorithm 1's round-1 sketches) are replayed
+      for free and only the remainder touches the wire. Taken while a
+      journal with at least one entry exists and [max_resumes] allows.
+    + {b Reseed} — full rerun at a fresh deterministic seed (journal
+      restarted); the escape hatch when the failure tracks the seed (e.g.
+      a fault pattern that keeps killing the same message).
+    + {b Degrade} — run the registered fallback drivers in order (e.g.
+      ℓp → exact ℓ1, κ-approx ℓ∞ → trivial): a coarser or costlier answer
+      beats no answer for a query planner, and the caller can see the
+      degradation in the report.
+    + {b Give up} — return the last typed error.
+
+    Every attempt is guarded ({!Outcome.guard}), its cost is counted even
+    when it fails, and cumulative fresh bits/rounds are checked against
+    the budget before each new rung — blowing the budget returns
+    {!Outcome.Budget_exhausted}. Decisions are observable: span
+    [supervisor.attempt] per attempt, counters [supervisor_attempts],
+    [supervisor_resumes], [supervisor_reseeds], [supervisor_fallbacks],
+    [supervisor_giveups], [supervisor_resume_bits_saved]
+    (docs/ROBUSTNESS.md). *)
+
+type policy = {
+  max_resumes : int;  (** journal-resume attempts after the initial run *)
+  max_reseeds : int;  (** fresh-seed full reruns after resumes run out *)
+  max_bits : int option;  (** cumulative fresh-bit budget across attempts *)
+  max_rounds : int option;  (** cumulative round budget across attempts *)
+}
+
+val default_policy : policy
+(** 2 resumes, 1 reseed, no budget caps. *)
+
+val policy :
+  ?max_resumes:int ->
+  ?max_reseeds:int ->
+  ?max_bits:int ->
+  ?max_rounds:int ->
+  unit ->
+  policy
+
+(** Which rung produced an attempt. *)
+type rung =
+  | Initial
+  | Resume  (** same seed, journal fast-forward *)
+  | Reseed of int  (** the fresh seed used *)
+  | Fallback of string  (** registered fallback protocol name *)
+
+val rung_to_string : rung -> string
+
+(** One guarded run and what it cost. [replayed_bits] are journal bits
+    served for free; [fresh_bits] is what actually crossed the wire. *)
+type attempt = {
+  rung : rung;
+  seed : int;
+  fresh_bits : int;
+  fresh_rounds : int;
+  replayed_bits : int;
+  failure : Outcome.error option;  (** [None] = this attempt succeeded *)
+}
+
+type 'r report = {
+  output : 'r;
+  rung : rung;  (** the rung that produced [output] *)
+  degraded : bool;  (** [true] iff a fallback answered *)
+  attempts : attempt list;  (** in execution order, successes included *)
+  fresh_bits : int;  (** cumulative over all attempts *)
+  fresh_rounds : int;  (** cumulative over all attempts *)
+  resume_bits_saved : int;
+      (** journal bits replayed instead of resent, over all resumes *)
+}
+
+val pp_report :
+  Format.formatter -> ('r -> string) -> 'r report -> unit
+
+val run :
+  ?policy:policy ->
+  ?journal:string ->
+  ?wire:(attempt:int -> Matprod_comm.Ctx.t -> unit) ->
+  ?fallbacks:(string * (Matprod_comm.Ctx.t -> 'r)) list ->
+  seed:int ->
+  protocol:string ->
+  (Matprod_comm.Ctx.t -> 'r) ->
+  ('r report, Outcome.error) result
+(** Drive [protocol]'s body up the ladder. [?journal] names the
+    write-ahead log file and enables the Resume rung (without it the
+    ladder goes straight to Reseed). [?wire] installs the fault model for
+    each attempt — it receives the 1-based attempt number, so a test can
+    crash only the first attempt the way a real transient crash would.
+    Fallbacks run at the original seed under the same wire. The error on
+    [Error] is the last rung's typed error, or {!Outcome.Budget_exhausted}
+    when the budget gated further rungs. Never raises on wire/crash/
+    precondition failures; genuine bugs still escape ({!Outcome.guard}). *)

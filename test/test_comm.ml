@@ -246,6 +246,106 @@ let test_ctx_run_counts () =
   check Alcotest.int "bits" 24 r.Ctx.bits
 
 (* ------------------------------------------------------------------ *)
+(* Journal *)
+
+module Journal = Matprod_comm.Journal
+
+let with_tmp_journal k =
+  let path = Filename.temp_file "matprod_journal_" ".journal" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> k path)
+
+let test_journal_bad_headers () =
+  List.iter
+    (fun (name, s) ->
+      match Journal.of_bytes s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%s accepted" name)
+    [
+      ("empty", "");
+      ("short magic", "MP");
+      ("wrong magic", "NOPE\001\000\000");
+      ("magic only", "MPJ1");
+      ("truncated protocol", "MPJ1\001\005ab");
+    ];
+  (* An unknown version must be refused, not misparsed. *)
+  let good = Journal.to_bytes ~protocol:"p" ~seed:1 [] in
+  let b = Bytes.of_string good in
+  Bytes.set b 4 '\002';
+  match Journal.of_bytes (Bytes.to_string b) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "future version accepted"
+
+let test_journal_entry_bytes () =
+  check Alcotest.int "payload bytes only" 3
+    (Journal.entry_bytes
+       { Journal.sender = Transcript.Alice; label = "long label"; payload = "abc" })
+
+(* A crash mid-append leaves debris after the last flushed record; load
+   must hand back the clean prefix, and reopen must drop the tail so the
+   resumed run can keep appending. *)
+let test_journal_torn_tail_reopen () =
+  with_tmp_journal @@ fun path ->
+  let w = Journal.create ~path ~protocol:"p" ~seed:9 in
+  Journal.append w ~sender:Transcript.Alice ~label:"x" ~payload:"abc";
+  Journal.append w ~sender:Transcript.Bob ~label:"y" ~payload:"de";
+  Journal.close w;
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "Mtorn-record-debris";
+  close_out oc;
+  let j =
+    match Journal.load path with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "torn journal unreadable: %s" e
+  in
+  check Alcotest.bool "torn tail detected" false j.Journal.clean;
+  check Alcotest.int "clean prefix kept" 2 (List.length j.Journal.entries);
+  let w2 = Journal.reopen ~path j in
+  Journal.append w2 ~sender:Transcript.Alice ~label:"z" ~payload:"f";
+  Journal.close w2;
+  match Journal.load path with
+  | Ok j2 ->
+      check Alcotest.bool "rewritten clean" true j2.Journal.clean;
+      check Alcotest.int "tail dropped, append kept" 3
+        (List.length j2.Journal.entries);
+      check Alcotest.bool "order preserved" true
+        (List.map (fun e -> e.Journal.label) j2.Journal.entries
+        = [ "x"; "y"; "z" ])
+  | Error e -> Alcotest.failf "rewritten journal unreadable: %s" e
+
+(* Divergence between a journal and the resumed run is an error, not a
+   silent wrong transcript. *)
+let test_journal_replay_mismatch () =
+  with_tmp_journal @@ fun path ->
+  let proto v ctx = Ctx.a2b ctx ~label:"x" Codec.uint v in
+  ignore (Ctx.run_journaled ~seed:3 ~journal:path ~protocol:"t" (proto 5));
+  let j =
+    match Journal.load path with Ok j -> j | Error e -> Alcotest.fail e
+  in
+  (* Same label, different payload. *)
+  (match Ctx.resume ~seed:3 ~journal:j (proto 6) with
+  | exception Journal.Replay_mismatch _ -> ()
+  | _ -> Alcotest.fail "payload divergence accepted");
+  (* Different label. *)
+  (match
+     Ctx.resume ~seed:3 ~journal:j (fun ctx ->
+         Ctx.a2b ctx ~label:"other" Codec.uint 5)
+   with
+  | exception Journal.Replay_mismatch _ -> ()
+  | _ -> Alcotest.fail "label divergence accepted");
+  (* Different sender. *)
+  (match
+     Ctx.resume ~seed:3 ~journal:j (fun ctx ->
+         Ctx.b2a ctx ~label:"x" Codec.uint 5)
+   with
+  | exception Journal.Replay_mismatch _ -> ()
+  | _ -> Alcotest.fail "sender divergence accepted");
+  (* A seed mismatch is rejected before any replay. *)
+  match Ctx.resume ~seed:4 ~journal:j (proto 5) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "seed mismatch accepted"
+
+(* ------------------------------------------------------------------ *)
 (* Netmodel *)
 
 module Netmodel = Matprod_comm.Netmodel
@@ -431,9 +531,103 @@ let fuzz_tests =
   @ List.map mutated packed_codecs
   @ List.map roundtrips lossless
 
+(* Journal codec properties: lossless round-trip, and total torn-tail
+   tolerant parsing under truncation and bit flips. *)
+let journal_entry_arb =
+  let open QCheck in
+  map
+    (fun (alice, label, payload) ->
+      {
+        Journal.sender = (if alice then Transcript.Alice else Transcript.Bob);
+        label;
+        payload;
+      })
+    (triple bool
+       (string_gen_of_size Gen.(0 -- 20) Gen.printable)
+       (string_gen_of_size Gen.(0 -- 60) Gen.char))
+
+let rec list_is_prefix xs ys =
+  match (xs, ys) with
+  | [], _ -> true
+  | x :: xs', y :: ys' -> x = y && list_is_prefix xs' ys'
+  | _ :: _, [] -> false
+
+let journal_qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"journal: roundtrip" ~count:300
+      (triple
+         (string_gen_of_size Gen.(0 -- 20) Gen.printable)
+         int
+         (list_of_size Gen.(0 -- 20) journal_entry_arb))
+      (fun (protocol, seed, entries) ->
+        match Journal.of_bytes (Journal.to_bytes ~protocol ~seed entries) with
+        | Ok j ->
+            j.Journal.protocol = protocol
+            && j.Journal.seed = seed
+            && j.Journal.entries = entries
+            && j.Journal.clean
+        | Error _ -> false);
+    Test.make ~name:"journal: truncation yields a clean prefix" ~count:300
+      (pair (list_of_size Gen.(0 -- 10) journal_entry_arb) small_nat)
+      (fun (entries, cut) ->
+        let full = Journal.to_bytes ~protocol:"p" ~seed:42 entries in
+        let n = String.length full in
+        let cut = cut mod (n + 1) in
+        match Journal.of_bytes (String.sub full 0 cut) with
+        | Error _ -> cut < n (* only an incomplete header may be refused *)
+        | Ok j ->
+            j.Journal.protocol = "p"
+            && j.Journal.seed = 42
+            && list_is_prefix j.Journal.entries entries
+            && (cut < n || (j.Journal.clean && j.Journal.entries = entries)));
+    Test.make ~name:"journal: bit flips never escape or grow the log"
+      ~count:300
+      (pair (list_of_size Gen.(0 -- 8) journal_entry_arb) small_nat)
+      (fun (entries, bit) ->
+        let full = Journal.to_bytes ~protocol:"proto" ~seed:(-7) entries in
+        let b = Bytes.of_string full in
+        let pos = bit mod (8 * Bytes.length b) in
+        Bytes.set b (pos / 8)
+          (Char.chr
+             (Char.code (Bytes.get b (pos / 8)) lxor (1 lsl (pos mod 8))));
+        match Journal.of_bytes (Bytes.to_string b) with
+        | Error _ -> true
+        | Ok j -> List.length j.Journal.entries <= List.length entries);
+    Test.make ~name:"journal: random bytes decode totally" ~count:500
+      (string_gen_of_size Gen.(0 -- 120) Gen.char)
+      (fun s ->
+        match Journal.of_bytes s with Ok _ -> true | Error _ -> true);
+    (* The tentpole property: resuming from a complete journal reproduces
+       the run's output with zero fresh communication — every message is
+       served (and byte-verified) from the log. *)
+    Test.make ~name:"journal: full replay costs zero fresh bits" ~count:50
+      (pair small_nat
+         (list_of_size Gen.(1 -- 10) (pair bool (int_bound 1_000_000))))
+      (fun (seed, msgs) ->
+        let proto ctx =
+          List.mapi
+            (fun i (a2b, v) ->
+              let label = Printf.sprintf "m%d" i in
+              if a2b then Ctx.a2b ctx ~label Codec.uint v
+              else Ctx.b2a ctx ~label Codec.uint v)
+            msgs
+        in
+        with_tmp_journal @@ fun path ->
+        let base = Ctx.run_journaled ~seed ~journal:path ~protocol:"t" proto in
+        match Journal.load path with
+        | Error _ -> false
+        | Ok j ->
+            let r = Ctx.resume ~seed ~journal:j proto in
+            r.Ctx.output = base.Ctx.output
+            && r.Ctx.bits = 0
+            && r.Ctx.replayed_messages = List.length msgs
+            && r.Ctx.replayed_bits = base.Ctx.bits);
+  ]
+
 let qcheck_tests =
   let open QCheck in
-  fuzz_tests
+  fuzz_tests @ journal_qcheck_tests
   @ [
     Test.make ~name:"codec: int roundtrip" ~count:1000 int (fun n ->
         roundtrip Codec.int n = n);
@@ -499,6 +693,15 @@ let () =
           Alcotest.test_case "ctx reproducible" `Quick test_ctx_reproducible;
           Alcotest.test_case "ctx streams independent" `Quick test_ctx_streams_independent;
           Alcotest.test_case "ctx run counts" `Quick test_ctx_run_counts;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "bad headers" `Quick test_journal_bad_headers;
+          Alcotest.test_case "entry bytes" `Quick test_journal_entry_bytes;
+          Alcotest.test_case "torn tail + reopen" `Quick
+            test_journal_torn_tail_reopen;
+          Alcotest.test_case "replay mismatch" `Quick
+            test_journal_replay_mismatch;
         ] );
       ( "netmodel",
         [

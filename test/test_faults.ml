@@ -31,6 +31,9 @@ module Hh_countsketch = Matprod_core.Hh_countsketch
 module Hh_general = Matprod_core.Hh_general
 module Matprod_protocol = Matprod_core.Matprod_protocol
 module Entry_map = Matprod_core.Common.Entry_map
+module Session = Matprod_core.Session
+module Supervisor = Matprod_core.Supervisor
+module Journal = Matprod_comm.Journal
 
 let check = Alcotest.check
 
@@ -132,6 +135,10 @@ let protocols ~seed =
         Shares
           ( Entry_map.entries s.Matprod_protocol.alice,
             Entry_map.entries s.Matprod_protocol.bob ) );
+    ( "session",
+      fun ctx ->
+        let s = Session.establish ctx ~beta:0.5 ~a:ai ~b:bi in
+        F (Session.norm_pow s +. Session.refine ctx s) );
   ]
 
 let reliable = Reliable.config ~max_attempts:12 ~base_timeout:0.05 ()
@@ -169,7 +176,9 @@ let test_trichotomy (kind, rates) () =
                   kind name seed
           | Error (Outcome.Link_failure _)
           | Error (Outcome.Decode_failure _)
-          | Error (Outcome.Protocol_failure _) ->
+          | Error (Outcome.Protocol_failure _)
+          | Error (Outcome.Crashed _)
+          | Error (Outcome.Budget_exhausted _) ->
               incr failures
           | Error (Outcome.Precondition m) ->
               (* Valid inputs: a precondition error here is a harness bug. *)
@@ -290,6 +299,275 @@ let test_rule_scoping () =
         (label = "alice speaks" || label = "bob speaks")
   | Ok _ -> Alcotest.fail "bob-side total loss must fail"
   | Error e -> Alcotest.failf "wrong error: %s" (Outcome.error_to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Crash recovery: seeded crash faults, journal resume, and the
+   degradation supervisor. The strong property mirrors the trichotomy
+   one: a run resumed from a crash's journal must EQUAL the fault-free
+   run at the same seed, and fresh + replayed bits must account for
+   exactly the fault-free transcript. *)
+
+let with_tmp_journal name k =
+  let path = Filename.temp_file ("matprod_" ^ name ^ "_") ".journal" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> k path)
+
+(* Crash the sender of the second message after one delivered message, then
+   resume from the journal: the first message replays for free and the
+   completed run matches the fault-free baseline byte-for-byte. *)
+let test_crash_then_resume () =
+  List.iteri
+    (fun i (name, f) ->
+      let seed = 3000 + i in
+      let base = Ctx.run ~seed f in
+      let msgs = Transcript.messages base.Ctx.transcript in
+      if List.length msgs >= 2 then
+        with_tmp_journal name @@ fun path ->
+        let victim = (List.nth msgs 1).Transcript.sender in
+        let crashed =
+          Outcome.guard (fun () ->
+              Ctx.run_journaled ~seed ~journal:path ~protocol:name (fun ctx ->
+                  Ctx.install_wire ctx
+                    ~fault:
+                      (Fault.crash_only ~party:victim
+                         ~at:(Fault.After_messages 1))
+                    ~reliable ();
+                  f ctx))
+        in
+        (match crashed with
+        | Error (Outcome.Crashed { party; after_messages }) ->
+            check Alcotest.bool
+              (Printf.sprintf "%s: crash names the victim" name)
+              true (party = victim);
+            check Alcotest.int
+              (Printf.sprintf "%s: crash position" name)
+              1 after_messages
+        | Ok _ -> Alcotest.failf "%s: crash rule did not fire" name
+        | Error e ->
+            Alcotest.failf "%s: wrong error: %s" name
+              (Outcome.error_to_string e));
+        let journal =
+          match Journal.load path with
+          | Ok j -> j
+          | Error e -> Alcotest.failf "%s: journal unreadable: %s" name e
+        in
+        check Alcotest.bool
+          (Printf.sprintf "%s: journal clean" name)
+          true journal.Journal.clean;
+        check Alcotest.int
+          (Printf.sprintf "%s: journal holds the delivered prefix" name)
+          1
+          (List.length journal.Journal.entries);
+        let resumed = Ctx.resume ~seed ~journal f in
+        if resumed.Ctx.output <> base.Ctx.output then
+          Alcotest.failf "%s: resumed output differs from fault-free run" name;
+        check Alcotest.bool
+          (Printf.sprintf "%s: replay served messages" name)
+          true
+          (resumed.Ctx.replayed_messages >= 1);
+        check Alcotest.int
+          (Printf.sprintf "%s: fresh + replayed = fault-free bits" name)
+          base.Ctx.bits
+          (resumed.Ctx.bits + resumed.Ctx.replayed_bits))
+    (protocols ~seed:1)
+
+(* Journaling a crash-free run is invisible: same output, same cost; and
+   the resulting journal replays the whole run for zero fresh bits. *)
+let test_journal_transparency () =
+  List.iteri
+    (fun i (name, f) ->
+      let seed = 4000 + i in
+      let base = Ctx.run ~seed f in
+      with_tmp_journal name @@ fun path ->
+      let journaled = Ctx.run_journaled ~seed ~journal:path ~protocol:name f in
+      if journaled.Ctx.output <> base.Ctx.output then
+        Alcotest.failf "%s: journaling changed the output" name;
+      check Alcotest.int
+        (Printf.sprintf "%s: bits unchanged" name)
+        base.Ctx.bits journaled.Ctx.bits;
+      check Alcotest.int
+        (Printf.sprintf "%s: rounds unchanged" name)
+        base.Ctx.rounds journaled.Ctx.rounds;
+      let journal =
+        match Journal.load path with
+        | Ok j -> j
+        | Error e -> Alcotest.failf "%s: journal unreadable: %s" name e
+      in
+      check Alcotest.int
+        (Printf.sprintf "%s: one entry per message" name)
+        (Transcript.message_count base.Ctx.transcript)
+        (List.length journal.Journal.entries);
+      let replayed = Ctx.resume ~seed ~journal f in
+      if replayed.Ctx.output <> base.Ctx.output then
+        Alcotest.failf "%s: full replay changed the output" name;
+      check Alcotest.int
+        (Printf.sprintf "%s: full replay costs 0 fresh bits" name)
+        0 replayed.Ctx.bits;
+      check Alcotest.int
+        (Printf.sprintf "%s: full replay serves every message" name)
+        (Transcript.message_count base.Ctx.transcript)
+        replayed.Ctx.replayed_messages)
+    (protocols ~seed:1)
+
+(* A transient crash (first attempt only, the way a real process death
+   behaves): the supervisor answers from the Resume rung, pays only the
+   suffix fresh, and the observability counters record the decision. *)
+let test_supervisor_resume_rung () =
+  let name, f = List.nth (protocols ~seed:1) 4 (* linf_binary: 3 messages *) in
+  let seed = 51 in
+  let base = run_baseline ~seed f in
+  Metrics.set_enabled true;
+  Metrics.reset ();
+  let result =
+    with_tmp_journal "supervisor" @@ fun path ->
+    Supervisor.run ~journal:path
+      ~wire:(fun ~attempt ctx ->
+        if attempt = 1 then
+          Ctx.install_wire ctx
+            ~fault:
+              (Fault.crash_only ~party:Transcript.Bob
+                 ~at:(Fault.After_messages 1))
+            ~reliable ())
+      ~seed ~protocol:name f
+  in
+  let attempts_c = Metrics.value (Metrics.counter "supervisor_attempts") in
+  let resumes_c = Metrics.value (Metrics.counter "supervisor_resumes") in
+  let saved_c =
+    Metrics.value (Metrics.counter "supervisor_resume_bits_saved")
+  in
+  Metrics.set_enabled false;
+  match result with
+  | Ok r ->
+      if r.Supervisor.output <> base then
+        Alcotest.fail "supervisor output differs from fault-free run";
+      check Alcotest.bool "answered from the resume rung" true
+        (r.Supervisor.rung = Supervisor.Resume);
+      check Alcotest.bool "not degraded" false r.Supervisor.degraded;
+      check Alcotest.int "two attempts" 2 (List.length r.Supervisor.attempts);
+      (match r.Supervisor.attempts with
+      | [ a1; a2 ] ->
+          check Alcotest.bool "first attempt crashed" true
+            (match a1.Supervisor.failure with
+            | Some (Outcome.Crashed _) -> true
+            | _ -> false);
+          check Alcotest.bool "second attempt clean" true
+            (a2.Supervisor.failure = None);
+          check Alcotest.bool "resume replayed bits" true
+            (a2.Supervisor.replayed_bits > 0)
+      | _ -> Alcotest.fail "unexpected attempt shape");
+      check Alcotest.bool "bits saved recorded" true
+        (r.Supervisor.resume_bits_saved > 0);
+      check Alcotest.int "attempts counter" 2 attempts_c;
+      check Alcotest.int "resumes counter" 1 resumes_c;
+      check Alcotest.int "saved counter matches report"
+        r.Supervisor.resume_bits_saved saved_c
+  | Error e -> Alcotest.failf "supervisor gave up: %s" (Outcome.error_to_string e)
+
+(* A persistent crash at message 0 leaves nothing to resume and kills the
+   reseed too; the ladder must degrade to the registered fallback. *)
+let test_supervisor_fallback () =
+  let _, lp = List.nth (protocols ~seed:1) 1 (* lp p=1 *) in
+  let _, l1 = List.nth (protocols ~seed:1) 2 (* l1_exact *) in
+  let kill_all =
+    [
+      { Fault.victim = Transcript.Alice; site = Fault.After_messages 0 };
+      { Fault.victim = Transcript.Bob; site = Fault.After_messages 0 };
+    ]
+  in
+  let result =
+    with_tmp_journal "fallback" @@ fun path ->
+    Supervisor.run ~journal:path
+      ~wire:(fun ~attempt ctx ->
+        if attempt <= 2 then
+          Ctx.install_wire ctx
+            ~fault:(Fault.create ~crashes:kill_all ~seed:0 [])
+            ~reliable ())
+      ~fallbacks:[ ("l1_exact", l1) ]
+      ~seed:52 ~protocol:"lp p=1" lp
+  in
+  match result with
+  | Ok r ->
+      check Alcotest.bool "degraded" true r.Supervisor.degraded;
+      check Alcotest.bool "fallback rung" true
+        (r.Supervisor.rung = Supervisor.Fallback "l1_exact");
+      (* initial crash, no journal entries -> reseed crash -> fallback *)
+      check Alcotest.int "three attempts" 3 (List.length r.Supervisor.attempts);
+      if r.Supervisor.output <> run_baseline ~seed:52 l1 then
+        Alcotest.fail "fallback output differs from its fault-free run"
+  | Error e -> Alcotest.failf "ladder gave up: %s" (Outcome.error_to_string e)
+
+(* A one-bit budget is spent by the doomed first attempt; escalation must
+   stop with the typed budget error, not loop. *)
+let test_supervisor_budget () =
+  let name, f = List.hd (protocols ~seed:1) in
+  (* Either party dies after one delivered message, every attempt. *)
+  let crashes =
+    [
+      { Fault.victim = Transcript.Alice; site = Fault.After_messages 1 };
+      { Fault.victim = Transcript.Bob; site = Fault.After_messages 1 };
+    ]
+  in
+  match
+    Supervisor.run
+      ~policy:(Supervisor.policy ~max_bits:1 ())
+      ~wire:(fun ~attempt:_ ctx ->
+        Ctx.install_wire ctx
+          ~fault:(Fault.create ~crashes ~seed:0 [])
+          ~reliable ())
+      ~seed:53 ~protocol:name f
+  with
+  | Error (Outcome.Budget_exhausted { resource = "bits"; spent; limit = 1 }) ->
+      check Alcotest.bool "spent counted" true (spent >= 1)
+  | Ok _ -> Alcotest.fail "budget cannot allow a second attempt"
+  | Error e -> Alcotest.failf "wrong error: %s" (Outcome.error_to_string e)
+
+(* Session's safe entry points give the same trichotomy: a crash mid
+   establish is typed, and the session then comes up clean on a quiet
+   wire with the same answers. *)
+let test_session_safe () =
+  let rng = Prng.create 99 in
+  let a = Imat.of_bmat (Workload.uniform_bool rng ~rows:12 ~cols:12 ~density:0.3) in
+  let b = Imat.of_bmat (Workload.uniform_bool rng ~rows:12 ~cols:12 ~density:0.3) in
+  let crashed =
+    Ctx.run ~seed:61 (fun ctx ->
+        Ctx.install_wire ctx
+          ~fault:
+            (Fault.crash_only ~party:Transcript.Bob
+               ~at:(Fault.After_messages 0))
+          ~reliable ();
+        Session.establish_safe ctx ~beta:0.5 ~a ~b)
+  in
+  (match crashed.Ctx.output with
+  | Error (Outcome.Crashed { party = Transcript.Bob; _ }) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Outcome.error_to_string e)
+  | Ok _ -> Alcotest.fail "establish over a dead wire cannot succeed");
+  let clean =
+    Ctx.run ~seed:61 (fun ctx ->
+        match Session.establish_safe ctx ~beta:0.5 ~a ~b with
+        | Error e ->
+            Alcotest.failf "clean establish failed: %s"
+              (Outcome.error_to_string e)
+        | Ok (s, d) -> (
+            check Alcotest.bool "establish billed" true (d.Outcome.bits > 0);
+            let direct = Session.norm_pow s in
+            match Session.refine_safe ctx s with
+            | Ok (refined, d2) ->
+                check Alcotest.bool "refine billed on top" true
+                  (d2.Outcome.bits > d.Outcome.bits);
+                (direct, refined)
+            | Error e ->
+                Alcotest.failf "clean refine failed: %s"
+                  (Outcome.error_to_string e)))
+  in
+  let direct, refined = clean.Ctx.output in
+  let baseline =
+    Ctx.run ~seed:61 (fun ctx ->
+        let s = Session.establish ctx ~beta:0.5 ~a ~b in
+        (Session.norm_pow s, Session.refine ctx s))
+  in
+  check (Alcotest.float 0.0) "norm matches unsafe" (fst baseline.Ctx.output) direct;
+  check (Alcotest.float 0.0) "refine matches unsafe" (snd baseline.Ctx.output)
+    refined
 
 (* ------------------------------------------------------------------ *)
 (* Fail-safe boosting: quorum behaviour under a lossy wire and the edge
@@ -428,6 +706,19 @@ let () =
           Alcotest.test_case "crc32 vectors" `Quick test_crc32_vectors;
           Alcotest.test_case "frame rejection" `Quick
             test_frame_roundtrip_and_rejection;
+        ] );
+      ( "crash recovery",
+        [
+          Alcotest.test_case "crash then resume" `Quick test_crash_then_resume;
+          Alcotest.test_case "journal transparency" `Quick
+            test_journal_transparency;
+          Alcotest.test_case "supervisor resume rung" `Quick
+            test_supervisor_resume_rung;
+          Alcotest.test_case "supervisor fallback" `Quick
+            test_supervisor_fallback;
+          Alcotest.test_case "supervisor budget" `Quick test_supervisor_budget;
+          Alcotest.test_case "session safe entry points" `Quick
+            test_session_safe;
         ] );
       ( "boosting",
         [
