@@ -1,6 +1,6 @@
 # Convenience targets; all real build logic lives in dune.
 
-.PHONY: all check build test bench bench-json bench-c2 chaos clean
+.PHONY: all check build test bench bench-json bench-c2 bench-p1 chaos clean
 
 all: build
 
@@ -27,6 +27,12 @@ bench-json:
 # crash position sweeps the transcript (writes BENCH_c2.json).
 bench-c2:
 	dune exec bench/main.exe -- --no-micro c2
+
+# Plan/apply kernel throughput: seed vs planned sketch builds for every
+# family, plus the domain-pool fan-out rate (writes BENCH_p1.json; see
+# docs/PERFORMANCE.md).
+bench-p1:
+	dune exec bench/main.exe -- --no-micro p1
 
 # Chaos sweep: fault injection (link faults and crashes) over every
 # protocol (see docs/ROBUSTNESS.md) plus the C1 retransmission-cost and

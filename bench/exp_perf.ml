@@ -1,0 +1,225 @@
+(* Experiment P1: plan/apply sketch-kernel throughput.
+
+   The drivers sketch every row of B against ONE shared hash family, so
+   the per-key hash work (splitmix64 finalisers, GF(2^31-1) coefficient
+   maps, Int64 boxing) can be tabulated once — [plan] — and each row
+   applied with table lookups into a reused scratch buffer —
+   [sketch_into]. P1 measures rows/second of the seed path vs the planned
+   path for every sketch family, plan cost amortised exactly the way the
+   drivers amortise it (one plan, many rows), and reports the planned
+   fan-out across the domain pool as well.
+
+   Verdict: planned kernels at least 3x the seed path's throughput on
+   every family whose seed path re-hashes per row (countsketch, ams,
+   l0_sketch, lp, cohen). Stable is reported but not gated: its seed path
+   already amortises entry generation through a lazy column cache, so the
+   plan mostly buys it domain-safety, not raw speed. *)
+
+module Prng = Matprod_util.Prng
+module Pool = Matprod_util.Pool
+module Bmat = Matprod_matrix.Bmat
+module Workload = Matprod_workload.Workload
+module Countsketch = Matprod_sketch.Countsketch
+module Ams = Matprod_sketch.Ams
+module Stable_sketch = Matprod_sketch.Stable_sketch
+module L0_sketch = Matprod_sketch.L0_sketch
+module Lp = Matprod_sketch.Lp
+module Cohen = Matprod_sketch.Cohen
+
+let dim = 4096
+
+(* ~5% density, the low end of the densities the protocol experiments
+   drive (workload generators run 0.05..0.25): per-row hash work then
+   carries its real weight against the fixed buffer-reset cost that both
+   paths pay identically. *)
+let nnz = 192
+
+let mk_rows ~rows seed =
+  let rng = Prng.create seed in
+  Array.init rows (fun r ->
+      Array.init nnz (fun i -> (((r * 131) + (i * 37)) mod dim, 1 + Prng.int rng 20)))
+
+(* Best-of-five timing of [f] applied to every row; returns rows/sec.
+   Each pass starts from a collected heap so a family's measurement does
+   not inherit GC debt from the allocations of the previous one. *)
+let rows_per_sec ~rows f =
+  let pass () =
+    Gc.full_major ();
+    let t0 = Matprod_obs.Clock.now_ns () in
+    for r = 0 to rows - 1 do
+      f r
+    done;
+    Matprod_obs.Clock.elapsed_ns t0
+  in
+  let best = ref max_int in
+  for _ = 1 to 5 do
+    let dt = pass () in
+    if dt < !best then best := dt
+  done;
+  float_of_int rows /. (float_of_int (max 1 !best) /. 1e9)
+
+type family = {
+  name : string;
+  gated : bool;
+  seed_path : int -> unit;
+  planned_path : int -> unit; (* plan + scratch built once, outside timing *)
+}
+
+let families ~rows =
+  let vecs = mk_rows ~rows 42 in
+  let cs = Countsketch.create (Prng.create 1) ~buckets:256 ~reps:5 in
+  let cs_plan = Countsketch.plan cs ~dim in
+  let cs_dst = Countsketch.empty cs in
+  let ams = Ams.create (Prng.create 2) ~eps:0.2 ~groups:5 in
+  let ams_plan = Ams.plan ams ~dim in
+  let ams_dst = Ams.empty ams in
+  let l0 = L0_sketch.create (Prng.create 3) ~eps:0.2 ~groups:3 ~dim in
+  let l0_plan = L0_sketch.plan l0 ~dim in
+  let l0_dst = L0_sketch.empty l0 in
+  let lp = Lp.create (Prng.create 4) ~p:0.0 ~eps:0.2 ~groups:3 ~dim in
+  let lp_plan = Lp.plan lp ~dim in
+  let lp_dst = Lp.empty lp in
+  let stable = Stable_sketch.create (Prng.create 5) ~p:1.0 ~eps:0.2 ~groups:5 in
+  let stable_plan = Stable_sketch.plan stable ~dim in
+  let stable_dst = Stable_sketch.empty stable in
+  [
+    {
+      name = "countsketch";
+      gated = true;
+      seed_path = (fun r -> ignore (Countsketch.sketch cs vecs.(r)));
+      planned_path = (fun r -> Countsketch.sketch_into cs cs_plan ~dst:cs_dst vecs.(r));
+    };
+    {
+      name = "ams";
+      gated = true;
+      seed_path = (fun r -> ignore (Ams.sketch ams vecs.(r)));
+      planned_path = (fun r -> Ams.sketch_into ams ams_plan ~dst:ams_dst vecs.(r));
+    };
+    {
+      name = "l0_sketch";
+      gated = true;
+      seed_path = (fun r -> ignore (L0_sketch.sketch l0 vecs.(r)));
+      planned_path = (fun r -> L0_sketch.sketch_into l0 l0_plan ~dst:l0_dst vecs.(r));
+    };
+    {
+      name = "lp (p=0)";
+      gated = true;
+      seed_path = (fun r -> ignore (Lp.sketch lp vecs.(r)));
+      planned_path = (fun r -> Lp.sketch_into lp lp_plan ~dst:lp_dst vecs.(r));
+    };
+    {
+      name = "stable (p=1)";
+      gated = false;
+      seed_path = (fun r -> ignore (Stable_sketch.sketch stable vecs.(r)));
+      planned_path =
+        (fun r -> Stable_sketch.sketch_into stable stable_plan ~dst:stable_dst vecs.(r));
+    };
+  ]
+
+(* Cohen's shape differs (column minima, not per-row buffers), so it gets
+   its own batch measurement: columns/second over one support structure. *)
+let cohen_cols_per_sec ~cols ~planned =
+  let rng = Prng.create 6 in
+  let t = Cohen.create rng ~reps:64 ~rows:1024 in
+  let a = Workload.uniform_bool rng ~rows:1024 ~cols ~density:0.05 in
+  let at = Bmat.transpose a in
+  let supp_of_col k = Bmat.row at k in
+  let plan = Cohen.plan t in
+  let pass () =
+    Gc.full_major ();
+    let t0 = Matprod_obs.Clock.now_ns () in
+    (if planned then ignore (Cohen.column_mins_with_plan t plan ~supp_of_col ~cols)
+     else ignore (Cohen.column_mins t ~supp_of_col ~cols));
+    Matprod_obs.Clock.elapsed_ns t0
+  in
+  let best = ref max_int in
+  for _ = 1 to 5 do
+    let dt = pass () in
+    if dt < !best then best := dt
+  done;
+  float_of_int cols /. (float_of_int (max 1 !best) /. 1e9)
+
+let frate r =
+  if r >= 1e6 then Printf.sprintf "%.2fM" (r /. 1e6)
+  else if r >= 1e3 then Printf.sprintf "%.1fk" (r /. 1e3)
+  else Printf.sprintf "%.0f" r
+
+let p1 ~quick =
+  Report.section ~id:"P1  plan/apply kernel throughput (rows/sec)"
+    ~claim:
+      "tabulating the hash family once per driver (plan) and applying it \
+       with table lookups into a reused scratch (sketch_into) lifts \
+       sketch-build throughput >= 3x over the per-row rehashing seed path";
+  let rows = if quick then 300 else 1500 in
+  let cols = if quick then 256 else 1024 in
+  Printf.printf
+    "workload: %d rows, %d-sparse over dim %d, one shared hash family; plan \
+     built once outside the timed region (as the drivers amortise it)\n\n"
+    rows nnz dim;
+  let tbl =
+    [ ("family", 14); ("seed rows/s", 12); ("planned rows/s", 14);
+      ("speedup", 8); ("gated", 6) ]
+  in
+  Report.table_header tbl;
+  let worst_gated = ref infinity in
+  let record name ~gated ~seed_rate ~planned_rate =
+    let speedup = planned_rate /. seed_rate in
+    if gated && speedup < !worst_gated then worst_gated := speedup;
+    Report.row tbl
+      [ name; frate seed_rate; frate planned_rate;
+        Printf.sprintf "%.1fx" speedup; (if gated then "yes" else "no") ];
+    Report.bench_row
+      [
+        ("family", Matprod_obs.Json.String name);
+        ("rows", Matprod_obs.Json.Int rows);
+        ("nnz", Matprod_obs.Json.Int nnz);
+        ("dim", Matprod_obs.Json.Int dim);
+        ("seed_rows_per_sec", Matprod_obs.Json.Float seed_rate);
+        ("planned_rows_per_sec", Matprod_obs.Json.Float planned_rate);
+        ("speedup", Matprod_obs.Json.Float speedup);
+        ("gated", Matprod_obs.Json.Bool gated);
+      ]
+  in
+  List.iter
+    (fun fam ->
+      let seed_rate = rows_per_sec ~rows fam.seed_path in
+      let planned_rate = rows_per_sec ~rows fam.planned_path in
+      record fam.name ~gated:fam.gated ~seed_rate ~planned_rate)
+    (families ~rows);
+  let cohen_seed = cohen_cols_per_sec ~cols ~planned:false in
+  let cohen_planned = cohen_cols_per_sec ~cols ~planned:true in
+  record "cohen (cols/s)" ~gated:true ~seed_rate:cohen_seed
+    ~planned_rate:cohen_planned;
+  (* Domain fan-out of the planned kernel: correctness is covered by the
+     equivalence suite; here we just report that the pool path carries the
+     same throughput shape (this container timeshares one core, so no
+     wall-clock win is expected or gated). *)
+  let vecs = mk_rows ~rows 42 in
+  let cs = Countsketch.create (Prng.create 1) ~buckets:256 ~reps:5 in
+  let plan = Countsketch.plan cs ~dim in
+  List.iter
+    (fun d ->
+      Pool.set_size d;
+      let t0 = Matprod_obs.Clock.now_ns () in
+      ignore (Pool.init rows (fun r -> Countsketch.sketch_with_plan cs plan vecs.(r)));
+      let dt = float_of_int (Matprod_obs.Clock.elapsed_ns t0) in
+      let rate = float_of_int rows /. (dt /. 1e9) in
+      Printf.printf "pool fan-out (countsketch planned), domains=%d: %s rows/s\n"
+        d (frate rate);
+      Report.bench_row
+        [
+          ("family", Matprod_obs.Json.String "countsketch pool fan-out");
+          ("domains", Matprod_obs.Json.Int d);
+          ("rows", Matprod_obs.Json.Int rows);
+          ("planned_rows_per_sec", Matprod_obs.Json.Float rate);
+          ("gated", Matprod_obs.Json.Bool false);
+        ])
+    [ 1; 4 ];
+  Pool.set_size 1;
+  (* Quick mode is a smoke tier: 300-row passes are too short for stable
+     ratios on a timeshared box, so it gates at 2x; the >= 3x claim is
+     judged (and the committed sidecar produced) at full size. *)
+  let gate = if quick then 2.0 else 3.0 in
+  Report.record_verdict (!worst_gated >= gate)
+    "planned kernels >= %.0fx seed throughput on every gated family (worst %.1fx)"
+    gate !worst_gated

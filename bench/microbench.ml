@@ -10,8 +10,11 @@ module Ams = Matprod_sketch.Ams
 module L0_sketch = Matprod_sketch.L0_sketch
 module L0_sampler = Matprod_sketch.L0_sampler
 module Countsketch = Matprod_sketch.Countsketch
+module Countmin = Matprod_sketch.Countmin
 module Stable_sketch = Matprod_sketch.Stable_sketch
 module S_sparse = Matprod_sketch.S_sparse
+module Cohen = Matprod_sketch.Cohen
+module Cm = Matprod_sketch.Compressed_matmul
 
 let dim = 4096
 
@@ -60,6 +63,65 @@ let bench_countsketch =
   let vec = mk_vec 12 64 in
   Test.make ~name:"countsketch: sketch 64-sparse vector"
     (Staged.stage (fun () -> ignore (Countsketch.sketch t vec)))
+
+let bench_countmin =
+  let rng = Prng.create 21 in
+  let t = Countmin.create rng ~buckets:512 ~reps:5 in
+  let vec = mk_vec 22 64 in
+  Test.make ~name:"countmin: sketch 64-sparse vector"
+    (Staged.stage (fun () -> ignore (Countmin.sketch t vec)))
+
+let bench_cohen =
+  let rng = Prng.create 23 in
+  let t = Cohen.create rng ~reps:32 ~rows:dim in
+  let supp = Array.init 64 (fun i -> (i * 37) mod dim) in
+  let supp_of_col _ = supp in
+  let plan = Cohen.plan t in
+  [
+    Test.make ~name:"cohen: column mins (32 reps, 64-support col)"
+      (Staged.stage (fun () ->
+           ignore (Cohen.column_mins t ~supp_of_col ~cols:1)));
+    Test.make ~name:"cohen: column mins, planned"
+      (Staged.stage (fun () ->
+           ignore (Cohen.column_mins_with_plan t plan ~supp_of_col ~cols:1)));
+  ]
+
+let bench_compressed_matmul =
+  let rng = Prng.create 25 in
+  let t = Cm.create rng ~buckets:256 ~reps:3 in
+  let vec = mk_vec 26 64 in
+  let left = Array.init 16 (fun i -> Cm.half_sketch_left t ~rep:0 (mk_vec i 32)) in
+  let right = Array.init 16 (fun i -> Cm.half_sketch_right t ~rep:0 (mk_vec (i + 50) 32)) in
+  [
+    Test.make ~name:"compressed-matmul: half sketch 64-sparse vector"
+      (Staged.stage (fun () -> ignore (Cm.half_sketch_left t ~rep:0 vec)));
+    Test.make ~name:"compressed-matmul: FFT combine (16 pairs, b=256)"
+      (Staged.stage (fun () -> ignore (Cm.combine t ~rep:0 ~left ~right)));
+  ]
+
+(* Planned kernels vs their seed paths — same instances as above, plan and
+   scratch built once (the driver amortisation). *)
+let bench_planned =
+  let cs = Countsketch.create (Prng.create 11) ~buckets:512 ~reps:5 in
+  let cs_plan = Countsketch.plan cs ~dim in
+  let cs_dst = Countsketch.empty cs in
+  let cs_vec = mk_vec 12 64 in
+  let ams = Ams.create (Prng.create 1) ~eps:0.2 ~groups:5 in
+  let ams_plan = Ams.plan ams ~dim in
+  let ams_dst = Ams.empty ams in
+  let ams_vec = mk_vec 2 64 in
+  let l0 = L0_sketch.create (Prng.create 5) ~eps:0.2 ~groups:3 ~dim in
+  let l0_plan = L0_sketch.plan l0 ~dim in
+  let l0_dst = L0_sketch.empty l0 in
+  let l0_vec = mk_vec 6 64 in
+  [
+    Test.make ~name:"countsketch: sketch_into, planned"
+      (Staged.stage (fun () -> Countsketch.sketch_into cs cs_plan ~dst:cs_dst cs_vec));
+    Test.make ~name:"ams: sketch_into, planned (eps=0.2)"
+      (Staged.stage (fun () -> Ams.sketch_into ams ams_plan ~dst:ams_dst ams_vec));
+    Test.make ~name:"l0 sketch: sketch_into, planned"
+      (Staged.stage (fun () -> L0_sketch.sketch_into l0 l0_plan ~dst:l0_dst l0_vec));
+  ]
 
 let bench_s_sparse_decode =
   let rng = Prng.create 13 in
@@ -114,8 +176,10 @@ let all_tests =
   Test.make_grouped ~name:"sketches"
     ([
        bench_ams; bench_stable; bench_l0_sketch; bench_l0_estimate;
-       bench_l0_sampler; bench_countsketch; bench_s_sparse_decode;
+       bench_l0_sampler; bench_countsketch; bench_countmin;
+       bench_s_sparse_decode;
      ]
+    @ bench_planned @ bench_cohen @ bench_compressed_matmul
     @ bench_product_backends @ bench_obs_overhead)
 
 let run () =

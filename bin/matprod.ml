@@ -50,6 +50,17 @@ let verbose_arg =
     value & flag
     & info [ "v"; "verbose" ] ~doc:"Print the per-message transcript breakdown.")
 
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"D"
+        ~doc:
+          "Fan per-row sketch loops out over $(docv) domains (default \
+           $(b,MATPROD_DOMAINS), else 1 = sequential). Estimates and \
+           transcripts are byte-identical at any value \
+           (docs/PERFORMANCE.md).")
+
 (* ------------------------------------------------------------------ *)
 (* Observability plumbing: every subcommand takes --json and --trace. *)
 
@@ -70,7 +81,10 @@ let trace_arg =
     & info [ "trace" ] ~docv:"FILE"
         ~doc:"Write spans and per-message events as JSON lines to $(docv).")
 
-let obs_start ~json ~trace =
+let obs_start ?domains ~json ~trace () =
+  (match domains with
+  | Some d -> Matprod_util.Pool.set_size d
+  | None -> ());
   if json || trace <> None then Obs.Metrics.set_enabled true;
   if trace <> None then Obs.Trace.enable ()
 
@@ -143,8 +157,9 @@ let report ~verbose ~actual ~estimate (run : _ Ctx.run) =
 (* join-size: lp norms, p in [0,2] *)
 
 let join_size n density eps seed zipf verbose p algo load_a load_b journal
-    resume max_attempts fallback crash_party crash_after drop json trace =
-  obs_start ~json ~trace;
+    resume max_attempts fallback crash_party crash_after drop domains json
+    trace =
+  obs_start ?domains ~json ~trace ();
   if max_attempts < 1 then failwith "--max-attempts must be >= 1";
   let resumed =
     match resume with
@@ -459,13 +474,13 @@ let join_size_cmd =
       const join_size $ n_arg $ density_arg $ eps_arg $ seed_arg $ zipf_arg
       $ verbose_arg $ p_arg $ algo_arg $ load_a_arg $ load_b_arg $ journal_arg
       $ resume_arg $ max_attempts_arg $ fallback_arg $ crash_party_arg
-      $ crash_after_arg $ drop_arg $ json_arg $ trace_arg)
+      $ crash_after_arg $ drop_arg $ domains_arg $ json_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* linf *)
 
-let linf n density seed verbose overlap eps kappa general json trace =
-  obs_start ~json ~trace;
+let linf n density seed verbose overlap eps kappa general domains json trace =
+  obs_start ?domains ~json ~trace ();
   let rng = Prng.create seed in
   let banner, algo, actual, estimate, run_bits, run_rounds, tr =
     if general then begin
@@ -575,13 +590,13 @@ let linf_cmd =
     (Cmd.info "linf" ~doc:"Approximate ||AB||_inf (maximum intersection size).")
     Term.(
       const linf $ n_arg $ density_arg $ seed_arg $ verbose_arg $ overlap_arg
-      $ eps_arg $ kappa_arg $ general_arg $ json_arg $ trace_arg)
+      $ eps_arg $ kappa_arg $ general_arg $ domains_arg $ json_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* heavy-hitters *)
 
-let heavy_hitters n density seed verbose phi eps binary json trace =
-  obs_start ~json ~trace;
+let heavy_hitters n density seed verbose phi eps binary domains json trace =
+  obs_start ?domains ~json ~trace ();
   let rng = Prng.create seed in
   if phi <= 0.0 || eps <= 0.0 || eps > phi then
     failwith "need 0 < eps <= phi";
@@ -675,13 +690,13 @@ let heavy_hitters_cmd =
        ~doc:"Find the lp-(phi,eps)-heavy-hitters of AB.")
     Term.(
       const heavy_hitters $ n_arg $ density_arg $ seed_arg $ verbose_arg
-      $ phi_arg $ hh_eps_arg $ binary_arg $ json_arg $ trace_arg)
+      $ phi_arg $ hh_eps_arg $ binary_arg $ domains_arg $ json_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sample *)
 
-let sample n density seed verbose kind count json trace =
-  obs_start ~json ~trace;
+let sample n density seed verbose kind count domains json trace =
+  obs_start ?domains ~json ~trace ();
   let rng = Prng.create seed in
   let a = Workload.uniform_bool rng ~rows:n ~cols:n ~density in
   let b = Workload.uniform_bool rng ~rows:n ~cols:n ~density in
@@ -769,7 +784,7 @@ let sample_cmd =
     (Cmd.info "sample" ~doc:"Draw l0- or l1-samples from the product AB.")
     Term.(
       const sample $ n_arg $ density_arg $ seed_arg $ verbose_arg $ kind_arg
-      $ count_arg $ json_arg $ trace_arg)
+      $ count_arg $ domains_arg $ json_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* lowerbound *)
@@ -838,8 +853,8 @@ let lowerbound_cmd =
 (* ------------------------------------------------------------------ *)
 (* joins ([16] family) *)
 
-let joins n density seed kind t json trace =
-  obs_start ~json ~trace;
+let joins n density seed kind t domains json trace =
+  obs_start ?domains ~json ~trace ();
   let rng = Prng.create seed in
   let a = Workload.uniform_bool rng ~rows:n ~cols:n ~density in
   let b = Workload.uniform_bool rng ~rows:n ~cols:n ~density in
@@ -921,13 +936,13 @@ let joins_cmd =
              set-disjointness and at-least-T joins.")
     Term.(
       const joins $ n_arg $ density_arg $ seed_arg $ kind_arg $ t_arg
-      $ json_arg $ trace_arg)
+      $ domains_arg $ json_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* session *)
 
-let session n density seed beta json trace =
-  obs_start ~json ~trace;
+let session n density seed beta domains json trace =
+  obs_start ?domains ~json ~trace ();
   let rng = Prng.create seed in
   let a = Workload.uniform_bool rng ~rows:n ~cols:n ~density in
   let b = Workload.uniform_bool rng ~rows:n ~cols:n ~density in
@@ -988,8 +1003,8 @@ let session_cmd =
        ~doc:"Establish an amortised query session and answer several \
              questions from one sketch exchange.")
     Term.(
-      const session $ n_arg $ density_arg $ seed_arg $ beta_arg $ json_arg
-      $ trace_arg)
+      const session $ n_arg $ density_arg $ seed_arg $ beta_arg $ domains_arg
+      $ json_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 

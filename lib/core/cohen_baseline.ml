@@ -1,4 +1,5 @@
 module Bmat = Matprod_matrix.Bmat
+module Pool = Matprod_util.Pool
 module Cohen = Matprod_sketch.Cohen
 module Ctx = Matprod_comm.Ctx
 module Codec = Matprod_comm.Codec
@@ -13,8 +14,10 @@ let run ctx prm ~a ~b =
   if Bmat.cols a <> Bmat.rows b then invalid_arg "Cohen_baseline: dims";
   let est = Cohen.create ctx.Ctx.alice ~reps:prm.reps ~rows:(max 1 (Bmat.rows a)) in
   let at = Bmat.transpose a in
+  let plan = Cohen.plan est in
   let mins =
-    Cohen.column_mins est ~supp_of_col:(fun k -> Bmat.row at k)
+    Cohen.column_mins_with_plan est plan
+      ~supp_of_col:(fun k -> Bmat.row at k)
       ~cols:(Bmat.cols a)
   in
   let mins' =
@@ -22,10 +25,6 @@ let run ctx prm ~a ~b =
       (Codec.array Codec.float32_array) mins
   in
   (* Bob: per output column j, combine minima over supp(B_{*,j}) and sum
-     the support-size estimates. *)
+     the support-size estimates (index-order fold → domain-count invariant). *)
   let bt = Bmat.transpose b in
-  let acc = ref 0.0 in
-  for j = 0 to Bmat.cols b - 1 do
-    acc := !acc +. Cohen.estimate_union est mins' (Bmat.row bt j)
-  done;
-  !acc
+  Pool.map_sum (Bmat.cols b) (fun j -> Cohen.estimate_union est mins' (Bmat.row bt j))

@@ -1,4 +1,5 @@
 module Imat = Matprod_matrix.Imat
+module Pool = Matprod_util.Pool
 module Cm = Matprod_sketch.Compressed_matmul
 module Ctx = Matprod_comm.Ctx
 module Codec = Matprod_comm.Codec
@@ -21,7 +22,7 @@ let run ctx prm ~a ~b =
     let at = Imat.transpose a in
     let halves =
       Array.init (Cm.reps cm) (fun rep ->
-          Array.init inner (fun k -> Cm.half_sketch_left cm ~rep (Imat.row at k)))
+          Pool.init inner (fun k -> Cm.half_sketch_left cm ~rep (Imat.row at k)))
     in
     let halves' =
       Ctx.a2b ctx ~label:"countsketch halves of A cols"
@@ -32,7 +33,7 @@ let run ctx prm ~a ~b =
     let sketches =
       Array.init (Cm.reps cm) (fun rep ->
           let right =
-            Array.init inner (fun k -> Cm.half_sketch_right cm ~rep (Imat.row b k))
+            Pool.init inner (fun k -> Cm.half_sketch_right cm ~rep (Imat.row b k))
           in
           Cm.combine cm ~rep ~left:halves'.(rep) ~right)
     in

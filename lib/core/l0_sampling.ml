@@ -1,4 +1,5 @@
 module Prng = Matprod_util.Prng
+module Pool = Matprod_util.Pool
 module Imat = Matprod_matrix.Imat
 module L0_sketch = Matprod_sketch.L0_sketch
 module L0_sampler = Matprod_sketch.L0_sampler
@@ -30,9 +31,12 @@ let run_many ctx prm ~count ~a ~b =
   let alice_cols = Array.init inner (fun k -> Imat.row at k) in
   let msg_sketches, msg_samplers =
     Trace.with_span ~name:"l0_sampling.sketch_build" (fun () ->
-        ( Array.map (L0_sketch.sketch sk) alice_cols,
+        let plan = L0_sketch.plan sk ~dim:(max 1 nrows) in
+        ( Pool.init inner (fun k ->
+              L0_sketch.sketch_with_plan sk plan alice_cols.(k)),
           Array.map
-            (fun smp -> Array.map (L0_sampler.sketch smp) alice_cols)
+            (fun smp ->
+              Pool.init inner (fun k -> L0_sampler.sketch smp alice_cols.(k)))
             samplers ))
   in
   (* One speaking phase: the column-norm sketches plus [count] independent
@@ -54,7 +58,7 @@ let run_many ctx prm ~count ~a ~b =
   let bt = Imat.transpose b in
   let col_est =
     Trace.with_span ~name:"l0_sampling.column_estimation" (fun () ->
-        Array.init (Imat.cols b) (fun j ->
+        Pool.init (Imat.cols b) (fun j ->
             let acc = L0_sketch.empty sk in
             Array.iter
               (fun (k, v) ->

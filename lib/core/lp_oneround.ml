@@ -1,5 +1,6 @@
 module Imat = Matprod_matrix.Imat
 module Lp = Matprod_sketch.Lp
+module Pool = Matprod_util.Pool
 module Ctx = Matprod_comm.Ctx
 module Codec = Matprod_comm.Codec
 
@@ -17,17 +18,16 @@ let run ctx prm ~a ~b =
     Lp.create ctx.Ctx.public ~p:prm.p ~eps:prm.eps ~groups:prm.sketch_groups
       ~dim:(max 1 (Imat.cols b))
   in
+  (* One plan per hash family, shared by every row; the fan-outs below are
+     pure per-index work, so domain-pool results are placed by slot and the
+     final sum folds in index order — byte-identical at any --domains. *)
+  let plan = Lp.plan lp ~dim:(max 1 (Imat.cols b)) in
   let bob_sketches =
-    Array.init (Imat.rows b) (fun k -> Lp.sketch lp (Imat.row b k))
+    Pool.init (Imat.rows b) (fun k -> Lp.sketch_with_plan lp plan (Imat.row b k))
   in
   let sketches =
     Ctx.b2a ctx ~label:"lp-sketches(B rows, eps)" (Codec.array (Lp.wire lp))
       bob_sketches
   in
-  let acc = ref 0.0 in
-  for i = 0 to Imat.rows a - 1 do
-    acc :=
-      !acc
-      +. Lp.estimate_pow lp (Common.combine_sketches lp sketches (Imat.row a i))
-  done;
-  !acc
+  Pool.map_sum (Imat.rows a) (fun i ->
+      Lp.estimate_pow lp (Common.combine_sketches lp sketches (Imat.row a i)))

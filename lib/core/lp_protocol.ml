@@ -1,4 +1,5 @@
 module Prng = Matprod_util.Prng
+module Pool = Matprod_util.Pool
 module Imat = Matprod_matrix.Imat
 module Lp = Matprod_sketch.Lp
 module Ctx = Matprod_comm.Ctx
@@ -37,12 +38,15 @@ let round1 ctx prm ~beta ~a ~b =
     Lp.create ctx.Ctx.public ~p:prm.p ~eps:beta ~groups:prm.sketch_groups
       ~dim:(max 1 out_cols)
   in
-  let bob_sketches = Array.init (Imat.rows b) (fun k -> Lp.sketch lp (Imat.row b k)) in
+  let plan = Lp.plan lp ~dim:(max 1 out_cols) in
+  let bob_sketches =
+    Pool.init (Imat.rows b) (fun k -> Lp.sketch_with_plan lp plan (Imat.row b k))
+  in
   let sketches =
     Ctx.b2a ctx ~label:"lp-sketches(B rows)" (Codec.array (Lp.wire lp))
       bob_sketches
   in
-  Array.init (Imat.rows a) (fun i ->
+  Pool.init (Imat.rows a) (fun i ->
       Lp.estimate_pow lp (Common.combine_sketches lp sketches (Imat.row a i)))
 
 let estimate_row_norms ctx prm ~a ~b =

@@ -1,4 +1,5 @@
 module Prng = Matprod_util.Prng
+module Pool = Matprod_util.Pool
 module Imat = Matprod_matrix.Imat
 module Lp = Matprod_sketch.Lp
 module Ctx = Matprod_comm.Ctx
@@ -19,13 +20,16 @@ let establish ?(p = 0.0) ?(groups = 5) ctx ~beta ~a ~b =
   let lp =
     Lp.create ctx.Ctx.public ~p ~eps:beta ~groups ~dim:(max 1 (Imat.cols b))
   in
-  let bob_sketches = Array.init (Imat.rows b) (fun k -> Lp.sketch lp (Imat.row b k)) in
+  let plan = Lp.plan lp ~dim:(max 1 (Imat.cols b)) in
+  let bob_sketches =
+    Pool.init (Imat.rows b) (fun k -> Lp.sketch_with_plan lp plan (Imat.row b k))
+  in
   let sketches =
     Ctx.b2a ctx ~label:"session: lp sketches of B rows"
       (Codec.array (Lp.wire lp)) bob_sketches
   in
   let est =
-    Array.init (Imat.rows a) (fun i ->
+    Pool.init (Imat.rows a) (fun i ->
         Float.max 0.0
           (Lp.estimate_pow lp (Common.combine_sketches lp sketches (Imat.row a i))))
   in

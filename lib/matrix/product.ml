@@ -17,13 +17,15 @@ let add_entry t i j v =
 let bool_product a b =
   if Bmat.cols a <> Bmat.rows b then invalid_arg "Product.bool_product: dims";
   let t = { rows = Bmat.rows a; cols = Bmat.cols b; tbl = Hashtbl.create 1024 } in
-  let at = Bmat.transpose a in
-  for k = 0 to Bmat.cols a - 1 do
-    let lefts = Bmat.row at k (* rows i of A with A_{i,k} = 1 *) in
-    let rights = Bmat.row b k (* cols j of B with B_{k,j} = 1 *) in
-    Array.iter
-      (fun i -> Array.iter (fun j -> add_entry t i j 1) rights)
-      lefts
+  (* Packed AND+popcount kernel: C_{i,j} = |A_i ∩ (Bᵀ)_j| is one word-wise
+     sweep over the inner dimension, and each nonzero entry is computed —
+     and inserted — exactly once, instead of one hash probe per witness k. *)
+  let pa = Bitmat.of_bmat a and pbt = Bitmat.of_bmat (Bmat.transpose b) in
+  for i = 0 to t.rows - 1 do
+    for j = 0 to t.cols - 1 do
+      let v = Bitmat.product_entry ~a:pa ~bt:pbt i j in
+      if v <> 0 then Hashtbl.replace t.tbl (key t i j) v
+    done
   done;
   t
 

@@ -1,6 +1,10 @@
 module Prng = Matprod_util.Prng
 module Hashing = Matprod_util.Hashing
 module Stats = Matprod_util.Stats
+module Metrics = Matprod_obs.Metrics
+
+let c_plan = Metrics.counter "plan_hash_evals"
+let h_build_planned = Metrics.histogram ~label:"ams_planned" "sketch_build_ns"
 
 type t = {
   rows_per_group : int;
@@ -33,6 +37,57 @@ let sketch t vec =
         done)
     vec;
   y
+
+(* --- plan/apply: the full ±1 sign matrix, tabulated row-major by key.
+   Each seed-path entry costs a degree-3 polynomial plus the splitmix
+   finalizer per (entry × sketch row); applied, it is one load and one
+   fused multiply–add. float_of_int v *. (±1.0) equals
+   fv *. float_of_int (±1) bit for bit, so results are unchanged. *)
+
+type plan = { pdim : int; psize : int; sgn : float array (* key*size + r *) }
+
+let plan t ~dim =
+  if dim <= 0 then invalid_arg "Ams.plan: dim";
+  let sz = size t in
+  Metrics.incr_by c_plan (sz * dim);
+  let sgn = Array.make (dim * sz) 0.0 in
+  for r = 0 to sz - 1 do
+    let signs = Hashing.tabulate_sign_floats t.signs.(r) ~dim in
+    for i = 0 to dim - 1 do
+      sgn.((i * sz) + r) <- signs.(i)
+    done
+  done;
+  { pdim = dim; psize = sz; sgn }
+
+let plan_dim p = p.pdim
+
+let apply_plan t p dst vec =
+  let sz = t.rows_per_group * t.groups in
+  if p.psize <> sz then invalid_arg "Ams: plan belongs to another sketch shape";
+  Array.iter
+    (fun (i, v) ->
+      if v <> 0 then begin
+        if i < 0 || i >= p.pdim then invalid_arg "Ams: key outside plan";
+        let fv = float_of_int v in
+        let base = i * sz in
+        for r = 0 to sz - 1 do
+          Array.unsafe_set dst r
+            (Array.unsafe_get dst r +. (fv *. Array.unsafe_get p.sgn (base + r)))
+        done
+      end)
+    vec
+
+let sketch_into t p ~dst vec =
+  if Array.length dst <> size t then invalid_arg "Ams.sketch_into: size";
+  Metrics.timed h_build_planned (fun () ->
+      Array.fill dst 0 (Array.length dst) 0.0;
+      apply_plan t p dst vec)
+
+let sketch_with_plan t p vec =
+  Metrics.timed h_build_planned (fun () ->
+      let y = empty t in
+      apply_plan t p y vec;
+      y)
 
 let add_scaled t ~dst ~coeff src =
   if Array.length dst <> size t || Array.length src <> size t then

@@ -28,6 +28,23 @@ val sketch : t -> (int * int) array -> float array
 
 val empty : t -> float array
 
+(** {1 Plan/apply} — tabulated sign matrix; bit-identical to {!sketch}
+    (docs/PERFORMANCE.md). *)
+
+type plan
+
+val plan : t -> dim:int -> plan
+(** O(size·dim) sign evaluations, once per hash family. *)
+
+val plan_dim : plan -> int
+
+val sketch_with_plan : t -> plan -> (int * int) array -> float array
+(** Same result as {!sketch}; keys must lie in [0, plan_dim). *)
+
+val sketch_into : t -> plan -> dst:float array -> (int * int) array -> unit
+(** Zeroes [dst] (length {!size}) then sketches into it — no per-row
+    allocation. *)
+
 val add_scaled : t -> dst:float array -> coeff:int -> float array -> unit
 (** dst ← dst + coeff·src: the linear composition primitive. *)
 

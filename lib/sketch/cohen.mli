@@ -32,3 +32,17 @@ val column_mins : t -> supp_of_col:(int -> int array) -> cols:int -> float array
 val estimate_union : t -> float array array -> int array -> float
 (** [estimate_union t mins bcol] estimates |∪_{k ∈ bcol} supp(A_{*,k})| =
     ‖C_{*,j}‖₀ from the minima; 0 for an empty union. *)
+
+(** {1 Plan/apply} — all [rows × reps] exponential labels tabulated once;
+    min-folds over the table are bit-identical to {!column_mins}, and the
+    per-column loop fans out across {!Matprod_util.Pool} domains
+    (docs/PERFORMANCE.md). *)
+
+type plan
+
+val plan : t -> plan
+
+val column_mins_with_plan :
+  t -> plan -> supp_of_col:(int -> int array) -> cols:int -> float array array
+(** Same result as {!column_mins}. [supp_of_col] must be pure: it is
+    called from worker domains. *)

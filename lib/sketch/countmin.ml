@@ -1,5 +1,10 @@
 module Prng = Matprod_util.Prng
 module Hashing = Matprod_util.Hashing
+module Metrics = Matprod_obs.Metrics
+
+let c_hash = Metrics.counter "hash_evals"
+let c_cells = Metrics.counter "sketch_cells_touched"
+let h_build = Metrics.histogram ~label:"countmin" "sketch_build_ns"
 
 type t = { buckets : int; reps : int; bucket_hash : Hashing.t array }
 
@@ -14,7 +19,7 @@ let create rng ~buckets ~reps =
 let size t = t.buckets * t.reps
 let empty t = Array.make (size t) 0.0
 
-let update t arr i v =
+let update_quiet t arr i v =
   if v <> 0 then
     for r = 0 to t.reps - 1 do
       let b = Hashing.bucket t.bucket_hash.(r) ~buckets:t.buckets i in
@@ -22,10 +27,29 @@ let update t arr i v =
       arr.(idx) <- arr.(idx) +. float_of_int v
     done
 
+(* Metrics hoisted: one enabled() check and one batched increment per
+   update (and per sketch), never one per rep — final totals unchanged. *)
+let update t arr i v =
+  if v <> 0 then begin
+    if Metrics.enabled () then begin
+      Metrics.incr_by c_hash t.reps;
+      Metrics.incr_by c_cells t.reps
+    end;
+    update_quiet t arr i v
+  end
+
 let sketch t vec =
-  let arr = empty t in
-  Array.iter (fun (i, v) -> update t arr i v) vec;
-  arr
+  Metrics.timed h_build (fun () ->
+      let arr = empty t in
+      if Metrics.enabled () then begin
+        let nnz =
+          Array.fold_left (fun acc (_, v) -> if v <> 0 then acc + 1 else acc) 0 vec
+        in
+        Metrics.incr_by c_hash (t.reps * nnz);
+        Metrics.incr_by c_cells (t.reps * nnz)
+      end;
+      Array.iter (fun (i, v) -> update_quiet t arr i v) vec;
+      arr)
 
 let add_scaled t ~dst ~coeff src =
   if Array.length dst <> size t || Array.length src <> size t then

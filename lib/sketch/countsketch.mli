@@ -17,6 +17,27 @@ val update : t -> float array -> int -> int -> unit
 val sketch : t -> (int * int) array -> float array
 val add_scaled : t -> dst:float array -> coeff:int -> float array -> unit
 
+(** {1 Plan/apply}
+
+    [plan ~dim] precomputes the per-rep bucket/sign tables for every key
+    in [0, dim) — O(reps·dim) hash evaluations, paid once per hash family.
+    Applying the plan is pure table lookups: results are bit-identical to
+    {!sketch} (see docs/PERFORMANCE.md for the contract). *)
+
+type plan
+
+val plan : t -> dim:int -> plan
+val plan_dim : plan -> int
+
+val sketch_with_plan : t -> plan -> (int * int) array -> float array
+(** Same result as {!sketch}, via the plan's tables. Keys must lie in
+    [0, plan_dim). *)
+
+val sketch_into : t -> plan -> dst:float array -> (int * int) array -> unit
+(** [sketch_into t p ~dst vec] zeroes [dst] (length {!size}) and fills it
+    with the sketch of [vec] — zero per-row allocation; [dst] may be dirty
+    from a previous row. *)
+
 val query : t -> float array -> int -> float
 (** Estimate of x_i; error ≤ ‖x‖₂/√buckets per rep, median-boosted. *)
 

@@ -6,7 +6,9 @@ module Metrics = Matprod_obs.Metrics
 
 let c_hash = Metrics.counter "hash_evals"
 let c_cells = Metrics.counter "sketch_cells_touched"
+let c_plan = Metrics.counter "plan_hash_evals"
 let h_build = Metrics.histogram ~label:"l0_sketch" "sketch_build_ns"
+let h_build_planned = Metrics.histogram ~label:"l0_sketch_planned" "sketch_build_ns"
 let h_query = Metrics.histogram ~label:"l0_sketch" "sketch_query_ns"
 
 type rep = {
@@ -79,6 +81,134 @@ let sketch t vec =
   Metrics.timed h_build (fun () ->
       let arr = empty t in
       Array.iter (fun (i, v) -> update t arr i v) vec;
+      arr)
+
+(* --- plan/apply -------------------------------------------------------
+
+   Per (rep, key): the deepest level, the fingerprint coefficient, and the
+   bucket at every level — all integers produced by the functions they
+   replace, so the Field31 accumulation below is identical to the
+   unplanned path operation for operation.
+
+   Layout: the subsampling geometry means a key touches levels 0..lmax
+   with E[lmax] ≈ 1, so a dense (key, group, level) bucket table would be
+   ~levels/2 times larger than what apply ever reads — too big for L2,
+   and the misses dominate apply time. Instead:
+
+     hdr.((i*groups) + g) = coeff  lor  (lmax lsl 31)  lor  (off lsl 37)
+     buckets.(off + l)    = bucket of key i, group g, level l   (l <= lmax)
+
+   One header word per (key, group) — the groups of one key share a cache
+   line — and a variable-length bucket run holding only the levels the
+   key actually occupies. *)
+
+type plan = {
+  pdim : int;
+  pgroups : int;
+  plevels : int;
+  hdr : int array;
+  buckets : int array;
+}
+
+let plan t ~dim:d =
+  if d <= 0 then invalid_arg "L0_sketch.plan: dim";
+  if d > t.dim then invalid_arg "L0_sketch.plan: dim exceeds sketch domain";
+  let groups = Array.length t.reps in
+  if t.levels > 63 then invalid_arg "L0_sketch.plan: too many levels to pack";
+  Metrics.incr_by c_plan (groups * d * (t.levels + 2));
+  let coeffs =
+    Array.map (fun r -> Hashing.tabulate_field_coeffs r.coeff_hash ~dim:d) t.reps
+  in
+  let bucket_tabs =
+    Array.map
+      (fun r ->
+        Array.map (fun h -> Hashing.tabulate_buckets h ~buckets:t.buckets ~dim:d)
+          r.bucket_hashes)
+      t.reps
+  in
+  let lmaxs = Array.make (groups * d) 0 in
+  let total = ref 0 in
+  for g = 0 to groups - 1 do
+    let rep = t.reps.(g) in
+    for i = 0 to d - 1 do
+      let lm = coord_level rep ~levels:t.levels i in
+      lmaxs.((i * groups) + g) <- lm;
+      total := !total + lm + 1
+    done
+  done;
+  if !total > 1 lsl 26 then invalid_arg "L0_sketch.plan: dim too large to pack";
+  let hdr = Array.make (groups * d) 0 in
+  let buckets = Array.make !total 0 in
+  (* Offsets assigned in (key-major, group-minor) order — the order apply
+     reads them — so the bucket runs of one nonzero are contiguous. *)
+  let off = ref 0 in
+  for i = 0 to d - 1 do
+    for g = 0 to groups - 1 do
+      let ig = (i * groups) + g in
+      let lm = lmaxs.(ig) in
+      hdr.(ig) <- coeffs.(g).(i) lor (lm lsl 31) lor (!off lsl 37);
+      for l = 0 to lm do
+        buckets.(!off + l) <- bucket_tabs.(g).(l).(i)
+      done;
+      off := !off + lm + 1
+    done
+  done;
+  { pdim = d; pgroups = groups; plevels = t.levels; hdr; buckets }
+
+let plan_dim p = p.pdim
+
+let apply_plan t p dst vec =
+  if p.plevels <> t.levels || p.pgroups <> Array.length t.reps then
+    invalid_arg "L0_sketch: plan belongs to another sketch shape";
+  let groups = p.pgroups in
+  let lb = t.levels * t.buckets in
+  (* One enabled() check per row; logical hash/cell counts accumulate in
+     locals and post once, so the totals match the per-entry unplanned
+     path without a metrics call in the inner loop. *)
+  let mets = Metrics.enabled () in
+  let th = ref 0 and tc = ref 0 in
+  Array.iter
+    (fun (i, v) ->
+      let w = Field31.of_int v in
+      if w <> 0 then begin
+        if i < 0 || i >= p.pdim then invalid_arg "L0_sketch: key outside plan";
+        let base = i * groups in
+        let cbase = ref 0 in
+        for g = 0 to groups - 1 do
+          let h = Array.unsafe_get p.hdr (base + g) in
+          let lmax = (h lsr 31) land 0x3F in
+          let off = h lsr 37 in
+          if mets then begin
+            th := !th + lmax + 3;
+            tc := !tc + lmax + 1
+          end;
+          let c = Field31.mul (h land 0x7FFFFFFF) w in
+          let cb = !cbase in
+          for l = 0 to lmax do
+            let idx =
+              cb + (l * t.buckets) + Array.unsafe_get p.buckets (off + l)
+            in
+            Array.unsafe_set dst idx (Field31.add (Array.unsafe_get dst idx) c)
+          done;
+          cbase := cb + lb
+        done
+      end)
+    vec;
+  if mets then begin
+    Metrics.incr_by c_hash !th;
+    Metrics.incr_by c_cells !tc
+  end
+
+let sketch_into t p ~dst vec =
+  if Array.length dst <> size t then invalid_arg "L0_sketch.sketch_into: size";
+  Metrics.timed h_build_planned (fun () ->
+      Array.fill dst 0 (Array.length dst) 0;
+      apply_plan t p dst vec)
+
+let sketch_with_plan t p vec =
+  Metrics.timed h_build_planned (fun () ->
+      let arr = empty t in
+      apply_plan t p arr vec;
       arr)
 
 let add_scaled t ~dst ~coeff src =

@@ -37,5 +37,20 @@ val update : t -> int array -> int -> int -> unit
 
 val add_scaled : t -> dst:int array -> coeff:int -> int array -> unit
 
+(** {1 Plan/apply} — per-rep level/coefficient/bucket tables for keys in
+    [0, dim); field accumulation identical to {!sketch} operation for
+    operation (docs/PERFORMANCE.md). *)
+
+type plan
+
+val plan : t -> dim:int -> plan
+(** [dim] may be at most the sketch's own domain. O(groups·dim·levels). *)
+
+val plan_dim : plan -> int
+val sketch_with_plan : t -> plan -> (int * int) array -> int array
+
+val sketch_into : t -> plan -> dst:int array -> (int * int) array -> unit
+(** Zeroes [dst] (length {!size}) then sketches into it. *)
+
 val estimate : t -> int array -> float
 (** Estimated number of nonzero coordinates; exact 0 for the zero vector. *)

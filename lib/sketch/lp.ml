@@ -2,6 +2,7 @@ module Codec = Matprod_comm.Codec
 module Metrics = Matprod_obs.Metrics
 
 let h_build = Metrics.histogram ~label:"lp" "sketch_build_ns"
+let h_build_planned = Metrics.histogram ~label:"lp_planned" "sketch_build_ns"
 let h_query = Metrics.histogram ~label:"lp" "sketch_query_ns"
 
 type impl = L0 of L0_sketch.t | Stable of Stable_sketch.t | Ams_l2 of Ams.t
@@ -39,6 +40,39 @@ let sketch t vec =
       | Ams_l2 s -> F (Ams.sketch s vec))
 
 let type_error () = invalid_arg "Lp: mismatched sketch value type"
+
+type plan =
+  | P_l0 of L0_sketch.plan
+  | P_stable of Stable_sketch.plan
+  | P_ams of Ams.plan
+
+let plan t ~dim =
+  match t.impl with
+  | L0 s -> P_l0 (L0_sketch.plan s ~dim)
+  | Stable s -> P_stable (Stable_sketch.plan s ~dim)
+  | Ams_l2 s -> P_ams (Ams.plan s ~dim)
+
+let plan_mismatch () = invalid_arg "Lp: plan belongs to another sketch kind"
+
+let sketch_with_plan t pl vec =
+  Metrics.timed h_build_planned (fun () ->
+      match (t.impl, pl) with
+      | L0 s, P_l0 p -> Z (L0_sketch.sketch_with_plan s p vec)
+      | Stable s, P_stable p -> F (Stable_sketch.sketch_with_plan s p vec)
+      | Ams_l2 s, P_ams p -> F (Ams.sketch_with_plan s p vec)
+      | _ -> plan_mismatch ())
+
+let sketch_into t pl ~dst vec =
+  Metrics.timed h_build_planned (fun () ->
+      match (t.impl, pl, dst) with
+      | L0 s, P_l0 p, Z d -> L0_sketch.sketch_into s p ~dst:d vec
+      | Stable s, P_stable p, F d -> Stable_sketch.sketch_into s p ~dst:d vec
+      | Ams_l2 s, P_ams p, F d -> Ams.sketch_into s p ~dst:d vec
+      | (L0 _ | Stable _ | Ams_l2 _), (P_l0 _ | P_stable _ | P_ams _), _ ->
+          (match (t.impl, pl) with
+          | L0 _, P_l0 _ | Stable _, P_stable _ | Ams_l2 _, P_ams _ ->
+              type_error ()
+          | _ -> plan_mismatch ()))
 
 let add_scaled t ~dst ~coeff src =
   match (t.impl, dst, src) with

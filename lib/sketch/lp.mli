@@ -30,6 +30,21 @@ val estimate_pow : t -> value -> float
 val estimate : t -> value -> float
 (** Estimate of ‖x‖_p (for p = 0 this equals [estimate_pow]). *)
 
+(** {1 Plan/apply} — dispatches to the underlying sketch's plan; results
+    are bit-identical to {!sketch} (docs/PERFORMANCE.md). *)
+
+type plan
+
+val plan : t -> dim:int -> plan
+(** Precomputed hash/entry tables for keys in [0, dim). Build once per
+    hash family, reuse across every row sharing it. *)
+
+val sketch_with_plan : t -> plan -> (int * int) array -> value
+
+val sketch_into : t -> plan -> dst:value -> (int * int) array -> unit
+(** Zeroes the caller's scratch value (shape {!empty}) then sketches into
+    it — zero allocation per row. *)
+
 val wire : t -> value Matprod_comm.Codec.t
 (** Codec for shipping sketch values: float32 per float counter, varint per
     field counter. *)

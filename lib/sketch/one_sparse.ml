@@ -16,6 +16,10 @@ let spec rng = { c1 = Hashing.create rng ~k:2; c2 = Hashing.create rng ~k:2 }
 let fresh () = { sum = 0; isum = 0; fp1 = 0; fp2 = 0 }
 let is_zero c = c.sum = 0 && c.isum = 0 && c.fp1 = 0 && c.fp2 = 0
 
+(* Innermost kernel of every recovery structure: deliberately carries no
+   Metrics calls — hash/cell accounting is hoisted into the callers
+   (S_sparse, L0_sampler) so the enabled() branch never sits inside a
+   per-coordinate loop. *)
 let update spec cell i v =
   if i < 0 then invalid_arg "One_sparse.update: negative index";
   if v <> 0 then begin

@@ -1,6 +1,11 @@
 module Prng = Matprod_util.Prng
 module Hashing = Matprod_util.Hashing
 module Codec = Matprod_comm.Codec
+module Metrics = Matprod_obs.Metrics
+
+let c_hash = Metrics.counter "hash_evals"
+let c_cells = Metrics.counter "sketch_cells_touched"
+let h_build = Metrics.histogram ~label:"s_sparse" "sketch_build_ns"
 
 type t = {
   s : int;
@@ -28,16 +33,37 @@ let fresh t = Array.init (cells t) (fun _ -> One_sparse.fresh ())
 
 let bucket_of t ~rep i = (rep * t.buckets) + Hashing.bucket t.hashes.(rep) ~buckets:t.buckets i
 
-let update t state i v =
+let update_quiet t state i v =
   if v <> 0 then
     for r = 0 to t.reps - 1 do
       One_sparse.update t.spec state.(bucket_of t ~rep:r i) i v
     done
 
+(* Per rep: one bucket hash plus the cell's two fingerprint coefficients.
+   Metrics hoisted above the rep loop (and above the entry loop in
+   [sketch]); One_sparse itself stays uninstrumented — it is the innermost
+   kernel, its accounting lives here. *)
+let update t state i v =
+  if v <> 0 then begin
+    if Metrics.enabled () then begin
+      Metrics.incr_by c_hash (3 * t.reps);
+      Metrics.incr_by c_cells t.reps
+    end;
+    update_quiet t state i v
+  end
+
 let sketch t vec =
-  let st = fresh t in
-  Array.iter (fun (i, v) -> update t st i v) vec;
-  st
+  Metrics.timed h_build (fun () ->
+      let st = fresh t in
+      if Metrics.enabled () then begin
+        let nnz =
+          Array.fold_left (fun acc (_, v) -> if v <> 0 then acc + 1 else acc) 0 vec
+        in
+        Metrics.incr_by c_hash (3 * t.reps * nnz);
+        Metrics.incr_by c_cells (t.reps * nnz)
+      end;
+      Array.iter (fun (i, v) -> update_quiet t st i v) vec;
+      st)
 
 let add_scaled t ~dst ~coeff src =
   if Array.length dst <> cells t || Array.length src <> cells t then

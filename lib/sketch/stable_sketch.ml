@@ -1,6 +1,10 @@
 module Prng = Matprod_util.Prng
 module Stable = Matprod_util.Stable
 module Stats = Matprod_util.Stats
+module Metrics = Matprod_obs.Metrics
+
+let c_plan = Metrics.counter "plan_hash_evals"
+let h_build_planned = Metrics.histogram ~label:"stable_planned" "sketch_build_ns"
 
 type t = {
   p : float;
@@ -60,6 +64,57 @@ let sketch t vec =
       end)
     vec;
   y
+
+(* --- plan/apply: the implicit stable matrix, materialised eagerly for
+   the whole domain. The per-key columns are exactly what [column] caches
+   lazily ([entry] is deterministic in (seed, row, key)), so planned
+   sketches are bit-identical — and the plan is read-only, which makes it
+   safe to share across domains where the Hashtbl cache is not. *)
+
+type plan = { pdim : int; prows : int; cols : float array (* key*rows + r *) }
+
+let plan t ~dim =
+  if dim <= 0 then invalid_arg "Stable_sketch.plan: dim";
+  Metrics.incr_by c_plan (t.rows * dim);
+  let cols = Array.make (dim * t.rows) 0.0 in
+  for i = 0 to dim - 1 do
+    let base = i * t.rows in
+    for r = 0 to t.rows - 1 do
+      cols.(base + r) <- entry t ~row:r i
+    done
+  done;
+  { pdim = dim; prows = t.rows; cols }
+
+let plan_dim p = p.pdim
+
+let apply_plan t p dst vec =
+  if p.prows <> t.rows then
+    invalid_arg "Stable_sketch: plan belongs to another sketch shape";
+  Array.iter
+    (fun (i, v) ->
+      if v <> 0 then begin
+        if i < 0 || i >= p.pdim then
+          invalid_arg "Stable_sketch: key outside plan";
+        let fv = float_of_int v in
+        let base = i * t.rows in
+        for r = 0 to t.rows - 1 do
+          Array.unsafe_set dst r
+            (Array.unsafe_get dst r +. (fv *. Array.unsafe_get p.cols (base + r)))
+        done
+      end)
+    vec
+
+let sketch_into t p ~dst vec =
+  if Array.length dst <> t.rows then invalid_arg "Stable_sketch.sketch_into: size";
+  Metrics.timed h_build_planned (fun () ->
+      Array.fill dst 0 (Array.length dst) 0.0;
+      apply_plan t p dst vec)
+
+let sketch_with_plan t p vec =
+  Metrics.timed h_build_planned (fun () ->
+      let y = empty t in
+      apply_plan t p y vec;
+      y)
 
 let add_scaled t ~dst ~coeff src =
   if Array.length dst <> t.rows || Array.length src <> t.rows then

@@ -22,6 +22,20 @@ val sketch : t -> (int * int) array -> float array
 val empty : t -> float array
 val add_scaled : t -> dst:float array -> coeff:int -> float array -> unit
 
+(** {1 Plan/apply} — the implicit stable matrix materialised for the whole
+    key domain; bit-identical to {!sketch}, and (unlike the lazy column
+    cache) read-only, hence safe under multi-domain fan-out
+    (docs/PERFORMANCE.md). *)
+
+type plan
+
+val plan : t -> dim:int -> plan
+val plan_dim : plan -> int
+val sketch_with_plan : t -> plan -> (int * int) array -> float array
+
+val sketch_into : t -> plan -> dst:float array -> (int * int) array -> unit
+(** Zeroes [dst] (length {!size}) then sketches into it. *)
+
 val estimate : t -> float array -> float
 (** Estimate of ‖x‖p. *)
 

@@ -45,3 +45,31 @@ let field_coeff t key =
   if v = 0 then 1 else v
 
 let float01 t key = float_of_int (mix (value t key)) *. 0x1.0p-62
+
+(* Tabulation: evaluate a derived map once per key of a bounded domain.
+   Each table entry is produced by the exact function it replaces, so a
+   lookup is bit-identical to an on-the-fly evaluation — the plan/apply
+   sketch kernels rely on that to keep transcripts and journals stable. *)
+
+let check_dim name dim = if dim <= 0 then invalid_arg ("Hashing." ^ name ^ ": dim")
+
+let tabulate_buckets t ~buckets ~dim =
+  check_dim "tabulate_buckets" dim;
+  if buckets <= 0 then invalid_arg "Hashing.tabulate_buckets: buckets";
+  Array.init dim (fun key -> bucket t ~buckets key)
+
+let tabulate_signs t ~dim =
+  check_dim "tabulate_signs" dim;
+  Array.init dim (fun key -> sign t key)
+
+let tabulate_sign_floats t ~dim =
+  check_dim "tabulate_sign_floats" dim;
+  Array.init dim (fun key -> float_of_int (sign t key))
+
+let tabulate_field_coeffs t ~dim =
+  check_dim "tabulate_field_coeffs" dim;
+  Array.init dim (fun key -> field_coeff t key)
+
+let tabulate_float01 t ~dim =
+  check_dim "tabulate_float01" dim;
+  Array.init dim (fun key -> float01 t key)

@@ -39,3 +39,28 @@ val field_coeff : t -> int -> int
 val float01 : t -> int -> float
 (** [float01 h key] deterministic pseudo-uniform in [0,1) derived from
     [value]; used for consistent subsampling of coordinates. *)
+
+(** {1 Tabulation}
+
+    Precompute a derived map over the whole key domain [0, dim). Every
+    table entry is produced by the function it replaces (same polynomial,
+    same finalizer), so [table.(key)] is bit-identical to calling the
+    function — the foundation of the plan/apply sketch kernels
+    (docs/PERFORMANCE.md). Cost is O(dim) evaluations, amortised over
+    every row sketched against the same hash family. *)
+
+val tabulate_buckets : t -> buckets:int -> dim:int -> int array
+(** [(tabulate_buckets h ~buckets ~dim).(key) = bucket h ~buckets key]. *)
+
+val tabulate_signs : t -> dim:int -> int array
+(** [(tabulate_signs h ~dim).(key) = sign h key] (±1). *)
+
+val tabulate_sign_floats : t -> dim:int -> float array
+(** Same as {!tabulate_signs} but as ±1.0 floats, ready for multiply–add
+    inner loops with no int→float conversion per entry. *)
+
+val tabulate_field_coeffs : t -> dim:int -> int array
+(** [(tabulate_field_coeffs h ~dim).(key) = field_coeff h key]. *)
+
+val tabulate_float01 : t -> dim:int -> float array
+(** [(tabulate_float01 h ~dim).(key) = float01 h key]. *)

@@ -1,0 +1,154 @@
+(* A lazily-spawned pool of worker domains for embarrassingly parallel
+   row fan-out (docs/PERFORMANCE.md).
+
+   Design constraints, in order:
+   - determinism: results are written into their index slot, so the output
+     of [init]/[parallel_for] is independent of the schedule. Callers must
+     pass closures that are pure with respect to shared state (the planned
+     sketch kernels are: plans are read-only tables).
+   - zero cost at size 1: the default pool size is 1 and every entry point
+     short-circuits to the plain sequential loop, so single-domain runs
+     execute exactly the code they always did.
+   - lazy spawning: worker domains are spawned on the first parallel call,
+     never at module load, and persist for the process lifetime. *)
+
+let env_size () =
+  match Sys.getenv_opt "MATPROD_DOMAINS" with
+  | None -> 1
+  | Some s -> ( match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | _ -> 1)
+
+let requested : int option ref = ref None
+
+let set_size n =
+  if n < 1 then invalid_arg "Pool.set_size: need >= 1";
+  requested := Some n
+
+let size () = match !requested with Some n -> n | None -> env_size ()
+
+(* One job at a time: the pool is driven from the main domain only. Chunks
+   of the index space are handed out through an atomic cursor, so load
+   balancing is dynamic but the output layout is fixed. *)
+type job = {
+  f : int -> unit;
+  n : int;
+  chunk : int;
+  next : int Atomic.t;
+  mutable pending : int; (* workers that have not finished this job *)
+  mutable err : exn option; (* first exception raised by any domain *)
+}
+
+let m = Mutex.create ()
+let cv = Condition.create ()
+let current : job option ref = ref None
+let generation = ref 0
+let spawned = ref 0
+
+let record_error job e =
+  Mutex.lock m;
+  if job.err = None then job.err <- Some e;
+  Mutex.unlock m;
+  (* Drain the cursor so every domain stops grabbing work promptly. *)
+  Atomic.set job.next job.n
+
+let run_chunks job =
+  let rec go () =
+    let lo = Atomic.fetch_and_add job.next job.chunk in
+    if lo < job.n then begin
+      let hi = min job.n (lo + job.chunk) in
+      (try
+         for i = lo to hi - 1 do
+           job.f i
+         done
+       with e -> record_error job e);
+      go ()
+    end
+  in
+  go ()
+
+let worker_loop g0 =
+  (* [g0] is the generation at spawn time: a worker born while earlier
+     jobs have already run must wait for the NEXT published job, not wake
+     on the stale generation gap and find [current = None]. *)
+  let seen = ref g0 in
+  let rec loop () =
+    Mutex.lock m;
+    while !generation = !seen do
+      Condition.wait cv m
+    done;
+    seen := !generation;
+    let job = Option.get !current in
+    Mutex.unlock m;
+    (try run_chunks job with e -> record_error job e);
+    Mutex.lock m;
+    job.pending <- job.pending - 1;
+    if job.pending = 0 then Condition.broadcast cv;
+    Mutex.unlock m;
+    loop ()
+  in
+  loop ()
+
+(* Workers never terminate; they die with the process. Spawn only the
+   deficit, so growing the size later tops the pool up. The generation is
+   read under the lock so every new worker joins at a well-defined point
+   strictly before the next job is published. *)
+let ensure_workers want =
+  if !spawned < want then begin
+    Mutex.lock m;
+    let g0 = !generation in
+    Mutex.unlock m;
+    while !spawned < want do
+      ignore (Domain.spawn (fun () -> worker_loop g0) : unit Domain.t);
+      incr spawned
+    done
+  end
+
+let parallel_for ?chunk n f =
+  if n < 0 then invalid_arg "Pool.parallel_for: negative count";
+  let d = size () in
+  if d <= 1 || n <= 1 then
+    for i = 0 to n - 1 do
+      f i
+    done
+  else begin
+    ensure_workers (d - 1);
+    let chunk =
+      match chunk with
+      | Some c when c >= 1 -> c
+      | Some _ -> invalid_arg "Pool.parallel_for: chunk must be >= 1"
+      | None -> max 1 (n / ((!spawned + 1) * 8))
+    in
+    let job = { f; n; chunk; next = Atomic.make 0; pending = 0; err = None } in
+    Mutex.lock m;
+    current := Some job;
+    job.pending <- !spawned;
+    incr generation;
+    Condition.broadcast cv;
+    Mutex.unlock m;
+    run_chunks job;
+    Mutex.lock m;
+    while job.pending > 0 do
+      Condition.wait cv m
+    done;
+    current := None;
+    Mutex.unlock m;
+    match job.err with Some e -> raise e | None -> ()
+  end
+
+let init n f =
+  if n < 0 then invalid_arg "Pool.init: negative count"
+  else if n = 0 then [||]
+  else if size () <= 1 || n = 1 then Array.init n f
+  else begin
+    (* Slot 0 is computed up front to seed the result array; the remaining
+       slots are filled in parallel, each at its own index, so the array
+       is elementwise identical to [Array.init n f]. *)
+    let out = Array.make n (f 0) in
+    parallel_for (n - 1) (fun i -> out.(i + 1) <- f (i + 1));
+    out
+  end
+
+let map_sum n f =
+  let parts = init n f in
+  Array.fold_left ( +. ) 0.0 parts

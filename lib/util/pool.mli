@@ -1,0 +1,43 @@
+(** Deterministic domain pool for per-row sketch fan-out.
+
+    The protocol drivers sketch n rows against one shared hash family —
+    embarrassingly parallel work. This pool runs such loops across OCaml 5
+    domains while keeping the output {e byte-identical} to the sequential
+    path: every result lands in its own index slot and reductions fold in
+    index order, so the schedule never shows in transcripts, journals, or
+    golden outputs (docs/PERFORMANCE.md).
+
+    The pool size defaults to [MATPROD_DOMAINS] (1 when unset or invalid
+    — today's sequential path); {!set_size} (the CLI's [--domains])
+    overrides it. Worker domains are spawned lazily on the first parallel
+    call and persist for the process lifetime. At size 1 every entry point
+    is exactly the plain sequential loop.
+
+    Closures passed to the pool must not mutate shared state and must not
+    consume [Prng] streams; the planned sketch kernels qualify (plans are
+    read-only tables). {!Matprod_obs.Metrics} counters touched inside a
+    parallel section are best-effort: racing increments may be lost (never
+    torn), so enable multi-domain runs for speed, not for counter-exact
+    accounting. *)
+
+val size : unit -> int
+(** Current pool size: the {!set_size} override, else [MATPROD_DOMAINS],
+    else 1. *)
+
+val set_size : int -> unit
+(** Fix the pool size ([>= 1]); overrides the environment. Shrinking does
+    not stop already-spawned workers — they idle. *)
+
+val parallel_for : ?chunk:int -> int -> (int -> unit) -> unit
+(** [parallel_for n f] runs [f 0 .. f (n-1)], in parallel when the pool
+    size exceeds 1. Chunks of indices ([?chunk], default [n/(domains*8)])
+    are handed out dynamically. The first exception raised by any domain
+    is re-raised on the caller after all domains quiesce. *)
+
+val init : int -> (int -> 'a) -> 'a array
+(** [init n f] is elementwise identical to [Array.init n f], computed in
+    parallel. [f] must be pure with respect to shared state. *)
+
+val map_sum : int -> (int -> float) -> float
+(** [map_sum n f = Σ_{i<n} f i], folded in index order so the float
+    rounding matches the sequential accumulation loop bit for bit. *)

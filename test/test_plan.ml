@@ -1,0 +1,345 @@
+(* Plan/apply equivalence and domain-pool determinism.
+
+   Two hard promises from docs/PERFORMANCE.md are enforced here:
+
+   1. Planned kernels are BIT-identical to the unplanned sketch paths —
+      qcheck properties compare the arrays with structural equality, no
+      tolerance, for every sketch family and every Lp branch.
+
+   2. The domain pool never shows in observable behaviour: journaled
+      transcripts of every chaos-gallery protocol are byte-for-byte equal
+      at --domains 1 and --domains 4, and the outputs are equal too. *)
+
+module Prng = Matprod_util.Prng
+module Pool = Matprod_util.Pool
+module Countsketch = Matprod_sketch.Countsketch
+module Countmin = Matprod_sketch.Countmin
+module Ams = Matprod_sketch.Ams
+module Stable_sketch = Matprod_sketch.Stable_sketch
+module L0_sketch = Matprod_sketch.L0_sketch
+module Cohen = Matprod_sketch.Cohen
+module Lp = Matprod_sketch.Lp
+module Bmat = Matprod_matrix.Bmat
+module Imat = Matprod_matrix.Imat
+module Workload = Matprod_workload.Workload
+module Ctx = Matprod_comm.Ctx
+module Metrics = Matprod_obs.Metrics
+
+module Lp_protocol = Matprod_core.Lp_protocol
+module Lp_oneround = Matprod_core.Lp_oneround
+module L0_sampling = Matprod_core.L0_sampling
+module L1_exact = Matprod_core.L1_exact
+module Linf_binary = Matprod_core.Linf_binary
+module Linf_general = Matprod_core.Linf_general
+module Linf_kappa = Matprod_core.Linf_kappa
+module Hh_binary = Matprod_core.Hh_binary
+module Hh_countsketch = Matprod_core.Hh_countsketch
+module Hh_general = Matprod_core.Hh_general
+module Matprod_protocol = Matprod_core.Matprod_protocol
+module Cohen_baseline = Matprod_core.Cohen_baseline
+module Entry_map = Matprod_core.Common.Entry_map
+module Session = Matprod_core.Session
+
+let check = Alcotest.check
+let dim = 400
+
+(* ------------------------------------------------------------------ *)
+(* qcheck: planned = unplanned, structurally. *)
+
+let sparse_vec_gen =
+  QCheck.Gen.(
+    list_size (0 -- 25) (pair (int_bound (dim - 1)) (int_range (-50) 50))
+    |> map (fun l ->
+           let module IM = Map.Make (Int) in
+           let m =
+             List.fold_left
+               (fun m (k, v) ->
+                 IM.update k (fun o -> Some (Option.value ~default:0 o + v)) m)
+               IM.empty l
+           in
+           IM.bindings m |> List.filter (fun (_, v) -> v <> 0) |> Array.of_list))
+
+let seeded_vec = QCheck.(pair (int_bound 10_000) (make sparse_vec_gen))
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"countsketch: planned = unplanned" ~count:100 seeded_vec
+      (fun (seed, vec) ->
+        let t = Countsketch.create (Prng.create seed) ~buckets:32 ~reps:5 in
+        let p = Countsketch.plan t ~dim in
+        Countsketch.sketch_with_plan t p vec = Countsketch.sketch t vec);
+    Test.make ~name:"countsketch: sketch_into scrubs a dirty scratch" ~count:50
+      seeded_vec (fun (seed, vec) ->
+        let t = Countsketch.create (Prng.create seed) ~buckets:32 ~reps:5 in
+        let p = Countsketch.plan t ~dim in
+        let dst = Array.make (Countsketch.size t) Float.nan in
+        Countsketch.sketch_into t p ~dst vec;
+        dst = Countsketch.sketch t vec);
+    Test.make ~name:"ams: planned = unplanned" ~count:100 seeded_vec
+      (fun (seed, vec) ->
+        let t = Ams.create (Prng.create seed) ~eps:0.4 ~groups:3 in
+        let p = Ams.plan t ~dim in
+        Ams.sketch_with_plan t p vec = Ams.sketch t vec);
+    Test.make ~name:"stable p=1: planned = unplanned" ~count:60 seeded_vec
+      (fun (seed, vec) ->
+        let t = Stable_sketch.create (Prng.create seed) ~p:1.0 ~eps:0.4 ~groups:2 in
+        let p = Stable_sketch.plan t ~dim in
+        Stable_sketch.sketch_with_plan t p vec = Stable_sketch.sketch t vec);
+    Test.make ~name:"stable p=0.5: sketch_into = sketch" ~count:60 seeded_vec
+      (fun (seed, vec) ->
+        let t = Stable_sketch.create (Prng.create seed) ~p:0.5 ~eps:0.4 ~groups:2 in
+        let p = Stable_sketch.plan t ~dim in
+        let dst = Array.make (Stable_sketch.size t) Float.nan in
+        Stable_sketch.sketch_into t p ~dst vec;
+        dst = Stable_sketch.sketch t vec);
+    Test.make ~name:"l0: planned = unplanned" ~count:100 seeded_vec
+      (fun (seed, vec) ->
+        let t = L0_sketch.create (Prng.create seed) ~eps:0.5 ~groups:3 ~dim in
+        let p = L0_sketch.plan t ~dim in
+        L0_sketch.sketch_with_plan t p vec = L0_sketch.sketch t vec);
+    Test.make ~name:"l0: sketch_into scrubs a dirty scratch" ~count:50 seeded_vec
+      (fun (seed, vec) ->
+        let t = L0_sketch.create (Prng.create seed) ~eps:0.5 ~groups:3 ~dim in
+        let p = L0_sketch.plan t ~dim in
+        let dst = Array.make (L0_sketch.size t) max_int in
+        L0_sketch.sketch_into t p ~dst vec;
+        dst = L0_sketch.sketch t vec);
+    Test.make ~name:"lp dispatcher: planned = unplanned on every branch"
+      ~count:40
+      (pair (int_bound 10_000) (make sparse_vec_gen))
+      (fun (seed, vec) ->
+        List.for_all
+          (fun p ->
+            let t = Lp.create (Prng.create seed) ~p ~eps:0.5 ~groups:2 ~dim in
+            let plan = Lp.plan t ~dim in
+            Lp.sketch_with_plan t plan vec = Lp.sketch t vec
+            &&
+            let dst = Lp.empty t in
+            Lp.sketch_into t plan ~dst vec;
+            dst = Lp.sketch t vec)
+          [ 0.0; 0.7; 1.0; 2.0 ]);
+    Test.make ~name:"cohen: planned column mins = unplanned" ~count:40
+      (int_bound 10_000) (fun seed ->
+        let rng = Prng.create seed in
+        let t = Cohen.create rng ~reps:6 ~rows:60 in
+        let a = Workload.uniform_bool rng ~rows:60 ~cols:30 ~density:0.2 in
+        let at = Bmat.transpose a in
+        let supp_of_col k = Bmat.row at k in
+        let p = Cohen.plan t in
+        Cohen.column_mins_with_plan t p ~supp_of_col ~cols:30
+        = Cohen.column_mins t ~supp_of_col ~cols:30);
+    Test.make ~name:"countmin: hoisted counters keep totals" ~count:40
+      seeded_vec (fun (seed, vec) ->
+        let t = Countmin.create (Prng.create seed) ~buckets:16 ~reps:4 in
+        let was = Metrics.enabled () in
+        Metrics.set_enabled true;
+        let c_hash = Metrics.counter "hash_evals" in
+        Fun.protect ~finally:(fun () -> Metrics.set_enabled was) @@ fun () ->
+        (* Batched accounting in [sketch] must equal per-update accounting. *)
+        let before = Metrics.value c_hash in
+        let via_sketch = Countmin.sketch t vec in
+        let after_sketch = Metrics.value c_hash in
+        let via_updates = Countmin.empty t in
+        Array.iter (fun (i, v) -> Countmin.update t via_updates i v) vec;
+        let after_updates = Metrics.value c_hash in
+        via_sketch = via_updates
+        && after_sketch - before = after_updates - after_sketch);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Pool semantics. *)
+
+let with_domains d f =
+  Pool.set_size d;
+  Fun.protect ~finally:(fun () -> Pool.set_size 1) f
+
+let test_pool_init_matches_sequential () =
+  let f i = (i * 7919) land 1023 in
+  let expect = Array.init 10_000 f in
+  List.iter
+    (fun d ->
+      with_domains d (fun () ->
+          check Alcotest.bool
+            (Printf.sprintf "init identical at %d domains" d)
+            true
+            (Pool.init 10_000 f = expect)))
+    [ 1; 2; 4 ]
+
+let test_pool_map_sum_bit_identical () =
+  (* Floating sums are order-sensitive; the pool promises index order. *)
+  let f i = 1.0 /. float_of_int (i + 1) in
+  let expect = ref 0.0 in
+  for i = 0 to 9_999 do
+    expect := !expect +. f i
+  done;
+  List.iter
+    (fun d ->
+      with_domains d (fun () ->
+          check (Alcotest.float 0.0)
+            (Printf.sprintf "map_sum bit-identical at %d domains" d)
+            !expect (Pool.map_sum 10_000 f)))
+    [ 1; 2; 4 ]
+
+let test_pool_edges () =
+  with_domains 4 (fun () ->
+      check Alcotest.int "init 0 is empty" 0 (Array.length (Pool.init 0 (fun i -> i)));
+      check Alcotest.bool "init 1" true (Pool.init 1 (fun i -> i * 3) = [| 0 |]);
+      check (Alcotest.float 0.0) "map_sum 0" 0.0 (Pool.map_sum 0 (fun _ -> 1.0)))
+
+exception Boom
+
+let test_pool_exception_propagates () =
+  with_domains 4 (fun () ->
+      (match Pool.init 1000 (fun i -> if i = 500 then raise Boom else i) with
+      | _ -> Alcotest.fail "expected Boom to escape"
+      | exception Boom -> ());
+      (* The pool must stay serviceable after a failed job. *)
+      check Alcotest.bool "pool survives an exception" true
+        (Pool.init 100 (fun i -> i) = Array.init 100 (fun i -> i)))
+
+let test_pool_size_floor () =
+  (match Pool.set_size 0 with
+  | () -> Alcotest.fail "set_size 0 should be rejected"
+  | exception Invalid_argument _ -> ());
+  check Alcotest.bool "size >= 1" true (Pool.size () >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Chaos-gallery mirror: journaled transcripts must be byte-identical at
+   --domains 1 and --domains 4. This mirrors test_faults.protocols (same
+   protocols, smaller instances) plus the Cohen baseline, which also rides
+   the pool. *)
+
+type output =
+  | F of float
+  | Coords of (int * int) list
+  | Sample of (int * int * int) option
+  | Shares of (int * int * int) list * (int * int * int) list
+  | Level of float * int
+
+let protocols ~seed =
+  let rng = Prng.create (7 * seed) in
+  let n = 16 in
+  let a = Workload.uniform_bool rng ~rows:n ~cols:n ~density:0.25 in
+  let b = Workload.uniform_bool rng ~rows:n ~cols:n ~density:0.25 in
+  let ai = Imat.of_bmat a and bi = Imat.of_bmat b in
+  [
+    ( "lp p=0",
+      fun ctx ->
+        F (Lp_protocol.run ctx (Lp_protocol.default_params ~eps:0.5 ()) ~a:ai ~b:bi) );
+    ( "lp p=1",
+      fun ctx ->
+        F
+          (Lp_protocol.run ctx
+             (Lp_protocol.default_params ~p:1.0 ~eps:0.5 ())
+             ~a:ai ~b:bi) );
+    ( "lp oneround p=2",
+      fun ctx ->
+        F
+          (Lp_oneround.run ctx
+             (Lp_oneround.default_params ~p:2.0 ~eps:0.5 ())
+             ~a:ai ~b:bi) );
+    ("l1_exact", fun ctx -> F (float_of_int (L1_exact.run ctx ~a:ai ~b:bi)));
+    ( "l0_sampling",
+      fun ctx ->
+        Sample
+          (Option.map
+             (fun s -> L0_sampling.(s.row, s.col, s.value))
+             (L0_sampling.run ctx (L0_sampling.default_params ~eps:0.5) ~a:ai ~b:bi))
+    );
+    ( "linf_binary",
+      fun ctx ->
+        let r = Linf_binary.run ctx (Linf_binary.default_params ~eps:0.5) ~a ~b in
+        Level (r.Linf_binary.estimate, r.Linf_binary.level) );
+    ( "linf_general",
+      fun ctx -> F (Linf_general.run ctx { Linf_general.kappa = 2.0 } ~a:ai ~b:bi) );
+    ( "linf_kappa",
+      fun ctx ->
+        let r = Linf_kappa.run ctx (Linf_kappa.default_params ~kappa:4.0) ~a ~b in
+        Level (r.Linf_kappa.estimate, r.Linf_kappa.level) );
+    ( "hh_binary",
+      fun ctx ->
+        Coords
+          (Hh_binary.run ctx (Hh_binary.default_params ~phi:0.2 ~eps:0.1 ()) ~a ~b)
+    );
+    ( "hh_countsketch",
+      fun ctx ->
+        Coords
+          (Hh_countsketch.run ctx
+             (Hh_countsketch.default_params ~phi:0.2 ~eps:0.1 ~buckets:16)
+             ~a:ai ~b:bi) );
+    ( "hh_general",
+      fun ctx ->
+        Coords
+          (Hh_general.run ctx (Hh_general.default_params ~phi:0.2 ~eps:0.1 ()) ~a:ai ~b:bi)
+    );
+    ( "matprod",
+      fun ctx ->
+        let s = Matprod_protocol.run ctx ~a:ai ~b:bi in
+        Shares
+          ( Entry_map.entries s.Matprod_protocol.alice,
+            Entry_map.entries s.Matprod_protocol.bob ) );
+    ( "session",
+      fun ctx ->
+        let s = Session.establish ctx ~beta:0.5 ~a:ai ~b:bi in
+        F (Session.norm_pow s +. Session.refine ctx s) );
+    ( "cohen_baseline",
+      fun ctx ->
+        F (Cohen_baseline.run ctx (Cohen_baseline.params_for_eps ~eps:0.5) ~a ~b)
+    );
+  ]
+
+let read_all path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let run_journaled_at ~domains ~seed ~name f =
+  Pool.set_size domains;
+  let path = Filename.temp_file "matprod_plan" ".journal" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let run = Ctx.run_journaled ~seed ~journal:path ~protocol:name f in
+      (run.Ctx.output, read_all path))
+
+let test_domains_byte_identical () =
+  Fun.protect ~finally:(fun () -> Pool.set_size 1) @@ fun () ->
+  List.iteri
+    (fun i (name, f) ->
+      let seed = 9000 + i in
+      let out1, j1 = run_journaled_at ~domains:1 ~seed ~name f in
+      let out4, j4 = run_journaled_at ~domains:4 ~seed ~name f in
+      check Alcotest.bool (name ^ ": outputs equal across domain counts") true
+        (out1 = out4);
+      check Alcotest.bool (name ^ ": journals byte-identical") true
+        (String.equal j1 j4);
+      check Alcotest.bool (name ^ ": journal non-empty") true
+        (String.length j1 > 0))
+    (protocols ~seed:3)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest qcheck_tests in
+  Alcotest.run "plan"
+    [
+      ("equivalence", qsuite);
+      ( "pool",
+        [
+          Alcotest.test_case "init matches sequential" `Quick
+            test_pool_init_matches_sequential;
+          Alcotest.test_case "map_sum bit-identical" `Quick
+            test_pool_map_sum_bit_identical;
+          Alcotest.test_case "edge cases" `Quick test_pool_edges;
+          Alcotest.test_case "exception propagates" `Quick
+            test_pool_exception_propagates;
+          Alcotest.test_case "size floor" `Quick test_pool_size_floor;
+        ] );
+      ( "domains",
+        [
+          Alcotest.test_case "gallery byte-identical at 1 vs 4 domains" `Quick
+            test_domains_byte_identical;
+        ] );
+    ]
