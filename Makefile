@@ -1,6 +1,6 @@
 # Convenience targets; all real build logic lives in dune.
 
-.PHONY: all check build test bench bench-json bench-c2 bench-p1 chaos clean
+.PHONY: all check build test bench bench-json bench-e1 bench-c2 bench-p1 chaos clean
 
 all: build
 
@@ -22,6 +22,12 @@ bench:
 # See docs/OBSERVABILITY.md for the schema.
 bench-json:
 	dune exec bench/main.exe -- --quick e1 e9 e10
+
+# E1 pair in quick mode: Algorithm 1 vs the one-round baselines, then the
+# batched engine's shared-exchange savings and plan-cache demonstration
+# (writes BENCH_e1.json; see docs/API.md).
+bench-e1:
+	dune exec bench/main.exe -- --quick --no-micro e1
 
 # Crash-recovery experiment: bits saved by journal resume vs rerun as the
 # crash position sweeps the transcript (writes BENCH_c2.json).

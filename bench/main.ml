@@ -11,7 +11,10 @@
 
 let experiments =
   [
-    ("e1", fun ~quick -> Exp_lp.e1 ~quick);
+    ( "e1",
+      fun ~quick ->
+        Exp_lp.e1 ~quick;
+        Exp_engine.e1 ~quick );
     ("e2", fun ~quick -> Exp_lp.e2 ~quick);
     ("e3", fun ~quick -> Exp_lp.e3 ~quick);
     ("e4", fun ~quick -> Exp_lp.e4 ~quick);

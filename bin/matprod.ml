@@ -19,86 +19,115 @@ module Fault = Matprod_comm.Fault
 module Journal = Matprod_comm.Journal
 module Outcome = Matprod_core.Outcome
 module Supervisor = Matprod_core.Supervisor
+module Estimator = Matprod_core.Estimator
+module Registry = Matprod_core.Registry
+module Engine = Matprod_engine.Engine
 module Workload = Matprod_workload.Workload
+module Obs = Matprod_obs
 
 (* ------------------------------------------------------------------ *)
-(* Shared arguments *)
+(* Shared plumbing: every subcommand takes the same workload and
+   observability options through one [common] term instead of each
+   command re-declaring (and re-threading) seven arguments. *)
 
-let n_arg =
-  Arg.(value & opt int 256 & info [ "n"; "size" ] ~docv:"N" ~doc:"Matrix dimension.")
+type common = {
+  n : int;
+  density : float;
+  seed : int;
+  verbose : bool;
+  domains : int option;
+  json : bool;
+  trace : string option;
+}
 
-let density_arg =
-  Arg.(
-    value
-    & opt float 0.05
-    & info [ "density" ] ~docv:"D" ~doc:"Fill probability of each entry.")
+let common_term =
+  let n_arg =
+    Arg.(
+      value & opt int 256 & info [ "n"; "size" ] ~docv:"N" ~doc:"Matrix dimension.")
+  in
+  let density_arg =
+    Arg.(
+      value
+      & opt float 0.05
+      & info [ "density" ] ~docv:"D" ~doc:"Fill probability of each entry.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+  in
+  let verbose_arg =
+    Arg.(
+      value & flag
+      & info [ "v"; "verbose" ] ~doc:"Print the per-message transcript breakdown.")
+  in
+  let domains_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"D"
+          ~doc:
+            "Fan per-row sketch loops out over $(docv) domains (default \
+             $(b,MATPROD_DOMAINS), else 1 = sequential). Estimates and \
+             transcripts are byte-identical at any value \
+             (docs/PERFORMANCE.md).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Print a single-line JSON run summary (schema matprod.run.v1, see \
+             docs/OBSERVABILITY.md) instead of the human-readable report.")
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Write spans and per-message events as JSON lines to $(docv).")
+  in
+  let make n density seed verbose domains json trace =
+    { n; density; seed; verbose; domains; json; trace }
+  in
+  Term.(
+    const make $ n_arg $ density_arg $ seed_arg $ verbose_arg $ domains_arg
+    $ json_arg $ trace_arg)
 
 let eps_arg =
   Arg.(
     value & opt float 0.25 & info [ "eps" ] ~docv:"EPS" ~doc:"Accuracy target.")
-
-let seed_arg =
-  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
 
 let zipf_arg =
   Arg.(
     value & flag
     & info [ "zipf" ] ~doc:"Use a Zipf-skewed workload instead of uniform.")
 
-let verbose_arg =
-  Arg.(
-    value & flag
-    & info [ "v"; "verbose" ] ~doc:"Print the per-message transcript breakdown.")
-
-let domains_arg =
-  Arg.(
-    value
-    & opt (some int) None
-    & info [ "domains" ] ~docv:"D"
-        ~doc:
-          "Fan per-row sketch loops out over $(docv) domains (default \
-           $(b,MATPROD_DOMAINS), else 1 = sequential). Estimates and \
-           transcripts are byte-identical at any value \
-           (docs/PERFORMANCE.md).")
-
-(* ------------------------------------------------------------------ *)
-(* Observability plumbing: every subcommand takes --json and --trace. *)
-
-module Obs = Matprod_obs
-
-let json_arg =
-  Arg.(
-    value & flag
-    & info [ "json" ]
-        ~doc:
-          "Print a single-line JSON run summary (schema matprod.run.v1, see \
-           docs/OBSERVABILITY.md) instead of the human-readable report.")
-
-let trace_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "trace" ] ~docv:"FILE"
-        ~doc:"Write spans and per-message events as JSON lines to $(docv).")
-
-let obs_start ?domains ~json ~trace () =
-  (match domains with
+(* Apply the domains/metrics/trace switches before any protocol work. *)
+let start c =
+  (match c.domains with
   | Some d -> Matprod_util.Pool.set_size d
   | None -> ());
-  if json || trace <> None then Obs.Metrics.set_enabled true;
-  if trace <> None then Obs.Trace.enable ()
+  if c.json || c.trace <> None then Obs.Metrics.set_enabled true;
+  if c.trace <> None then Obs.Trace.enable ()
 
 (* Emit the trace file and, in JSON mode, the run summary. [fields] come
    first so the subcommand's own parameters lead the object. *)
-let obs_finish ~json ~trace fields =
-  (match trace with
+let finish c fields =
+  (match c.trace with
   | Some path -> (
       try Obs.Export.write_trace path
       with Sys_error msg ->
         Printf.eprintf "matprod: cannot write trace file: %s\n" msg;
         exit 1)
   | None -> ());
-  if json then Obs.Export.print_run_summary ~extra:fields ()
+  if c.json then Obs.Export.print_run_summary ~extra:fields ()
+
+let base_fields ~subcommand c =
+  [
+    ("subcommand", Obs.Json.String subcommand);
+    ("n", Obs.Json.Int c.n);
+    ("density", Obs.Json.Float c.density);
+    ("seed", Obs.Json.Int c.seed);
+  ]
 
 let transcript_fields (tr : Transcript.t) =
   [
@@ -156,10 +185,10 @@ let report ~verbose ~actual ~estimate (run : _ Ctx.run) =
 (* ------------------------------------------------------------------ *)
 (* join-size: lp norms, p in [0,2] *)
 
-let join_size n density eps seed zipf verbose p algo load_a load_b journal
-    resume max_attempts fallback crash_party crash_after drop domains json
-    trace =
-  obs_start ?domains ~json ~trace ();
+let join_size c eps zipf p algo load_a load_b journal resume max_attempts
+    fallback crash_party crash_after drop =
+  start c;
+  let { n; density; verbose; _ } = c in
   if max_attempts < 1 then failwith "--max-attempts must be >= 1";
   let resumed =
     match resume with
@@ -174,12 +203,12 @@ let join_size n density eps seed zipf verbose p algo load_a load_b journal
      workload and every protocol coin), so a stored seed wins. *)
   let seed =
     match resumed with
-    | Some (_, j) when j.Journal.seed <> seed ->
+    | Some (_, j) when j.Journal.seed <> c.seed ->
         Printf.eprintf
           "matprod: resuming at journal seed %d (overriding --seed %d)\n%!"
-          j.Journal.seed seed;
+          j.Journal.seed c.seed;
         j.Journal.seed
-    | _ -> seed
+    | _ -> c.seed
   in
   let a, b =
     match (load_a, load_b) with
@@ -188,8 +217,8 @@ let join_size n density eps seed zipf verbose p algo load_a load_b journal
     | None, None -> gen_pair ~zipf ~seed ~n ~density
     | _ -> failwith "--load-a and --load-b must be given together"
   in
-  let c = Product.bool_product a b in
-  let actual = Product.lp_pow c ~p in
+  let c_mat = Product.bool_product a b in
+  let actual = Product.lp_pow c_mat ~p in
   let ai = Imat.of_bmat a and bi = Imat.of_bmat b in
   let driver ctx =
     match algo with
@@ -267,16 +296,13 @@ let join_size n density eps seed zipf verbose p algo load_a load_b journal
       workload (Bmat.rows a) (Bmat.cols b) p
   in
   let common_fields =
-    [
-      ("subcommand", Obs.Json.String "join-size");
-      ("n", Obs.Json.Int (Bmat.rows a));
-      ("density", Obs.Json.Float density);
-      ("eps", Obs.Json.Float eps);
-      ("seed", Obs.Json.Int seed);
-      ("p", Obs.Json.Float p);
-      ("algo", Obs.Json.String algo);
-      ("workload", Obs.Json.String workload);
-    ]
+    base_fields ~subcommand:"join-size" { c with n = Bmat.rows a; seed }
+    @ [
+        ("eps", Obs.Json.Float eps);
+        ("p", Obs.Json.Float p);
+        ("algo", Obs.Json.String algo);
+        ("workload", Obs.Json.String workload);
+      ]
   in
   let fail_run e =
     Printf.eprintf "matprod: run failed: %s\n" (Outcome.error_to_string e);
@@ -289,7 +315,6 @@ let join_size n density eps seed zipf verbose p algo load_a load_b journal
     | None -> ());
     exit 1
   in
-  ignore n;
   match resumed with
   | Some (path, j) -> (
       (* Continue a crashed run: replay the journal, then touch the wire.
@@ -302,14 +327,14 @@ let join_size n density eps seed zipf verbose p algo load_a load_b journal
       with
       | Error e -> fail_run e
       | Ok run ->
-          if not json then begin
+          if not c.json then begin
             Printf.printf
               "resumed from %s: %d messages (%d bits) replayed for free\n" path
               run.Ctx.replayed_messages run.Ctx.replayed_bits;
             banner ();
             report ~verbose ~actual ~estimate:run.Ctx.output run
           end;
-          obs_finish ~json ~trace
+          finish c
             (common_fields
             @ [
                 ("resumed_from", Obs.Json.String path);
@@ -329,7 +354,7 @@ let join_size n density eps seed zipf verbose p algo load_a load_b journal
       with
       | Error e -> fail_run e
       | Ok r ->
-          if not json then begin
+          if not c.json then begin
             banner ();
             Printf.printf "exact answer      : %.6g\n" actual;
             Printf.printf "protocol estimate : %.6g%s\n" r.Supervisor.output
@@ -347,7 +372,7 @@ let join_size n density eps seed zipf verbose p algo load_a load_b journal
               (fun ppf -> Supervisor.pp_report ppf (Printf.sprintf "%.6g"))
               r
           end;
-          obs_finish ~json ~trace
+          finish c
             (common_fields
             @ [
                 ("rung", Obs.Json.String (Supervisor.rung_to_string r.Supervisor.rung));
@@ -371,11 +396,11 @@ let join_size n density eps seed zipf verbose p algo load_a load_b journal
       with
       | Error e -> fail_run e
       | Ok run ->
-          if not json then begin
+          if not c.json then begin
             banner ();
             report ~verbose ~actual ~estimate:run.Ctx.output run
           end;
-          obs_finish ~json ~trace
+          finish c
             (common_fields
             @ (match journal with
               | Some path -> [ ("journal", Obs.Json.String path) ]
@@ -471,16 +496,16 @@ let join_size_cmd =
     (Cmd.info "join-size"
        ~doc:"Estimate ||AB||_p^p (set-intersection / natural join size).")
     Term.(
-      const join_size $ n_arg $ density_arg $ eps_arg $ seed_arg $ zipf_arg
-      $ verbose_arg $ p_arg $ algo_arg $ load_a_arg $ load_b_arg $ journal_arg
-      $ resume_arg $ max_attempts_arg $ fallback_arg $ crash_party_arg
-      $ crash_after_arg $ drop_arg $ domains_arg $ json_arg $ trace_arg)
+      const join_size $ common_term $ eps_arg $ zipf_arg $ p_arg $ algo_arg
+      $ load_a_arg $ load_b_arg $ journal_arg $ resume_arg $ max_attempts_arg
+      $ fallback_arg $ crash_party_arg $ crash_after_arg $ drop_arg)
 
 (* ------------------------------------------------------------------ *)
 (* linf *)
 
-let linf n density seed verbose overlap eps kappa general domains json trace =
-  obs_start ?domains ~json ~trace ();
+let linf c overlap eps kappa general =
+  start c;
+  let { n; density; seed; verbose; _ } = c in
   let rng = Prng.create seed in
   let banner, algo, actual, estimate, run_bits, run_rounds, tr =
     if general then begin
@@ -540,7 +565,7 @@ let linf n density seed verbose overlap eps kappa general domains json trace =
             run.Ctx.transcript )
     end
   in
-  if not json then begin
+  if not c.json then begin
     Printf.printf "%s\n" banner;
     Printf.printf "exact answer      : %.6g\n" actual;
     Printf.printf "protocol estimate : %.6g\n" estimate;
@@ -552,19 +577,16 @@ let linf n density seed verbose overlap eps kappa general domains json trace =
     Printf.printf "rounds            : %d\n" run_rounds;
     if verbose then Format.printf "transcript:@.%a@." Transcript.pp_summary tr
   end;
-  obs_finish ~json ~trace
-    ([
-       ("subcommand", Obs.Json.String "linf");
-       ("n", Obs.Json.Int n);
-       ("density", Obs.Json.Float density);
-       ("eps", Obs.Json.Float eps);
-       ("seed", Obs.Json.Int seed);
-       ("algo", Obs.Json.String algo);
-       ( "kappa",
-         match kappa with
-         | Some k -> Obs.Json.Float k
-         | None -> Obs.Json.Null );
-     ]
+  finish c
+    (base_fields ~subcommand:"linf" c
+    @ [
+        ("eps", Obs.Json.Float eps);
+        ("algo", Obs.Json.String algo);
+        ( "kappa",
+          match kappa with
+          | Some k -> Obs.Json.Float k
+          | None -> Obs.Json.Null );
+      ]
     @ estimate_fields ~actual ~estimate
     @ transcript_fields tr)
 
@@ -589,18 +611,19 @@ let linf_cmd =
   Cmd.v
     (Cmd.info "linf" ~doc:"Approximate ||AB||_inf (maximum intersection size).")
     Term.(
-      const linf $ n_arg $ density_arg $ seed_arg $ verbose_arg $ overlap_arg
-      $ eps_arg $ kappa_arg $ general_arg $ domains_arg $ json_arg $ trace_arg)
+      const linf $ common_term $ overlap_arg $ eps_arg $ kappa_arg
+      $ general_arg)
 
 (* ------------------------------------------------------------------ *)
 (* heavy-hitters *)
 
-let heavy_hitters n density seed verbose phi eps binary domains json trace =
-  obs_start ?domains ~json ~trace ();
+let heavy_hitters c phi eps binary =
+  start c;
+  let { n; density; seed; verbose; _ } = c in
   let rng = Prng.create seed in
   if phi <= 0.0 || eps <= 0.0 || eps > phi then
     failwith "need 0 < eps <= phi";
-  let banner, c, run =
+  let banner, c_mat, run =
     if binary then begin
       let overlap = max 40 (n / 3) in
       let a, b =
@@ -628,11 +651,11 @@ let heavy_hitters n density seed verbose phi eps binary domains json trace =
     end
   in
   let set = run.Ctx.output in
-  let must = Product.heavy_hitters c ~p:1.0 ~phi in
-  let may = Product.heavy_hitters c ~p:1.0 ~phi:(phi -. eps) in
+  let must = Product.heavy_hitters c_mat ~p:1.0 ~phi in
+  let may = Product.heavy_hitters c_mat ~p:1.0 ~phi:(phi -. eps) in
   let recall = List.for_all (fun e -> List.mem e set) must in
   let precision = List.for_all (fun e -> List.mem e may) set in
-  if not json then begin
+  if not c.json then begin
     Printf.printf "%s\n" banner;
     Printf.printf "exact HH_phi      : %d entries\n" (List.length must);
     Printf.printf "allowed superset  : %d entries (HH_{phi-eps})\n"
@@ -640,7 +663,7 @@ let heavy_hitters n density seed verbose phi eps binary domains json trace =
     Printf.printf "protocol output S : %d entries\n" (List.length set);
     List.iter
       (fun (i, j) ->
-        Printf.printf "  (%d, %d) C=%d%s\n" i j (Product.get c i j)
+        Printf.printf "  (%d, %d) C=%d%s\n" i j (Product.get c_mat i j)
           (if List.mem (i, j) must then "  [required]"
            else if List.mem (i, j) may then "  [allowed]"
            else "  [VIOLATION]"))
@@ -653,26 +676,23 @@ let heavy_hitters n density seed verbose phi eps binary domains json trace =
     if verbose then
       Format.printf "transcript:@.%a@." Transcript.pp_summary run.Ctx.transcript
   end;
-  obs_finish ~json ~trace
-    ([
-       ("subcommand", Obs.Json.String "heavy-hitters");
-       ("n", Obs.Json.Int n);
-       ("density", Obs.Json.Float density);
-       ("phi", Obs.Json.Float phi);
-       ("eps", Obs.Json.Float eps);
-       ("seed", Obs.Json.Int seed);
-       ("algo", Obs.Json.String (if binary then "binary" else "general"));
-       ("exact_hh", Obs.Json.Int (List.length must));
-       ("allowed_superset", Obs.Json.Int (List.length may));
-       ("output_size", Obs.Json.Int (List.length set));
-       ( "output",
-         Obs.Json.List
-           (List.map
-              (fun (i, j) -> Obs.Json.List [ Obs.Json.Int i; Obs.Json.Int j ])
-              set) );
-       ("recall_ok", Obs.Json.Bool recall);
-       ("precision_ok", Obs.Json.Bool precision);
-     ]
+  finish c
+    (base_fields ~subcommand:"heavy-hitters" c
+    @ [
+        ("phi", Obs.Json.Float phi);
+        ("eps", Obs.Json.Float eps);
+        ("algo", Obs.Json.String (if binary then "binary" else "general"));
+        ("exact_hh", Obs.Json.Int (List.length must));
+        ("allowed_superset", Obs.Json.Int (List.length may));
+        ("output_size", Obs.Json.Int (List.length set));
+        ( "output",
+          Obs.Json.List
+            (List.map
+               (fun (i, j) -> Obs.Json.List [ Obs.Json.Int i; Obs.Json.Int j ])
+               set) );
+        ("recall_ok", Obs.Json.Bool recall);
+        ("precision_ok", Obs.Json.Bool precision);
+      ]
     @ transcript_fields run.Ctx.transcript)
 
 let heavy_hitters_cmd =
@@ -689,23 +709,23 @@ let heavy_hitters_cmd =
     (Cmd.info "heavy-hitters"
        ~doc:"Find the lp-(phi,eps)-heavy-hitters of AB.")
     Term.(
-      const heavy_hitters $ n_arg $ density_arg $ seed_arg $ verbose_arg
-      $ phi_arg $ hh_eps_arg $ binary_arg $ domains_arg $ json_arg $ trace_arg)
+      const heavy_hitters $ common_term $ phi_arg $ hh_eps_arg $ binary_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sample *)
 
-let sample n density seed verbose kind count domains json trace =
-  obs_start ?domains ~json ~trace ();
+let sample c kind count =
+  start c;
+  let { n; density; seed; _ } = c in
   let rng = Prng.create seed in
   let a = Workload.uniform_bool rng ~rows:n ~cols:n ~density in
   let b = Workload.uniform_bool rng ~rows:n ~cols:n ~density in
-  let c = Product.bool_product a b in
+  let c_mat = Product.bool_product a b in
   let ai = Imat.of_bmat a and bi = Imat.of_bmat b in
-  if not json then
+  if not c.json then
     Printf.printf
       "sampling %d %s-samples from a product with ||C||_0 = %d, ||C||_1 = %d\n"
-      count kind (Product.nnz c) (Product.l1 c);
+      count kind (Product.nnz c_mat) (Product.l1 c_mat);
   let total_bits = ref 0 in
   let drawn = ref [] in
   for t = 1 to count do
@@ -725,13 +745,13 @@ let sample n density seed verbose kind count domains json trace =
                   Obs.Json.Int s.Matprod_core.L1_sampling.col;
                 ]
               :: !drawn;
-            if not json then
+            if not c.json then
               Printf.printf "  (%d, %d) via witness %d   [C entry = %d]\n"
                 s.Matprod_core.L1_sampling.row s.Matprod_core.L1_sampling.col
                 s.Matprod_core.L1_sampling.witness
-                (Product.get c s.Matprod_core.L1_sampling.row
+                (Product.get c_mat s.Matprod_core.L1_sampling.row
                    s.Matprod_core.L1_sampling.col)
-        | None -> if not json then Printf.printf "  (product empty)\n")
+        | None -> if not c.json then Printf.printf "  (product empty)\n")
     | "l0" ->
         let run =
           Ctx.run ~seed:(seed + t) (fun ctx ->
@@ -749,29 +769,26 @@ let sample n density seed verbose kind count domains json trace =
                   Obs.Json.Int s.Matprod_core.L0_sampling.col;
                 ]
               :: !drawn;
-            if not json then
+            if not c.json then
               Printf.printf "  (%d, %d) with value %d\n"
                 s.Matprod_core.L0_sampling.row s.Matprod_core.L0_sampling.col
                 s.Matprod_core.L0_sampling.value
-        | None -> if not json then Printf.printf "  (sampler failed this run)\n")
+        | None ->
+            if not c.json then Printf.printf "  (sampler failed this run)\n")
     | other -> failwith (Printf.sprintf "unknown sample kind %S (l0|l1)" other)
   done;
-  if not json then
+  if not c.json then
     Printf.printf "total communication: %d bits (%d per sample)\n" !total_bits
       (!total_bits / max 1 count);
-  ignore verbose;
-  obs_finish ~json ~trace
-    [
-      ("subcommand", Obs.Json.String "sample");
-      ("n", Obs.Json.Int n);
-      ("density", Obs.Json.Float density);
-      ("seed", Obs.Json.Int seed);
-      ("kind", Obs.Json.String kind);
-      ("count", Obs.Json.Int count);
-      ("samples", Obs.Json.List (List.rev !drawn));
-      ("bits", Obs.Json.Int !total_bits);
-      ("bits_per_sample", Obs.Json.Int (!total_bits / max 1 count));
-    ]
+  finish c
+    (base_fields ~subcommand:"sample" c
+    @ [
+        ("kind", Obs.Json.String kind);
+        ("count", Obs.Json.Int count);
+        ("samples", Obs.Json.List (List.rev !drawn));
+        ("bits", Obs.Json.Int !total_bits);
+        ("bits_per_sample", Obs.Json.Int (!total_bits / max 1 count));
+      ])
 
 let sample_cmd =
   let kind_arg =
@@ -782,14 +799,14 @@ let sample_cmd =
   in
   Cmd.v
     (Cmd.info "sample" ~doc:"Draw l0- or l1-samples from the product AB.")
-    Term.(
-      const sample $ n_arg $ density_arg $ seed_arg $ verbose_arg $ kind_arg
-      $ count_arg $ domains_arg $ json_arg $ trace_arg)
+    Term.(const sample $ common_term $ kind_arg $ count_arg)
 
 (* ------------------------------------------------------------------ *)
 (* lowerbound *)
 
-let lowerbound n seed kind =
+let lowerbound c kind =
+  start c;
+  let { n; seed; _ } = c in
   let rng = Prng.create seed in
   match kind with
   | "disj" ->
@@ -825,20 +842,21 @@ let lowerbound n seed kind =
       let inst =
         Matprod_lowerbounds.Sum_hard.sample ~beta_const:2.0 rng ~n ~kappa:2.0
       in
-      let c =
+      let c_mat =
         Product.bool_product inst.Matprod_lowerbounds.Sum_hard.a
           inst.Matprod_lowerbounds.Sum_hard.b
       in
       let diag = ref 0 in
       for i = 0 to n - 1 do
-        diag := max !diag (Product.get c i i)
+        diag := max !diag (Product.get c_mat i i)
       done;
       Printf.printf
         "Theorem 4.5 SUM instance (n = %d, k = %d, replicas = %d): SUM = %d\n" n
         inst.Matprod_lowerbounds.Sum_hard.k
         inst.Matprod_lowerbounds.Sum_hard.replicas
         inst.Matprod_lowerbounds.Sum_hard.sum_value;
-      Printf.printf "  ||AB||_inf = %d, diagonal max = %d\n" (Product.linf c) !diag
+      Printf.printf "  ||AB||_inf = %d, diagonal max = %d\n"
+        (Product.linf c_mat) !diag
   | other -> failwith (Printf.sprintf "unknown kind %S (disj|gap|sum)" other)
 
 let lowerbound_cmd =
@@ -848,17 +866,18 @@ let lowerbound_cmd =
   Cmd.v
     (Cmd.info "lowerbound"
        ~doc:"Generate and inspect the paper's lower-bound hard instances.")
-    Term.(const lowerbound $ n_arg $ seed_arg $ kind_arg)
+    Term.(const lowerbound $ common_term $ kind_arg)
 
 (* ------------------------------------------------------------------ *)
 (* joins ([16] family) *)
 
-let joins n density seed kind t domains json trace =
-  obs_start ?domains ~json ~trace ();
+let joins c kind t =
+  start c;
+  let { n; density; seed; _ } = c in
   let rng = Prng.create seed in
   let a = Workload.uniform_bool rng ~rows:n ~cols:n ~density in
   let b = Workload.uniform_bool rng ~rows:n ~cols:n ~density in
-  let c = Product.bool_product a b in
+  let c_mat = Product.bool_product a b in
   let actual, estimate, tr =
     match kind with
     | "equality" ->
@@ -872,18 +891,18 @@ let joins n density seed kind t domains json trace =
         let r =
           Ctx.run ~seed (fun ctx -> Matprod_core.Joins.equality_join ctx ~a ~b)
         in
-        if not json then
+        if not c.json then
           Printf.printf
             "set-equality join: %d pairs (exact %d), %d bits, %d round\n"
             r.Ctx.output !exact r.Ctx.bits r.Ctx.rounds;
         (float_of_int !exact, float_of_int r.Ctx.output, r.Ctx.transcript)
     | "disjointness" ->
-        let actual = (n * n) - Product.nnz c in
+        let actual = (n * n) - Product.nnz c_mat in
         let r =
           Ctx.run ~seed (fun ctx ->
               Matprod_core.Joins.disjointness_join ctx ~eps:0.25 ~a ~b)
         in
-        if not json then
+        if not c.json then
           Printf.printf
             "set-disjointness join: ~%.0f pairs (exact %d), %d bits, %d rounds\n"
             r.Ctx.output actual r.Ctx.bits r.Ctx.rounds;
@@ -892,7 +911,7 @@ let joins n density seed kind t domains json trace =
         let actual =
           Array.fold_left
             (fun acc (_, _, v) -> if v >= t then acc + 1 else acc)
-            0 (Product.entries c)
+            0 (Product.entries c_mat)
         in
         let r =
           Ctx.run ~seed (fun ctx ->
@@ -900,22 +919,19 @@ let joins n density seed kind t domains json trace =
                 (Matprod_core.Joins.default_threshold_params ~eps:0.25)
                 ~t ~a ~b)
         in
-        if not json then
+        if not c.json then
           Printf.printf
             "at-least-%d join: ~%.0f pairs (exact %d), %d bits, %d rounds\n" t
             r.Ctx.output actual r.Ctx.bits r.Ctx.rounds;
         (float_of_int actual, r.Ctx.output, r.Ctx.transcript)
     | other -> failwith (Printf.sprintf "unknown join kind %S" other)
   in
-  obs_finish ~json ~trace
-    ([
-       ("subcommand", Obs.Json.String "joins");
-       ("n", Obs.Json.Int n);
-       ("density", Obs.Json.Float density);
-       ("seed", Obs.Json.Int seed);
-       ("kind", Obs.Json.String kind);
-       ("threshold", Obs.Json.Int t);
-     ]
+  finish c
+    (base_fields ~subcommand:"joins" c
+    @ [
+        ("kind", Obs.Json.String kind);
+        ("threshold", Obs.Json.Int t);
+      ]
     @ estimate_fields ~actual ~estimate
     @ transcript_fields tr)
 
@@ -934,19 +950,18 @@ let joins_cmd =
     (Cmd.info "joins"
        ~doc:"The predecessor join family of [16]: set-equality, \
              set-disjointness and at-least-T joins.")
-    Term.(
-      const joins $ n_arg $ density_arg $ seed_arg $ kind_arg $ t_arg
-      $ domains_arg $ json_arg $ trace_arg)
+    Term.(const joins $ common_term $ kind_arg $ t_arg)
 
 (* ------------------------------------------------------------------ *)
 (* session *)
 
-let session n density seed beta domains json trace =
-  obs_start ?domains ~json ~trace ();
+let session c beta =
+  start c;
+  let { n; density; seed; _ } = c in
   let rng = Prng.create seed in
   let a = Workload.uniform_bool rng ~rows:n ~cols:n ~density in
   let b = Workload.uniform_bool rng ~rows:n ~cols:n ~density in
-  let c = Product.bool_product a b in
+  let c_mat = Product.bool_product a b in
   let ctx = Ctx.create ~seed in
   let s =
     Matprod_core.Session.establish ctx ~beta ~a:(Imat.of_bmat a)
@@ -955,41 +970,38 @@ let session n density seed beta domains json trace =
   let establish_bits = Transcript.total_bits (Ctx.transcript ctx) in
   let coarse = Matprod_core.Session.norm_pow s in
   let top = Matprod_core.Session.top_rows s ~k:5 in
-  if not json then begin
+  if not c.json then begin
     Printf.printf "session established: beta = %.2f, %d bits\n" beta
       establish_bits;
     Printf.printf "||C||_0 (coarse)   : %.0f (exact %d) — free\n" coarse
-      (Product.nnz c);
+      (Product.nnz c_mat);
     Printf.printf "top rows by support — free:\n";
     List.iter
       (fun (i, est) ->
-        let exact = (Product.row_lp_pow c ~p:0.0).(i) in
+        let exact = (Product.row_lp_pow c_mat ~p:0.0).(i) in
         Printf.printf "  row %3d: ~%.0f (exact %.0f)\n" i est exact)
       top
   end;
   let refined = Matprod_core.Session.refine ctx s in
   let total_bits = Transcript.total_bits (Ctx.transcript ctx) in
-  if not json then
+  if not c.json then
     Printf.printf "||C||_0 (refined)  : %.0f — %d extra bits\n" refined
       (total_bits - establish_bits);
-  obs_finish ~json ~trace
-    ([
-       ("subcommand", Obs.Json.String "session");
-       ("n", Obs.Json.Int n);
-       ("density", Obs.Json.Float density);
-       ("seed", Obs.Json.Int seed);
-       ("beta", Obs.Json.Float beta);
-       ("establish_bits", Obs.Json.Int establish_bits);
-       ("coarse_estimate", Obs.Json.Float coarse);
-       ("refined_estimate", Obs.Json.Float refined);
-       ("exact_l0", Obs.Json.Int (Product.nnz c));
-       ( "top_rows",
-         Obs.Json.List
-           (List.map
-              (fun (i, est) ->
-                Obs.Json.List [ Obs.Json.Int i; Obs.Json.Float est ])
-              top) );
-     ]
+  finish c
+    (base_fields ~subcommand:"session" c
+    @ [
+        ("beta", Obs.Json.Float beta);
+        ("establish_bits", Obs.Json.Int establish_bits);
+        ("coarse_estimate", Obs.Json.Float coarse);
+        ("refined_estimate", Obs.Json.Float refined);
+        ("exact_l0", Obs.Json.Int (Product.nnz c_mat));
+        ( "top_rows",
+          Obs.Json.List
+            (List.map
+               (fun (i, est) ->
+                 Obs.Json.List [ Obs.Json.Int i; Obs.Json.Float est ])
+               top) );
+      ]
     @ transcript_fields (Ctx.transcript ctx))
 
 let session_cmd =
@@ -1002,9 +1014,275 @@ let session_cmd =
     (Cmd.info "session"
        ~doc:"Establish an amortised query session and answer several \
              questions from one sketch exchange.")
-    Term.(
-      const session $ n_arg $ density_arg $ seed_arg $ beta_arg $ domains_arg
-      $ json_arg $ trace_arg)
+    Term.(const session $ common_term $ beta_arg)
+
+(* ------------------------------------------------------------------ *)
+(* estimate: any registered estimator by name *)
+
+let estimate c name list_all =
+  start c;
+  let { n; density; seed; verbose; _ } = c in
+  if list_all then
+    List.iter
+      (fun packed ->
+        let cost = Estimator.default_cost packed ~n in
+        Printf.printf "%-22s ~%-10.0f bits  %d rounds   %s\n"
+          (Estimator.name packed) cost.Estimator.bits cost.Estimator.rounds
+          (Estimator.describe packed))
+      (Registry.all ())
+  else
+    match Registry.find name with
+    | None ->
+        failwith
+          (Printf.sprintf "unknown estimator %S — try --list for the registry"
+             name)
+    | Some packed -> (
+        let a, b = gen_pair ~zipf:false ~seed ~n ~density in
+        let predicted = Estimator.default_cost packed ~n in
+        let run =
+          Ctx.run ~seed (fun ctx ->
+              Estimator.run_default_safe packed ctx ~a ~b)
+        in
+        match run.Ctx.output with
+        | Error e ->
+            Printf.eprintf "matprod: estimator failed: %s\n"
+              (Outcome.error_to_string e);
+            exit 1
+        | Ok (answer, _diag) ->
+            if not c.json then begin
+              Printf.printf "%s — %s\n" (Estimator.name packed)
+                (Estimator.describe packed);
+              Format.printf "answer            : %a@." Estimator.pp_comparable
+                answer;
+              Printf.printf "communication     : %d bits (predicted ~%.0f)\n"
+                run.Ctx.bits predicted.Estimator.bits;
+              Printf.printf "rounds            : %d (predicted %d)\n"
+                run.Ctx.rounds predicted.Estimator.rounds;
+              if verbose then
+                Format.printf "transcript:@.%a@." Transcript.pp_summary
+                  run.Ctx.transcript
+            end;
+            finish c
+              (base_fields ~subcommand:"estimate" c
+              @ [
+                  ("estimator", Obs.Json.String (Estimator.name packed));
+                  ( "answer",
+                    Obs.Json.String
+                      (Format.asprintf "%a" Estimator.pp_comparable answer) );
+                  ("predicted_bits", Obs.Json.Float predicted.Estimator.bits);
+                  ("predicted_rounds", Obs.Json.Int predicted.Estimator.rounds);
+                ]
+              @ transcript_fields run.Ctx.transcript))
+
+let estimate_cmd =
+  let name_arg =
+    Arg.(
+      value
+      & pos 0 string "lp p=0"
+      & info [] ~docv:"ESTIMATOR"
+          ~doc:"Registry name of the estimator to run (see --list).")
+  in
+  let list_arg =
+    Arg.(
+      value & flag
+      & info [ "list" ]
+          ~doc:"List every registered estimator with its predicted cost at \
+                the given -n, then exit.")
+  in
+  Cmd.v
+    (Cmd.info "estimate"
+       ~doc:"Run any estimator from the registry by name with its default \
+             query (the uniform interface behind every subcommand).")
+    Term.(const estimate $ common_term $ name_arg $ list_arg)
+
+(* ------------------------------------------------------------------ *)
+(* batch: the plan-cached query engine *)
+
+let plan_status_string = function
+  | Engine.Plan_hit -> "plan hit"
+  | Engine.Plan_miss -> "plan miss"
+  | Engine.Not_planned -> "unplanned"
+
+let answer_summary = function
+  | Engine.Scalar v -> Printf.sprintf "%.6g" v
+  | Engine.Vector v ->
+      Printf.sprintf "%d row estimates (max %.6g)" (Array.length v)
+        (Array.fold_left Float.max 0.0 v)
+  | Engine.Ranked rows ->
+      String.concat ", "
+        (List.map (fun (i, est) -> Printf.sprintf "row %d ~%.0f" i est) rows)
+  | Engine.Entry_set coords -> Printf.sprintf "%d entries" (List.length coords)
+  | Engine.L0_samples samples ->
+      Printf.sprintf "%d l0-samples (%d drawn)" (Array.length samples)
+        (Array.fold_left
+           (fun acc s -> if s = None then acc else acc + 1)
+           0 samples)
+  | Engine.L1_samples samples ->
+      Printf.sprintf "%d l1-samples (%d drawn)" (Array.length samples)
+        (Array.fold_left
+           (fun acc s -> if s = None then acc else acc + 1)
+           0 samples)
+  | Engine.Shares (alice, bob) ->
+      Printf.sprintf "additive shares (%d + %d entries)" (List.length alice)
+        (List.length bob)
+
+let batch c specs journal compare =
+  start c;
+  let { n; density; seed; verbose; _ } = c in
+  let specs =
+    if specs = [] then [ "norm:eps=0.25"; "rows:beta=0.5"; "top:k=5" ]
+    else specs
+  in
+  let queries =
+    List.map
+      (fun s ->
+        match Engine.query_of_string s with
+        | Ok q -> q
+        | Error e -> failwith e)
+      specs
+  in
+  let a, b = gen_pair ~zipf:false ~seed ~n ~density in
+  let ai = Imat.of_bmat a and bi = Imat.of_bmat b in
+  let engine = Engine.create () in
+  let body ctx = Engine.run engine ctx ~a:ai ~b:bi queries in
+  let run =
+    match
+      Outcome.guard (fun () ->
+          match journal with
+          | Some path ->
+              Ctx.run_journaled ~seed ~journal:path ~protocol:"batch" body
+          | None -> Ctx.run ~seed body)
+    with
+    | Ok run -> run
+    | Error e ->
+        Printf.eprintf "matprod: batch failed: %s\n"
+          (Outcome.error_to_string e);
+        exit 1
+  in
+  let rep = run.Ctx.output in
+  (* The honest baseline: each query as its own uncached singleton batch. *)
+  let standalone_bits =
+    if not compare then None
+    else
+      Some
+        (List.fold_left
+           (fun acc q ->
+             let solo = Engine.create ~plan_cache_capacity:0 () in
+             acc
+             + (Ctx.run ~seed (fun ctx -> Engine.run solo ctx ~a:ai ~b:bi [ q ]))
+                 .Ctx.bits)
+           0 queries)
+  in
+  if not c.json then begin
+    Printf.printf "batch of %d queries -> %d exchange groups\n"
+      (List.length queries)
+      (List.length rep.Engine.groups);
+    List.iter
+      (fun (g : Engine.group_report) ->
+        Printf.printf "  %-24s queries [%s]: %d bits, %d rounds, %s\n"
+          g.Engine.family
+          (String.concat "; " (List.map string_of_int g.Engine.members))
+          g.Engine.bits g.Engine.rounds
+          (plan_status_string g.Engine.plan))
+      rep.Engine.groups;
+    Printf.printf "answers:\n";
+    List.iteri
+      (fun i q ->
+        Printf.printf "  [%d] %-24s -> %s\n" i (Engine.query_to_string q)
+          (answer_summary rep.Engine.answers.(i)))
+      queries;
+    Printf.printf "total             : %d bits, %d rounds\n"
+      rep.Engine.total_bits rep.Engine.total_rounds;
+    Printf.printf "plan cache        : %d hits, %d misses\n"
+      rep.Engine.plan_hits rep.Engine.plan_misses;
+    (match standalone_bits with
+    | Some solo ->
+        Printf.printf
+          "standalone        : %d bits -> batching saves %d bits (%.1f%%)\n"
+          solo
+          (solo - rep.Engine.total_bits)
+          (if solo = 0 then 0.0
+           else
+             100.0
+             *. float_of_int (solo - rep.Engine.total_bits)
+             /. float_of_int solo)
+    | None -> ());
+    if verbose then
+      Format.printf "transcript:@.%a@." Transcript.pp_summary run.Ctx.transcript
+  end;
+  finish c
+    (base_fields ~subcommand:"batch" c
+    @ [
+        ( "queries",
+          Obs.Json.List
+            (List.map
+               (fun q -> Obs.Json.String (Engine.query_to_string q))
+               queries) );
+        ( "groups",
+          Obs.Json.List
+            (List.map
+               (fun (g : Engine.group_report) ->
+                 Obs.Json.Obj
+                   [
+                     ("family", Obs.Json.String g.Engine.family);
+                     ( "members",
+                       Obs.Json.List
+                         (List.map (fun i -> Obs.Json.Int i) g.Engine.members)
+                     );
+                     ("bits", Obs.Json.Int g.Engine.bits);
+                     ("rounds", Obs.Json.Int g.Engine.rounds);
+                     ("elapsed_ns", Obs.Json.Int g.Engine.elapsed_ns);
+                     ( "plan",
+                       Obs.Json.String (plan_status_string g.Engine.plan) );
+                   ])
+               rep.Engine.groups) );
+        ( "answers",
+          Obs.Json.List
+            (Array.to_list
+               (Array.map
+                  (fun a -> Obs.Json.String (answer_summary a))
+                  rep.Engine.answers)) );
+        ("plan_hits", Obs.Json.Int rep.Engine.plan_hits);
+        ("plan_misses", Obs.Json.Int rep.Engine.plan_misses);
+      ]
+    @ (match standalone_bits with
+      | Some solo ->
+          [
+            ("standalone_bits", Obs.Json.Int solo);
+            ("saved_bits", Obs.Json.Int (solo - rep.Engine.total_bits));
+          ]
+      | None -> [])
+    @ (match journal with
+      | Some path -> [ ("journal", Obs.Json.String path) ]
+      | None -> [])
+    @ transcript_fields run.Ctx.transcript)
+
+let batch_cmd =
+  let query_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "q"; "query" ] ~docv:"SPEC"
+          ~doc:
+            "A query spec, repeatable: name:key=val,... with names \
+             norm|rows|top|l0|l1|hh|linf|exact (docs/API.md). Default batch: \
+             norm, rows, top.")
+  in
+  let compare_arg =
+    Arg.(
+      value & flag
+      & info [ "compare" ]
+          ~doc:
+            "Also run every query standalone and report the transcript bits \
+             the batch saved.")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Answer a batch of statistic queries about AB through the \
+          plan-cached engine: queries sharing a sketch family share one \
+          exchange.")
+    Term.(const batch $ common_term $ query_arg $ journal_arg $ compare_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -1016,6 +1294,6 @@ let main_cmd =
   Cmd.group
     (Cmd.info "matprod" ~version:"1.0.0" ~doc)
     [ join_size_cmd; linf_cmd; heavy_hitters_cmd; sample_cmd; lowerbound_cmd;
-      session_cmd; joins_cmd ]
+      session_cmd; joins_cmd; estimate_cmd; batch_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,88 @@
+module Ctx = Matprod_comm.Ctx
+module Bmat = Matprod_matrix.Bmat
+
+type comparable =
+  | Number of float
+  | Coords of (int * int) list
+  | Sample of (int * int * int) option
+  | Samples of (int * int * int) option list
+  | Shares of (int * int * int) list * (int * int * int) list
+  | Leveled of float * int
+
+type cost = { bits : float; rounds : int }
+
+module type S = sig
+  type query
+  type answer
+
+  val name : string
+  val describe : string
+  val default_query : query
+  val cost_model : query -> n:int -> cost
+  val run : Ctx.t -> query -> a:Bmat.t -> b:Bmat.t -> answer
+
+  val run_safe :
+    Ctx.t ->
+    query ->
+    a:Bmat.t ->
+    b:Bmat.t ->
+    (answer * Outcome.diagnostics, Outcome.error) result
+
+  val comparable : answer -> comparable
+end
+
+type packed = (module S)
+
+let make (type q r) ~name ~describe ~(default : q) ~cost
+    ~(comparable : r -> comparable)
+    (run : Ctx.t -> q -> a:Bmat.t -> b:Bmat.t -> r) : packed =
+  (module struct
+    type query = q
+    type answer = r
+
+    let name = name
+    let describe = describe
+    let default_query = default
+    let cost_model = cost
+    let run = run
+    let run_safe ctx query ~a ~b = Outcome.capture ctx (fun () -> run ctx query ~a ~b)
+    let comparable = comparable
+  end)
+
+let name (module E : S) = E.name
+let describe (module E : S) = E.describe
+let default_cost (module E : S) ~n = E.cost_model E.default_query ~n
+
+let run_default (module E : S) ctx ~a ~b =
+  E.comparable (E.run ctx E.default_query ~a ~b)
+
+let run_default_safe (module E : S) ctx ~a ~b =
+  Result.map
+    (fun (ans, d) -> (E.comparable ans, d))
+    (E.run_safe ctx E.default_query ~a ~b)
+
+let pp_entry ppf (i, j, v) = Format.fprintf ppf "(%d, %d) = %d" i j v
+
+let pp_sample ppf = function
+  | None -> Format.pp_print_string ppf "(none)"
+  | Some e -> pp_entry ppf e
+
+let pp_comparable ppf = function
+  | Number x -> Format.fprintf ppf "%.6g" x
+  | Coords cs ->
+      Format.fprintf ppf "{%a}"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           (fun ppf (i, j) -> Format.fprintf ppf "(%d, %d)" i j))
+        cs
+  | Sample s -> pp_sample ppf s
+  | Samples ss ->
+      Format.fprintf ppf "[%a]"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+           pp_sample)
+        ss
+  | Shares (alice, bob) ->
+      Format.fprintf ppf "alice %d entries + bob %d entries"
+        (List.length alice) (List.length bob)
+  | Leveled (x, level) -> Format.fprintf ppf "%.6g (level %d)" x level

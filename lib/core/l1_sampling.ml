@@ -53,3 +53,55 @@ let run ctx ~a ~b =
     let i = snd msg.(k) in
     Some { row = i; col = j; witness = k }
   end
+
+(* Amortised multi-sample variant: the n column sums cross the wire once,
+   then each extra sample costs O(1) words (Bob's witness, Alice's row
+   draw). Coin order per sample matches [run]: Alice draws the row for the
+   named witness, Bob draws the witness then the column. *)
+let run_many ctx ~count ~a ~b =
+  if count < 0 then invalid_arg "L1_sampling.run_many: count < 0";
+  if Imat.cols a <> Imat.rows b then invalid_arg "L1_sampling: dims";
+  if not (Imat.nonneg a && Imat.nonneg b) then
+    invalid_arg "L1_sampling: requires non-negative matrices";
+  let at = Imat.transpose a in
+  let inner = Imat.cols a in
+  let col_sums =
+    Array.init inner (fun k ->
+        Array.fold_left (fun acc (_, v) -> acc + v) 0 (Imat.row at k))
+  in
+  let sums =
+    Ctx.a2b ctx ~label:"l1 col sums" (Codec.array Codec.uint) col_sums
+  in
+  (* Bob: count witnesses, each k ∝ colsum_k · rowsum_k. *)
+  let weights = List.init inner (fun k -> (k, sums.(k) * Imat.row_l1 b k)) in
+  let total = List.fold_left (fun acc (_, w) -> acc + w) 0 weights in
+  let witnesses =
+    if total = 0 then [||]
+    else Array.init count (fun _ -> weighted_pick ctx.Ctx.bob weights total)
+  in
+  let witnesses =
+    Ctx.b2a ctx ~label:"l1 witnesses" (Codec.array Codec.uint) witnesses
+  in
+  (* Alice: one row draw per witness, ∝ A_{·,k}. *)
+  let rows =
+    Array.map
+      (fun k ->
+        let col = Imat.row at k in
+        let col_total = Array.fold_left (fun acc (_, v) -> acc + v) 0 col in
+        weighted_pick ctx.Ctx.alice (Array.to_list col) col_total)
+      witnesses
+  in
+  let rows = Ctx.a2b ctx ~label:"l1 row draws" (Codec.array Codec.uint) rows in
+  if total = 0 then Array.make count None
+  else
+    Array.init count (fun t ->
+        let k = witnesses.(t) in
+        let row_k = Imat.row b k in
+        let row_total = Array.fold_left (fun acc (_, v) -> acc + v) 0 row_k in
+        let j = weighted_pick ctx.Ctx.bob (Array.to_list row_k) row_total in
+        Some { row = rows.(t); col = j; witness = k })
+
+let run_safe ctx ~a ~b = Outcome.capture ctx (fun () -> run ctx ~a ~b)
+
+let run_many_safe ctx ~count ~a ~b =
+  Outcome.capture ctx (fun () -> run_many ctx ~count ~a ~b)

@@ -14,3 +14,31 @@ val run :
   b:Matprod_matrix.Imat.t ->
   sample option
 (** [None] iff ‖A·B‖₁ = 0. Requires non-negative matrices. *)
+
+val run_many :
+  Matprod_comm.Ctx.t ->
+  count:int ->
+  a:Matprod_matrix.Imat.t ->
+  b:Matprod_matrix.Imat.t ->
+  sample option array
+(** [count] independent ℓ1-samples for O(n + count) words instead of
+    [count]·O(n): the column sums are shipped once, then Bob names his
+    [count] witnesses and Alice answers each with one row draw (3 speaking
+    phases). Each sample has exactly {!run}'s distribution. All [None]
+    iff ‖A·B‖₁ = 0. Used by the batched engine to merge ℓ1-sample
+    queries into one exchange. *)
+
+val run_safe :
+  Matprod_comm.Ctx.t ->
+  a:Matprod_matrix.Imat.t ->
+  b:Matprod_matrix.Imat.t ->
+  (sample option * Outcome.diagnostics, Outcome.error) result
+(** Fail-safe {!run} (see {!Outcome}). *)
+
+val run_many_safe :
+  Matprod_comm.Ctx.t ->
+  count:int ->
+  a:Matprod_matrix.Imat.t ->
+  b:Matprod_matrix.Imat.t ->
+  (sample option array * Outcome.diagnostics, Outcome.error) result
+(** Fail-safe {!run_many} (see {!Outcome}). *)

@@ -1,0 +1,14 @@
+let table : (string, Estimator.packed) Hashtbl.t = Hashtbl.create 32
+let order : string list ref = ref []
+
+let register packed =
+  let name = Estimator.name packed in
+  if Hashtbl.mem table name then
+    invalid_arg (Printf.sprintf "Registry.register: duplicate name %S" name);
+  Hashtbl.replace table name packed;
+  order := name :: !order
+
+let () = List.iter register Estimator_impls.all
+let find name = Hashtbl.find_opt table name
+let names () = List.rev !order
+let all () = List.map (fun name -> Hashtbl.find table name) (names ())

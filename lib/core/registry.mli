@@ -1,0 +1,21 @@
+(** Central estimator registry: name → packed {!Estimator}, enumerable.
+
+    Every core driver is installed at load time (from
+    {!Estimator_impls.all}); extensions may {!register} more. The chaos
+    gallery ([test/test_faults.ml]), the journal byte-identity suite
+    ([test/test_plan.ml]), and the CLI's [estimate] subcommand all
+    enumerate {!all}, so an estimator registered here automatically gains
+    fault, crash-recovery, and domain-determinism coverage — and one that
+    is {e not} registered fails the registry-coverage test. *)
+
+val register : Estimator.packed -> unit
+(** Install an estimator. Raises [Invalid_argument] on a duplicate name. *)
+
+val find : string -> Estimator.packed option
+
+val all : unit -> Estimator.packed list
+(** Built-ins first (in {!Estimator_impls.all} order), then extensions in
+    registration order. *)
+
+val names : unit -> string list
+(** The names of {!all}, same order. *)

@@ -1,0 +1,460 @@
+module Prng = Matprod_util.Prng
+module Pool = Matprod_util.Pool
+module Imat = Matprod_matrix.Imat
+module Ctx = Matprod_comm.Ctx
+module Codec = Matprod_comm.Codec
+module Transcript = Matprod_comm.Transcript
+module Lp = Matprod_sketch.Lp
+module Obs = Matprod_obs
+module Common = Matprod_core.Common
+module Lp_protocol = Matprod_core.Lp_protocol
+module L0_sampling = Matprod_core.L0_sampling
+module L1_sampling = Matprod_core.L1_sampling
+module Hh_general = Matprod_core.Hh_general
+module Linf_general = Matprod_core.Linf_general
+module Matprod_protocol = Matprod_core.Matprod_protocol
+module Entry_map = Matprod_core.Common.Entry_map
+module Outcome = Matprod_core.Outcome
+
+type query =
+  | Norm_pow of { p : float; eps : float }
+  | Row_norms of { p : float; beta : float }
+  | Top_rows of { p : float; beta : float; k : int }
+  | L0_sample of { eps : float; count : int }
+  | L1_sample of { count : int }
+  | Heavy_hitters of { phi : float; eps : float }
+  | Linf of { kappa : float }
+  | Exact_product
+
+type answer =
+  | Scalar of float
+  | Vector of float array
+  | Ranked of (int * float) list
+  | Entry_set of (int * int) list
+  | L0_samples of L0_sampling.sample option array
+  | L1_samples of L1_sampling.sample option array
+  | Shares of (int * int * int) list * (int * int * int) list
+
+type plan_status = Plan_hit | Plan_miss | Not_planned
+
+type group_report = {
+  family : string;
+  members : int list;
+  bits : int;
+  rounds : int;
+  elapsed_ns : int;
+  plan : plan_status;
+}
+
+type report = {
+  answers : answer array;
+  groups : group_report list;
+  total_bits : int;
+  total_rounds : int;
+  plan_hits : int;
+  plan_misses : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Plan cache: an LRU over (family tag, dim, seed) → prebuilt Lp sketch
+   family + its tabulated plan. Sound because the family is created from
+   a Prng derived purely from (seed, tag): equal keys always denote the
+   same hash family, so a cached plan is bit-identical to a rebuilt one. *)
+
+type plan_key = { tag : string; dim : int; seed : int }
+type plan_entry = { lp : Lp.t; plan : Lp.plan }
+
+type cache = {
+  capacity : int;
+  mutable slots : (plan_key * plan_entry) list; (* most recent first *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+type t = { cache : cache }
+
+let create ?(plan_cache_capacity = 16) () =
+  if plan_cache_capacity < 0 then
+    invalid_arg "Engine.create: plan_cache_capacity < 0";
+  { cache = { capacity = plan_cache_capacity; slots = []; hits = 0; misses = 0 } }
+
+let plan_cache_stats t = (t.cache.hits, t.cache.misses)
+
+let hit_counter = lazy (Obs.Metrics.counter "engine_plan_hits")
+let miss_counter = lazy (Obs.Metrics.counter "engine_plan_misses")
+
+let cache_find_or_build cache key build =
+  match List.assoc_opt key cache.slots with
+  | Some entry ->
+      cache.hits <- cache.hits + 1;
+      Obs.Metrics.incr (Lazy.force hit_counter);
+      cache.slots <-
+        (key, entry) :: List.filter (fun (k, _) -> k <> key) cache.slots;
+      (entry, Plan_hit)
+  | None ->
+      cache.misses <- cache.misses + 1;
+      Obs.Metrics.incr (Lazy.force miss_counter);
+      let entry = build () in
+      if cache.capacity > 0 then begin
+        let keep =
+          if List.length cache.slots >= cache.capacity then
+            List.filteri (fun i _ -> i < cache.capacity - 1) cache.slots
+          else cache.slots
+        in
+        cache.slots <- (key, entry) :: keep
+      end;
+      (entry, Plan_miss)
+
+(* ------------------------------------------------------------------ *)
+(* Compilation: queries sharing a sketch family and shape collapse into
+   one exchange group. *)
+
+type gkey =
+  | KLp of float (* p; the group runs at the finest beta any member needs *)
+  | KL0 of float (* eps *)
+  | KL1
+  | KHh of float * float (* phi, eps *)
+  | KLinf of float (* kappa *)
+  | KExact
+
+let key_of = function
+  | Norm_pow { p; _ } | Row_norms { p; _ } | Top_rows { p; _ } -> KLp p
+  | L0_sample { eps; _ } -> KL0 eps
+  | L1_sample _ -> KL1
+  | Heavy_hitters { phi; eps } -> KHh (phi, eps)
+  | Linf { kappa } -> KLinf kappa
+  | Exact_product -> KExact
+
+let beta_of = function
+  | Norm_pow { eps; _ } -> Float.min 1.0 (sqrt eps)
+  | Row_norms { beta; _ } | Top_rows { beta; _ } -> beta
+  | _ -> invalid_arg "Engine: beta_of"
+
+(* Groups in first-occurrence order, members ascending. *)
+let compile queries =
+  let groups = ref [] in
+  Array.iteri
+    (fun i q ->
+      let key = key_of q in
+      match List.assoc_opt key !groups with
+      | Some members -> members := i :: !members
+      | None -> groups := !groups @ [ (key, ref [ i ]) ])
+    queries;
+  List.map (fun (key, members) -> (key, List.rev !members)) !groups
+
+(* Every exchange group draws from streams derived purely from the context
+   seed and the group's identity — never from the shared ctx streams — so
+   messages are independent of batch composition and execution order. *)
+let group_ctx ctx ~tag =
+  let h = Hashtbl.hash tag in
+  {
+    ctx with
+    Ctx.public = Prng.derive ctx.Ctx.seed h 1;
+    alice = Prng.derive ctx.Ctx.seed h 2;
+    bob = Prng.derive ctx.Ctx.seed h 3;
+  }
+
+let family_label = function
+  | KLp _ -> "lp"
+  | KL0 _ -> "l0-sample"
+  | KL1 -> "l1-sample"
+  | KHh _ -> "heavy-hitters"
+  | KLinf _ -> "linf"
+  | KExact -> "exact-product"
+
+let lp_groups = 5 (* median-boosting groups, as Session/Lp_protocol *)
+let rho_const = 200.0 (* round-2 sampling budget, as Lp_protocol defaults *)
+
+let top_rows est k =
+  let idx = Array.init (Array.length est) (fun i -> (i, est.(i))) in
+  Array.sort (fun (_, x) (_, y) -> Float.compare y x) idx;
+  Array.to_list (Array.sub idx 0 (min k (Array.length idx)))
+
+(* Slice one merged multi-sample run back into per-member arrays. *)
+let slice_counts samples counts =
+  let off = ref 0 in
+  List.map
+    (fun count ->
+      let part = Array.sub samples !off count in
+      off := !off + count;
+      part)
+    counts
+
+let exec_lp t ctx ~a ~b ~p ~members ~queries set =
+  let beta =
+    List.fold_left (fun acc i -> Float.min acc (beta_of queries.(i))) 1.0 members
+  in
+  if not (beta > 0.0) then invalid_arg "Engine: beta/eps must be positive";
+  let tag = Printf.sprintf "lp(p=%g,beta=%g)" p beta in
+  let gctx = group_ctx ctx ~tag in
+  let dim = max 1 (Imat.cols b) in
+  let key = { tag; dim; seed = ctx.Ctx.seed } in
+  let { lp; plan }, status =
+    cache_find_or_build t.cache key (fun () ->
+        let rng = Prng.derive ctx.Ctx.seed (Hashtbl.hash tag) 4 in
+        let lp = Lp.create rng ~p ~eps:beta ~groups:lp_groups ~dim in
+        { lp; plan = Lp.plan lp ~dim })
+  in
+  let bob_sketches =
+    Pool.init (Imat.rows b) (fun k -> Lp.sketch_with_plan lp plan (Imat.row b k))
+  in
+  let sketches =
+    Ctx.b2a gctx
+      ~label:(Printf.sprintf "engine: lp sketches of B rows %s" tag)
+      (Codec.array (Lp.wire lp))
+      bob_sketches
+  in
+  let est =
+    Pool.init (Imat.rows a) (fun i ->
+        Float.max 0.0
+          (Lp.estimate_pow lp (Common.combine_sketches lp sketches (Imat.row a i))))
+  in
+  (* One sampling round upgrades every norm query in the group to (1+beta²)
+     ≤ (1+eps_i); row/top queries answer from the cached estimates free. *)
+  let refined =
+    if List.exists (fun i -> match queries.(i) with Norm_pow _ -> true | _ -> false) members
+    then Some (Lp_protocol.round2 gctx ~p ~beta ~rho_const ~est ~a ~b)
+    else None
+  in
+  List.iter
+    (fun i ->
+      set i
+        (match queries.(i) with
+        | Norm_pow _ -> Scalar (Option.get refined)
+        | Row_norms _ -> Vector (Array.copy est)
+        | Top_rows { k; _ } -> Ranked (top_rows est k)
+        | _ -> assert false))
+    members;
+  (tag, status)
+
+let exec_group t ctx ~a ~b ~key ~members ~queries set =
+  match key with
+  | KLp p -> exec_lp t ctx ~a ~b ~p ~members ~queries set
+  | KL0 eps ->
+      let tag = Printf.sprintf "l0-sample(eps=%g)" eps in
+      let counts =
+        List.map
+          (fun i ->
+            match queries.(i) with
+            | L0_sample { count; _ } -> max 0 count
+            | _ -> assert false)
+          members
+      in
+      let total = List.fold_left ( + ) 0 counts in
+      let samples =
+        if total = 0 then [||]
+        else
+          L0_sampling.run_many (group_ctx ctx ~tag)
+            (L0_sampling.default_params ~eps)
+            ~count:total ~a ~b
+      in
+      List.iter2
+        (fun i part -> set i (L0_samples part))
+        members (slice_counts samples counts);
+      (tag, Not_planned)
+  | KL1 ->
+      let tag = "l1-sample" in
+      let counts =
+        List.map
+          (fun i ->
+            match queries.(i) with
+            | L1_sample { count } -> max 0 count
+            | _ -> assert false)
+          members
+      in
+      let total = List.fold_left ( + ) 0 counts in
+      let samples =
+        if total = 0 then [||]
+        else L1_sampling.run_many (group_ctx ctx ~tag) ~count:total ~a ~b
+      in
+      List.iter2
+        (fun i part -> set i (L1_samples part))
+        members (slice_counts samples counts);
+      (tag, Not_planned)
+  | KHh (phi, eps) ->
+      let tag = Printf.sprintf "heavy-hitters(phi=%g,eps=%g)" phi eps in
+      let coords =
+        Hh_general.run (group_ctx ctx ~tag)
+          (Hh_general.default_params ~phi ~eps ())
+          ~a ~b
+      in
+      List.iter (fun i -> set i (Entry_set coords)) members;
+      (tag, Not_planned)
+  | KLinf kappa ->
+      let tag = Printf.sprintf "linf(kappa=%g)" kappa in
+      let estimate =
+        Linf_general.run (group_ctx ctx ~tag) { Linf_general.kappa } ~a ~b
+      in
+      List.iter (fun i -> set i (Scalar estimate)) members;
+      (tag, Not_planned)
+  | KExact ->
+      let tag = "exact-product" in
+      let shares = Matprod_protocol.run (group_ctx ctx ~tag) ~a ~b in
+      let answer =
+        Shares
+          ( Entry_map.entries shares.Matprod_protocol.alice,
+            Entry_map.entries shares.Matprod_protocol.bob )
+      in
+      List.iter (fun i -> set i answer) members;
+      (tag, Not_planned)
+
+let run t ctx ~a ~b queries =
+  if queries = [] then invalid_arg "Engine.run: empty batch";
+  if Imat.cols a <> Imat.rows b then invalid_arg "Engine.run: dims";
+  let queries = Array.of_list queries in
+  let answers = Array.make (Array.length queries) None in
+  let set i ans = answers.(i) <- Some ans in
+  let hits0 = t.cache.hits and misses0 = t.cache.misses in
+  let tr = Ctx.transcript ctx in
+  let bits0 = Transcript.total_bits tr and rounds0 = Transcript.rounds tr in
+  Obs.Metrics.incr (Obs.Metrics.counter "engine_batches");
+  let groups =
+    Obs.Trace.with_span ~name:"engine.batch"
+      ~attrs:[ ("queries", Obs.Json.Int (Array.length queries)) ]
+      (fun () ->
+        List.map
+          (fun (key, members) ->
+            let fam = family_label key in
+            let gb0 = Transcript.total_bits tr
+            and gr0 = Transcript.rounds tr in
+            let t0 = Obs.Clock.now_ns () in
+            let tag, plan =
+              Obs.Trace.with_span ~name:"engine.group"
+                ~attrs:[ ("family", Obs.Json.String fam) ]
+                (fun () -> exec_group t ctx ~a ~b ~key ~members ~queries set)
+            in
+            let elapsed_ns = Obs.Clock.elapsed_ns t0 in
+            let bits = Transcript.total_bits tr - gb0 in
+            Obs.Metrics.incr_by (Obs.Metrics.counter ~label:fam "engine_bits") bits;
+            Obs.Metrics.incr_by
+              (Obs.Metrics.counter ~label:fam "engine_queries")
+              (List.length members);
+            Obs.Metrics.observe_ns
+              (Obs.Metrics.histogram ~label:fam "engine_group_ns")
+              elapsed_ns;
+            {
+              family = tag;
+              members;
+              bits;
+              rounds = Transcript.rounds tr - gr0;
+              elapsed_ns;
+              plan;
+            })
+          (compile queries))
+  in
+  {
+    answers =
+      Array.map
+        (function Some a -> a | None -> assert false (* every member set *))
+        answers;
+    groups;
+    total_bits = Transcript.total_bits tr - bits0;
+    total_rounds = Transcript.rounds tr - rounds0;
+    plan_hits = t.cache.hits - hits0;
+    plan_misses = t.cache.misses - misses0;
+  }
+
+let run_safe t ctx ~a ~b queries =
+  Outcome.capture ctx (fun () -> run t ctx ~a ~b queries)
+
+(* ------------------------------------------------------------------ *)
+(* Query specs: "name:key=val,key=val". *)
+
+let query_to_string = function
+  | Norm_pow { p; eps } -> Printf.sprintf "norm:p=%g,eps=%g" p eps
+  | Row_norms { p; beta } -> Printf.sprintf "rows:p=%g,beta=%g" p beta
+  | Top_rows { p; beta; k } -> Printf.sprintf "top:p=%g,beta=%g,k=%d" p beta k
+  | L0_sample { eps; count } -> Printf.sprintf "l0:eps=%g,count=%d" eps count
+  | L1_sample { count } -> Printf.sprintf "l1:count=%d" count
+  | Heavy_hitters { phi; eps } -> Printf.sprintf "hh:phi=%g,eps=%g" phi eps
+  | Linf { kappa } -> Printf.sprintf "linf:kappa=%g" kappa
+  | Exact_product -> "exact"
+
+let query_of_string spec =
+  let ( let* ) = Result.bind in
+  let name, kvs =
+    match String.index_opt spec ':' with
+    | None -> (spec, "")
+    | Some i ->
+        ( String.sub spec 0 i,
+          String.sub spec (i + 1) (String.length spec - i - 1) )
+  in
+  let parse_kvs () =
+    if kvs = "" then Ok []
+    else
+      List.fold_left
+        (fun acc part ->
+          let* acc = acc in
+          match String.index_opt part '=' with
+          | None -> Error (Printf.sprintf "bad key=value %S in %S" part spec)
+          | Some i ->
+              let k = String.sub part 0 i in
+              let v = String.sub part (i + 1) (String.length part - i - 1) in
+              Ok ((String.trim k, String.trim v) :: acc))
+        (Ok [])
+        (String.split_on_char ',' kvs)
+  in
+  let* kvs = parse_kvs () in
+  let known allowed =
+    match List.find_opt (fun (k, _) -> not (List.mem k allowed)) kvs with
+    | Some (k, _) -> Error (Printf.sprintf "unknown key %S in %S" k spec)
+    | None -> Ok ()
+  in
+  let fget key default =
+    match List.assoc_opt key kvs with
+    | None -> Ok default
+    | Some v -> (
+        match float_of_string_opt v with
+        | Some f -> Ok f
+        | None -> Error (Printf.sprintf "bad float %S for %s in %S" v key spec))
+  in
+  let iget key default =
+    match List.assoc_opt key kvs with
+    | None -> Ok default
+    | Some v -> (
+        match int_of_string_opt v with
+        | Some i -> Ok i
+        | None -> Error (Printf.sprintf "bad int %S for %s in %S" v key spec))
+  in
+  match String.trim (String.lowercase_ascii name) with
+  | "norm" ->
+      let* () = known [ "p"; "eps" ] in
+      let* p = fget "p" 0.0 in
+      let* eps = fget "eps" 0.25 in
+      Ok (Norm_pow { p; eps })
+  | "rows" ->
+      let* () = known [ "p"; "beta" ] in
+      let* p = fget "p" 0.0 in
+      let* beta = fget "beta" 0.5 in
+      Ok (Row_norms { p; beta })
+  | "top" ->
+      let* () = known [ "p"; "beta"; "k" ] in
+      let* p = fget "p" 0.0 in
+      let* beta = fget "beta" 0.5 in
+      let* k = iget "k" 5 in
+      Ok (Top_rows { p; beta; k })
+  | "l0" ->
+      let* () = known [ "eps"; "count" ] in
+      let* eps = fget "eps" 0.25 in
+      let* count = iget "count" 1 in
+      Ok (L0_sample { eps; count })
+  | "l1" ->
+      let* () = known [ "count" ] in
+      let* count = iget "count" 1 in
+      Ok (L1_sample { count })
+  | "hh" ->
+      let* () = known [ "phi"; "eps" ] in
+      let* phi = fget "phi" 0.05 in
+      let* eps = fget "eps" 0.02 in
+      Ok (Heavy_hitters { phi; eps })
+  | "linf" ->
+      let* () = known [ "kappa" ] in
+      let* kappa = fget "kappa" 4.0 in
+      Ok (Linf { kappa })
+  | "exact" ->
+      let* () = known [] in
+      Ok Exact_product
+  | other ->
+      Error
+        (Printf.sprintf
+           "unknown query %S (norm|rows|top|l0|l1|hh|linf|exact)" other)

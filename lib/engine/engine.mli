@@ -1,0 +1,141 @@
+(** Batched, plan-cached query engine over one [(A, B)] pair.
+
+    A query optimizer rarely asks one question: it wants the join size,
+    the per-row cardinalities, the skew, a few sample tuples. Run as
+    standalone drivers those are independent sketch exchanges, each paying
+    its own round-1 message. The engine accepts a {e batch} of statistic
+    queries and compiles it into a minimal communication schedule:
+
+    - queries sharing a sketch family are answered from {e one} exchange
+      at the finest accuracy any of them needs (the round-1 reuse of
+      {!Matprod_core.Session}, generalised);
+    - ℓ0/ℓ1 sample queries merge their counts into one amortised
+      multi-sample run;
+    - duplicate queries are answered once;
+    - sketch plans ({!Matprod_sketch.Lp.plan} tables) are cached in an LRU
+      keyed by [(family, dim, seed, params)], so repeated batches over
+      same-shaped matrices skip hash-family tabulation entirely.
+
+    Determinism contract: each exchange group draws its randomness from
+    streams {e derived} from [(ctx seed, group key)] — never from the
+    shared context streams — so a group's messages do not depend on which
+    other queries ride in the batch, answers are reproducible from the
+    seed, journaling/resume work unchanged, and a batch answer is
+    bit-identical to the same query run through a singleton batch. (The
+    one refinement: sample queries merged into a shared exchange draw
+    consecutive slices of the group's stream, so the group's slices
+    concatenate to exactly what one query with the merged total count
+    draws — the first member still matches its singleton run.) The
+    message schedule itself is sequential in first-occurrence group order
+    (byte-identical at any [--domains] value); the per-row sketch and
+    combine work inside a group fans out across the
+    {!Matprod_util.Pool} domains.
+
+    Per-group cost attribution flows through {!Matprod_obs}: spans
+    [engine.batch] / [engine.group], counters [engine_bits{family}],
+    [engine_queries{family}], [engine_plan_hits], [engine_plan_misses],
+    and histogram [engine_group_ns{family}] (docs/OBSERVABILITY.md). *)
+
+(** One statistic request over C = A·B. Accuracies: [Norm_pow] follows
+    Algorithm 1 ([eps] is the target relative error, paid with a sampling
+    round); [Row_norms]/[Top_rows] are answered from cached round-1
+    sketches at accuracy [beta] with no extra communication. *)
+type query =
+  | Norm_pow of { p : float; eps : float }
+      (** (1+eps)-estimate of ‖C‖_p^p, p ∈ [0, 2]. *)
+  | Row_norms of { p : float; beta : float }
+      (** (1+beta)-estimates of every ‖C_{i,*}‖_p^p. *)
+  | Top_rows of { p : float; beta : float; k : int }
+      (** The [k] rows with the largest estimated norms, descending. *)
+  | L0_sample of { eps : float; count : int }
+      (** [count] near-uniform nonzero entries of C (Theorem 3.2). *)
+  | L1_sample of { count : int }
+      (** [count] entries drawn ∝ value (Remark 3); non-negative inputs. *)
+  | Heavy_hitters of { phi : float; eps : float }
+      (** ℓ1-(phi, eps)-heavy entries of C (Algorithm 4). *)
+  | Linf of { kappa : float }
+      (** kappa-approximation of ‖C‖∞ (Theorem 4.8). *)
+  | Exact_product  (** additive shares C_A + C_B = C (Lemma 2.5 role). *)
+
+type answer =
+  | Scalar of float
+  | Vector of float array
+  | Ranked of (int * float) list
+  | Entry_set of (int * int) list
+  | L0_samples of Matprod_core.L0_sampling.sample option array
+  | L1_samples of Matprod_core.L1_sampling.sample option array
+  | Shares of (int * int * int) list * (int * int * int) list
+      (** Alice's and Bob's sorted share entries. *)
+
+type plan_status =
+  | Plan_hit  (** sketch family + tables served from the LRU *)
+  | Plan_miss  (** tabulated this batch (now cached) *)
+  | Not_planned  (** the group's family has no plan/apply path *)
+
+(** Cost attribution for one compiled exchange group. *)
+type group_report = {
+  family : string;  (** e.g. ["lp(p=0,beta=0.5)"], ["l0-sample(eps=0.25)"] *)
+  members : int list;  (** indices into the batch, ascending *)
+  bits : int;  (** fresh transcript bits this group cost *)
+  rounds : int;  (** speaking phases this group added *)
+  elapsed_ns : int;
+  plan : plan_status;
+}
+
+type report = {
+  answers : answer array;  (** one per query, in batch order *)
+  groups : group_report list;  (** in execution (first-occurrence) order *)
+  total_bits : int;
+  total_rounds : int;
+  plan_hits : int;  (** LRU hits during this batch *)
+  plan_misses : int;
+}
+
+type t
+(** An engine instance: owns the plan cache. Reusable across batches and
+    contexts; entries are keyed by seed so distinct-seed contexts never
+    share a hash family. *)
+
+val create : ?plan_cache_capacity:int -> unit -> t
+(** Capacity is the number of [(family, dim, seed, params)] plan slots
+    (default 16, LRU eviction; 0 disables caching). *)
+
+val run :
+  t ->
+  Matprod_comm.Ctx.t ->
+  a:Matprod_matrix.Imat.t ->
+  b:Matprod_matrix.Imat.t ->
+  query list ->
+  report
+(** Execute a batch. Requires [cols a = rows b], a non-empty batch, and —
+    for [L1_sample] and [Heavy_hitters] — non-negative matrices (raises
+    [Invalid_argument] otherwise). The transcript simply continues on
+    [ctx]; run several batches in one context to amortise nothing twice. *)
+
+val run_safe :
+  t ->
+  Matprod_comm.Ctx.t ->
+  a:Matprod_matrix.Imat.t ->
+  b:Matprod_matrix.Imat.t ->
+  query list ->
+  (report * Matprod_core.Outcome.diagnostics, Matprod_core.Outcome.error)
+  result
+(** {!run} under the {!Matprod_core.Outcome} trichotomy: over a faulty or
+    crashy wire the batch either completes (fault-free-equivalent) or
+    comes back as a typed error; a journaled prefix remains valid for
+    {!Matprod_comm.Ctx.resume}. *)
+
+val plan_cache_stats : t -> int * int
+(** Lifetime [(hits, misses)] of the engine's plan cache. *)
+
+(** {1 Query specs}
+
+    A tiny textual form, ["name:key=val,key=val"], shared by the CLI's
+    [batch] subcommand, the bench harness, and the docs. Names: [norm],
+    [rows], [top], [l0], [l1], [hh], [linf], [exact]. Keys: [p], [eps],
+    [beta], [k], [count], [phi], [kappa]. Unset keys take the defaults
+    documented in docs/API.md. *)
+
+val query_of_string : string -> (query, string) result
+val query_to_string : query -> string
+(** Canonical spec; [query_of_string (query_to_string q) = Ok q]. *)

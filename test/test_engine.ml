@@ -1,0 +1,377 @@
+(* The batched query engine's contract (docs/API.md):
+
+   1. Batch composition is invisible to each query: the answer a query
+      gets inside any batch EQUALS the answer it gets as a singleton
+      batch at the same seed (per-group derived randomness).
+   2. Batching is strictly cheaper: k same-family queries in one batch
+      spend strictly fewer transcript bits than the k standalone runs,
+      because the round-1 sketch exchange ships once.
+   3. The plan cache changes wall-clock only: hits/misses are observable
+      in the report and the Metrics counters, never in answers or bits.
+   4. A mid-batch crash leaves a journal whose resume completes with the
+      fault-free answers, and fresh + replayed bits account for exactly
+      the fault-free transcript. *)
+
+module Prng = Matprod_util.Prng
+module Imat = Matprod_matrix.Imat
+module Workload = Matprod_workload.Workload
+module Ctx = Matprod_comm.Ctx
+module Transcript = Matprod_comm.Transcript
+module Fault = Matprod_comm.Fault
+module Reliable = Matprod_comm.Reliable
+module Journal = Matprod_comm.Journal
+module Metrics = Matprod_obs.Metrics
+module Outcome = Matprod_core.Outcome
+module Engine = Matprod_engine.Engine
+
+let check = Alcotest.check
+
+let gen_pair ~seed ~n =
+  let rng = Prng.create (7 * seed) in
+  let a = Workload.uniform_bool rng ~rows:n ~cols:n ~density:0.25 in
+  let b = Workload.uniform_bool rng ~rows:n ~cols:n ~density:0.25 in
+  (Imat.of_bmat a, Imat.of_bmat b)
+
+(* eps 0.25 gives Norm_pow the round-1 accuracy beta = sqrt(0.25) = 0.5,
+   aligned with the row queries: all three share one lp exchange. *)
+let lp_batch =
+  [
+    Engine.Norm_pow { p = 0.0; eps = 0.25 };
+    Engine.Row_norms { p = 0.0; beta = 0.5 };
+    Engine.Top_rows { p = 0.0; beta = 0.5; k = 3 };
+  ]
+
+let mixed_batch =
+  lp_batch
+  @ [
+      Engine.L0_sample { eps = 0.5; count = 2 };
+      Engine.L1_sample { count = 2 };
+      Engine.Heavy_hitters { phi = 0.2; eps = 0.1 };
+      Engine.Linf { kappa = 2.0 };
+      Engine.Exact_product;
+      Engine.L0_sample { eps = 0.5; count = 1 };
+    ]
+
+let run_batch ?engine ~seed ~a ~b queries =
+  let engine =
+    match engine with Some e -> e | None -> Engine.create ()
+  in
+  Ctx.run ~seed (fun ctx -> Engine.run engine ctx ~a ~b queries)
+
+(* Property 1: each answer in the mixed batch equals the singleton-batch
+   answer for the same query at the same seed. The second L0_sample is
+   excluded here: sample queries merged into one exchange draw later
+   slices of the group's shared stream (the concatenation property below
+   is their contract). *)
+let test_batched_equals_sequential () =
+  let seed = 42 in
+  let a, b = gen_pair ~seed ~n:20 in
+  let batched = (run_batch ~seed ~a ~b mixed_batch).Ctx.output in
+  List.iteri
+    (fun i q ->
+      if i <> 8 then begin
+        let solo = (run_batch ~seed ~a ~b [ q ]).Ctx.output in
+        if batched.Engine.answers.(i) <> solo.Engine.answers.(0) then
+          Alcotest.failf
+            "query %d (%s): batched answer differs from its singleton run" i
+            (Engine.query_to_string q)
+      end)
+    mixed_batch
+
+(* Merged sample queries: the slices concatenate to exactly the samples a
+   single query with the merged total count draws. *)
+let test_sample_concatenation () =
+  let seed = 42 in
+  let a, b = gen_pair ~seed ~n:20 in
+  let split =
+    (run_batch ~seed ~a ~b
+       [
+         Engine.L0_sample { eps = 0.5; count = 2 };
+         Engine.L0_sample { eps = 0.5; count = 1 };
+       ])
+      .Ctx.output
+  in
+  let merged =
+    (run_batch ~seed ~a ~b [ Engine.L0_sample { eps = 0.5; count = 3 } ])
+      .Ctx.output
+  in
+  match (split.Engine.answers, merged.Engine.answers) with
+  | [| Engine.L0_samples s1; Engine.L0_samples s2 |], [| Engine.L0_samples m |]
+    ->
+      if Array.append s1 s2 <> m then
+        Alcotest.fail "slices do not concatenate to the merged run"
+  | _ -> Alcotest.fail "unexpected answer shapes"
+
+(* Merged multi-sample queries: the two L0_sample queries (counts 2 and 1)
+   ride one 3-sample exchange; the slices must keep their sizes. *)
+let test_sample_slicing () =
+  let seed = 7 in
+  let a, b = gen_pair ~seed ~n:20 in
+  let rep = (run_batch ~seed ~a ~b mixed_batch).Ctx.output in
+  (match rep.Engine.answers.(3) with
+  | Engine.L0_samples s -> check Alcotest.int "first l0 slice" 2 (Array.length s)
+  | _ -> Alcotest.fail "answer 3 should be L0_samples");
+  (match rep.Engine.answers.(8) with
+  | Engine.L0_samples s -> check Alcotest.int "second l0 slice" 1 (Array.length s)
+  | _ -> Alcotest.fail "answer 8 should be L0_samples");
+  let l0_groups =
+    List.filter
+      (fun g -> List.mem 3 g.Engine.members)
+      rep.Engine.groups
+  in
+  match l0_groups with
+  | [ g ] ->
+      check (Alcotest.list Alcotest.int) "both l0 queries share one group"
+        [ 3; 8 ] g.Engine.members
+  | _ -> Alcotest.fail "expected exactly one l0 group"
+
+(* Property 2: the three same-family queries in one batch cost strictly
+   fewer bits than the three standalone runs, and the round-1 sketch
+   message crosses the wire exactly once. *)
+let test_bit_savings () =
+  let seed = 5 in
+  let a, b = gen_pair ~seed ~n:24 in
+  let batched = run_batch ~seed ~a ~b lp_batch in
+  let standalone =
+    List.fold_left
+      (fun acc q -> acc + (run_batch ~seed ~a ~b [ q ]).Ctx.bits)
+      0 lp_batch
+  in
+  check Alcotest.bool
+    (Printf.sprintf "batch (%d bits) strictly under standalone (%d bits)"
+       batched.Ctx.bits standalone)
+    true
+    (batched.Ctx.bits < standalone);
+  let prefix = "engine: lp sketches" in
+  let sketch_messages =
+    List.length
+      (List.filter
+         (fun m ->
+           let l = m.Transcript.label in
+           String.length l >= String.length prefix
+           && String.sub l 0 (String.length prefix) = prefix)
+         (Transcript.messages batched.Ctx.transcript))
+  in
+  check Alcotest.int "round-1 sketches shipped once" 1 sketch_messages;
+  let rep = batched.Ctx.output in
+  check Alcotest.int "one exchange group" 1 (List.length rep.Engine.groups);
+  check Alcotest.int "group bits = total bits" batched.Ctx.bits
+    rep.Engine.total_bits
+
+(* Property 3a: hit/miss accounting, in the report and the counters. *)
+let test_plan_cache_counters () =
+  let seed = 9 in
+  let a, b = gen_pair ~seed ~n:20 in
+  Metrics.set_enabled true;
+  Metrics.reset ();
+  Fun.protect ~finally:(fun () -> Metrics.set_enabled false) @@ fun () ->
+  let engine = Engine.create () in
+  let first = (run_batch ~engine ~seed ~a ~b lp_batch).Ctx.output in
+  check Alcotest.int "cold run misses" 1 first.Engine.plan_misses;
+  check Alcotest.int "cold run has no hits" 0 first.Engine.plan_hits;
+  let second = (run_batch ~engine ~seed ~a ~b lp_batch).Ctx.output in
+  check Alcotest.int "warm run hits" 1 second.Engine.plan_hits;
+  check Alcotest.int "warm run misses nothing" 0 second.Engine.plan_misses;
+  (match second.Engine.groups with
+  | [ g ] ->
+      check Alcotest.bool "group reports the hit" true
+        (g.Engine.plan = Engine.Plan_hit)
+  | _ -> Alcotest.fail "expected one group");
+  check
+    (Alcotest.pair Alcotest.int Alcotest.int)
+    "engine stats accumulate" (1, 1)
+    (Engine.plan_cache_stats engine);
+  check Alcotest.int "metrics hit counter" 1
+    (Metrics.value (Metrics.counter "engine_plan_hits"));
+  check Alcotest.int "metrics miss counter" 1
+    (Metrics.value (Metrics.counter "engine_plan_misses"))
+
+(* Property 3b: a cache hit is invisible on the wire — same answers, same
+   bits as a cold engine. Distinct seeds never share a slot. *)
+let test_plan_cache_soundness () =
+  let seed = 11 in
+  let a, b = gen_pair ~seed ~n:20 in
+  let warm_engine = Engine.create () in
+  ignore (run_batch ~engine:warm_engine ~seed ~a ~b lp_batch);
+  let warm = run_batch ~engine:warm_engine ~seed ~a ~b lp_batch in
+  let cold = run_batch ~seed ~a ~b lp_batch in
+  if warm.Ctx.output.Engine.answers <> cold.Ctx.output.Engine.answers then
+    Alcotest.fail "plan-cache hit changed the answers";
+  check Alcotest.int "plan-cache hit leaves bits unchanged" cold.Ctx.bits
+    warm.Ctx.bits;
+  (* Same engine, different seed: the cached family must not be reused. *)
+  let other = (run_batch ~engine:warm_engine ~seed:(seed + 1) ~a ~b lp_batch).Ctx.output in
+  check Alcotest.int "different seed misses" 1 other.Engine.plan_misses
+
+(* Property 3c: LRU eviction at capacity 1, and capacity 0 disables. *)
+let test_plan_cache_lru () =
+  let seed = 13 in
+  let a, b = gen_pair ~seed ~n:20 in
+  let p1 = [ Engine.Row_norms { p = 0.0; beta = 0.5 } ] in
+  let p2 = [ Engine.Row_norms { p = 1.0; beta = 0.5 } ] in
+  let tiny = Engine.create ~plan_cache_capacity:1 () in
+  ignore (run_batch ~engine:tiny ~seed ~a ~b p1);
+  ignore (run_batch ~engine:tiny ~seed ~a ~b p2); (* evicts p1's plan *)
+  let again = (run_batch ~engine:tiny ~seed ~a ~b p1).Ctx.output in
+  check Alcotest.int "evicted plan misses again" 1 again.Engine.plan_misses;
+  let off = Engine.create ~plan_cache_capacity:0 () in
+  ignore (run_batch ~engine:off ~seed ~a ~b p1);
+  let second = (run_batch ~engine:off ~seed ~a ~b p1).Ctx.output in
+  check Alcotest.int "capacity 0 never hits" 1 second.Engine.plan_misses;
+  check
+    (Alcotest.pair Alcotest.int Alcotest.int)
+    "capacity 0 stats" (0, 2)
+    (Engine.plan_cache_stats off)
+
+(* Property 4: crash mid-batch, then resume from the journal. *)
+let test_journal_resume_mid_batch () =
+  let seed = 17 in
+  let a, b = gen_pair ~seed ~n:20 in
+  let queries = mixed_batch in
+  let body ctx = Engine.run (Engine.create ()) ctx ~a ~b queries in
+  let base = Ctx.run ~seed body in
+  let messages = Transcript.message_count base.Ctx.transcript in
+  check Alcotest.bool "batch spans several messages" true (messages >= 3);
+  let path = Filename.temp_file "matprod_engine" ".journal" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let victim =
+        (List.nth (Transcript.messages base.Ctx.transcript) 2).Transcript.sender
+      in
+      (match
+         Outcome.guard (fun () ->
+             Ctx.run_journaled ~seed ~journal:path ~protocol:"engine batch"
+               (fun ctx ->
+                 Ctx.install_wire ctx
+                   ~fault:
+                     (Fault.crash_only ~party:victim
+                        ~at:(Fault.After_messages 2))
+                   ~reliable:(Reliable.config ~max_attempts:4 ())
+                   ();
+                 body ctx))
+       with
+      | Error (Outcome.Crashed { after_messages; _ }) ->
+          check Alcotest.int "crash mid-batch" 2 after_messages
+      | Ok _ -> Alcotest.fail "crash rule did not fire"
+      | Error e ->
+          Alcotest.failf "wrong error: %s" (Outcome.error_to_string e));
+      let journal =
+        match Journal.load path with
+        | Ok j -> j
+        | Error e -> Alcotest.failf "journal unreadable: %s" e
+      in
+      check Alcotest.int "journal holds the delivered prefix" 2
+        (List.length journal.Journal.entries);
+      let resumed = Ctx.resume ~seed ~journal body in
+      if resumed.Ctx.output.Engine.answers <> base.Ctx.output.Engine.answers
+      then Alcotest.fail "resumed answers differ from the fault-free run";
+      check Alcotest.int "replayed the journaled prefix" 2
+        resumed.Ctx.replayed_messages;
+      check Alcotest.int "fresh + replayed = fault-free bits" base.Ctx.bits
+        (resumed.Ctx.bits + resumed.Ctx.replayed_bits))
+
+(* run_safe: typed errors on a dead wire, clean passthrough otherwise. *)
+let test_run_safe () =
+  let seed = 19 in
+  let a, b = gen_pair ~seed ~n:16 in
+  let crashed =
+    Ctx.run ~seed (fun ctx ->
+        Ctx.install_wire ctx
+          ~fault:
+            (Fault.crash_only ~party:Transcript.Bob ~at:(Fault.After_messages 0))
+          ~reliable:(Reliable.config ~max_attempts:3 ())
+          ();
+        Engine.run_safe (Engine.create ()) ctx ~a ~b lp_batch)
+  in
+  (match crashed.Ctx.output with
+  | Error (Outcome.Crashed _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Outcome.error_to_string e)
+  | Ok _ -> Alcotest.fail "batch over a dead wire cannot succeed");
+  let clean =
+    Ctx.run ~seed (fun ctx ->
+        Engine.run_safe (Engine.create ()) ctx ~a ~b lp_batch)
+  in
+  match clean.Ctx.output with
+  | Ok (rep, diag) ->
+      check Alcotest.int "diagnostics bill the batch" rep.Engine.total_bits
+        diag.Outcome.bits;
+      let base = (run_batch ~seed ~a ~b lp_batch).Ctx.output in
+      if rep.Engine.answers <> base.Engine.answers then
+        Alcotest.fail "run_safe answers differ from run"
+  | Error e -> Alcotest.failf "clean run_safe failed: %s" (Outcome.error_to_string e)
+
+(* Degenerate batches. *)
+let test_edge_cases () =
+  let a, b = gen_pair ~seed:23 ~n:12 in
+  (match run_batch ~seed:23 ~a ~b [] with
+  | _ -> Alcotest.fail "empty batch must be rejected"
+  | exception Invalid_argument _ -> ());
+  let rep =
+    (run_batch ~seed:23 ~a ~b [ Engine.L0_sample { eps = 0.5; count = 0 } ])
+      .Ctx.output
+  in
+  (match rep.Engine.answers.(0) with
+  | Engine.L0_samples [||] -> ()
+  | _ -> Alcotest.fail "count 0 should answer an empty slice");
+  check Alcotest.int "count 0 costs nothing" 0 rep.Engine.total_bits;
+  (* Duplicate queries: answered once, identical answers. *)
+  let q = Engine.Norm_pow { p = 0.0; eps = 0.25 } in
+  let dup = (run_batch ~seed:23 ~a ~b [ q; q ]).Ctx.output in
+  check Alcotest.int "duplicates share a group" 1 (List.length dup.Engine.groups);
+  if dup.Engine.answers.(0) <> dup.Engine.answers.(1) then
+    Alcotest.fail "duplicate queries must get the same answer"
+
+(* Query-spec grammar: canonical strings round-trip, junk is typed. *)
+let test_query_specs () =
+  List.iter
+    (fun q ->
+      match Engine.query_of_string (Engine.query_to_string q) with
+      | Ok q' when q' = q -> ()
+      | Ok _ ->
+          Alcotest.failf "%s did not round-trip" (Engine.query_to_string q)
+      | Error e -> Alcotest.failf "round-trip parse failed: %s" e)
+    (mixed_batch @ [ Engine.Linf { kappa = 4.0 } ]);
+  List.iter
+    (fun spec ->
+      match Engine.query_of_string spec with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%S should not parse" spec)
+    [ "norms"; "norm:q=1"; "top:k=three"; "l0:eps"; "exact:p=1" ];
+  match Engine.query_of_string "top:k=7" with
+  | Ok (Engine.Top_rows { k = 7; _ }) -> ()
+  | _ -> Alcotest.fail "defaults should fill unset keys"
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "equivalence",
+        [
+          Alcotest.test_case "batched = sequential" `Quick
+            test_batched_equals_sequential;
+          Alcotest.test_case "merged samples concatenate" `Quick
+            test_sample_concatenation;
+          Alcotest.test_case "sample slicing" `Quick test_sample_slicing;
+        ] );
+      ( "savings",
+        [ Alcotest.test_case "batch strictly cheaper" `Quick test_bit_savings ]
+      );
+      ( "plan cache",
+        [
+          Alcotest.test_case "hit/miss counters" `Quick test_plan_cache_counters;
+          Alcotest.test_case "hits are invisible" `Quick
+            test_plan_cache_soundness;
+          Alcotest.test_case "lru eviction" `Quick test_plan_cache_lru;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "journal resume mid-batch" `Quick
+            test_journal_resume_mid_batch;
+          Alcotest.test_case "run_safe trichotomy" `Quick test_run_safe;
+        ] );
+      ( "edges",
+        [
+          Alcotest.test_case "degenerate batches" `Quick test_edge_cases;
+          Alcotest.test_case "query specs" `Quick test_query_specs;
+        ] );
+    ]

@@ -20,17 +20,8 @@ module Metrics = Matprod_obs.Metrics
 
 module Outcome = Matprod_core.Outcome
 module Boosting = Matprod_core.Boosting
-module Lp_protocol = Matprod_core.Lp_protocol
-module L0_sampling = Matprod_core.L0_sampling
-module L1_exact = Matprod_core.L1_exact
-module Linf_binary = Matprod_core.Linf_binary
-module Linf_general = Matprod_core.Linf_general
-module Linf_kappa = Matprod_core.Linf_kappa
-module Hh_binary = Matprod_core.Hh_binary
-module Hh_countsketch = Matprod_core.Hh_countsketch
-module Hh_general = Matprod_core.Hh_general
-module Matprod_protocol = Matprod_core.Matprod_protocol
-module Entry_map = Matprod_core.Common.Entry_map
+module Estimator = Matprod_core.Estimator
+module Registry = Matprod_core.Registry
 module Session = Matprod_core.Session
 module Supervisor = Matprod_core.Supervisor
 module Journal = Matprod_comm.Journal
@@ -68,78 +59,26 @@ let fault_kinds =
   ]
 
 (* ------------------------------------------------------------------ *)
-(* The protocol gallery. Outputs are wrapped in one comparable type so a
-   chaotic Ok can be checked equal to the fault-free baseline. *)
-
-type output =
-  | F of float
-  | Coords of (int * int) list
-  | Sample of (int * int * int) option
-  | Shares of (int * int * int) list * (int * int * int) list
-  | Level of float * int
+(* The protocol gallery is the estimator registry: every driver the
+   registry knows about runs its default query here, so adding a driver
+   to Registry automatically enrolls it in the chaos sweep. Outputs are
+   already projected into Estimator.comparable, so a chaotic Ok can be
+   checked equal to the fault-free baseline structurally. *)
 
 let protocols ~seed =
   let rng = Prng.create (7 * seed) in
   let n = 20 in
   let a = Workload.uniform_bool rng ~rows:n ~cols:n ~density:0.25 in
   let b = Workload.uniform_bool rng ~rows:n ~cols:n ~density:0.25 in
-  let ai = Imat.of_bmat a and bi = Imat.of_bmat b in
-  [
-    ( "lp p=0",
-      fun ctx ->
-        F (Lp_protocol.run ctx (Lp_protocol.default_params ~eps:0.5 ()) ~a:ai ~b:bi) );
-    ( "lp p=1",
-      fun ctx ->
-        F
-          (Lp_protocol.run ctx
-             (Lp_protocol.default_params ~p:1.0 ~eps:0.5 ())
-             ~a:ai ~b:bi) );
-    ( "l1_exact",
-      fun ctx -> F (float_of_int (L1_exact.run ctx ~a:ai ~b:bi)) );
-    ( "l0_sampling",
-      fun ctx ->
-        Sample
-          (Option.map
-             (fun s -> L0_sampling.(s.row, s.col, s.value))
-             (L0_sampling.run ctx (L0_sampling.default_params ~eps:0.5) ~a:ai ~b:bi))
-    );
-    ( "linf_binary",
-      fun ctx ->
-        let r = Linf_binary.run ctx (Linf_binary.default_params ~eps:0.5) ~a ~b in
-        Level (r.Linf_binary.estimate, r.Linf_binary.level) );
-    ( "linf_general",
-      fun ctx -> F (Linf_general.run ctx { Linf_general.kappa = 2.0 } ~a:ai ~b:bi) );
-    ( "linf_kappa",
-      fun ctx ->
-        let r = Linf_kappa.run ctx (Linf_kappa.default_params ~kappa:4.0) ~a ~b in
-        Level (r.Linf_kappa.estimate, r.Linf_kappa.level) );
-    ( "hh_binary",
-      fun ctx ->
-        Coords
-          (Hh_binary.run ctx (Hh_binary.default_params ~phi:0.2 ~eps:0.1 ()) ~a ~b)
-    );
-    ( "hh_countsketch",
-      fun ctx ->
-        Coords
-          (Hh_countsketch.run ctx
-             (Hh_countsketch.default_params ~phi:0.2 ~eps:0.1 ~buckets:16)
-             ~a:ai ~b:bi) );
-    ( "hh_general",
-      fun ctx ->
-        Coords
-          (Hh_general.run ctx (Hh_general.default_params ~phi:0.2 ~eps:0.1 ()) ~a:ai ~b:bi)
-    );
-    ( "matprod",
-      fun ctx ->
-        let s = Matprod_protocol.run ctx ~a:ai ~b:bi in
-        Shares
-          ( Entry_map.entries s.Matprod_protocol.alice,
-            Entry_map.entries s.Matprod_protocol.bob ) );
-    ( "session",
-      fun ctx ->
-        let s = Session.establish ctx ~beta:0.5 ~a:ai ~b:bi in
-        F (Session.norm_pow s +. Session.refine ctx s) );
-  ]
+  List.map
+    (fun packed ->
+      (Estimator.name packed, fun ctx -> Estimator.run_default packed ctx ~a ~b))
+    (Registry.all ())
+
+let protocol_exn name ~seed =
+  match List.assoc_opt name (protocols ~seed) with
+  | Some f -> f
+  | None -> Alcotest.failf "estimator %S missing from the registry" name
 
 let reliable = Reliable.config ~max_attempts:12 ~base_timeout:0.05 ()
 
@@ -413,7 +352,8 @@ let test_journal_transparency () =
    behaves): the supervisor answers from the Resume rung, pays only the
    suffix fresh, and the observability counters record the decision. *)
 let test_supervisor_resume_rung () =
-  let name, f = List.nth (protocols ~seed:1) 4 (* linf_binary: 3 messages *) in
+  let name = "linf_binary" (* 3 messages: room to crash after the first *) in
+  let f = protocol_exn name ~seed:1 in
   let seed = 51 in
   let base = run_baseline ~seed f in
   Metrics.set_enabled true;
@@ -466,8 +406,8 @@ let test_supervisor_resume_rung () =
 (* A persistent crash at message 0 leaves nothing to resume and kills the
    reseed too; the ladder must degrade to the registered fallback. *)
 let test_supervisor_fallback () =
-  let _, lp = List.nth (protocols ~seed:1) 1 (* lp p=1 *) in
-  let _, l1 = List.nth (protocols ~seed:1) 2 (* l1_exact *) in
+  let lp = protocol_exn "lp p=1" ~seed:1 in
+  let l1 = protocol_exn "l1_exact" ~seed:1 in
   let kill_all =
     [
       { Fault.victim = Transcript.Alice; site = Fault.After_messages 0 };

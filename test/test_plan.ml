@@ -25,20 +25,8 @@ module Workload = Matprod_workload.Workload
 module Ctx = Matprod_comm.Ctx
 module Metrics = Matprod_obs.Metrics
 
-module Lp_protocol = Matprod_core.Lp_protocol
-module Lp_oneround = Matprod_core.Lp_oneround
-module L0_sampling = Matprod_core.L0_sampling
-module L1_exact = Matprod_core.L1_exact
-module Linf_binary = Matprod_core.Linf_binary
-module Linf_general = Matprod_core.Linf_general
-module Linf_kappa = Matprod_core.Linf_kappa
-module Hh_binary = Matprod_core.Hh_binary
-module Hh_countsketch = Matprod_core.Hh_countsketch
-module Hh_general = Matprod_core.Hh_general
-module Matprod_protocol = Matprod_core.Matprod_protocol
-module Cohen_baseline = Matprod_core.Cohen_baseline
-module Entry_map = Matprod_core.Common.Entry_map
-module Session = Matprod_core.Session
+module Estimator = Matprod_core.Estimator
+module Registry = Matprod_core.Registry
 
 let check = Alcotest.check
 let dim = 400
@@ -206,88 +194,18 @@ let test_pool_size_floor () =
 
 (* ------------------------------------------------------------------ *)
 (* Chaos-gallery mirror: journaled transcripts must be byte-identical at
-   --domains 1 and --domains 4. This mirrors test_faults.protocols (same
-   protocols, smaller instances) plus the Cohen baseline, which also rides
-   the pool. *)
-
-type output =
-  | F of float
-  | Coords of (int * int) list
-  | Sample of (int * int * int) option
-  | Shares of (int * int * int) list * (int * int * int) list
-  | Level of float * int
+   --domains 1 and --domains 4. The gallery is the estimator registry
+   (exactly the set test_faults sweeps), on smaller instances. *)
 
 let protocols ~seed =
   let rng = Prng.create (7 * seed) in
   let n = 16 in
   let a = Workload.uniform_bool rng ~rows:n ~cols:n ~density:0.25 in
   let b = Workload.uniform_bool rng ~rows:n ~cols:n ~density:0.25 in
-  let ai = Imat.of_bmat a and bi = Imat.of_bmat b in
-  [
-    ( "lp p=0",
-      fun ctx ->
-        F (Lp_protocol.run ctx (Lp_protocol.default_params ~eps:0.5 ()) ~a:ai ~b:bi) );
-    ( "lp p=1",
-      fun ctx ->
-        F
-          (Lp_protocol.run ctx
-             (Lp_protocol.default_params ~p:1.0 ~eps:0.5 ())
-             ~a:ai ~b:bi) );
-    ( "lp oneround p=2",
-      fun ctx ->
-        F
-          (Lp_oneround.run ctx
-             (Lp_oneround.default_params ~p:2.0 ~eps:0.5 ())
-             ~a:ai ~b:bi) );
-    ("l1_exact", fun ctx -> F (float_of_int (L1_exact.run ctx ~a:ai ~b:bi)));
-    ( "l0_sampling",
-      fun ctx ->
-        Sample
-          (Option.map
-             (fun s -> L0_sampling.(s.row, s.col, s.value))
-             (L0_sampling.run ctx (L0_sampling.default_params ~eps:0.5) ~a:ai ~b:bi))
-    );
-    ( "linf_binary",
-      fun ctx ->
-        let r = Linf_binary.run ctx (Linf_binary.default_params ~eps:0.5) ~a ~b in
-        Level (r.Linf_binary.estimate, r.Linf_binary.level) );
-    ( "linf_general",
-      fun ctx -> F (Linf_general.run ctx { Linf_general.kappa = 2.0 } ~a:ai ~b:bi) );
-    ( "linf_kappa",
-      fun ctx ->
-        let r = Linf_kappa.run ctx (Linf_kappa.default_params ~kappa:4.0) ~a ~b in
-        Level (r.Linf_kappa.estimate, r.Linf_kappa.level) );
-    ( "hh_binary",
-      fun ctx ->
-        Coords
-          (Hh_binary.run ctx (Hh_binary.default_params ~phi:0.2 ~eps:0.1 ()) ~a ~b)
-    );
-    ( "hh_countsketch",
-      fun ctx ->
-        Coords
-          (Hh_countsketch.run ctx
-             (Hh_countsketch.default_params ~phi:0.2 ~eps:0.1 ~buckets:16)
-             ~a:ai ~b:bi) );
-    ( "hh_general",
-      fun ctx ->
-        Coords
-          (Hh_general.run ctx (Hh_general.default_params ~phi:0.2 ~eps:0.1 ()) ~a:ai ~b:bi)
-    );
-    ( "matprod",
-      fun ctx ->
-        let s = Matprod_protocol.run ctx ~a:ai ~b:bi in
-        Shares
-          ( Entry_map.entries s.Matprod_protocol.alice,
-            Entry_map.entries s.Matprod_protocol.bob ) );
-    ( "session",
-      fun ctx ->
-        let s = Session.establish ctx ~beta:0.5 ~a:ai ~b:bi in
-        F (Session.norm_pow s +. Session.refine ctx s) );
-    ( "cohen_baseline",
-      fun ctx ->
-        F (Cohen_baseline.run ctx (Cohen_baseline.params_for_eps ~eps:0.5) ~a ~b)
-    );
-  ]
+  List.map
+    (fun packed ->
+      (Estimator.name packed, fun ctx -> Estimator.run_default packed ctx ~a ~b))
+    (Registry.all ())
 
 let read_all path =
   let ic = open_in_bin path in
