@@ -1,6 +1,6 @@
 # Convenience targets; all real build logic lives in dune.
 
-.PHONY: all check build test bench bench-json bench-e1 bench-c2 bench-p1 chaos clean
+.PHONY: all check build test bench bench-json bench-e1 bench-c2 bench-p1 bench-diff bench-baseline chaos clean
 
 all: build
 
@@ -39,6 +39,21 @@ bench-c2:
 # docs/PERFORMANCE.md).
 bench-p1:
 	dune exec bench/main.exe -- --no-micro p1
+
+# Regression gate: rerun the quick bench tier and diff the sidecars
+# against the committed baselines (bench/baselines/). Deterministic
+# metrics (bits, rounds, counts, errors) must match exactly; timing
+# fields are ignored. Exits non-zero on drift — this is what CI runs.
+# See docs/OBSERVABILITY.md.
+bench-diff:
+	dune exec bench/main.exe -- --quick --no-micro e1 c1 c2 p1
+	dune exec bench/diff.exe -- --baselines bench/baselines
+
+# Refresh the committed baselines after an INTENDED cost change. Review
+# the diff of bench/baselines/ in the same PR as the change it blesses.
+bench-baseline:
+	dune exec bench/main.exe -- --quick --no-micro e1 c1 c2 p1
+	cp BENCH_e1.json BENCH_c1.json BENCH_c2.json BENCH_p1.json bench/baselines/
 
 # Chaos sweep: fault injection (link faults and crashes) over every
 # protocol (see docs/ROBUSTNESS.md) plus the C1 retransmission-cost and

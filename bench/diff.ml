@@ -1,0 +1,119 @@
+(* bench/diff — the regression gate. Compares current BENCH_<exp>.json
+   sidecars against committed baselines (bench/baselines/) with
+   per-metric tolerances: deterministic fields (bits, rounds, counts,
+   errors) must match exactly, timing-derived fields are ignored unless a
+   --tol override gates them. Exit 1 on any drift, so `make bench-diff`
+   and CI fail on injected or real regressions. *)
+
+module Json = Matprod_obs.Json
+module Regression = Matprod_obs.Regression
+
+let usage =
+  "usage: diff [--baselines DIR] [--current DIR] [--tol KEY=SPEC]... [EXP]...\n\
+   SPEC is a relative tolerance (0.25), 'exact', or 'ignore'.\n\
+   With no EXP arguments, every BENCH_*.json in the baselines dir is \
+   checked."
+
+let parse_tol spec =
+  match String.index_opt spec '=' with
+  | None -> failwith ("--tol expects KEY=SPEC, got " ^ spec)
+  | Some i -> (
+      let k = String.sub spec 0 i in
+      let v = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match v with
+      | "exact" -> (k, Regression.Exact)
+      | "ignore" -> (k, Regression.Ignore)
+      | v -> (
+          match float_of_string_opt v with
+          | Some r when r >= 0.0 -> (k, Regression.Rel r)
+          | _ -> failwith ("--tol " ^ k ^ ": bad tolerance " ^ v)))
+
+let parse_args () =
+  let baselines = ref "bench/baselines" in
+  let current = ref "." in
+  let overrides = ref [] in
+  let exps = ref [] in
+  let rec go = function
+    | [] -> ()
+    | "--baselines" :: dir :: rest ->
+        baselines := dir;
+        go rest
+    | "--current" :: dir :: rest ->
+        current := dir;
+        go rest
+    | "--tol" :: spec :: rest ->
+        overrides := parse_tol spec :: !overrides;
+        go rest
+    | ("--help" | "-h") :: _ ->
+        print_endline usage;
+        exit 0
+    | arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
+        prerr_endline ("diff: unknown option " ^ arg);
+        prerr_endline usage;
+        exit 2
+    | exp :: rest ->
+        exps := exp :: !exps;
+        go rest
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  (!baselines, !current, List.rev !overrides, List.rev !exps)
+
+let read_json path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> Json.of_string (really_input_string ic (in_channel_length ic)))
+
+let baseline_files dir exps =
+  let all =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f ->
+           String.length f > 11
+           && String.sub f 0 6 = "BENCH_"
+           && Filename.check_suffix f ".json")
+    |> List.sort compare
+  in
+  match exps with
+  | [] -> all
+  | exps ->
+      List.filter
+        (fun f -> List.mem (Filename.chop_suffix f ".json") (List.map (( ^ ) "BENCH_") exps))
+        all
+
+let () =
+  let baselines, current, overrides, exps = parse_args () in
+  if not (Sys.is_directory baselines) then begin
+    Printf.eprintf "diff: baselines directory %s not found\n" baselines;
+    exit 2
+  end;
+  let files = baseline_files baselines exps in
+  if files = [] then begin
+    Printf.eprintf "diff: no BENCH_*.json baselines in %s\n" baselines;
+    exit 2
+  end;
+  let failed = ref false in
+  List.iter
+    (fun f ->
+      let bpath = Filename.concat baselines f in
+      let cpath = Filename.concat current f in
+      if not (Sys.file_exists cpath) then begin
+        Printf.printf "%-4s FAIL: %s missing — run the quick bench tier first\n"
+          (Filename.chop_suffix (String.sub f 6 (String.length f - 6)) ".json")
+          cpath;
+        failed := true
+      end
+      else begin
+        let r =
+          Regression.compare_docs ~overrides ~baseline:(read_json bpath)
+            ~current:(read_json cpath) ()
+        in
+        Format.printf "%a@." Regression.pp_result r;
+        if not (Regression.ok r) then failed := true
+      end)
+    files;
+  if !failed then begin
+    print_endline
+      "bench-diff: regression detected (refresh baselines with `make \
+       bench-baseline` only if the change is intended)";
+    exit 1
+  end

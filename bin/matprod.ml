@@ -30,6 +30,8 @@ module Obs = Matprod_obs
    observability options through one [common] term instead of each
    command re-declaring (and re-threading) seven arguments. *)
 
+type trace_format = Jsonl | Chrome
+
 type common = {
   n : int;
   density : float;
@@ -38,6 +40,7 @@ type common = {
   domains : int option;
   json : bool;
   trace : string option;
+  trace_format : trace_format;
 }
 
 let common_term =
@@ -85,12 +88,22 @@ let common_term =
       & info [ "trace" ] ~docv:"FILE"
           ~doc:"Write spans and per-message events as JSON lines to $(docv).")
   in
-  let make n density seed verbose domains json trace =
-    { n; density; seed; verbose; domains; json; trace }
+  let trace_format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("jsonl", Jsonl); ("chrome", Chrome) ]) Jsonl
+      & info [ "trace-format" ] ~docv:"FMT"
+          ~doc:
+            "Trace file format: $(b,jsonl) (one span object per line) or \
+             $(b,chrome) (Chrome trace-event JSON, loadable in Perfetto or \
+             chrome://tracing).")
+  in
+  let make n density seed verbose domains json trace trace_format =
+    { n; density; seed; verbose; domains; json; trace; trace_format }
   in
   Term.(
     const make $ n_arg $ density_arg $ seed_arg $ verbose_arg $ domains_arg
-    $ json_arg $ trace_arg)
+    $ json_arg $ trace_arg $ trace_format_arg)
 
 let eps_arg =
   Arg.(
@@ -114,7 +127,12 @@ let start c =
 let finish c fields =
   (match c.trace with
   | Some path -> (
-      try Obs.Export.write_trace path
+      let write =
+        match c.trace_format with
+        | Jsonl -> Obs.Export.write_trace
+        | Chrome -> Obs.Export.write_chrome
+      in
+      try write path
       with Sys_error msg ->
         Printf.eprintf "matprod: cannot write trace file: %s\n" msg;
         exit 1)
@@ -1285,6 +1303,36 @@ let batch_cmd =
     Term.(const batch $ common_term $ query_arg $ journal_arg $ compare_arg)
 
 (* ------------------------------------------------------------------ *)
+(* report: offline aggregation of trace files and bench sidecars. *)
+
+let report_cmd =
+  let report files =
+    let failed = ref false in
+    List.iter
+      (fun path ->
+        match Obs.Telemetry.load_file path with
+        | Ok source ->
+            Format.printf "%a@." Obs.Telemetry.pp_report (path, source)
+        | Error msg ->
+            Printf.eprintf "matprod report: %s: %s\n" path msg;
+            failed := true)
+      files;
+    if !failed then exit 1
+  in
+  let files_arg =
+    Arg.(
+      non_empty & pos_all file []
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Trace files (JSONL or Chrome trace-event) and/or \
+             $(b,BENCH_*.json) / $(b,--json) run summaries to summarize.")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Aggregate trace files and bench/run JSON into per-phase summaries \
+          with p50/p90/p99 latencies (docs/OBSERVABILITY.md).")
+    Term.(const report $ files_arg)
 
 let main_cmd =
   let doc =
@@ -1294,6 +1342,6 @@ let main_cmd =
   Cmd.group
     (Cmd.info "matprod" ~version:"1.0.0" ~doc)
     [ join_size_cmd; linf_cmd; heavy_hitters_cmd; sample_cmd; lowerbound_cmd;
-      session_cmd; joins_cmd; estimate_cmd; batch_cmd ]
+      session_cmd; joins_cmd; estimate_cmd; batch_cmd; report_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

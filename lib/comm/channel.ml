@@ -106,6 +106,7 @@ let stats t =
       }
 
 let c_messages = Metrics.counter "messages_sent"
+let c_telemetry = Metrics.counter "telemetry_bytes"
 let h_encode = Metrics.histogram "codec_encode_ns"
 let h_decode = Metrics.histogram "codec_decode_ns"
 let c_rel_frames = Metrics.counter "reliable_frames"
@@ -115,16 +116,35 @@ let c_rel_crc = Metrics.counter "reliable_crc_rejects"
 let c_rel_giveups = Metrics.counter "reliable_giveups"
 
 (* Charge one physical transmission to the transcript, metrics, and trace —
-   the accounting path every message (and every frame) goes through. *)
+   the accounting path every message (and every frame) goes through.
+
+   When tracing is on, every transmission also carries the active span
+   context as an out-of-band frame (trace id + span id). Those bytes are
+   telemetry riding alongside the protocol: they count only toward the
+   telemetry_bytes counter, never toward transcript bits/rounds, so byte-
+   identity galleries hold with tracing on. *)
 let record_msg t ~from ~label ~bytes =
   let round_before = Transcript.rounds t.transcript in
   Transcript.record t.transcript ~sender:from ~label ~bytes;
   let round = Transcript.rounds t.transcript in
   if Metrics.enabled () then begin
     Metrics.incr c_messages;
-    Metrics.incr_by (Metrics.counter ~label "bytes_sent") bytes
+    Metrics.in_scope (Transcript.party_name from) (fun () ->
+        Metrics.incr_by (Metrics.counter ~label "bytes_sent") bytes)
   end;
   if Trace.enabled () then begin
+    let frame = Trace.context_frame () in
+    if Metrics.enabled () then
+      Metrics.incr_by c_telemetry (String.length frame);
+    let ctx_attrs =
+      match Trace.parse_context_frame frame with
+      | Some c ->
+          [
+            ("trace", Matprod_obs.Json.String (Trace.hex_id c.Trace.trace_id));
+            ("span", Matprod_obs.Json.String (Trace.hex_id c.Trace.span_id));
+          ]
+      | None -> []
+    in
     if round > round_before then
       Trace.event ~name:"channel.round"
         ~attrs:
@@ -136,12 +156,13 @@ let record_msg t ~from ~label ~bytes =
         ();
     Trace.event ~name:"channel.msg"
       ~attrs:
-        [
-          ("sender", Matprod_obs.Json.String (Transcript.party_name from));
-          ("label", Matprod_obs.Json.String label);
-          ("bytes", Matprod_obs.Json.Int bytes);
-          ("round", Matprod_obs.Json.Int round);
-        ]
+        ([
+           ("sender", Matprod_obs.Json.String (Transcript.party_name from));
+           ("label", Matprod_obs.Json.String label);
+           ("bytes", Matprod_obs.Json.Int bytes);
+           ("round", Matprod_obs.Json.Int round);
+         ]
+        @ ctx_attrs)
       ()
   end
 

@@ -36,6 +36,17 @@ let resume_from t ?path journal =
     invalid_arg
       (Printf.sprintf "Ctx.resume: journal seed %d <> run seed %d"
          journal.Journal.seed t.seed);
+  (* Cross-run trace link: the journal remembers which trace wrote it. *)
+  (match journal.Journal.origin_trace with
+  | Some tid when Obs.Trace.enabled () ->
+      Obs.Trace.event ~name:"journal.resume"
+        ~attrs:
+          [
+            ("origin_trace", Obs.Json.String (Obs.Trace.hex_id tid));
+            ("entries", Obs.Json.Int (List.length journal.Journal.entries));
+          ]
+        ()
+  | _ -> ());
   Channel.arm_replay t.chan journal.Journal.entries;
   match path with
   | None -> ()
@@ -63,11 +74,14 @@ let run_prepared ~seed ~prepare f =
   Fun.protect
     ~finally:(fun () -> close_journal t)
     (fun () ->
-      prepare t;
+      (* with_trace wraps prepare too: a journal created there must stamp
+         this run's trace id as its origin. *)
       let output =
-        Obs.Trace.with_span ~name:"ctx.run"
-          ~attrs:[ ("seed", Obs.Json.Int seed) ]
-          (fun () -> Obs.Metrics.timed h_run (fun () -> f t))
+        Obs.Trace.with_trace ~seed (fun () ->
+            prepare t;
+            Obs.Trace.with_span ~name:"ctx.run"
+              ~attrs:[ ("seed", Obs.Json.Int seed) ]
+              (fun () -> Obs.Metrics.timed h_run (fun () -> f t)))
       in
       let tr = transcript t in
       let bits = Transcript.total_bits tr and rounds = Transcript.rounds tr in

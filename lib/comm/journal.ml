@@ -1,4 +1,5 @@
 module Metrics = Matprod_obs.Metrics
+module Trace = Matprod_obs.Trace
 
 type entry = {
   sender : Transcript.party;
@@ -13,6 +14,7 @@ type t = {
   seed : int;
   entries : entry list;
   clean : bool;
+  origin_trace : int64 option;
 }
 
 exception Replay_mismatch of { label : string; reason : string }
@@ -20,6 +22,7 @@ exception Replay_mismatch of { label : string; reason : string }
 let magic = "MPJ1"
 let version = '\x01'
 let entry_tag = 'M'
+let trace_tag = 'T'
 
 (* --- varints (local: Codec frames whole values, we need raw fields) --- *)
 
@@ -74,6 +77,12 @@ let entry_body e =
 
 let crc32 e = Reliable.crc32 (entry_body e)
 
+let crc32_of_le crc_bytes =
+  Char.code crc_bytes.[0]
+  lor (Char.code crc_bytes.[1] lsl 8)
+  lor (Char.code crc_bytes.[2] lsl 16)
+  lor (Char.code crc_bytes.[3] lsl 24)
+
 let add_crc32_le buf c =
   Buffer.add_char buf (Char.chr (c land 0xff));
   Buffer.add_char buf (Char.chr ((c lsr 8) land 0xff));
@@ -84,6 +93,19 @@ let entry_record e =
   let body = entry_body e in
   let buf = Buffer.create (String.length body + 5) in
   Buffer.add_char buf entry_tag;
+  Buffer.add_string buf body;
+  add_crc32_le buf (Reliable.crc32 body);
+  Buffer.contents buf
+
+(* Trace records are telemetry, not transcript: they let a resumed run
+   link its spans back to the crashed run's trace, and replay ignores
+   them entirely. Same tag+body+crc framing as entries. *)
+let trace_record tid =
+  let body = Buffer.create 8 in
+  Buffer.add_int64_le body tid;
+  let body = Buffer.contents body in
+  let buf = Buffer.create 13 in
+  Buffer.add_char buf trace_tag;
   Buffer.add_string buf body;
   add_crc32_le buf (Reliable.crc32 body);
   Buffer.contents buf
@@ -130,18 +152,25 @@ let parse_entry s pos =
                     in
                     match (sender, get_bytes s body_end 4) with
                     | Some sender, Some (crc_bytes, next) ->
-                        let stored =
-                          Char.code crc_bytes.[0]
-                          lor (Char.code crc_bytes.[1] lsl 8)
-                          lor (Char.code crc_bytes.[2] lsl 16)
-                          lor (Char.code crc_bytes.[3] lsl 24)
-                        in
+                        let stored = crc32_of_le crc_bytes in
                         let body =
                           String.sub s body_start (body_end - body_start)
                         in
                         if Reliable.crc32 body <> stored then None
                         else Some ({ sender; label; payload }, next)
                     | _ -> None))))
+
+let parse_trace s pos =
+  if pos >= String.length s || s.[pos] <> trace_tag then None
+  else
+    match get_bytes s (pos + 1) 8 with
+    | None -> None
+    | Some (body, p) -> (
+        match get_bytes s p 4 with
+        | None -> None
+        | Some (crc_bytes, next) ->
+            if Reliable.crc32 body <> crc32_of_le crc_bytes then None
+            else Some (String.get_int64_le body 0, next))
 
 let of_bytes s =
   let mlen = String.length magic in
@@ -158,15 +187,23 @@ let of_bytes s =
             match get_zigzag s p with
             | None -> Error "Journal: truncated seed"
             | Some (seed, p) ->
-                let rec entries acc pos =
-                  if pos = String.length s then (List.rev acc, true)
+                let rec records acc origin pos =
+                  if pos = String.length s then (List.rev acc, origin, true)
+                  else if s.[pos] = trace_tag then
+                    match parse_trace s pos with
+                    | Some (tid, next) ->
+                        let origin =
+                          match origin with None -> Some tid | some -> some
+                        in
+                        records acc origin next
+                    | None -> (List.rev acc, origin, false)
                   else
                     match parse_entry s pos with
-                    | Some (e, next) -> entries (e :: acc) next
-                    | None -> (List.rev acc, false)
+                    | Some (e, next) -> records (e :: acc) origin next
+                    | None -> (List.rev acc, origin, false)
                 in
-                let entries, clean = entries [] p in
-                Ok { protocol; seed; entries; clean }))
+                let entries, origin_trace, clean = records [] None p in
+                Ok { protocol; seed; entries; clean; origin_trace }))
 
 let load path =
   match
@@ -185,16 +222,28 @@ type writer = { oc : out_channel; mutable closed : bool }
 
 let c_appends = Metrics.counter "journal_appends"
 let c_append_bytes = Metrics.counter "journal_append_bytes"
+let c_telemetry = Metrics.counter "telemetry_bytes"
+
+(* The trace record is out-of-band metadata: its bytes count only toward
+   telemetry_bytes, never toward the transcript or journal entry stats. *)
+let put_trace_record oc tid =
+  let record = trace_record tid in
+  output_string oc record;
+  if Metrics.enabled () then Metrics.incr_by c_telemetry (String.length record)
 
 let create ~path ~protocol ~seed =
   let oc = open_out_bin path in
   output_string oc (header ~protocol ~seed);
+  if Trace.enabled () then put_trace_record oc (Trace.trace_id ());
   flush oc;
   { oc; closed = false }
 
 let reopen ~path t =
   let oc = open_out_bin path in
   output_string oc (header ~protocol:t.protocol ~seed:t.seed);
+  (match t.origin_trace with
+  | Some tid -> put_trace_record oc tid
+  | None -> ());
   List.iter (fun e -> output_string oc (entry_record e)) t.entries;
   flush oc;
   { oc; closed = false }

@@ -20,7 +20,16 @@
     header: "MPJ1" ++ version(1B = 0x01) ++ |protocol| ++ protocol ++ zigzag(seed)
     entry : 'M'(1B) ++ body ++ CRC32(body)(4B LE)
     body  : sender(1B: 0 = Alice, 1 = Bob) ++ |label| ++ label ++ |payload| ++ payload
+    trace : 'T'(1B) ++ trace_id(8B LE) ++ CRC32(trace_id)(4B LE)
     v}
+
+    ['T'] records are out-of-band telemetry written only when tracing is
+    enabled: they store the writing run's stable trace id so a resumed run
+    can cross-link its spans to the crashed run's trace. Replay ignores
+    them — they never count as entries, transcript bits, or journal bytes
+    (their size is charged to the [telemetry_bytes] counter), so a journal
+    written with tracing on replays byte-identically to one written with
+    tracing off.
 
     Parsing is total: malformed input yields [Error] (bad header) or a
     clean prefix of entries with [clean = false] (bad record), never an
@@ -42,6 +51,9 @@ type t = {
   clean : bool;
       (** [false] when trailing bytes (a torn or corrupted record) were
           discarded — normal after a crash mid-append *)
+  origin_trace : int64 option;
+      (** Stable trace id of the run that wrote the journal, when it ran
+          with tracing enabled; first ['T'] record wins. *)
 }
 
 exception

@@ -88,8 +88,21 @@ let run ?(policy = default_policy) ?journal ?wire ?(fallbacks = []) ~seed
   let attempt_no = ref 0 in
   (* One guarded run of [driver] at [seed] under [mode]; cost is counted
      even when the driver dies. *)
+  let scope_name ~rung n =
+    Printf.sprintf "attempt%d-%s" n
+      (match rung with
+      | Initial -> "initial"
+      | Resume -> "resume"
+      | Reseed _ -> "reseed"
+      | Fallback name -> "fallback-" ^ name)
+  in
   let exec ~rung ~seed ~mode driver =
     incr attempt_no;
+    (* Each attempt gets its own metrics scope (and, since the supervisor
+       builds its Ctx by hand rather than via Ctx.run, its own trace id),
+       so retries no longer conflate into one blob of counters. *)
+    Metrics.in_scope (scope_name ~rung !attempt_no) @@ fun () ->
+    Trace.with_trace ~seed @@ fun () ->
     if Metrics.enabled () then begin
       Metrics.incr c_attempts;
       match rung with

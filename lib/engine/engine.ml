@@ -315,6 +315,9 @@ let run t ctx ~a ~b queries =
         List.map
           (fun (key, members) ->
             let fam = family_label key in
+            (* Each query group records into its own metrics scope, so a
+               batch's sketch/channel counters attribute per family. *)
+            Obs.Metrics.in_scope ("group-" ^ fam) @@ fun () ->
             let gb0 = Transcript.total_bits tr
             and gr0 = Transcript.rounds tr in
             let t0 = Obs.Clock.now_ns () in

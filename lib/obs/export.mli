@@ -16,6 +16,9 @@ val print_run_summary : ?extra:(string * Json.t) list -> unit -> unit
 val write_trace : string -> unit
 (** Alias for {!Trace.write_jsonl}. *)
 
+val write_chrome : string -> unit
+(** Alias for {!Trace.write_chrome} (Perfetto-loadable trace-event JSON). *)
+
 val pp_metrics : Format.formatter -> unit -> unit
 (** Pretty table of all non-zero metrics, sorted by name. *)
 

@@ -1,18 +1,22 @@
-(** Process-wide metrics registry: counters, gauges, and log-scale
-    histograms.
+(** Scoped metrics: counters, gauges, and log-scale histograms recorded
+    into a tree of scopes.
 
-    The registry is disabled by default so uninstrumented callers (and hot
-    sketch loops) pay only a boolean test. Handles are interned by
-    [name{label}] — asking twice for the same metric returns the same
-    handle, and {!reset} zeroes values without invalidating handles, so
-    modules may hold handles at top level.
+    Disabled by default so uninstrumented callers (and hot sketch loops)
+    pay only a boolean test. A handle names a metric ([name{label}]); the
+    cell it updates lives in the {e current} scope — the root, unless the
+    caller is running under {!in_scope} (per party, per supervisor
+    attempt, per engine group). Handles memoize their last resolution, so
+    repeated increments in one scope cost one generation check; {!reset}
+    zeroes the root and drops child scopes without invalidating handles,
+    so modules may hold handles at top level.
 
     Naming scheme (see docs/OBSERVABILITY.md): snake_case metric names,
     optional [~label] for a per-site breakdown, [_ns] suffix for
     nanosecond timing histograms. Core metrics emitted by the stack:
-    [bytes_sent{label}], [messages_sent], [hash_evals], [prng_draws],
-    [sketch_cells_touched], [sketch_build_ns{kind}],
-    [sketch_query_ns{kind}], [codec_encode_ns], [codec_decode_ns]. *)
+    [bytes_sent{label}], [messages_sent], [telemetry_bytes],
+    [hash_evals], [prng_draws], [sketch_cells_touched],
+    [sketch_build_ns{kind}], [sketch_query_ns{kind}], [codec_encode_ns],
+    [codec_decode_ns]. *)
 
 type counter
 type gauge
@@ -21,17 +25,28 @@ type histogram
 val enabled : unit -> bool
 val set_enabled : bool -> unit
 
+val in_scope : string -> (unit -> 'a) -> 'a
+(** Run the thunk with metrics recording into the named child of the
+    current scope (created on first use; re-entering a name reuses its
+    scope). Nestable and exception-safe. A no-op when disabled. *)
+
 val counter : ?label:string -> string -> counter
-(** Find-or-create. The registry key is [name] or ["name{label}"]. *)
+(** A handle on metric [name] or ["name{label}"]; the underlying cell is
+    per-scope, found-or-created on first use in each scope. *)
 
 val incr : counter -> unit
 val incr_by : counter -> int -> unit
+
 val value : counter -> int
+(** The counter's value in the {e current} scope. *)
+
+val total : ?label:string -> string -> int
+(** Sum of the named counter over every scope in the tree. *)
 
 val gauge : ?label:string -> string -> gauge
 val set_gauge : gauge -> float -> unit
 val gauge_value : gauge -> float option
-(** [None] until the first (enabled) [set_gauge]. *)
+(** [None] until the first (enabled) [set_gauge] in the current scope. *)
 
 val histogram : ?label:string -> string -> histogram
 
@@ -48,10 +63,32 @@ val timed : histogram -> (unit -> 'a) -> 'a
 val hist_count : histogram -> int
 val hist_sum : histogram -> float
 
+val percentile : histogram -> float -> float
+(** [percentile h q] estimates the q-quantile (q in [[0,1]]) of the
+    current scope's samples from the log2 buckets: linear interpolation
+    inside the bucket holding the ceil(q*count)-th sample, clamped to the
+    observed [[min, max]]. Monotone in q; exact when all samples are
+    equal; 0 when empty. Raises [Invalid_argument] for q outside [0,1]. *)
+
+val percentile_of :
+  count:int ->
+  min:float ->
+  max:float ->
+  buckets:(int * int) list ->
+  float ->
+  float
+(** The same estimator on raw histogram data: [buckets] is the ascending
+    [(bucket, count)] list as exported under ["log2_buckets"]. Used by
+    [matprod report] to summarize persisted snapshots. *)
+
 val reset : unit -> unit
-(** Zero every registered metric; existing handles stay valid. *)
+(** Zero every root metric and drop all child scopes; existing handles
+    stay valid. *)
 
 val snapshot : unit -> Json.t
 (** Deterministically ordered (sorted by key) JSON object:
-    [{"counters": {...}, "gauges": {...}, "histograms": {...}}].
-    Zero-valued counters and never-set gauges are omitted. *)
+    [{"counters": {...}, "gauges": {...}, "histograms": {...}}], plus a
+    ["scopes"] object (children in creation order, same shape,
+    recursive) when child scopes exist. Zero-valued counters and
+    never-set gauges are omitted; histograms carry [p50]/[p90]/[p99]
+    estimates. *)

@@ -1,0 +1,215 @@
+type tolerance = Exact | Rel of float | Ignore
+
+type mismatch = {
+  row : int;
+  mkey : string;
+  baseline : float;
+  current : float;
+  delta_rel : float;
+  tol : tolerance;
+}
+
+type result = {
+  experiment : string;
+  compared : int;
+  ignored : int;
+  failures : mismatch list;
+  errors : string list;
+}
+
+let ok r = r.failures = [] && r.errors = []
+
+(* Timing-derived fields vary run to run and machine to machine; everything
+   else in a bench row is a deterministic function of the seed and must
+   match the baseline exactly. *)
+let default_ignored_fragments =
+  [ "_ns"; "_ms"; "per_sec"; "speedup"; "elapsed"; "rate"; "gated"; "wall" ]
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let classify key =
+  if List.exists (fun frag -> contains ~sub:frag key) default_ignored_fragments
+  then Ignore
+  else Exact
+
+let tolerance_for ~overrides key =
+  match List.assoc_opt key overrides with
+  | Some t -> t
+  | None -> classify key
+
+let number_of = function
+  | Json.Int n -> Some (float_of_int n)
+  | Json.Float f -> Some f
+  | Json.Bool b -> Some (if b then 1.0 else 0.0)
+  | _ -> None
+
+let rel_delta ~baseline ~current =
+  if baseline = current then 0.0
+  else if baseline = 0.0 then Float.infinity
+  else Float.abs ((current -. baseline) /. baseline)
+
+let exact_slack = 1e-9
+
+let compare_field ~overrides ~row k bv cv acc =
+  let compared, ignored, failures, errors = acc in
+  match (bv, cv) with
+  | Json.String a, Json.String b ->
+      if a = b then (compared + 1, ignored, failures, errors)
+      else
+        ( compared,
+          ignored,
+          failures,
+          Printf.sprintf "row %d: %s is %S in baseline but %S now" row k a b
+          :: errors )
+  | Json.Null, Json.Null -> (compared, ignored + 1, failures, errors)
+  | _ -> (
+      match (number_of bv, number_of cv) with
+      | Some baseline, Some current -> (
+          match tolerance_for ~overrides k with
+          | Ignore -> (compared, ignored + 1, failures, errors)
+          | tol ->
+              let allowed =
+                match tol with
+                | Exact -> exact_slack
+                | Rel r -> r
+                | Ignore -> assert false
+              in
+              let delta_rel = rel_delta ~baseline ~current in
+              if delta_rel <= allowed then
+                (compared + 1, ignored, failures, errors)
+              else
+                ( compared + 1,
+                  ignored,
+                  { row; mkey = k; baseline; current; delta_rel; tol }
+                  :: failures,
+                  errors ))
+      | _ ->
+          ( compared,
+            ignored,
+            failures,
+            Printf.sprintf "row %d: %s changed JSON type" row k :: errors ))
+
+let row_fields row = function
+  | Json.Obj kvs -> Ok kvs
+  | _ -> Error (Printf.sprintf "row %d: not an object" row)
+
+let compare_row ~overrides ~row base cur acc =
+  match (row_fields row base, row_fields row cur) with
+  | Error e, _ | _, Error e ->
+      let compared, ignored, failures, errors = acc in
+      (compared, ignored, failures, e :: errors)
+  | Ok bkvs, Ok ckvs ->
+      let acc =
+        List.fold_left
+          (fun acc (k, bv) ->
+            match List.assoc_opt k ckvs with
+            | Some cv -> compare_field ~overrides ~row k bv cv acc
+            | None ->
+                let compared, ignored, failures, errors = acc in
+                ( compared,
+                  ignored,
+                  failures,
+                  Printf.sprintf
+                    "row %d: %s missing from current run (refresh baselines?)"
+                    row k
+                  :: errors ))
+          acc bkvs
+      in
+      List.fold_left
+        (fun acc (k, _) ->
+          if List.mem_assoc k bkvs then acc
+          else
+            let compared, ignored, failures, errors = acc in
+            ( compared,
+              ignored,
+              failures,
+              Printf.sprintf
+                "row %d: new field %s not in baseline (refresh baselines?)" row
+                k
+              :: errors ))
+        acc ckvs
+
+let schema = "matprod.bench.v1"
+
+let str_member k doc =
+  match Json.member k doc with Some (Json.String s) -> Some s | _ -> None
+
+let rows_member doc =
+  match Json.member "rows" doc with Some (Json.List l) -> Some l | _ -> None
+
+let compare_docs ?(overrides = []) ~baseline ~current () =
+  let experiment =
+    match str_member "experiment" baseline with Some e -> e | None -> "?"
+  in
+  let errors = ref [] in
+  if str_member "schema" baseline <> Some schema then
+    errors := "baseline is not a matprod.bench.v1 document" :: !errors;
+  if str_member "schema" current <> Some schema then
+    errors := "current run is not a matprod.bench.v1 document" :: !errors;
+  if
+    !errors = []
+    && str_member "experiment" current <> str_member "experiment" baseline
+  then errors := "experiment tag differs from baseline" :: !errors;
+  match (rows_member baseline, rows_member current) with
+  | _ when !errors <> [] ->
+      { experiment; compared = 0; ignored = 0; failures = []; errors = !errors }
+  | None, _ | _, None ->
+      {
+        experiment;
+        compared = 0;
+        ignored = 0;
+        failures = [];
+        errors = [ "missing rows array" ];
+      }
+  | Some brows, Some crows when List.length brows <> List.length crows ->
+      {
+        experiment;
+        compared = 0;
+        ignored = 0;
+        failures = [];
+        errors =
+          [
+            Printf.sprintf "row count changed: baseline %d, current %d"
+              (List.length brows) (List.length crows);
+          ];
+      }
+  | Some brows, Some crows ->
+      let compared, ignored, failures, errs =
+        List.fold_left2
+          (fun (acc, row) base cur ->
+            (compare_row ~overrides ~row base cur acc, row + 1))
+          ((0, 0, [], []), 0)
+          brows crows
+        |> fst
+      in
+      {
+        experiment;
+        compared;
+        ignored;
+        failures = List.rev failures;
+        errors = List.rev errs;
+      }
+
+let pp_tolerance ppf = function
+  | Exact -> Format.fprintf ppf "exact"
+  | Rel r -> Format.fprintf ppf "rel %.3g" r
+  | Ignore -> Format.fprintf ppf "ignored"
+
+let pp_result ppf r =
+  if ok r then
+    Format.fprintf ppf "%-4s OK: %d metrics match baseline, %d timing ignored"
+      r.experiment r.compared r.ignored
+  else begin
+    Format.fprintf ppf "%-4s FAIL:" r.experiment;
+    List.iter
+      (fun m ->
+        Format.fprintf ppf
+          "@,  row %d %s: baseline %g, current %g (drift %.2f%%, tolerance %a)"
+          m.row m.mkey m.baseline m.current (100.0 *. m.delta_rel) pp_tolerance
+          m.tol)
+      r.failures;
+    List.iter (fun e -> Format.fprintf ppf "@,  %s" e) r.errors
+  end

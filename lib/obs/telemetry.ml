@@ -1,0 +1,211 @@
+type span_stat = {
+  sname : string;
+  count : int;
+  total_ns : float;
+  p50_ns : float;
+  p90_ns : float;
+  p99_ns : float;
+}
+
+type source = Doc of Json.t | Spans of span_stat list
+
+(* Exact percentile over a sorted sample array: the ceil(q*n)-th order
+   statistic, the discrete analogue of Metrics.percentile_of. *)
+let percentile_exact sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else begin
+    let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+  end
+
+let aggregate durations =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (name, dur) ->
+      let prev = try Hashtbl.find tbl name with Not_found -> [] in
+      Hashtbl.replace tbl name (dur :: prev))
+    durations;
+  let stats =
+    Hashtbl.fold
+      (fun sname durs acc ->
+        let arr = Array.of_list durs in
+        Array.sort compare arr;
+        {
+          sname;
+          count = Array.length arr;
+          total_ns = Array.fold_left ( +. ) 0.0 arr;
+          p50_ns = percentile_exact arr 0.50;
+          p90_ns = percentile_exact arr 0.90;
+          p99_ns = percentile_exact arr 0.99;
+        }
+        :: acc)
+      tbl []
+  in
+  List.sort (fun a b -> compare (b.total_ns, b.sname) (a.total_ns, a.sname)) stats
+
+(* --- loading ----------------------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let span_of_line line =
+  let j = Json.of_string line in
+  match (Json.member "name" j, Json.member "dur_ns" j) with
+  | Some (Json.String name), Some (Json.Int dur) -> (name, float_of_int dur)
+  | Some (Json.String name), _ -> (name, 0.0)
+  | _ -> failwith "trace line has no name"
+
+let spans_of_jsonl contents =
+  String.split_on_char '\n' contents
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.map span_of_line
+
+let spans_of_chrome doc =
+  match Json.member "traceEvents" doc with
+  | Some (Json.List events) ->
+      List.filter_map
+        (fun ev ->
+          match Json.member "name" ev with
+          | Some (Json.String name) ->
+              let dur_ns =
+                match Json.member "dur" ev with
+                | Some (Json.Float us) -> us *. 1e3
+                | Some (Json.Int us) -> float_of_int us *. 1e3
+                | _ -> 0.0
+              in
+              Some (name, dur_ns)
+          | _ -> None)
+        events
+  | _ -> failwith "no traceEvents"
+
+let load_file path =
+  match read_file path with
+  | exception Sys_error e -> Error e
+  | contents -> (
+      match Json.of_string contents with
+      | doc when Json.member "traceEvents" doc <> None ->
+          Ok (Spans (aggregate (spans_of_chrome doc)))
+      | doc -> Ok (Doc doc)
+      | exception Failure _ -> (
+          (* Not one JSON document: try JSONL trace lines. *)
+          match spans_of_jsonl contents with
+          | durations -> Ok (Spans (aggregate durations))
+          | exception Failure e ->
+              Error
+                (Printf.sprintf
+                   "%s: neither a JSON document nor a JSONL trace (%s)" path e)))
+
+(* --- rendering --------------------------------------------------------- *)
+
+let ms ns = ns /. 1e6
+
+let pp_span_stats ppf stats =
+  Format.fprintf ppf "  %-34s %7s %12s %10s %10s %10s@," "span" "count"
+    "total ms" "p50 ms" "p90 ms" "p99 ms";
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "  %-34s %7d %12.3f %10.4f %10.4f %10.4f@," s.sname
+        s.count (ms s.total_ns) (ms s.p50_ns) (ms s.p90_ns) (ms s.p99_ns))
+    stats
+
+let num = function
+  | Some (Json.Int n) -> float_of_int n
+  | Some (Json.Float f) -> f
+  | _ -> 0.0
+
+let hist_percentiles entry =
+  match Json.member "p50" entry with
+  | Some _ ->
+      ( num (Json.member "p50" entry),
+        num (Json.member "p90" entry),
+        num (Json.member "p99" entry) )
+  | None ->
+      (* Older snapshots carry only buckets: estimate here instead. *)
+      let buckets =
+        match Json.member "log2_buckets" entry with
+        | Some (Json.List l) ->
+            List.filter_map
+              (function
+                | Json.List [ Json.Int b; Json.Int n ] -> Some (b, n)
+                | _ -> None)
+              l
+        | _ -> []
+      in
+      let count = int_of_float (num (Json.member "count" entry)) in
+      let mn = num (Json.member "min" entry)
+      and mx = num (Json.member "max" entry) in
+      let pct q = Metrics.percentile_of ~count ~min:mn ~max:mx ~buckets q in
+      (pct 0.50, pct 0.90, pct 0.99)
+
+let rec pp_metrics_section ppf ~prefix metrics =
+  (match Json.member "histograms" metrics with
+  | Some (Json.Obj hists) when hists <> [] ->
+      List.iter
+        (fun (k, entry) ->
+          let p50, p90, p99 = hist_percentiles entry in
+          Format.fprintf ppf "  %-34s %7.0f %12.3f %10.4f %10.4f %10.4f@,"
+            (prefix ^ k)
+            (num (Json.member "count" entry))
+            (ms (num (Json.member "sum" entry)))
+            (ms p50) (ms p90) (ms p99))
+        hists
+  | _ -> ());
+  match Json.member "scopes" metrics with
+  | Some (Json.Obj scopes) ->
+      List.iter
+        (fun (name, child) ->
+          pp_metrics_section ppf ~prefix:(prefix ^ name ^ "/") child)
+        scopes
+  | _ -> ()
+
+let pp_counters ppf ~keys metrics =
+  match Json.member "counters" metrics with
+  | Some (Json.Obj kvs) ->
+      List.iter
+        (fun k ->
+          match List.assoc_opt k kvs with
+          | Some (Json.Int n) -> Format.fprintf ppf "  %-34s %d@," k n
+          | _ -> ())
+        keys
+  | _ -> ()
+
+let pp_doc ppf doc =
+  (match Json.member "schema" doc with
+  | Some (Json.String s) -> Format.fprintf ppf "  schema: %s@," s
+  | _ -> ());
+  (match Json.member "experiment" doc with
+  | Some (Json.String e) -> Format.fprintf ppf "  experiment: %s@," e
+  | _ -> ());
+  (match Json.member "claim" doc with
+  | Some (Json.String c) -> Format.fprintf ppf "  claim: %s@," c
+  | _ -> ());
+  (match Json.member "rows" doc with
+  | Some (Json.List rows) ->
+      Format.fprintf ppf "  rows: %d@," (List.length rows)
+  | _ -> ());
+  match Json.member "metrics" doc with
+  | Some metrics ->
+      pp_counters ppf
+        ~keys:
+          [
+            "bits_sent_total";
+            "rounds_total";
+            "messages_sent";
+            "telemetry_bytes";
+          ]
+        metrics;
+      Format.fprintf ppf "  %-34s %7s %12s %10s %10s %10s@," "histogram"
+        "count" "sum ms" "p50 ms" "p90 ms" "p99 ms";
+      pp_metrics_section ppf ~prefix:"" metrics
+  | None -> ()
+
+let pp_report ppf (path, source) =
+  Format.fprintf ppf "@[<v>== %s ==@," path;
+  (match source with
+  | Spans stats -> pp_span_stats ppf stats
+  | Doc doc -> pp_doc ppf doc);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,34 @@
+(** Offline aggregation for [matprod report]: turn trace files (JSONL or
+    Chrome trace-event) and bench/run JSON documents into per-phase
+    percentile summaries. *)
+
+type span_stat = {
+  sname : string;
+  count : int;
+  total_ns : float;
+  p50_ns : float;  (** Exact percentiles over the file's samples. *)
+  p90_ns : float;
+  p99_ns : float;
+}
+
+type source =
+  | Doc of Json.t
+      (** A single JSON document: [matprod.bench.v1] sidecar or
+          [matprod.run.v1] summary. *)
+  | Spans of span_stat list  (** An aggregated trace file. *)
+
+val percentile_exact : float array -> float -> float
+(** [percentile_exact sorted q] is the ceil(q*n)-th order statistic of an
+    ascending-sorted array (0 when empty). *)
+
+val aggregate : (string * float) list -> span_stat list
+(** Group [(name, dur_ns)] samples by name; stats sorted by total time
+    descending. *)
+
+val load_file : string -> (source, string) result
+(** Sniff a file: a JSON document with [traceEvents] loads as a Chrome
+    trace, any other JSON document as {!Doc}, anything else is tried as a
+    JSONL trace. *)
+
+val pp_report : Format.formatter -> string * source -> unit
+(** Render one file's summary (header line plus aligned table). *)

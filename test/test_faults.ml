@@ -17,6 +17,8 @@ module Channel = Matprod_comm.Channel
 module Ctx = Matprod_comm.Ctx
 module Transcript = Matprod_comm.Transcript
 module Metrics = Matprod_obs.Metrics
+module Json = Matprod_obs.Json
+module Trace = Matprod_obs.Trace
 
 module Outcome = Matprod_core.Outcome
 module Boosting = Matprod_core.Boosting
@@ -348,6 +350,81 @@ let test_journal_transparency () =
         replayed.Ctx.replayed_messages)
     (protocols ~seed:1)
 
+(* Tentpole invariant: tracing is free on the wire. With tracing and
+   metrics both enabled, every registry protocol produces the same
+   output, bits, and rounds as its untraced run — the propagated span
+   context is accounted only in telemetry_bytes. *)
+let test_tracing_transparency () =
+  List.iteri
+    (fun i (name, f) ->
+      let seed = 6000 + i in
+      let base = Ctx.run ~seed f in
+      Metrics.reset ();
+      Metrics.set_enabled true;
+      Trace.reset ();
+      Trace.enable ();
+      let traced, telemetry =
+        Fun.protect
+          ~finally:(fun () ->
+            Trace.disable ();
+            Trace.reset ();
+            Metrics.set_enabled false;
+            Metrics.reset ())
+          (fun () ->
+            let r = Ctx.run ~seed f in
+            (r, Metrics.total "telemetry_bytes"))
+      in
+      if traced.Ctx.output <> base.Ctx.output then
+        Alcotest.failf "%s: tracing changed the output" name;
+      check Alcotest.int
+        (Printf.sprintf "%s: bits identical under tracing" name)
+        base.Ctx.bits traced.Ctx.bits;
+      check Alcotest.int
+        (Printf.sprintf "%s: rounds identical under tracing" name)
+        base.Ctx.rounds traced.Ctx.rounds;
+      check Alcotest.bool
+        (Printf.sprintf "%s: context frames accounted out-of-band" name)
+        true (telemetry > 0))
+    (protocols ~seed:1)
+
+(* A journal written under tracing carries the writer's trace id as a 'T'
+   record, has byte-identical logical entries, and still replays for zero
+   fresh bits — with tracing off. *)
+let test_journal_origin_trace () =
+  let name = "linf_binary" in
+  let f = protocol_exn name ~seed:1 in
+  let seed = 33 in
+  with_tmp_journal "untraced" @@ fun plain_path ->
+  with_tmp_journal "traced" @@ fun traced_path ->
+  let base = Ctx.run_journaled ~seed ~journal:plain_path ~protocol:name f in
+  Trace.enable ();
+  let traced =
+    Fun.protect
+      ~finally:(fun () ->
+        Trace.disable ();
+        Trace.reset ())
+      (fun () -> Ctx.run_journaled ~seed ~journal:traced_path ~protocol:name f)
+  in
+  if traced.Ctx.output <> base.Ctx.output then
+    Alcotest.fail "tracing changed the journaled run";
+  let load path =
+    match Journal.load path with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "journal unreadable: %s" e
+  in
+  let plain = load plain_path and traced_j = load traced_path in
+  check Alcotest.bool "untraced journal has no origin" true
+    (plain.Journal.origin_trace = None);
+  check Alcotest.bool "traced journal stamps the run's trace id" true
+    (traced_j.Journal.origin_trace = Some (Trace.trace_id_of_seed seed));
+  check Alcotest.bool "logical entries byte-identical" true
+    (plain.Journal.entries = traced_j.Journal.entries);
+  let resumed = Ctx.resume ~seed ~journal:traced_j f in
+  if resumed.Ctx.output <> base.Ctx.output then
+    Alcotest.fail "replay of traced journal changed the output";
+  check Alcotest.int "replay of traced journal costs 0 fresh bits" 0
+    resumed.Ctx.bits
+
 (* A transient crash (first attempt only, the way a real process death
    behaves): the supervisor answers from the Resume rung, pays only the
    suffix fresh, and the observability counters record the decision. *)
@@ -370,10 +447,14 @@ let test_supervisor_resume_rung () =
             ~reliable ())
       ~seed ~protocol:name f
   in
-  let attempts_c = Metrics.value (Metrics.counter "supervisor_attempts") in
-  let resumes_c = Metrics.value (Metrics.counter "supervisor_resumes") in
-  let saved_c =
-    Metrics.value (Metrics.counter "supervisor_resume_bits_saved")
+  (* Each attempt records into its own scope: sum across the tree. *)
+  let attempts_c = Metrics.total "supervisor_attempts" in
+  let resumes_c = Metrics.total "supervisor_resumes" in
+  let saved_c = Metrics.total "supervisor_resume_bits_saved" in
+  let scopes =
+    match Json.member "scopes" (Metrics.snapshot ()) with
+    | Some (Json.Obj kvs) -> List.map fst kvs
+    | _ -> []
   in
   Metrics.set_enabled false;
   match result with
@@ -400,7 +481,17 @@ let test_supervisor_resume_rung () =
       check Alcotest.int "attempts counter" 2 attempts_c;
       check Alcotest.int "resumes counter" 1 resumes_c;
       check Alcotest.int "saved counter matches report"
-        r.Supervisor.resume_bits_saved saved_c
+        r.Supervisor.resume_bits_saved saved_c;
+      (* Regression (metric conflation): the two attempts must have
+         recorded into distinct scopes, one counter tick each, not into
+         one root-level blob. *)
+      check
+        (Alcotest.list Alcotest.string)
+        "one scope per attempt"
+        [ "attempt1-initial"; "attempt2-resume" ]
+        scopes;
+      check Alcotest.int "root scope has no attempts counter" 0
+        (Metrics.value (Metrics.counter "supervisor_attempts"))
   | Error e -> Alcotest.failf "supervisor gave up: %s" (Outcome.error_to_string e)
 
 (* A persistent crash at message 0 leaves nothing to resume and kills the
@@ -650,6 +741,10 @@ let () =
       ( "crash recovery",
         [
           Alcotest.test_case "crash then resume" `Quick test_crash_then_resume;
+          Alcotest.test_case "tracing transparency" `Quick
+            test_tracing_transparency;
+          Alcotest.test_case "journal origin trace" `Quick
+            test_journal_origin_trace;
           Alcotest.test_case "journal transparency" `Quick
             test_journal_transparency;
           Alcotest.test_case "supervisor resume rung" `Quick

@@ -174,6 +174,119 @@ let test_snapshot_shape () =
   | _ -> Alcotest.fail "counters missing"
 
 (* ------------------------------------------------------------------ *)
+(* Scoped metrics *)
+
+let test_scopes () =
+  with_metrics @@ fun () ->
+  let c = Metrics.counter "test_sc" in
+  Metrics.incr_by c 1;
+  Metrics.in_scope "alice" (fun () ->
+      Metrics.incr_by c 10;
+      Metrics.in_scope "inner" (fun () -> Metrics.incr_by c 100));
+  Metrics.in_scope "bob" (fun () -> Metrics.incr_by c 1000);
+  check Alcotest.int "value reads the current scope" 1 (Metrics.value c);
+  check Alcotest.int "total sums the tree" 1111 (Metrics.total "test_sc");
+  Metrics.in_scope "alice" (fun () ->
+      check Alcotest.int "re-entering a name reuses its scope" 10
+        (Metrics.value c));
+  let snap = Metrics.snapshot () in
+  match Json.member "scopes" snap with
+  | Some (Json.Obj kvs) ->
+      check (Alcotest.list Alcotest.string) "children in creation order"
+        [ "alice"; "bob" ] (List.map fst kvs);
+      let alice = List.assoc "alice" kvs in
+      check Alcotest.bool "nested scopes nest in snapshot" true
+        (Option.bind (Json.member "scopes" alice) (Json.member "inner")
+        <> None)
+  | _ -> Alcotest.fail "scopes missing from snapshot"
+
+let test_scope_reset () =
+  with_metrics @@ fun () ->
+  let c = Metrics.counter "test_sr" in
+  Metrics.in_scope "s" (fun () -> Metrics.incr c);
+  Metrics.reset ();
+  check Alcotest.int "total zero after reset" 0 (Metrics.total "test_sr");
+  check Alcotest.bool "child scopes dropped" true
+    (Json.member "scopes" (Metrics.snapshot ()) = None);
+  (* Handles survive reset and re-resolve per scope. *)
+  Metrics.incr c;
+  Metrics.in_scope "s2" (fun () -> Metrics.incr_by c 5);
+  check Alcotest.int "root after reset" 1 (Metrics.value c);
+  check Alcotest.int "total after reset" 6 (Metrics.total "test_sr")
+
+(* ------------------------------------------------------------------ *)
+(* Percentiles *)
+
+let test_percentile_edges () =
+  with_metrics @@ fun () ->
+  let h = Metrics.histogram "test_pe" in
+  check (Alcotest.float 1e-9) "empty histogram" 0.0 (Metrics.percentile h 0.5);
+  (match Metrics.percentile h 1.5 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "q > 1 accepted");
+  (match Metrics.percentile h (-0.1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "q < 0 accepted");
+  (* 2 -> bucket 1, 4 -> 2, 8 -> 3, 1000 -> bucket 9 = [512, 1024). *)
+  List.iter (Metrics.observe h) [ 2.0; 4.0; 8.0; 1000.0 ];
+  let p99 = Metrics.percentile h 0.99 in
+  check Alcotest.bool "p99 lands in the top bucket" true
+    (p99 >= 512.0 && p99 <= 1000.0);
+  (* The rank-2 sample lives in bucket [4, 8): the estimate must stay
+     inside that bucket's edges. *)
+  let p50 = Metrics.percentile h 0.5 in
+  check Alcotest.bool "p50 within its bucket" true (p50 >= 4.0 && p50 <= 8.0);
+  (* percentile_of on the exported bucket list agrees with the live
+     histogram — the [matprod report] path. *)
+  check (Alcotest.float 1e-9) "percentile_of agrees" p99
+    (Metrics.percentile_of ~count:4 ~min:2.0 ~max:1000.0
+       ~buckets:[ (1, 1); (2, 1); (3, 1); (9, 1) ]
+       0.99)
+
+(* Samples with fractional parts spread over several log2 buckets, and
+   quantiles on a 1% grid. *)
+let samples_arb =
+  QCheck.(
+    list_of_size
+      Gen.(1 -- 60)
+      (map (fun n -> float_of_int (1 + (abs n mod 0xFFFF)) /. 7.0) int))
+
+let q_arb = QCheck.(map (fun n -> float_of_int (abs n mod 101) /. 100.0) int)
+
+let percentile_on samples q =
+  with_metrics @@ fun () ->
+  let h = Metrics.histogram "test_pq" in
+  List.iter (Metrics.observe h) samples;
+  Metrics.percentile h q
+
+let qcheck_percentile_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"percentile monotone in q" ~count:300
+      (triple samples_arb q_arb q_arb)
+      (fun (samples, q1, q2) ->
+        let lo = Float.min q1 q2 and hi = Float.max q1 q2 in
+        with_metrics @@ fun () ->
+        let h = Metrics.histogram "test_pq" in
+        List.iter (Metrics.observe h) samples;
+        Metrics.percentile h lo <= Metrics.percentile h hi +. 1e-9);
+    Test.make ~name:"percentile bounded by observed min/max" ~count:300
+      (pair samples_arb q_arb)
+      (fun (samples, q) ->
+        let mn = List.fold_left Float.min Float.infinity samples in
+        let mx = List.fold_left Float.max Float.neg_infinity samples in
+        let p = percentile_on samples q in
+        mn -. 1e-9 <= p && p <= mx +. 1e-9);
+    Test.make ~name:"percentile exact on constant data" ~count:300
+      (triple
+         (map (fun n -> float_of_int (1 + (abs n mod 0xFFFF)) /. 3.0) int)
+         (int_bound 40) q_arb)
+      (fun (v, extra, q) ->
+        let samples = List.init (1 + extra) (fun _ -> v) in
+        Float.abs (percentile_on samples q -. v) <= 1e-9 *. v);
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Trace *)
 
 let test_trace_disabled () =
@@ -232,6 +345,83 @@ let test_trace_to_json () =
         (Json.of_string (Json.to_string j) = j)
   | _ -> Alcotest.fail "expected 1 span"
 
+let test_trace_context () =
+  with_trace @@ fun () ->
+  check Alcotest.bool "trace id deterministic in seed" true
+    (Trace.trace_id_of_seed 42 = Trace.trace_id_of_seed 42);
+  check Alcotest.bool "seeds get distinct ids" true
+    (Trace.trace_id_of_seed 1 <> Trace.trace_id_of_seed 2);
+  check Alcotest.bool "no trace outside with_trace" true
+    (Trace.trace_id () = 0L);
+  Trace.with_trace ~seed:7 (fun () ->
+      check Alcotest.bool "active id" true
+        (Trace.trace_id () = Trace.trace_id_of_seed 7);
+      Trace.with_span ~name:"t.ctx" (fun () ->
+          let frame = Trace.context_frame () in
+          check Alcotest.int "frame length" Trace.context_frame_length
+            (String.length frame);
+          match Trace.parse_context_frame frame with
+          | Some c ->
+              check Alcotest.bool "trace id roundtrips" true
+                (c.Trace.trace_id = Trace.trace_id_of_seed 7);
+              check Alcotest.bool "span id is the innermost span" true
+                (c.Trace.span_id <> 0L)
+          | None -> Alcotest.fail "frame did not parse"));
+  check Alcotest.bool "previous trace restored" true (Trace.trace_id () = 0L);
+  check Alcotest.bool "bad magic rejected" true
+    (Trace.parse_context_frame "XX0123456789abcdef" = None);
+  check Alcotest.bool "short frame rejected" true
+    (Trace.parse_context_frame "TC" = None)
+
+let test_trace_stable_ids () =
+  (* A fresh gallery (reset) at the same seed reproduces identical stable
+     sids span for span; a different seed changes all of them. *)
+  let sids seed =
+    with_trace @@ fun () ->
+    Trace.with_trace ~seed (fun () ->
+        Trace.with_span ~name:"t.a" (fun () ->
+            Trace.with_span ~name:"t.b" (fun () -> ())));
+    List.map (fun s -> s.Trace.sid) (Trace.spans ())
+  in
+  check Alcotest.bool "same seed, same sids" true (sids 5 = sids 5);
+  check Alcotest.bool "different seed, different sids" true (sids 5 <> sids 6);
+  with_trace @@ fun () ->
+  Trace.with_trace ~seed:9 (fun () ->
+      Trace.with_span ~name:"t.s" (fun () -> ()));
+  match Trace.spans () with
+  | [ s ] ->
+      check Alcotest.bool "sid = splitmix64 (trace lxor id)" true
+        (s.Trace.sid
+        = Trace.splitmix64
+            (Int64.logxor (Trace.trace_id_of_seed 9) (Int64.of_int s.Trace.id)))
+  | _ -> Alcotest.fail "expected 1 span"
+
+let test_chrome_export () =
+  with_trace @@ fun () ->
+  Trace.with_trace ~seed:3 (fun () ->
+      Trace.with_span ~name:"t.work" (fun () -> Trace.event ~name:"t.mark" ()));
+  let doc = Trace.chrome_json () in
+  check Alcotest.bool "document roundtrips" true
+    (Json.of_string (Json.to_string doc) = doc);
+  (match Option.bind (Json.member "otherData" doc) (Json.member "schema") with
+  | Some (Json.String "matprod.trace.chrome.v1") -> ()
+  | _ -> Alcotest.fail "schema tag missing");
+  match Json.member "traceEvents" doc with
+  | Some (Json.List [ work; mark ]) ->
+      check Alcotest.bool "span is a complete event" true
+        (Json.member "ph" work = Some (Json.String "X"));
+      check Alcotest.bool "span has dur" true (Json.member "dur" work <> None);
+      check Alcotest.bool "event is an instant" true
+        (Json.member "ph" mark = Some (Json.String "i"));
+      check Alcotest.bool "instant scope" true
+        (Json.member "s" mark = Some (Json.String "t"));
+      check Alcotest.bool "trace id in id field" true
+        (Json.member "id" work
+        = Some (Json.String (Trace.hex_id (Trace.trace_id_of_seed 3))));
+      check Alcotest.bool "sid under args" true
+        (Option.bind (Json.member "args" work) (Json.member "sid") <> None)
+  | _ -> Alcotest.fail "expected 2 trace events"
+
 (* ------------------------------------------------------------------ *)
 (* Export *)
 
@@ -244,6 +434,155 @@ let test_run_summary () =
   check Alcotest.bool "extra spliced" true (Json.member "n" j = Some (Json.Int 96));
   check Alcotest.bool "metrics present" true (Json.member "metrics" j <> None);
   check Alcotest.bool "roundtrips" true (Json.of_string (Json.to_string j) = j)
+
+(* ------------------------------------------------------------------ *)
+(* Regression gate *)
+
+module Regression = Matprod_obs.Regression
+module Telemetry = Matprod_obs.Telemetry
+
+let bench_doc rows =
+  Json.Obj
+    [
+      ("schema", Json.String "matprod.bench.v1");
+      ("experiment", Json.String "t1");
+      ("rows", Json.List (List.map (fun kvs -> Json.Obj kvs) rows));
+    ]
+
+let base_rows =
+  [
+    [
+      ("algo", Json.String "exact");
+      ("bits", Json.Int 2416);
+      ("rounds", Json.Int 2);
+      ("err", Json.Float 0.125);
+      ("build_ns", Json.Int 91234);
+      ("speedup", Json.Float 3.1);
+    ];
+  ]
+
+let test_regression_pass_and_fail () =
+  let base = bench_doc base_rows in
+  let r = Regression.compare_docs ~baseline:base ~current:base () in
+  check Alcotest.bool "identical docs pass" true (Regression.ok r);
+  check Alcotest.int "deterministic fields compared" 4 r.Regression.compared;
+  check Alcotest.int "timing fields ignored" 2 r.Regression.ignored;
+  (* The acceptance check: perturb one deterministic metric beyond
+     tolerance and the gate must fail on exactly that key. *)
+  let perturbed =
+    bench_doc
+      [
+        List.map
+          (function
+            | "bits", _ -> ("bits", Json.Int (2416 + 64)) | kv -> kv)
+          (List.hd base_rows);
+      ]
+  in
+  let r = Regression.compare_docs ~baseline:base ~current:perturbed () in
+  check Alcotest.bool "perturbed metric fails the gate" false
+    (Regression.ok r);
+  (match r.Regression.failures with
+  | [ m ] ->
+      check Alcotest.string "failing key" "bits" m.Regression.mkey;
+      check (Alcotest.float 1e-9) "baseline value" 2416.0
+        m.Regression.baseline;
+      check (Alcotest.float 1e-9) "current value" 2480.0 m.Regression.current
+  | fs -> Alcotest.failf "expected 1 failure, got %d" (List.length fs));
+  (* Perturbing only a timing field stays green. *)
+  let slower =
+    bench_doc
+      [
+        List.map
+          (function
+            | "build_ns", _ -> ("build_ns", Json.Int 999999999) | kv -> kv)
+          (List.hd base_rows);
+      ]
+  in
+  check Alcotest.bool "timing drift ignored" true
+    (Regression.ok (Regression.compare_docs ~baseline:base ~current:slower ()))
+
+let test_regression_overrides () =
+  let base = bench_doc base_rows in
+  let cur =
+    bench_doc
+      [
+        List.map
+          (function
+            | "speedup", _ -> ("speedup", Json.Float 1.0) | kv -> kv)
+          (List.hd base_rows);
+      ]
+  in
+  (* By default speedup is timing noise... *)
+  check Alcotest.bool "no override: ignored" true
+    (Regression.ok (Regression.compare_docs ~baseline:base ~current:cur ()));
+  (* ...but a --tol override can gate it. *)
+  let r =
+    Regression.compare_docs
+      ~overrides:[ ("speedup", Regression.Rel 0.25) ]
+      ~baseline:base ~current:cur ()
+  in
+  check Alcotest.bool "override gates the speedup" false (Regression.ok r);
+  let r =
+    Regression.compare_docs
+      ~overrides:[ ("bits", Regression.Ignore) ]
+      ~baseline:base
+      ~current:
+        (bench_doc
+           [
+             List.map
+               (function
+                 | "bits", _ -> ("bits", Json.Int 1) | kv -> kv)
+               (List.hd base_rows);
+           ])
+      ()
+  in
+  check Alcotest.bool "override can also relax" true (Regression.ok r)
+
+let test_regression_structural () =
+  let base = bench_doc base_rows in
+  let r =
+    Regression.compare_docs ~baseline:base
+      ~current:(bench_doc (base_rows @ base_rows))
+      ()
+  in
+  check Alcotest.bool "row count drift is an error" false (Regression.ok r);
+  let missing =
+    bench_doc [ List.filter (fun (k, _) -> k <> "bits") (List.hd base_rows) ]
+  in
+  let r = Regression.compare_docs ~baseline:base ~current:missing () in
+  check Alcotest.bool "missing field is an error" false (Regression.ok r);
+  let r =
+    Regression.compare_docs ~baseline:(Json.Obj [])
+      ~current:base ()
+  in
+  check Alcotest.bool "wrong schema is an error" false (Regression.ok r)
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry (matprod report) *)
+
+let test_telemetry_percentile_exact () =
+  check (Alcotest.float 1e-9) "empty" 0.0
+    (Telemetry.percentile_exact [||] 0.5);
+  let a = [| 1.0; 2.0; 3.0; 4.0 |] in
+  check (Alcotest.float 1e-9) "p50 = 2nd" 2.0 (Telemetry.percentile_exact a 0.5);
+  check (Alcotest.float 1e-9) "p99 = last" 4.0
+    (Telemetry.percentile_exact a 0.99);
+  check (Alcotest.float 1e-9) "p0 clamps to first" 1.0
+    (Telemetry.percentile_exact a 0.0)
+
+let test_telemetry_aggregate () =
+  let stats =
+    Telemetry.aggregate
+      [ ("a", 10.0); ("b", 100.0); ("a", 30.0); ("b", 5.0); ("a", 20.0) ]
+  in
+  match stats with
+  | [ b; a ] ->
+      check Alcotest.string "sorted by total desc" "b" b.Telemetry.sname;
+      check Alcotest.int "a count" 3 a.Telemetry.count;
+      check (Alcotest.float 1e-9) "a total" 60.0 a.Telemetry.total_ns;
+      check (Alcotest.float 1e-9) "a p50" 20.0 a.Telemetry.p50_ns;
+      check (Alcotest.float 1e-9) "a p99" 30.0 a.Telemetry.p99_ns
+  | l -> Alcotest.failf "expected 2 groups, got %d" (List.length l)
 
 let () =
   Alcotest.run "obs"
@@ -264,14 +603,34 @@ let () =
           Alcotest.test_case "histogram" `Quick test_histogram;
           Alcotest.test_case "reset keeps handles" `Quick test_reset_keeps_handles;
           Alcotest.test_case "snapshot shape" `Quick test_snapshot_shape;
+          Alcotest.test_case "scopes" `Quick test_scopes;
+          Alcotest.test_case "scope reset" `Quick test_scope_reset;
         ] );
+      ( "percentiles",
+        Alcotest.test_case "edges" `Quick test_percentile_edges
+        :: List.map QCheck_alcotest.to_alcotest qcheck_percentile_tests );
       ( "trace",
         [
           Alcotest.test_case "disabled" `Quick test_trace_disabled;
           Alcotest.test_case "nesting" `Quick test_trace_nesting;
           Alcotest.test_case "exception safe" `Quick test_trace_exception_safe;
           Alcotest.test_case "to_json" `Quick test_trace_to_json;
+          Alcotest.test_case "context frames" `Quick test_trace_context;
+          Alcotest.test_case "stable ids" `Quick test_trace_stable_ids;
+          Alcotest.test_case "chrome export" `Quick test_chrome_export;
         ] );
       ( "export",
         [ Alcotest.test_case "run summary" `Quick test_run_summary ] );
+      ( "regression",
+        [
+          Alcotest.test_case "pass and fail" `Quick test_regression_pass_and_fail;
+          Alcotest.test_case "overrides" `Quick test_regression_overrides;
+          Alcotest.test_case "structural drift" `Quick test_regression_structural;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "percentile exact" `Quick
+            test_telemetry_percentile_exact;
+          Alcotest.test_case "aggregate" `Quick test_telemetry_aggregate;
+        ] );
     ]
