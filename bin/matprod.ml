@@ -22,6 +22,8 @@ module Supervisor = Matprod_core.Supervisor
 module Estimator = Matprod_core.Estimator
 module Registry = Matprod_core.Registry
 module Engine = Matprod_engine.Engine
+module Fleet = Matprod_topology.Fleet
+module Shard = Matprod_topology.Shard
 module Workload = Matprod_workload.Workload
 module Obs = Matprod_obs
 
@@ -1037,7 +1039,127 @@ let session_cmd =
 (* ------------------------------------------------------------------ *)
 (* estimate: any registered estimator by name *)
 
-let estimate c name list_all =
+(* Fleet chaos profile assembled from the estimate subcommand's flags. A
+   crash kills both endpoints of the victim link so the link dies no
+   matter which side speaks first; [--permanent] reinstalls it on every
+   supervisor attempt (the ladder cannot save the link, only the quorum
+   can save the query). *)
+let fleet_wire ~worker_crash ~crash_after ~permanent ~straggle_rank
+    ~straggle_delay ~rank ~attempt ctx =
+  if rank = worker_crash && (permanent || attempt = 1) then
+    Ctx.install_wire ctx
+      ~fault:
+        (Fault.create
+           ~crashes:
+             [
+               {
+                 Fault.victim = Transcript.Alice;
+                 site = Fault.After_messages crash_after;
+               };
+               {
+                 Fault.victim = Transcript.Bob;
+                 site = Fault.After_messages crash_after;
+               };
+             ]
+           ~seed:1 [])
+      ();
+  if rank = straggle_rank && attempt = 1 then
+    Ctx.install_wire ctx
+      ~fault:(Fault.straggle_only ~after:1 ~burst:2 ~delay_s:straggle_delay ())
+      ()
+
+let estimate_fleet c packed ~a ~b ~workers ~quorum ~worker_crash ~crash_after
+    ~permanent ~straggle_rank ~straggle_delay ~deadline ~fleet_journal =
+  let { seed; _ } = c in
+  let link_policy =
+    { Fleet.default_link_policy with Fleet.deadline_s = deadline }
+  in
+  let cfg =
+    Fleet.config ?quorum ~link_policy ?journal:fleet_journal ~workers ~seed ()
+  in
+  let wire =
+    if worker_crash >= 0 || straggle_rank >= 0 then
+      Some
+        (fun ~rank ~attempt ctx ->
+          fleet_wire ~worker_crash ~crash_after ~permanent ~straggle_rank
+            ~straggle_delay ~rank ~attempt ctx)
+    else None
+  in
+  match Fleet.run ?wire cfg packed ~a ~b with
+  | Error e ->
+      Printf.eprintf "matprod: fleet failed (quorum %d/%d unmet): %s\n"
+        cfg.Fleet.quorum workers (Outcome.error_to_string e);
+      exit 1
+  | Ok rep ->
+      if not c.json then begin
+        Printf.printf "%s over %d workers (quorum %d) — %s\n"
+          (Estimator.name packed) workers cfg.Fleet.quorum
+          (Estimator.describe packed);
+        List.iter
+          (fun (l : Fleet.link_report) ->
+            let rungs =
+              String.concat "→"
+                (List.map
+                   (fun (at : Supervisor.attempt) ->
+                     Supervisor.rung_to_string at.Supervisor.rung)
+                   l.Fleet.attempts)
+            in
+            match l.Fleet.answer with
+            | Ok v ->
+                Format.printf "  worker %d %a: %a  (%d bits%s%s)@."
+                  l.Fleet.rank Shard.pp_range l.Fleet.range
+                  Estimator.pp_comparable v l.Fleet.fresh_bits
+                  (if rungs = "" then "" else ", " ^ rungs)
+                  (if l.Fleet.straggled then ", straggled" else "")
+            | Error e ->
+                Format.printf "  worker %d %a: LOST — %s@." l.Fleet.rank
+                  Shard.pp_range l.Fleet.range (Outcome.error_to_string e))
+          rep.Fleet.links;
+        Format.printf "merged answer     : %a@."
+          (Outcome.pp_graded Estimator.pp_comparable)
+          rep.Fleet.answer;
+        Printf.printf "communication     : %d fresh bits across links\n"
+          rep.Fleet.fresh_bits;
+        if rep.Fleet.resume_bits_saved > 0 then
+          Printf.printf "resume savings    : %d bits replayed from journals\n"
+            rep.Fleet.resume_bits_saved
+      end;
+      finish c
+        (base_fields ~subcommand:"estimate" c
+        @ [
+            ("estimator", Obs.Json.String (Estimator.name packed));
+            ( "answer",
+              Obs.Json.String
+                (Format.asprintf "%a" Estimator.pp_comparable
+                   (Outcome.graded_value rep.Fleet.answer)) );
+            ("workers", Obs.Json.Int workers);
+            ("quorum", Obs.Json.Int cfg.Fleet.quorum);
+            ("survivors", Obs.Json.Int rep.Fleet.survivors);
+            ("coverage", Obs.Json.Float rep.Fleet.coverage);
+            ("degraded", Obs.Json.Bool (Outcome.is_degraded rep.Fleet.answer));
+            ("fleet_bits", Obs.Json.Int rep.Fleet.fresh_bits);
+            ("fleet_rounds", Obs.Json.Int rep.Fleet.fresh_rounds);
+            ("resume_bits_saved", Obs.Json.Int rep.Fleet.resume_bits_saved);
+            ( "links",
+              Obs.Json.List
+                (List.map
+                   (fun (l : Fleet.link_report) ->
+                     Obs.Json.Obj
+                       [
+                         ("rank", Obs.Json.Int l.Fleet.rank);
+                         ("rows", Obs.Json.Int l.Fleet.range.Shard.length);
+                         ("bits", Obs.Json.Int l.Fleet.fresh_bits);
+                         ( "attempts",
+                           Obs.Json.Int (List.length l.Fleet.attempts) );
+                         ("straggled", Obs.Json.Bool l.Fleet.straggled);
+                         ( "answered",
+                           Obs.Json.Bool (Result.is_ok l.Fleet.answer) );
+                       ])
+                   rep.Fleet.links) );
+          ])
+
+let estimate c name list_all workers quorum worker_crash crash_after permanent
+    straggle_rank straggle_delay deadline fleet_journal =
   start c;
   let { n; density; seed; verbose; _ } = c in
   if list_all then
@@ -1054,6 +1176,11 @@ let estimate c name list_all =
         failwith
           (Printf.sprintf "unknown estimator %S — try --list for the registry"
              name)
+    | Some packed when workers > 1 ->
+        let a, b = gen_pair ~zipf:false ~seed ~n ~density in
+        estimate_fleet c packed ~a ~b ~workers ~quorum ~worker_crash
+          ~crash_after ~permanent ~straggle_rank ~straggle_delay ~deadline
+          ~fleet_journal
     | Some packed -> (
         let a, b = gen_pair ~zipf:false ~seed ~n ~density in
         let predicted = Estimator.default_cost packed ~n in
@@ -1107,11 +1234,84 @@ let estimate_cmd =
           ~doc:"List every registered estimator with its predicted cost at \
                 the given -n, then exit.")
   in
+  let workers_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "workers" ] ~docv:"K"
+          ~doc:"Shard the rows of A across $(docv) workers, each running \
+                the protocol with a coordinator over its own link, and \
+                merge the shard answers. 1 (the default) keeps the plain \
+                two-party run.")
+  in
+  let quorum_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "quorum" ] ~docv:"Q"
+          ~doc:"Minimum surviving links for an answer; fewer survivors \
+                fail the query, between $(docv) and the fleet size the \
+                answer is flagged degraded. Defaults to all workers.")
+  in
+  let worker_crash_arg =
+    Arg.(
+      value & opt int (-1)
+      & info [ "worker-crash" ] ~docv:"RANK"
+          ~doc:"Crash the link of worker $(docv) on the first attempt \
+                (transient — the supervisor ladder recovers it unless \
+                $(b,--permanent)).")
+  in
+  let crash_after_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "crash-after" ] ~docv:"MSGS"
+          ~doc:"Messages the crashed link completes before dying \
+                (with a journal those are replayed free on resume).")
+  in
+  let permanent_arg =
+    Arg.(
+      value & flag
+      & info [ "permanent" ]
+          ~doc:"Reinstall the crash on every supervisor attempt, so the \
+                victim link stays dead and only the quorum can answer.")
+  in
+  let straggle_arg =
+    Arg.(
+      value & opt int (-1)
+      & info [ "straggle" ] ~docv:"RANK"
+          ~doc:"Inject a delay spike on worker $(docv)'s link (first \
+                attempt only).")
+  in
+  let straggle_delay_arg =
+    Arg.(
+      value & opt float 5.0
+      & info [ "straggle-delay" ] ~docv:"SECONDS"
+          ~doc:"Size of the injected delay spike.")
+  in
+  let deadline_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:"Per-worker straggler deadline on simulated waiting; a link \
+                that answers late is failed and sent up the supervisor \
+                ladder.")
+  in
+  let fleet_journal_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "fleet-journal" ] ~docv:"PATH"
+          ~doc:"Base path for per-link write-ahead journals \
+                ($(docv).worker<i>), enabling the Resume rung per link.")
+  in
   Cmd.v
     (Cmd.info "estimate"
        ~doc:"Run any estimator from the registry by name with its default \
-             query (the uniform interface behind every subcommand).")
-    Term.(const estimate $ common_term $ name_arg $ list_arg)
+             query (the uniform interface behind every subcommand) — \
+             two-party by default, or sharded across a coordinator + \
+             $(b,--workers) fleet with per-link chaos, straggler \
+             deadlines, and quorum-degraded answers.")
+    Term.(
+      const estimate $ common_term $ name_arg $ list_arg $ workers_arg
+      $ quorum_arg $ worker_crash_arg $ crash_after_arg $ permanent_arg
+      $ straggle_arg $ straggle_delay_arg $ deadline_arg $ fleet_journal_arg)
 
 (* ------------------------------------------------------------------ *)
 (* batch: the plan-cached query engine *)

@@ -15,6 +15,7 @@ type wire = {
 
 type t = {
   transcript : Transcript.t;
+  names : Transcript.party -> string;
   mutable wire : wire option;
   mutable journal : Journal.writer option;
   mutable replay : Journal.entry list;
@@ -22,9 +23,10 @@ type t = {
   mutable replayed_bytes : int;
 }
 
-let create () =
+let create ?(names = Transcript.party_name) () =
   {
     transcript = Transcript.create ();
+    names;
     wire = None;
     journal = None;
     replay = [];
@@ -129,7 +131,7 @@ let record_msg t ~from ~label ~bytes =
   let round = Transcript.rounds t.transcript in
   if Metrics.enabled () then begin
     Metrics.incr c_messages;
-    Metrics.in_scope (Transcript.party_name from) (fun () ->
+    Metrics.in_scope (t.names from) (fun () ->
         Metrics.incr_by (Metrics.counter ~label "bytes_sent") bytes)
   end;
   if Trace.enabled () then begin
@@ -150,14 +152,13 @@ let record_msg t ~from ~label ~bytes =
         ~attrs:
           [
             ("round", Matprod_obs.Json.Int round);
-            ( "speaker",
-              Matprod_obs.Json.String (Transcript.party_name from) );
+            ("speaker", Matprod_obs.Json.String (t.names from));
           ]
         ();
     Trace.event ~name:"channel.msg"
       ~attrs:
         ([
-           ("sender", Matprod_obs.Json.String (Transcript.party_name from));
+           ("sender", Matprod_obs.Json.String (t.names from));
            ("label", Matprod_obs.Json.String label);
            ("bytes", Matprod_obs.Json.Int bytes);
            ("round", Matprod_obs.Json.Int round);

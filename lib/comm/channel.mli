@@ -21,7 +21,14 @@
 
 type t
 
-val create : unit -> t
+val create : ?names:(Transcript.party -> string) -> unit -> t
+(** [?names] maps the two wire roles to display names used for the
+    per-party metrics scope and trace attributes (default
+    {!Transcript.party_name}, i.e. ["Alice"]/["Bob"]). A fleet link passes
+    e.g. [Alice ↦ "worker3", Bob ↦ "coordinator"] so per-link tables
+    aggregate under the right actor. Purely observational: transcripts,
+    journals, and codecs never see these names. *)
+
 val transcript : t -> Transcript.t
 
 val install : t -> fault:Fault.t -> ?reliable:Reliable.config -> unit -> unit

@@ -9,12 +9,15 @@ type t = {
   bob : Prng.t;
 }
 
-let create ~seed =
+let make ?names ~seed () =
   let root = Prng.create seed in
   let public = Prng.split root in
   let alice = Prng.split root in
   let bob = Prng.split root in
-  { chan = Channel.create (); seed; public; alice; bob }
+  { chan = Channel.create ?names (); seed; public; alice; bob }
+
+let create ~seed = make ~seed ()
+let create_named ~names ~seed = make ~names ~seed ()
 
 let install_wire t ~fault ?reliable () =
   Channel.install t.chan ~fault ?reliable ()

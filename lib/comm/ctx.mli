@@ -23,6 +23,12 @@ type t = {
 
 val create : seed:int -> t
 
+val create_named : names:(Transcript.party -> string) -> seed:int -> t
+(** {!create} with the two wire roles renamed for observability (metrics
+    scopes, trace attributes) — see {!Channel.create}. A fleet link names
+    its parties ["worker<i>"]/["coordinator"]; {!create} keeps
+    ["Alice"]/["Bob"]. *)
+
 val install_wire :
   t -> fault:Fault.t -> ?reliable:Reliable.config -> unit -> unit
 (** Arm the context's channel with a fault model (see {!Channel.install}).

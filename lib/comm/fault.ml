@@ -45,6 +45,24 @@ exception Party_crash of { party : Transcript.party; after_messages : int }
 (* A crash rule plus its one-shot state. *)
 type crash_state = { spec : crash; mutable fired : bool }
 
+type straggle = {
+  s_from : Transcript.party option;
+  s_label_prefix : string;
+  s_after : int;
+  s_delay_s : float;
+  s_burst : int;
+}
+
+let straggle ?from ?(label_prefix = "") ?(after = 0) ?(burst = 1) ~delay_s () =
+  if delay_s <= 0.0 then invalid_arg "Fault: straggle delay_s must be > 0";
+  if after < 0 then invalid_arg "Fault: straggle after must be >= 0";
+  if burst < 1 then invalid_arg "Fault: straggle burst must be >= 1";
+  { s_from = from; s_label_prefix = label_prefix; s_after = after;
+    s_delay_s = delay_s; s_burst = burst }
+
+(* A straggle rule plus its remaining burst charge. *)
+type straggle_state = { sspec : straggle; mutable remaining : int }
+
 type stats = {
   dropped : int;
   corrupted : int;
@@ -52,17 +70,19 @@ type stats = {
   duplicated : int;
   delayed : int;
   crashed : int;
+  straggled : int;
   injected_delay : float;
 }
 
 let zero_stats =
   { dropped = 0; corrupted = 0; truncated = 0; duplicated = 0; delayed = 0;
-    crashed = 0; injected_delay = 0.0 }
+    crashed = 0; straggled = 0; injected_delay = 0.0 }
 
 type t = {
   prng : Prng.t;
   rules : rule list;
   crashes : crash_state list;
+  straggles : straggle_state list;
   mutable messages_seen : int;  (* logical messages that entered the wire *)
   mutable stats : stats;
 }
@@ -73,12 +93,14 @@ let validate_crash c =
       invalid_arg "Fault: After_messages must be >= 0"
   | After_messages _ | At_label _ -> ()
 
-let create ?(crashes = []) ~seed rules =
+let create ?(crashes = []) ?(straggles = []) ~seed rules =
   List.iter validate_crash crashes;
   {
     prng = Prng.create seed;
     rules;
     crashes = List.map (fun spec -> { spec; fired = false }) crashes;
+    straggles =
+      List.map (fun sspec -> { sspec; remaining = sspec.s_burst }) straggles;
     messages_seen = 0;
     stats = zero_stats;
   }
@@ -89,16 +111,23 @@ let none ~seed = create ~seed []
 let crash_only ~party ~at =
   create ~crashes:[ { victim = party; site = at } ] ~seed:0 []
 
+let straggle_only ?from ?label_prefix ?after ?burst ~delay_s () =
+  create
+    ~straggles:[ straggle ?from ?label_prefix ?after ?burst ~delay_s () ]
+    ~seed:0 []
+
 let stats t = t.stats
 
 let total_injected s =
   s.dropped + s.corrupted + s.truncated + s.duplicated + s.delayed + s.crashed
+  + s.straggled
 
 let rates_active r =
   r.drop > 0.0 || r.corrupt > 0.0 || r.truncate > 0.0 || r.duplicate > 0.0
   || r.delay > 0.0
 
-let is_active t = List.exists (fun r -> rates_active r.rates) t.rules
+let is_active t =
+  List.exists (fun r -> rates_active r.rates) t.rules || t.straggles <> []
 
 let starts_with ~prefix s =
   String.length prefix <= String.length s
@@ -119,6 +148,7 @@ let c_truncated = Metrics.counter "faults_truncated"
 let c_duplicated = Metrics.counter "faults_duplicated"
 let c_delayed = Metrics.counter "faults_delayed"
 let c_crashed = Metrics.counter "faults_crashed"
+let c_straggled = Metrics.counter "faults_straggled"
 
 let count c kind label =
   if Metrics.enabled () then Metrics.incr c;
@@ -162,7 +192,35 @@ let truncate_at prng bytes =
   let n = String.length bytes in
   if n = 0 then bytes else String.sub bytes 0 (Prng.int prng n)
 
-let apply t ~from ~label bytes =
+(* One-shot delay spike: once [s_after] logical messages have completed,
+   the next [s_burst] physical frames (retransmissions included) matching
+   the rule's direction/label scope each pay a fixed extra [s_delay_s].
+   The spike is deterministic — no jitter — so a spike chosen to exceed
+   the reliability timeout reliably forces retransmissions, which is what
+   makes an injected straggler detectable from [waited]. *)
+let straggle_extra t ~from ~label =
+  List.fold_left
+    (fun acc ss ->
+      if
+        ss.remaining > 0
+        && t.messages_seen - 1 >= ss.sspec.s_after
+        && (match ss.sspec.s_from with None -> true | Some p -> p = from)
+        && starts_with ~prefix:ss.sspec.s_label_prefix label
+      then begin
+        ss.remaining <- ss.remaining - 1;
+        t.stats <-
+          {
+            t.stats with
+            straggled = t.stats.straggled + 1;
+            injected_delay = t.stats.injected_delay +. ss.sspec.s_delay_s;
+          };
+        count c_straggled "straggle" label;
+        acc +. ss.sspec.s_delay_s
+      end
+      else acc)
+    0.0 t.straggles
+
+let apply_rules t ~from ~label bytes =
   match matching_rule t ~from ~label with
   | None -> [ { bytes; delay = 0.0 } ]
   | Some { rates = r; _ } when not (rates_active r) -> [ { bytes; delay = 0.0 } ]
@@ -211,3 +269,9 @@ let apply t ~from ~label bytes =
             in
             { bytes = !b; delay })
       end
+
+let apply t ~from ~label bytes =
+  let extra = straggle_extra t ~from ~label in
+  let deliveries = apply_rules t ~from ~label bytes in
+  if extra = 0.0 then deliveries
+  else List.map (fun d -> { d with delay = d.delay +. extra }) deliveries

@@ -65,9 +65,38 @@ exception
     before the crash. Converted to the typed
     [Matprod_core.Outcome.Crashed] by [Outcome.guard]. *)
 
+(** {1 Straggle events}
+
+    Crash rules kill a party; a straggle rule makes a link {e late}. Once
+    [after] logical messages have completed, the next [burst] physical
+    frames (retransmissions included) matching the rule's scope each pay
+    a fixed extra [delay_s] of simulated latency. A spike larger than the
+    reliability layer's timeout forces retransmissions, so the link
+    completes — intact, eventually — while accumulating honest simulated
+    waiting; that is exactly the signature a fleet deadline uses to flag a
+    straggling worker (docs/ROBUSTNESS.md). One-shot like crash rules:
+    once the burst is spent the wire is fast again, so a journal resume
+    (or a plain retry) does not pay the spike twice. *)
+
+type straggle
+
+val straggle :
+  ?from:Transcript.party ->
+  ?label_prefix:string ->
+  ?after:int ->
+  ?burst:int ->
+  delay_s:float ->
+  unit ->
+  straggle
+(** [after] (default 0) counts completed logical messages before the spike
+    arms; [burst] (default 1) is how many physical frames the spike hits;
+    [delay_s] must be > 0 — deterministic, no jitter, so tests can place it
+    exactly relative to the retransmission timeout. *)
+
 type t
 
-val create : ?crashes:crash list -> seed:int -> rule list -> t
+val create :
+  ?crashes:crash list -> ?straggles:straggle list -> seed:int -> rule list -> t
 (** First matching rule wins; a message matching no rule passes intact. *)
 
 val uniform : seed:int -> rates -> t
@@ -80,6 +109,17 @@ val crash_only : party:Transcript.party -> at:crash_site -> t
 (** A model with no byte faults and one crash rule — the wire stays
     byte-for-byte transparent until the victim dies. *)
 
+val straggle_only :
+  ?from:Transcript.party ->
+  ?label_prefix:string ->
+  ?after:int ->
+  ?burst:int ->
+  delay_s:float ->
+  unit ->
+  t
+(** A model with no byte faults and one straggle rule: every frame passes
+    intact, but the spiked ones arrive late. *)
+
 val check_crash : t -> from:Transcript.party -> label:string -> unit
 (** Called by {!Channel.send} once per logical message before transmission:
     raises {!Party_crash} if an unfired crash rule triggers for this
@@ -87,9 +127,10 @@ val check_crash : t -> from:Transcript.party -> label:string -> unit
     [faults_crashed] counter and a [fault.crash] trace event when firing. *)
 
 val is_active : t -> bool
-(** Whether any rule carries a nonzero probability. The channel engages
-    the reliability layer (framing, acks, retries) only on an active
-    model, so an inert one leaves transcripts byte-for-byte unchanged. *)
+(** Whether any rule carries a nonzero probability or a straggle rule is
+    present. The channel engages the reliability layer (framing, acks,
+    retries) only on an active model, so an inert one leaves transcripts
+    byte-for-byte unchanged. *)
 
 (** Cumulative injection counts since [create]. *)
 type stats = {
@@ -99,6 +140,7 @@ type stats = {
   duplicated : int;
   delayed : int;
   crashed : int;  (** crash rules fired *)
+  straggled : int;  (** frames hit by a straggle spike *)
   injected_delay : float;  (** total injected delay, seconds *)
 }
 

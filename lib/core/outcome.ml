@@ -32,6 +32,36 @@ let error_to_string = function
 
 let pp_error ppf e = Format.pp_print_string ppf (error_to_string e)
 
+(* --- degraded success -------------------------------------------------- *)
+
+type degradation = {
+  survivors : int;
+  parties : int;
+  coverage : float;
+  bound_factor : float;
+}
+
+type 'a graded = Full of 'a | Degraded of 'a * degradation
+
+let degradation ~survivors ~parties ~coverage =
+  if survivors < 0 || parties <= 0 || survivors > parties then
+    invalid_arg "Outcome.degradation: need 0 <= survivors <= parties";
+  if not (coverage > 0.0 && coverage <= 1.0) then
+    invalid_arg "Outcome.degradation: coverage must be in (0, 1]";
+  { survivors; parties; coverage; bound_factor = 1.0 /. coverage }
+
+let graded_value = function Full v | Degraded (v, _) -> v
+let is_degraded = function Full _ -> false | Degraded _ -> true
+
+let degradation_to_string d =
+  Printf.sprintf "%d/%d links, %.0f%% row coverage, bound x%.2f" d.survivors
+    d.parties (100.0 *. d.coverage) d.bound_factor
+
+let pp_graded pp_v ppf = function
+  | Full v -> pp_v ppf v
+  | Degraded (v, d) ->
+      Format.fprintf ppf "%a [degraded: %s]" pp_v v (degradation_to_string d)
+
 type diagnostics = {
   bits : int;
   rounds : int;

@@ -30,6 +30,43 @@ type error =
 val error_to_string : error -> string
 val pp_error : Format.formatter -> error -> unit
 
+(** {1 Degraded success}
+
+    A fleet (coordinator + k workers, [Matprod_topology.Fleet])
+    widens the trichotomy by one honest outcome: when only a quorum
+    [q <= k] of shard links survives, the coordinator still answers —
+    the surviving merge is a valid estimate of the statistic restricted
+    to the surviving rows — but the result is {e flagged} with how much
+    of the input it covers. [Degraded] is only legal when some link was
+    actually lost ([survivors < parties]); a full fleet must answer
+    [Full]. *)
+
+type degradation = {
+  survivors : int;  (** links that delivered a shard answer *)
+  parties : int;  (** fleet size k *)
+  coverage : float;  (** fraction of input rows the answer covers, in (0,1] *)
+  bound_factor : float;
+      (** multiplier on the estimator's error guarantee when the degraded
+          answer is extrapolated to the full input under a uniform-mass
+          assumption: [1 / coverage]. On the surviving rows themselves the
+          original guarantee holds unwidened. *)
+}
+
+type 'a graded = Full of 'a | Degraded of 'a * degradation
+
+val degradation :
+  survivors:int -> parties:int -> coverage:float -> degradation
+(** Smart constructor: validates ranges and derives [bound_factor].
+    Raises [Invalid_argument] on [coverage] outside (0, 1] or
+    [survivors] outside [0, parties]. *)
+
+val graded_value : 'a graded -> 'a
+val is_degraded : 'a graded -> bool
+val degradation_to_string : degradation -> string
+
+val pp_graded :
+  (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a graded -> unit
+
 (** What a run cost and what the wire did to it. *)
 type diagnostics = {
   bits : int;  (** transcript bits, retransmissions and acks included *)

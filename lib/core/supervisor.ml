@@ -80,8 +80,8 @@ let reseed_seed ~seed i = seed + (104729 * i)
 (* How the journal/replay machinery is armed for one attempt. *)
 type mode = Plain | Record of string | Resume_journal of string * Journal.t
 
-let run ?(policy = default_policy) ?journal ?wire ?(fallbacks = []) ~seed
-    ~protocol f =
+let run ?(policy = default_policy) ?journal ?wire ?names ?(fallbacks = [])
+    ~seed ~protocol f =
   let attempts = ref [] in
   let fresh_bits = ref 0 and fresh_rounds = ref 0 in
   let saved = ref 0 in
@@ -120,7 +120,11 @@ let run ?(policy = default_policy) ?journal ?wire ?(fallbacks = []) ~seed
           ("attempt", Json.Int !attempt_no);
         ]
     @@ fun () ->
-    let ctx = Ctx.create ~seed in
+    let ctx =
+      match names with
+      | None -> Ctx.create ~seed
+      | Some names -> Ctx.create_named ~names ~seed
+    in
     let result =
       Outcome.guard (fun () ->
           (match mode with

@@ -84,6 +84,7 @@ val run :
   ?policy:policy ->
   ?journal:string ->
   ?wire:(attempt:int -> Matprod_comm.Ctx.t -> unit) ->
+  ?names:(Matprod_comm.Transcript.party -> string) ->
   ?fallbacks:(string * (Matprod_comm.Ctx.t -> 'r)) list ->
   seed:int ->
   protocol:string ->
@@ -94,6 +95,9 @@ val run :
     ladder goes straight to Reseed). [?wire] installs the fault model for
     each attempt — it receives the 1-based attempt number, so a test can
     crash only the first attempt the way a real transient crash would.
+    [?names] renames the wire roles for observability on every attempt's
+    context (see {!Matprod_comm.Ctx.create}) — the fleet supervisor passes
+    ["worker<i>"]/["coordinator"].
     Fallbacks run at the original seed under the same wire. The error on
     [Error] is the last rung's typed error, or {!Outcome.Budget_exhausted}
     when the budget gated further rungs. Never raises on wire/crash/

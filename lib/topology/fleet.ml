@@ -1,0 +1,379 @@
+module Bmat = Matprod_matrix.Bmat
+module Imat = Matprod_matrix.Imat
+module Ctx = Matprod_comm.Ctx
+module Transcript = Matprod_comm.Transcript
+module Estimator = Matprod_core.Estimator
+module Outcome = Matprod_core.Outcome
+module Supervisor = Matprod_core.Supervisor
+module Engine = Matprod_engine.Engine
+module Metrics = Matprod_obs.Metrics
+module Trace = Matprod_obs.Trace
+module Json = Matprod_obs.Json
+
+type link_policy = {
+  max_resumes : int;
+  max_reseeds : int;
+  deadline_s : float option;
+}
+
+let default_link_policy = { max_resumes = 2; max_reseeds = 1; deadline_s = None }
+
+type config = {
+  workers : int;
+  quorum : int;
+  seed : int;
+  link_policy : link_policy;
+  journal : string option;
+}
+
+let config ?quorum ?(link_policy = default_link_policy) ?journal ~workers ~seed
+    () =
+  if workers < 1 then invalid_arg "Fleet.config: workers must be >= 1";
+  let quorum = Option.value quorum ~default:workers in
+  if quorum < 1 || quorum > workers then
+    invalid_arg "Fleet.config: quorum must be in [1, workers]";
+  { workers; quorum; seed; link_policy; journal }
+
+type link_report = {
+  rank : int;
+  range : Shard.range;
+  attempts : Supervisor.attempt list;
+  answer : (Estimator.comparable, Outcome.error) result;
+  fresh_bits : int;
+  fresh_rounds : int;
+  resume_bits_saved : int;
+  straggled : bool;
+}
+
+type report = {
+  answer : Estimator.comparable Outcome.graded;
+  links : link_report list;
+  survivors : int;
+  coverage : float;
+  fresh_bits : int;
+  fresh_rounds : int;
+  resume_bits_saved : int;
+}
+
+let c_links = Metrics.counter "fleet_links"
+let c_link_failures = Metrics.counter "fleet_link_failures"
+let c_stragglers = Metrics.counter "fleet_stragglers"
+let c_degraded = Metrics.counter "fleet_degraded"
+let c_giveups = Metrics.counter "fleet_giveups"
+
+let link_names rank = function
+  | Transcript.Alice -> Printf.sprintf "worker%d" rank
+  | Transcript.Bob -> "coordinator"
+
+(* Journal filenames derive from the estimator's registry name; keep them
+   shell-friendly. *)
+let sanitize name =
+  String.map (fun c -> if c = ' ' || c = '=' || c = '/' then '-' else c) name
+
+(* One link: the per-link supervisor ladder around [body], with straggler
+   detection folded into the guarded body — a late answer is discarded
+   and the ladder escalates exactly as for a crash, so the next rung is a
+   journal resume that replays the delivered prefix without re-paying the
+   delay spike. *)
+let run_link ~cfg ~wire ~protocol ~rank ~(range : Shard.range) ~body =
+  let straggled = ref false in
+  let deadline_body ctx =
+    let v = body ctx in
+    (match cfg.link_policy.deadline_s with
+    | None -> ()
+    | Some d ->
+        let diag = Outcome.diagnostics_of_ctx ctx in
+        if diag.Outcome.waited > d then begin
+          straggled := true;
+          if Metrics.enabled () then Metrics.incr c_stragglers;
+          if Trace.enabled () then
+            Trace.event ~name:"fleet.straggler"
+              ~attrs:
+                [
+                  ("rank", Json.Int rank);
+                  ("waited", Json.Float diag.Outcome.waited);
+                  ("deadline", Json.Float d);
+                ]
+              ();
+          failwith
+            (Printf.sprintf
+               "straggler: worker %d waited %.3fs > deadline %.3fs" rank
+               diag.Outcome.waited d)
+        end);
+    v
+  in
+  let policy =
+    Supervisor.policy ~max_resumes:cfg.link_policy.max_resumes
+      ~max_reseeds:cfg.link_policy.max_reseeds ()
+  in
+  let journal =
+    Option.map (fun base -> Printf.sprintf "%s.worker%d" base rank) cfg.journal
+  in
+  let wire = Option.map (fun f ~attempt ctx -> f ~rank ~attempt ctx) wire in
+  if Metrics.enabled () then Metrics.incr c_links;
+  let result =
+    Metrics.in_scope (Printf.sprintf "link%d" rank) @@ fun () ->
+    Trace.with_span ~name:"fleet.link"
+      ~attrs:
+        [
+          ("rank", Json.Int rank);
+          ("rows", Json.Int range.Shard.length);
+          ("protocol", Json.String protocol);
+        ]
+    @@ fun () ->
+    Supervisor.run ~policy ?journal ?wire ~names:(link_names rank)
+      ~seed:cfg.seed
+      ~protocol:(Printf.sprintf "%s@worker%d" protocol rank)
+      deadline_body
+  in
+  if Metrics.enabled () then (
+    match result with
+    | Error _ -> Metrics.incr c_link_failures
+    | Ok _ -> ());
+  (result, !straggled)
+
+(* Quorum decision shared by the estimator and engine fleets: [merge]
+   sees only the surviving (rank, range, output) parts, so a degraded
+   answer is by construction the full-fleet merge restricted to the
+   surviving links. *)
+let decide ~cfg ~rows ~merge links_out =
+  let answered =
+    List.filter_map
+      (fun (rank, range, res) ->
+        match res with
+        | Ok (rep : _ Supervisor.report) ->
+            Some (rank, range, rep.Supervisor.output)
+        | Error _ -> None)
+      links_out
+  in
+  let survivors = List.length answered in
+  if survivors >= cfg.quorum then begin
+    let merged = merge answered in
+    if survivors = cfg.workers then Ok (Outcome.Full merged, survivors, 1.0)
+    else begin
+      let coverage =
+        Shard.coverage ~rows (List.map (fun (_, range, _) -> range) answered)
+      in
+      if Metrics.enabled () then Metrics.incr c_degraded;
+      if Trace.enabled () then
+        Trace.event ~name:"fleet.degraded"
+          ~attrs:
+            [
+              ("survivors", Json.Int survivors);
+              ("workers", Json.Int cfg.workers);
+              ("coverage", Json.Float coverage);
+            ]
+          ();
+      let d = Outcome.degradation ~survivors ~parties:cfg.workers ~coverage in
+      Ok (Outcome.Degraded (merged, d), survivors, coverage)
+    end
+  end
+  else begin
+    if Metrics.enabled () then Metrics.incr c_giveups;
+    if Trace.enabled () then
+      Trace.event ~name:"fleet.give_up"
+        ~attrs:
+          [
+            ("survivors", Json.Int survivors);
+            ("quorum", Json.Int cfg.quorum);
+          ]
+        ();
+    let last_err =
+      List.fold_left
+        (fun acc (_, _, res) ->
+          match res with Error e -> Some e | Ok _ -> acc)
+        None links_out
+    in
+    match last_err with
+    | Some e -> Error e
+    | None -> Error (Outcome.Protocol_failure "fleet: quorum unsatisfiable")
+  end
+
+let fleet_span ~cfg ~protocol f =
+  Trace.with_span ~name:"fleet.run"
+    ~attrs:
+      [
+        ("workers", Json.Int cfg.workers);
+        ("quorum", Json.Int cfg.quorum);
+        ("protocol", Json.String protocol);
+      ]
+    f
+
+let run ?wire cfg packed ~a ~b =
+  match
+    Outcome.guard (fun () ->
+        (Bmat.rows a, Shard.ranges ~rows:(Bmat.rows a) ~workers:cfg.workers))
+  with
+  | Error e -> Error e
+  | Ok (rows, ranges) -> (
+      let protocol = sanitize (Estimator.name packed) in
+      fleet_span ~cfg ~protocol @@ fun () ->
+      let links_raw =
+        Array.to_list
+          (Array.mapi
+             (fun rank range ->
+               let shard_a = Shard.slice a range in
+               let body ctx =
+                 Estimator.run_default packed ctx ~a:shard_a ~b
+               in
+               let result, straggled =
+                 run_link ~cfg ~wire ~protocol ~rank ~range ~body
+               in
+               (rank, range, result, straggled))
+             ranges)
+      in
+      let links =
+        List.map
+          (fun (rank, range, result, straggled) ->
+            match result with
+            | Ok (rep : _ Supervisor.report) ->
+                {
+                  rank;
+                  range;
+                  attempts = rep.Supervisor.attempts;
+                  answer = Ok rep.Supervisor.output;
+                  fresh_bits = rep.Supervisor.fresh_bits;
+                  fresh_rounds = rep.Supervisor.fresh_rounds;
+                  resume_bits_saved = rep.Supervisor.resume_bits_saved;
+                  straggled;
+                }
+            | Error e ->
+                {
+                  rank;
+                  range;
+                  attempts = [];
+                  answer = Error e;
+                  fresh_bits = 0;
+                  fresh_rounds = 0;
+                  resume_bits_saved = 0;
+                  straggled;
+                })
+          links_raw
+      in
+      let merge parts =
+        Merge.merge ~name:(Estimator.name packed) ~seed:cfg.seed
+          (List.map
+             (fun (rank, range, value) -> { Merge.rank; range; value })
+             parts)
+      in
+      match
+        Outcome.guard (fun () ->
+            decide ~cfg ~rows ~merge
+              (List.map
+                 (fun (rank, range, res, _) -> (rank, range, res))
+                 links_raw))
+      with
+      | Error e | Ok (Error e) -> Error e
+      | Ok (Ok (answer, survivors, coverage)) ->
+          Ok
+            {
+              answer;
+              links;
+              survivors;
+              coverage;
+              fresh_bits =
+                List.fold_left
+                  (fun acc (l : link_report) -> acc + l.fresh_bits)
+                  0 links;
+              fresh_rounds =
+                List.fold_left
+                  (fun acc (l : link_report) -> max acc l.fresh_rounds)
+                  0 links;
+              resume_bits_saved =
+                List.fold_left
+                  (fun acc (l : link_report) -> acc + l.resume_bits_saved)
+                  0 links;
+            })
+
+type batch_link = {
+  b_rank : int;
+  b_range : Shard.range;
+  b_attempts : Supervisor.attempt list;
+  b_answers : (Engine.answer array, Outcome.error) result;
+}
+
+type batch_report = {
+  batch_answers : Engine.answer array Outcome.graded;
+  batch_links : batch_link list;
+  batch_survivors : int;
+  batch_coverage : float;
+  batch_fresh_bits : int;
+}
+
+let run_batch ?wire cfg engine queries ~a ~b =
+  match
+    Outcome.guard (fun () ->
+        if queries = [] then invalid_arg "Fleet.run_batch: empty batch";
+        (Bmat.rows a, Shard.ranges ~rows:(Bmat.rows a) ~workers:cfg.workers))
+  with
+  | Error e -> Error e
+  | Ok (rows, ranges) -> (
+      let protocol = "engine-batch" in
+      fleet_span ~cfg ~protocol @@ fun () ->
+      let bi = Imat.of_bmat b in
+      let links_raw =
+        Array.to_list
+          (Array.mapi
+             (fun rank range ->
+               let ai = Imat.of_bmat (Shard.slice a range) in
+               let body ctx =
+                 (Engine.run engine ctx ~a:ai ~b:bi queries).Engine.answers
+               in
+               let result, _ =
+                 run_link ~cfg ~wire ~protocol ~rank ~range ~body
+               in
+               (rank, range, result))
+             ranges)
+      in
+      let nq = List.length queries in
+      let merge parts =
+        Array.of_list
+          (List.mapi
+             (fun qi q ->
+               Engine.merge_answers ~seed:cfg.seed ~rows q
+                 (List.map
+                    (fun (_, (range : Shard.range), answers) ->
+                      if Array.length answers <> nq then
+                        invalid_arg "Fleet.run_batch: ragged link answers";
+                      (range.Shard.offset, range.Shard.length, answers.(qi)))
+                    parts))
+             queries)
+      in
+      match Outcome.guard (fun () -> decide ~cfg ~rows ~merge links_raw) with
+      | Error e | Ok (Error e) -> Error e
+      | Ok (Ok (batch_answers, batch_survivors, batch_coverage)) ->
+          let batch_links =
+            List.map
+              (fun (rank, range, result) ->
+                match result with
+                | Ok (rep : _ Supervisor.report) ->
+                    {
+                      b_rank = rank;
+                      b_range = range;
+                      b_attempts = rep.Supervisor.attempts;
+                      b_answers = Ok rep.Supervisor.output;
+                    }
+                | Error e ->
+                    {
+                      b_rank = rank;
+                      b_range = range;
+                      b_attempts = [];
+                      b_answers = Error e;
+                    })
+              links_raw
+          in
+          Ok
+            {
+              batch_answers;
+              batch_links;
+              batch_survivors;
+              batch_coverage;
+              batch_fresh_bits =
+                List.fold_left
+                  (fun acc (_, _, result) ->
+                    match result with
+                    | Ok (rep : _ Supervisor.report) ->
+                        acc + rep.Supervisor.fresh_bits
+                    | Error _ -> acc)
+                  0 links_raw;
+            })

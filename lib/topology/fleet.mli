@@ -1,0 +1,137 @@
+(** Coordinator + k workers over the two-party machinery.
+
+    Rows of A — the output rows of C = A·B — are sharded contiguously
+    across [k] workers ({!Shard}); B is replicated at the coordinator.
+    Each coordinator↔worker link is an independent {!Matprod_comm.Channel}
+    running the {e unmodified} two-party protocol of any registered
+    estimator on (A⟨i⟩, B), with the worker in the A-role and the
+    coordinator in the B-role, at the fleet seed (a common random string
+    across the fleet, Newman-style — all links share one hash family).
+    Per-link chaos comes for free: each link carries its own
+    {!Matprod_comm.Fault} rules, {!Matprod_comm.Reliable} retransmission,
+    and write-ahead {!Matprod_comm.Journal}.
+
+    The fleet supervisor generalises the Resume→Reseed→Degrade→Give-up
+    ladder to {e partial} failure. Per link, a {!Matprod_core.Supervisor}
+    climbs Resume (journal fast-forward at the same seed) then Reseed; a
+    link whose answer arrives but whose simulated waiting exceeds the
+    per-worker deadline is flagged a {e straggler} and sent up the same
+    ladder — a journal resume replays the already-delivered prefix without
+    re-paying the delay spike, which is why resume beats rerun for late
+    workers just as it does for crashed ones. Fleet-level:
+
+    - every link answered → [Full] merged answer ({!Merge} — exact,
+      because shard products occupy disjoint row blocks of C);
+    - at least [quorum] links answered → [Degraded] merged answer over
+      the survivors, tagged with coverage (surviving row fraction) and
+      the widened extrapolation bound ({!Matprod_core.Outcome.degradation});
+    - fewer → the last link's typed error. Never an unflagged wrong
+      answer.
+
+    Observability: metrics scope [link<i>] per link (containing the
+    supervisor's per-attempt scopes, which contain the channel's
+    per-party [worker<i>]/[coordinator] scopes), counters [fleet_links],
+    [fleet_link_failures], [fleet_stragglers], [fleet_degraded],
+    [fleet_giveups], and a [fleet.link] span per link. *)
+
+type link_policy = {
+  max_resumes : int;  (** per-link journal resumes (needs [journal]) *)
+  max_reseeds : int;  (** per-link fresh-seed reruns *)
+  deadline_s : float option;
+      (** straggler deadline on a link's simulated waiting
+          (retransmission timeouts + injected delay), seconds *)
+}
+
+val default_link_policy : link_policy
+(** 2 resumes, 1 reseed, no deadline. *)
+
+type config = {
+  workers : int;
+  quorum : int;  (** minimum surviving links for an answer, in [1, workers] *)
+  seed : int;
+  link_policy : link_policy;
+  journal : string option;
+      (** base path; link [i] journals to ["<base>.worker<i>"] and the
+          Resume rung becomes available per link *)
+}
+
+val config :
+  ?quorum:int ->
+  ?link_policy:link_policy ->
+  ?journal:string ->
+  workers:int ->
+  seed:int ->
+  unit ->
+  config
+(** [quorum] defaults to [workers] (no degraded answers). Raises
+    [Invalid_argument] on [workers < 1] or [quorum] outside
+    [1, workers]. *)
+
+type link_report = {
+  rank : int;
+  range : Shard.range;
+  attempts : Matprod_core.Supervisor.attempt list;
+      (** the link's ladder, in execution order ([] if the supervisor gave
+          up before producing a report) *)
+  answer : (Matprod_core.Estimator.comparable, Matprod_core.Outcome.error) result;
+  fresh_bits : int;
+  fresh_rounds : int;
+  resume_bits_saved : int;
+  straggled : bool;  (** some attempt tripped the straggler deadline *)
+}
+
+type report = {
+  answer : Matprod_core.Estimator.comparable Matprod_core.Outcome.graded;
+  links : link_report list;  (** rank order, failures included *)
+  survivors : int;
+  coverage : float;  (** surviving row fraction, 1.0 when [Full] *)
+  fresh_bits : int;  (** summed over answered links *)
+  fresh_rounds : int;  (** max over answered links — links run in parallel *)
+  resume_bits_saved : int;
+}
+
+val run :
+  ?wire:(rank:int -> attempt:int -> Matprod_comm.Ctx.t -> unit) ->
+  config ->
+  Matprod_core.Estimator.packed ->
+  a:Matprod_matrix.Bmat.t ->
+  b:Matprod_matrix.Bmat.t ->
+  (report, Matprod_core.Outcome.error) result
+(** Answer the estimator's default query over the fleet. [?wire] arms
+    link [rank]'s channel for each supervisor attempt (1-based), so chaos
+    profiles can crash exactly one worker, straggle exactly one link, or
+    vary by attempt the way transient real-world failures do. Requires
+    [workers <= rows a]. Never raises on wire/crash/precondition
+    failures ({!Matprod_core.Outcome.guard}). *)
+
+(** {1 Batched queries against a fleet}
+
+    The same topology under the {!Matprod_engine.Engine}: each link runs
+    the full batch against its shard (sharing the engine's plan cache
+    across links — same seed, same family, one tabulation), and per-query
+    answers merge by {!Matprod_engine.Engine.merge_answers}. *)
+
+type batch_link = {
+  b_rank : int;
+  b_range : Shard.range;
+  b_attempts : Matprod_core.Supervisor.attempt list;
+  b_answers : (Matprod_engine.Engine.answer array, Matprod_core.Outcome.error) result;
+}
+
+type batch_report = {
+  batch_answers : Matprod_engine.Engine.answer array Matprod_core.Outcome.graded;
+      (** one merged answer per query, in batch order *)
+  batch_links : batch_link list;
+  batch_survivors : int;
+  batch_coverage : float;
+  batch_fresh_bits : int;
+}
+
+val run_batch :
+  ?wire:(rank:int -> attempt:int -> Matprod_comm.Ctx.t -> unit) ->
+  config ->
+  Matprod_engine.Engine.t ->
+  Matprod_engine.Engine.query list ->
+  a:Matprod_matrix.Bmat.t ->
+  b:Matprod_matrix.Bmat.t ->
+  (batch_report, Matprod_core.Outcome.error) result

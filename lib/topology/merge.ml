@@ -1,0 +1,140 @@
+module Prng = Matprod_util.Prng
+module Estimator = Matprod_core.Estimator
+
+type part = {
+  rank : int;
+  range : Shard.range;
+  value : Estimator.comparable;
+}
+
+(* Number answers merge by sum (norm powers, counts, join sizes) except
+   for max-type statistics. Keyed by registry name so a new estimator
+   gets the safe constructor default unless it opts in here. *)
+let max_type_numbers = [ "linf_general" ]
+
+let translate_row offset (r, c, v) = (r + offset, c, v)
+
+let sum_numbers parts =
+  List.fold_left
+    (fun acc p ->
+      match p.value with
+      | Estimator.Number x -> acc +. x
+      | _ -> invalid_arg "Merge: mixed answer shapes")
+    0.0 parts
+
+let max_numbers parts =
+  List.fold_left
+    (fun acc p ->
+      match p.value with
+      | Estimator.Number x -> Float.max acc x
+      | _ -> invalid_arg "Merge: mixed answer shapes")
+    neg_infinity parts
+
+let max_leveled parts =
+  let best =
+    List.fold_left
+      (fun acc p ->
+        match (p.value, acc) with
+        | Estimator.Leveled (e, l), None -> Some (e, l)
+        | Estimator.Leveled (e, l), Some (e', _) when e > e' -> Some (e, l)
+        | Estimator.Leveled _, some -> some
+        | _ -> invalid_arg "Merge: mixed answer shapes")
+      None parts
+  in
+  match best with
+  | Some (e, l) -> Estimator.Leveled (e, l)
+  | None -> invalid_arg "Merge: no parts"
+
+let union_coords parts =
+  let all =
+    List.concat_map
+      (fun p ->
+        match p.value with
+        | Estimator.Coords cs ->
+            List.map (fun (r, c) -> (r + p.range.Shard.offset, c)) cs
+        | _ -> invalid_arg "Merge: mixed answer shapes")
+      parts
+  in
+  Estimator.Coords (List.sort_uniq compare all)
+
+(* Weighted reservoir over the shards that drew a sample: shard i keeps
+   the slot with probability row_i / (rows seen so far). One PRNG draw
+   per present sample, so the choice is a deterministic function of
+   (seed, surviving parts) — a quorum merge consumes exactly the same
+   stream as the full merge restricted to the same survivors. *)
+let pick_sample rng parts extract =
+  let chosen = ref None and total = ref 0 in
+  List.iter
+    (fun p ->
+      match extract p with
+      | None -> ()
+      | Some s ->
+          let w = p.range.Shard.length in
+          total := !total + w;
+          let u = Prng.float rng in
+          if u *. float_of_int !total < float_of_int w then
+            chosen := Some (translate_row p.range.Shard.offset s))
+    parts;
+  !chosen
+
+let pick_one rng parts =
+  pick_sample rng parts (fun p ->
+      match p.value with
+      | Estimator.Sample s -> s
+      | _ -> invalid_arg "Merge: mixed answer shapes")
+
+let pick_slots rng parts =
+  let slots =
+    List.fold_left
+      (fun acc p ->
+        match p.value with
+        | Estimator.Samples ss -> max acc (List.length ss)
+        | _ -> invalid_arg "Merge: mixed answer shapes")
+      0 parts
+  in
+  Estimator.Samples
+    (List.init slots (fun j ->
+         pick_sample rng parts (fun p ->
+             match p.value with
+             | Estimator.Samples ss -> Option.join (List.nth_opt ss j)
+             | _ -> None)))
+
+(* The coordinator holds B and is the client the fleet answers to, so for
+   share answers it reconstructs each shard's exact product C⟨i⟩ =
+   C_A + C_B and returns the merged entries of C. Zero shards cancel to
+   nothing, so the merge is a pure function of the product. *)
+let product_entries parts =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun p ->
+      match p.value with
+      | Estimator.Shares (alice, bob) ->
+          List.iter
+            (fun (r, c, v) ->
+              let key = (r + p.range.Shard.offset, c) in
+              let cur = try Hashtbl.find tbl key with Not_found -> 0 in
+              Hashtbl.replace tbl key (cur + v))
+            (alice @ bob)
+      | _ -> invalid_arg "Merge: mixed answer shapes")
+    parts;
+  let entries =
+    Hashtbl.fold
+      (fun (r, c) v acc -> if v = 0 then acc else (r, c, v) :: acc)
+      tbl []
+  in
+  Estimator.Shares (List.sort compare entries, [])
+
+let merge ~name ~seed parts =
+  if parts = [] then invalid_arg "Merge: no parts";
+  let parts = List.sort (fun a b -> compare a.rank b.rank) parts in
+  let rng = Prng.create (seed lxor 0x6d657267 (* "merg" *)) in
+  match (List.hd parts).value with
+  | Estimator.Number _ ->
+      if List.mem name max_type_numbers then
+        Estimator.Number (max_numbers parts)
+      else Estimator.Number (sum_numbers parts)
+  | Estimator.Leveled _ -> max_leveled parts
+  | Estimator.Coords _ -> union_coords parts
+  | Estimator.Sample _ -> Estimator.Sample (pick_one rng parts)
+  | Estimator.Samples _ -> pick_slots rng parts
+  | Estimator.Shares _ -> product_entries parts

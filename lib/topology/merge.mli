@@ -1,0 +1,43 @@
+(** Typed merge of per-shard estimator answers into a fleet answer.
+
+    Worker [i] answers the estimator on (A⟨i⟩, B), where A⟨i⟩ is its
+    compact row shard; since the shard products C⟨i⟩ = A⟨i⟩·B stack on
+    disjoint row blocks of C, the merge is exact per answer shape:
+
+    - {b Number}: sum — ‖C‖_p^p, join sizes and entry counts are sums over
+      row blocks. Exception: max-type statistics (‖C‖_∞, registry name
+      ["linf_general"]) take the max instead.
+    - {b Leveled} (ℓ∞ family): the part with the largest estimate wins,
+      keeping its subsampling level.
+    - {b Coords} (heavy hitters): union, with shard-local row indices
+      translated by the shard offset. Per-shard φ-thresholds are relative
+      to the shard's mass ≤ the global mass, so recall is preserved;
+      precision degrades gracefully (docs/ROBUSTNESS.md).
+    - {b Sample}/{b Samples}: one surviving sample chosen per slot by a
+      seeded weighted draw (weight = shard row count) over the shards that
+      produced one — deterministic in (seed, surviving parts).
+    - {b Shares}: the coordinator is the answering client, so it
+      reconstructs each shard's exact product C⟨i⟩ = C_A + C_B, translates
+      rows, and returns the merged product entries as
+      [Shares (entries, [])].
+
+    Merging is a pure function of the surviving parts (plus [seed] for
+    sample draws): a (k−1)-quorum answer equals the full-fleet merge
+    restricted to the surviving links — the property the topology tests
+    assert for every registered estimator. *)
+
+type part = {
+  rank : int;
+  range : Shard.range;
+  value : Matprod_core.Estimator.comparable;
+}
+
+val merge :
+  name:string ->
+  seed:int ->
+  part list ->
+  Matprod_core.Estimator.comparable
+(** [name] is the registry name of the estimator (selects sum-vs-max for
+    [Number] answers). Parts may arrive in any order; they are merged in
+    rank order. Raises [Invalid_argument] on an empty part list or on
+    parts with mismatched answer shapes. *)

@@ -1,0 +1,32 @@
+module Bmat = Matprod_matrix.Bmat
+
+type range = { offset : int; length : int }
+
+let ranges ~rows ~workers =
+  if workers < 1 then invalid_arg "Shard.ranges: workers must be >= 1";
+  if workers > rows then
+    invalid_arg
+      (Printf.sprintf "Shard.ranges: %d workers for %d rows" workers rows);
+  let base = rows / workers and extra = rows mod workers in
+  let out = Array.make workers { offset = 0; length = 0 } in
+  let offset = ref 0 in
+  for i = 0 to workers - 1 do
+    let length = base + if i < extra then 1 else 0 in
+    out.(i) <- { offset = !offset; length };
+    offset := !offset + length
+  done;
+  out
+
+let slice m r =
+  if r.offset < 0 || r.length < 0 || r.offset + r.length > Bmat.rows m then
+    invalid_arg "Shard.slice: range out of bounds";
+  Bmat.create ~rows:r.length ~cols:(Bmat.cols m)
+    (Array.init r.length (fun j -> Array.copy (Bmat.row m (r.offset + j))))
+
+let coverage ~rows rs =
+  if rows <= 0 then invalid_arg "Shard.coverage: rows must be > 0";
+  let covered = List.fold_left (fun acc r -> acc + r.length) 0 rs in
+  float_of_int covered /. float_of_int rows
+
+let pp_range ppf r =
+  Format.fprintf ppf "[%d, %d)" r.offset (r.offset + r.length)

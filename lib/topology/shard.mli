@@ -1,0 +1,28 @@
+(** Row sharding for the coordinator + k workers topology.
+
+    The fleet shards the {e output rows} of C = A·B: worker [i] owns a
+    contiguous block of A's rows (compactly, as its own smaller matrix),
+    while B is replicated at the coordinator. Because
+    C = [A⟨0⟩; …; A⟨k−1⟩]·B stacks the per-shard products on disjoint row
+    blocks, every row-decomposable statistic of C is an exact merge of the
+    per-shard statistics, and coordinates answered by a worker translate
+    back to global rows by adding the shard's offset ({!Merge}). *)
+
+type range = { offset : int; length : int }
+(** Global rows [offset, offset + length). *)
+
+val ranges : rows:int -> workers:int -> range array
+(** Balanced contiguous partition of [0, rows) into [workers] blocks:
+    sizes differ by at most one (the first [rows mod workers] blocks get
+    the extra row), concatenating in order covers every row exactly once.
+    Raises [Invalid_argument] unless [1 <= workers <= rows]. *)
+
+val slice : Matprod_matrix.Bmat.t -> range -> Matprod_matrix.Bmat.t
+(** The shard's rows as a compact [length × cols] matrix; row [j] of the
+    slice is global row [offset + j]. *)
+
+val coverage : rows:int -> range list -> float
+(** Fraction of the [rows] global rows covered by the given (disjoint)
+    ranges — the degraded-answer coverage of a surviving quorum. *)
+
+val pp_range : Format.formatter -> range -> unit

@@ -1,0 +1,638 @@
+(* Fleet topology tests: shard partitioning, bit-identical shard sketch
+   merges, quorum-degraded answers, and per-link chaos recovery.
+
+   The load-bearing properties (ISSUE 7 / docs/ROBUSTNESS.md):
+
+   - merging k shard sketches reproduces the unsharded sketch bit for bit
+     at the same seed, for every plan/apply family — the determinism the
+     fleet's shared public coins rest on;
+   - a (k-1)-quorum answer equals the full-fleet merge restricted to the
+     surviving links, for every registered estimator;
+   - any single worker crashed or straggling at k >= 4 ends in [Ok] (after
+     journal resume) or a bound-consistent [Degraded] — never an unflagged
+     wrong answer.
+
+   MATPROD_FLEET_RANKS=all sweeps the chaos victim over every rank (CI);
+   the default hits one representative rank to stay quick. *)
+
+module Prng = Matprod_util.Prng
+module Bmat = Matprod_matrix.Bmat
+module Imat = Matprod_matrix.Imat
+module Product = Matprod_matrix.Product
+module Ctx = Matprod_comm.Ctx
+module Fault = Matprod_comm.Fault
+module Transcript = Matprod_comm.Transcript
+module Lp = Matprod_sketch.Lp
+module Countsketch = Matprod_sketch.Countsketch
+module Estimator = Matprod_core.Estimator
+module Registry = Matprod_core.Registry
+module Outcome = Matprod_core.Outcome
+module Supervisor = Matprod_core.Supervisor
+module Engine = Matprod_engine.Engine
+module Workload = Matprod_workload.Workload
+module Shard = Matprod_topology.Shard
+module Merge = Matprod_topology.Merge
+module Fleet = Matprod_topology.Fleet
+
+let check = Alcotest.check
+
+let all_ranks =
+  match Sys.getenv_opt "MATPROD_FLEET_RANKS" with
+  | Some "all" -> true
+  | _ -> false
+
+let chaos_ranks ~workers = if all_ranks then List.init workers Fun.id else [ 1 ]
+
+let bool_pair seed ~n ~density =
+  let rng = Prng.create seed in
+  ( Workload.uniform_bool rng ~rows:n ~cols:n ~density,
+    Workload.uniform_bool rng ~rows:n ~cols:n ~density )
+
+let str c = Format.asprintf "%a" Estimator.pp_comparable c
+
+let with_tmp_journal name k =
+  let path = Filename.temp_file ("matprod_fleet_" ^ name ^ "_") ".journal" in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f ->
+          if
+            String.length f >= String.length (Filename.basename path)
+            && String.sub f 0 (String.length (Filename.basename path))
+               = Filename.basename path
+          then Sys.remove (Filename.concat (Filename.dirname path) f))
+        (Sys.readdir (Filename.dirname path)))
+    (fun () -> k path)
+
+(* ------------------------------------------------------------------ *)
+(* Shard *)
+
+let test_shard_ranges () =
+  for rows = 1 to 40 do
+    for workers = 1 to min rows 7 do
+      let rs = Shard.ranges ~rows ~workers in
+      check Alcotest.int "count" workers (Array.length rs);
+      let covered = Array.fold_left (fun a r -> a + r.Shard.length) 0 rs in
+      check Alcotest.int "partition" rows covered;
+      Array.iteri
+        (fun i r ->
+          if i > 0 then
+            check Alcotest.int "contiguous" r.Shard.offset
+              (rs.(i - 1).Shard.offset + rs.(i - 1).Shard.length))
+        rs;
+      let lens = Array.map (fun r -> r.Shard.length) rs in
+      let mn = Array.fold_left min max_int lens
+      and mx = Array.fold_left max 0 lens in
+      check Alcotest.bool "balanced" true (mx - mn <= 1);
+      check (Alcotest.float 1e-9) "coverage" 1.0
+        (Shard.coverage ~rows (Array.to_list rs))
+    done
+  done;
+  Alcotest.check_raises "too many workers"
+    (Invalid_argument "Shard.ranges: 5 workers for 3 rows") (fun () ->
+      ignore (Shard.ranges ~rows:3 ~workers:5))
+
+let test_shard_slice () =
+  let a, _ = bool_pair 3 ~n:13 ~density:0.4 in
+  let rs = Shard.ranges ~rows:13 ~workers:4 in
+  Array.iter
+    (fun r ->
+      let s = Shard.slice a r in
+      check Alcotest.int "rows" r.Shard.length (Bmat.rows s);
+      for j = 0 to r.Shard.length - 1 do
+        check Alcotest.bool "row content" true
+          (Bmat.row s j = Bmat.row a (r.Shard.offset + j))
+      done)
+    rs
+
+(* ------------------------------------------------------------------ *)
+(* Bit-identical shard sketch merges (satellite 3).
+
+   Worker i builds the SAME sketch family as the unsharded run (same
+   seed), plans it, and sketches the rows of its compact shard; placing
+   each shard's per-row sketches at their global offsets must reproduce
+   the unsharded per-row sketches bit for bit — equivalently, the merge
+   adds exact-zero sketches of the rows the shard does not own. *)
+
+let float_bits_equal x y =
+  Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+
+let lp_value_equal a b =
+  match (a, b) with
+  | Lp.F x, Lp.F y ->
+      Array.length x = Array.length y
+      && Array.for_all2 float_bits_equal x y
+  | Lp.Z x, Lp.Z y -> x = y
+  | _ -> false
+
+let sparse_rows rng ~rows ~cols ~density =
+  Array.init rows (fun _ ->
+      let entries = ref [] in
+      for c = cols - 1 downto 0 do
+        if Prng.float rng < density then
+          entries := (c, 1 + Prng.int rng 9) :: !entries
+      done;
+      Array.of_list !entries)
+
+let qcheck_sketch_merge =
+  let open QCheck in
+  let families =
+    [ ("lp p=0", 0.0); ("lp p=1", 1.0); ("lp p=2", 2.0) ]
+  in
+  List.map
+    (fun (fname, p) ->
+      Test.make
+        ~name:(Printf.sprintf "shard sketches merge bit-identically (%s)" fname)
+        ~count:25
+        (pair (int_bound 10_000) (int_range 2 5))
+        (fun (seed, workers) ->
+          let rows = 11 and cols = 23 in
+          let m =
+            sparse_rows (Prng.create (seed + 1)) ~rows ~cols ~density:0.3
+          in
+          let mk () =
+            let t =
+              Lp.create (Prng.create seed) ~p ~eps:0.5 ~groups:3 ~dim:cols
+            in
+            (t, Lp.plan t ~dim:cols)
+          in
+          let t0, plan0 = mk () in
+          let unsharded =
+            Array.map (fun row -> Lp.sketch_with_plan t0 plan0 row) m
+          in
+          let merged = Array.make rows None in
+          Array.iter
+            (fun r ->
+              (* each worker instantiates the family fresh at the fleet
+                 seed — the shared public coins *)
+              let t, plan = mk () in
+              for j = 0 to r.Shard.length - 1 do
+                merged.(r.Shard.offset + j) <-
+                  Some (Lp.sketch_with_plan t plan m.(r.Shard.offset + j))
+              done)
+            (Shard.ranges ~rows ~workers);
+          Array.for_all2
+            (fun u m ->
+              match m with
+              | Some v -> lp_value_equal u v
+              | None -> false)
+            unsharded merged))
+    families
+  @ [
+      Test.make ~name:"shard sketches merge bit-identically (countsketch)"
+        ~count:25
+        (pair (int_bound 10_000) (int_range 2 5))
+        (fun (seed, workers) ->
+          let rows = 11 and cols = 23 in
+          let m =
+            sparse_rows (Prng.create (seed + 1)) ~rows ~cols ~density:0.3
+          in
+          let mk () =
+            let t = Countsketch.create (Prng.create seed) ~buckets:16 ~reps:3 in
+            (t, Countsketch.plan t ~dim:cols)
+          in
+          let t0, plan0 = mk () in
+          let unsharded =
+            Array.map (fun row -> Countsketch.sketch_with_plan t0 plan0 row) m
+          in
+          let ok = ref true in
+          Array.iter
+            (fun r ->
+              let t, plan = mk () in
+              for j = 0 to r.Shard.length - 1 do
+                let v =
+                  Countsketch.sketch_with_plan t plan m.(r.Shard.offset + j)
+                in
+                if
+                  not
+                    (Array.for_all2 float_bits_equal v
+                       unsharded.(r.Shard.offset + j))
+                then ok := false
+              done)
+            (Shard.ranges ~rows ~workers);
+          !ok);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Outcome.graded (satellite 2) *)
+
+let test_degradation () =
+  let d = Outcome.degradation ~survivors:3 ~parties:4 ~coverage:0.75 in
+  check (Alcotest.float 1e-9) "bound factor" (4.0 /. 3.0) d.Outcome.bound_factor;
+  check Alcotest.bool "is_degraded" true (Outcome.is_degraded (Outcome.Degraded ((), d)));
+  check Alcotest.bool "full" false (Outcome.is_degraded (Outcome.Full ()));
+  check Alcotest.int "value" 7 (Outcome.graded_value (Outcome.Degraded (7, d)));
+  check Alcotest.int "value full" 7 (Outcome.graded_value (Outcome.Full 7));
+  List.iter
+    (fun (s, p, c) ->
+      match Outcome.degradation ~survivors:s ~parties:p ~coverage:c with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "degradation %d/%d cov %g should be rejected" s p c)
+    [ (5, 4, 0.75); (-1, 4, 0.75); (3, 4, 0.0); (3, 4, 1.5) ]
+
+(* ------------------------------------------------------------------ *)
+(* Straggle faults (satellite 1) *)
+
+let test_straggle_validation () =
+  List.iter
+    (fun f ->
+      match f () with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "bad straggle spec should be rejected")
+    [
+      (fun () -> ignore (Fault.straggle ~delay_s:0.0 ()));
+      (fun () -> ignore (Fault.straggle ~delay_s:(-1.0) ()));
+      (fun () -> ignore (Fault.straggle ~after:(-1) ~delay_s:1.0 ()));
+      (fun () -> ignore (Fault.straggle ~burst:0 ~delay_s:1.0 ()));
+    ]
+
+(* A straggle spike larger than the retransmission timeout makes the link
+   late but not lossy: the run completes with the fault-free answer while
+   accumulating honest simulated waiting — and identically so across
+   reruns at the same seed. *)
+let test_straggle_reproducible () =
+  let a, b = bool_pair 11 ~n:24 ~density:0.2 in
+  let packed = Option.get (Registry.find "lp p=1") in
+  let clean =
+    (Ctx.run ~seed:5 (fun ctx -> Estimator.run_default packed ctx ~a ~b))
+      .Ctx.output
+  in
+  let run () =
+    Ctx.run ~seed:5 (fun ctx ->
+        Ctx.install_wire ctx
+          ~fault:(Fault.straggle_only ~after:1 ~burst:2 ~delay_s:5.0 ())
+          ();
+        let out = Estimator.run_default packed ctx ~a ~b in
+        (out, Ctx.wire_stats ctx, Outcome.diagnostics_of_ctx ctx))
+  in
+  let (out1, stats1, diag1) = (run ()).Ctx.output in
+  let (out2, stats2, diag2) = (run ()).Ctx.output in
+  check Alcotest.bool "fault-free answer" true (out1 = clean);
+  check Alcotest.int "frames straggled" 2 stats1.Matprod_comm.Channel.faults.Fault.straggled;
+  check (Alcotest.float 1e-9) "injected delay" 10.0
+    stats1.Matprod_comm.Channel.faults.Fault.injected_delay;
+  check Alcotest.bool "waiting accumulated" true (diag1.Outcome.waited >= 10.0);
+  check Alcotest.bool "reproducible" true
+    (out1 = out2 && stats1 = stats2 && diag1 = diag2)
+
+(* ------------------------------------------------------------------ *)
+(* Fleet: chaos wires *)
+
+let kill_both ~after ctx =
+  Ctx.install_wire ctx
+    ~fault:
+      (Fault.create
+         ~crashes:
+           [
+             { Fault.victim = Transcript.Alice; site = Fault.After_messages after };
+             { Fault.victim = Transcript.Bob; site = Fault.After_messages after };
+           ]
+         ~seed:1 [])
+    ()
+
+let permanent_crash ~victim ~rank ~attempt:_ ctx =
+  if rank = victim then kill_both ~after:0 ctx
+
+let transient_crash ~victim ~rank ~attempt ctx =
+  if rank = victim && attempt = 1 then kill_both ~after:1 ctx
+
+(* [after:0] spikes the very first message's frames, so even one-message
+   protocols (lp oneround) go late. *)
+let transient_straggle ~victim ~rank ~attempt ctx =
+  if rank = victim && attempt = 1 then
+    Ctx.install_wire ctx
+      ~fault:(Fault.straggle_only ~after:0 ~burst:2 ~delay_s:5.0 ())
+      ()
+
+(* ------------------------------------------------------------------ *)
+(* Fleet: exactness against ground truth *)
+
+let test_fleet_exact () =
+  let a, b = bool_pair 21 ~n:19 ~density:0.3 in
+  let c = Product.bool_product a b in
+  let l1 = Product.l1 (Product.int_product (Imat.of_bmat a) (Imat.of_bmat b)) in
+  let cfg = Fleet.config ~workers:4 ~seed:9 () in
+  (match Fleet.run cfg (Option.get (Registry.find "l1_exact")) ~a ~b with
+  | Ok rep -> (
+      match rep.Fleet.answer with
+      | Outcome.Full (Estimator.Number x) ->
+          check (Alcotest.float 1e-9) "l1 exact over fleet" (float_of_int l1) x
+      | _ -> Alcotest.fail "expected Full Number")
+  | Error e -> Alcotest.failf "l1_exact fleet: %s" (Outcome.error_to_string e));
+  match Fleet.run cfg (Option.get (Registry.find "trivial")) ~a ~b with
+  | Ok rep -> (
+      match rep.Fleet.answer with
+      | Outcome.Full (Estimator.Number x) ->
+          check (Alcotest.float 1e-9) "l0 exact over fleet"
+            (float_of_int (Product.nnz c))
+            x
+      | _ -> Alcotest.fail "expected Full Number")
+  | Error e -> Alcotest.failf "trivial fleet: %s" (Outcome.error_to_string e)
+
+(* The full gallery: every registered estimator answers over a clean
+   k = 4 fleet with a Full, deterministic answer. *)
+let test_fleet_gallery () =
+  let a, b = bool_pair 31 ~n:17 ~density:0.35 in
+  let cfg = Fleet.config ~workers:4 ~seed:7 () in
+  List.iter
+    (fun packed ->
+      let name = Estimator.name packed in
+      match (Fleet.run cfg packed ~a ~b, Fleet.run cfg packed ~a ~b) with
+      | Ok r1, Ok r2 ->
+          check Alcotest.bool (name ^ ": full") false
+            (Outcome.is_degraded r1.Fleet.answer);
+          check Alcotest.int (name ^ ": survivors") 4 r1.Fleet.survivors;
+          check Alcotest.bool (name ^ ": deterministic") true
+            (r1.Fleet.answer = r2.Fleet.answer)
+      | Error e, _ | _, Error e ->
+          Alcotest.failf "%s: %s" name (Outcome.error_to_string e))
+    (Registry.all ())
+
+(* (k-1)-quorum: for EVERY estimator, permanently crash one worker at
+   quorum k-1 and require a Degraded answer equal to the full-fleet merge
+   restricted to the surviving links. *)
+let test_quorum_equivalence () =
+  let a, b = bool_pair 41 ~n:17 ~density:0.35 in
+  let workers = 4 in
+  let cfg = Fleet.config ~workers ~quorum:(workers - 1) ~seed:7 () in
+  List.iter
+    (fun packed ->
+      let name = Estimator.name packed in
+      let full =
+        match Fleet.run cfg packed ~a ~b with
+        | Ok r -> r
+        | Error e -> Alcotest.failf "%s full: %s" name (Outcome.error_to_string e)
+      in
+      List.iter
+        (fun victim ->
+          let expected =
+            Merge.merge ~name ~seed:7
+              (List.filter_map
+                 (fun (l : Fleet.link_report) ->
+                   if l.Fleet.rank = victim then None
+                   else
+                     match l.Fleet.answer with
+                     | Ok value ->
+                         Some
+                           { Merge.rank = l.Fleet.rank; range = l.Fleet.range; value }
+                     | Error _ -> None)
+                 full.Fleet.links)
+          in
+          let wire ~rank ~attempt ctx =
+            permanent_crash ~victim ~rank ~attempt ctx
+          in
+          match Fleet.run ~wire cfg packed ~a ~b with
+          | Error e ->
+              Alcotest.failf "%s victim %d: %s" name victim
+                (Outcome.error_to_string e)
+          | Ok rep -> (
+              check Alcotest.int
+                (Printf.sprintf "%s victim %d survivors" name victim)
+                (workers - 1) rep.Fleet.survivors;
+              match rep.Fleet.answer with
+              | Outcome.Full _ ->
+                  Alcotest.failf "%s victim %d: lost link must degrade" name
+                    victim
+              | Outcome.Degraded (v, d) ->
+                  check Alcotest.int "degradation survivors" (workers - 1)
+                    d.Outcome.survivors;
+                  check Alcotest.int "degradation parties" workers
+                    d.Outcome.parties;
+                  check (Alcotest.float 1e-9) "bound factor"
+                    (1.0 /. d.Outcome.coverage)
+                    d.Outcome.bound_factor;
+                  if v <> expected then
+                    Alcotest.failf "%s victim %d: got %s want %s" name victim
+                      (str v) (str expected)))
+        (chaos_ranks ~workers))
+    (Registry.all ())
+
+(* Chaos gallery: every estimator, one worker hit by a transient crash or
+   a straggle spike, with per-link journals armed. The ladder must bring
+   the fleet back to the clean Full answer — resume replays the journaled
+   prefix at the same seed, so even sampling estimators reproduce. *)
+let test_chaos_gallery () =
+  let a, b = bool_pair 51 ~n:17 ~density:0.35 in
+  let workers = 4 in
+  with_tmp_journal "gallery" @@ fun base ->
+  let lp = { Fleet.default_link_policy with Fleet.deadline_s = Some 0.5 } in
+  let cfg =
+    Fleet.config ~workers ~quorum:(workers - 1) ~link_policy:lp ~journal:base
+      ~seed:7 ()
+  in
+  let chaos =
+    [ ("transient-crash", transient_crash); ("straggle", transient_straggle) ]
+  in
+  List.iter
+    (fun packed ->
+      let name = Estimator.name packed in
+      let clean =
+        match Fleet.run cfg packed ~a ~b with
+        | Ok r -> Outcome.graded_value r.Fleet.answer
+        | Error e -> Alcotest.failf "%s clean: %s" name (Outcome.error_to_string e)
+      in
+      List.iter
+        (fun victim ->
+          List.iter
+            (fun (kind, inject) ->
+              let wire ~rank ~attempt ctx =
+                inject ~victim ~rank ~attempt ctx
+              in
+              match Fleet.run ~wire cfg packed ~a ~b with
+              | Error e ->
+                  Alcotest.failf "%s %s victim %d: %s" name kind victim
+                    (Outcome.error_to_string e)
+              | Ok rep ->
+                  (* never an unflagged wrong answer: a Full answer must
+                     equal the clean fleet's, a Degraded one must say so *)
+                  (match rep.Fleet.answer with
+                  | Outcome.Full v ->
+                      if v <> clean then
+                        Alcotest.failf "%s %s victim %d: got %s want %s" name
+                          kind victim (str v) (str clean)
+                  | Outcome.Degraded _ ->
+                      Alcotest.failf
+                        "%s %s victim %d: transient chaos must recover" name
+                        kind victim);
+                  if kind = "straggle" then begin
+                    let l = List.nth rep.Fleet.links victim in
+                    check Alcotest.bool
+                      (Printf.sprintf "%s victim %d straggled flag" name victim)
+                      true l.Fleet.straggled;
+                    check Alcotest.bool
+                      (Printf.sprintf "%s victim %d retried" name victim)
+                      true
+                      (List.length l.Fleet.attempts >= 2)
+                  end)
+            chaos)
+        (chaos_ranks ~workers))
+    (Registry.all ())
+
+(* Straggler economics: the resumed attempt replays the journaled prefix
+   for free, so recovery costs strictly less than a fresh rerun. *)
+let test_straggler_resume_saves_bits () =
+  let a, b = bool_pair 61 ~n:24 ~density:0.3 in
+  let packed = Option.get (Registry.find "lp p=1") in
+  with_tmp_journal "straggler" @@ fun base ->
+  let lp = { Fleet.default_link_policy with Fleet.deadline_s = Some 0.5 } in
+  let cfg = Fleet.config ~workers:4 ~link_policy:lp ~journal:base ~seed:7 () in
+  let wire ~rank ~attempt ctx =
+    transient_straggle ~victim:1 ~rank ~attempt ctx
+  in
+  match Fleet.run ~wire cfg packed ~a ~b with
+  | Error e -> Alcotest.failf "straggler fleet: %s" (Outcome.error_to_string e)
+  | Ok rep ->
+      let l = List.nth rep.Fleet.links 1 in
+      check Alcotest.bool "straggled" true l.Fleet.straggled;
+      let resumed =
+        List.exists
+          (fun (at : Supervisor.attempt) -> at.Supervisor.rung = Supervisor.Resume)
+          l.Fleet.attempts
+      in
+      check Alcotest.bool "recovered via resume" true resumed;
+      check Alcotest.bool "resume replayed bits" true
+        (rep.Fleet.resume_bits_saved > 0)
+
+let test_quorum_sweep () =
+  let a, b = bool_pair 71 ~n:16 ~density:0.3 in
+  let packed = Option.get (Registry.find "lp p=0") in
+  let workers = 4 in
+  let wire ~rank ~attempt ctx =
+    permanent_crash ~victim:1 ~rank ~attempt ctx;
+    permanent_crash ~victim:3 ~rank ~attempt ctx
+  in
+  List.iter
+    (fun (quorum, expect_ok) ->
+      let cfg = Fleet.config ~workers ~quorum ~seed:7 () in
+      match Fleet.run ~wire cfg packed ~a ~b with
+      | Ok rep ->
+          if not expect_ok then
+            Alcotest.failf "quorum %d should fail with 2 dead links" quorum;
+          check Alcotest.int "survivors" 2 rep.Fleet.survivors;
+          check Alcotest.bool "degraded" true
+            (Outcome.is_degraded rep.Fleet.answer);
+          check (Alcotest.float 1e-9) "coverage" 0.5 rep.Fleet.coverage
+      | Error e ->
+          if expect_ok then
+            Alcotest.failf "quorum %d should answer: %s" quorum
+              (Outcome.error_to_string e);
+          (match e with
+          | Outcome.Crashed _ -> ()
+          | other ->
+              Alcotest.failf "expected Crashed, got %s"
+                (Outcome.error_to_string other)))
+    [ (2, true); (3, false); (4, false) ]
+
+(* ------------------------------------------------------------------ *)
+(* Fleet: batched engine queries *)
+
+let batch_queries =
+  [
+    Engine.Norm_pow { p = 1.0; eps = 0.25 };
+    Engine.Row_norms { p = 0.0; beta = 0.5 };
+    Engine.Top_rows { p = 1.0; beta = 0.5; k = 3 };
+    Engine.L0_sample { eps = 0.25; count = 2 };
+    Engine.Heavy_hitters { phi = 0.05; eps = 0.02 };
+    Engine.Exact_product;
+  ]
+
+let dense_product a b =
+  let ai = Imat.to_dense (Imat.of_bmat a) and bi = Imat.to_dense (Imat.of_bmat b) in
+  let n = Array.length ai
+  and m = Array.length bi.(0)
+  and k = Array.length bi in
+  let out = ref [] in
+  for r = n - 1 downto 0 do
+    for c = m - 1 downto 0 do
+      let v = ref 0 in
+      for t = 0 to k - 1 do
+        v := !v + (ai.(r).(t) * bi.(t).(c))
+      done;
+      if !v <> 0 then out := (r, c, !v) :: !out
+    done
+  done;
+  !out
+
+let test_batch_fleet () =
+  let a, b = bool_pair 81 ~n:17 ~density:0.35 in
+  let engine = Engine.create () in
+  let cfg = Fleet.config ~workers:4 ~seed:7 () in
+  match Fleet.run_batch cfg engine batch_queries ~a ~b with
+  | Error e -> Alcotest.failf "batch fleet: %s" (Outcome.error_to_string e)
+  | Ok rep ->
+      check Alcotest.int "survivors" 4 rep.Fleet.batch_survivors;
+      let answers = Outcome.graded_value rep.Fleet.batch_answers in
+      check Alcotest.int "answer count" (List.length batch_queries)
+        (Array.length answers);
+      (match answers.(1) with
+      | Engine.Vector v ->
+          check Alcotest.int "row norms length" 17 (Array.length v);
+          check Alcotest.bool "no gaps at full fleet" false
+            (Array.exists Float.is_nan v)
+      | _ -> Alcotest.fail "row norms shape");
+      (match answers.(5) with
+      | Engine.Shares (entries, []) ->
+          check Alcotest.bool "exact product reconstructed" true
+            (entries = dense_product a b)
+      | _ -> Alcotest.fail "exact product shape");
+      check Alcotest.bool "batch bits counted" true (rep.Fleet.batch_fresh_bits > 0)
+
+let test_batch_fleet_degraded () =
+  let a, b = bool_pair 91 ~n:16 ~density:0.35 in
+  let engine = Engine.create () in
+  let cfg = Fleet.config ~workers:4 ~quorum:3 ~seed:7 () in
+  let wire ~rank ~attempt ctx = permanent_crash ~victim:2 ~rank ~attempt ctx in
+  match Fleet.run_batch ~wire cfg engine batch_queries ~a ~b with
+  | Error e -> Alcotest.failf "degraded batch: %s" (Outcome.error_to_string e)
+  | Ok rep -> (
+      check Alcotest.int "survivors" 3 rep.Fleet.batch_survivors;
+      check Alcotest.bool "degraded" true
+        (Outcome.is_degraded rep.Fleet.batch_answers);
+      let answers = Outcome.graded_value rep.Fleet.batch_answers in
+      match answers.(1) with
+      | Engine.Vector v ->
+          let dead = List.nth rep.Fleet.batch_links 2 in
+          let r = dead.Fleet.b_range in
+          check Alcotest.bool "dead shard rows are nan" true
+            (Array.for_all Float.is_nan
+               (Array.sub v r.Shard.offset r.Shard.length));
+          check Alcotest.bool "surviving rows answered" false
+            (Array.exists Float.is_nan (Array.sub v 0 r.Shard.offset))
+      | _ -> Alcotest.fail "row norms shape")
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest qcheck_sketch_merge in
+  Alcotest.run "topology"
+    [
+      ( "shard",
+        [
+          Alcotest.test_case "ranges partition" `Quick test_shard_ranges;
+          Alcotest.test_case "slice" `Quick test_shard_slice;
+        ] );
+      ("sketch merge", qsuite);
+      ( "graded",
+        [ Alcotest.test_case "degradation" `Quick test_degradation ] );
+      ( "straggle",
+        [
+          Alcotest.test_case "validation" `Quick test_straggle_validation;
+          Alcotest.test_case "reproducible lateness" `Quick
+            test_straggle_reproducible;
+        ] );
+      ( "fleet",
+        [
+          Alcotest.test_case "exact answers" `Quick test_fleet_exact;
+          Alcotest.test_case "gallery k=4" `Slow test_fleet_gallery;
+          Alcotest.test_case "quorum equivalence" `Slow test_quorum_equivalence;
+          Alcotest.test_case "chaos gallery" `Slow test_chaos_gallery;
+          Alcotest.test_case "straggler resume" `Quick
+            test_straggler_resume_saves_bits;
+          Alcotest.test_case "quorum sweep" `Quick test_quorum_sweep;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "full fleet" `Quick test_batch_fleet;
+          Alcotest.test_case "degraded fleet" `Quick test_batch_fleet_degraded;
+        ] );
+    ]
