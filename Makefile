@@ -1,6 +1,6 @@
 # Convenience targets; all real build logic lives in dune.
 
-.PHONY: all check build test bench bench-json bench-e1 bench-c2 bench-c3 bench-p1 bench-diff bench-baseline chaos clean
+.PHONY: all check build test bench bench-json bench-e1 bench-c2 bench-c3 bench-c4 bench-p1 bench-diff bench-baseline chaos clean
 
 all: build
 
@@ -40,6 +40,9 @@ bench-c2:
 bench-c3:
 	dune exec bench/main.exe -- --quick --no-micro c3
 
+bench-c4:
+	dune exec bench/main.exe -- --quick --no-micro c4
+
 # Plan/apply kernel throughput: seed vs planned sketch builds for every
 # family, plus the domain-pool fan-out rate (writes BENCH_p1.json; see
 # docs/PERFORMANCE.md).
@@ -52,14 +55,14 @@ bench-p1:
 # fields are ignored. Exits non-zero on drift — this is what CI runs.
 # See docs/OBSERVABILITY.md.
 bench-diff:
-	dune exec bench/main.exe -- --quick --no-micro e1 c1 c2 c3 p1
+	dune exec bench/main.exe -- --quick --no-micro e1 c1 c2 c3 c4 p1
 	dune exec bench/diff.exe -- --baselines bench/baselines
 
 # Refresh the committed baselines after an INTENDED cost change. Review
 # the diff of bench/baselines/ in the same PR as the change it blesses.
 bench-baseline:
-	dune exec bench/main.exe -- --quick --no-micro e1 c1 c2 c3 p1
-	cp BENCH_e1.json BENCH_c1.json BENCH_c2.json BENCH_c3.json BENCH_p1.json bench/baselines/
+	dune exec bench/main.exe -- --quick --no-micro e1 c1 c2 c3 c4 p1
+	cp BENCH_e1.json BENCH_c1.json BENCH_c2.json BENCH_c3.json BENCH_c4.json BENCH_p1.json bench/baselines/
 
 # Chaos sweep: fault injection (link faults and crashes) over every
 # protocol (see docs/ROBUSTNESS.md) plus the C1 retransmission-cost and

@@ -113,10 +113,10 @@ let c3 ~quick =
   let workers = 4 and victim = 1 in
   (* one journaled message before the crash, so the Resume rung has a
      prefix to replay *)
-  let crash_wire ~rank ~attempt ctx =
+  let crash_wire ~rank ~replica:_ ~attempt ctx =
     if rank = victim && attempt = 1 then kill_both ~after:1 ctx
   in
-  let straggle_wire ~rank ~attempt ctx =
+  let straggle_wire ~rank ~replica:_ ~attempt ctx =
     if rank = victim && attempt = 1 then
       Ctx.install_wire ctx
         ~fault:(Fault.straggle_only ~after:0 ~burst:2 ~delay_s:5.0 ())
@@ -132,7 +132,7 @@ let c3 ~quick =
     | Ok rep -> rep
     | Error e -> failwith (Outcome.error_to_string e)
   in
-  let clean = run (fun ~rank:_ ~attempt:_ _ -> ()) in
+  let clean = run (fun ~rank:_ ~replica:_ ~attempt:_ _ -> ()) in
   let rcols =
     [
       ("chaos", 10);
@@ -223,7 +223,7 @@ let c3 ~quick =
     "the late worker is flagged as a straggler by its deadline";
 
   (* --- quorum ladder --------------------------------------------------- *)
-  let kill_ranks ranks ~rank ~attempt:_ ctx =
+  let kill_ranks ranks ~rank ~replica:_ ~attempt:_ ctx =
     if List.mem rank ranks then kill_both ~after:0 ctx
   in
   let qcols =

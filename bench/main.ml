@@ -35,6 +35,7 @@ let experiments =
     ("c1", fun ~quick -> Exp_chaos.c1 ~quick);
     ("c2", fun ~quick -> Exp_chaos.c2 ~quick);
     ("c3", fun ~quick -> Exp_fleet.c3 ~quick);
+    ("c4", fun ~quick -> Exp_byzantine.c4 ~quick);
     ("p1", fun ~quick -> Exp_perf.p1 ~quick);
   ]
 
@@ -53,7 +54,7 @@ let () =
           match List.assoc_opt (String.lowercase_ascii name) experiments with
           | Some f -> Some (name, f)
           | None ->
-              Printf.eprintf "unknown experiment %S (known: e1..e12, a1..a4, s1, s2, c1..c3, p1)\n" name;
+              Printf.eprintf "unknown experiment %S (known: e1..e12, a1..a4, s1, s2, c1..c4, p1)\n" name;
               exit 1)
         selected
   in

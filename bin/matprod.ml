@@ -1045,7 +1045,8 @@ let session_cmd =
    supervisor attempt (the ladder cannot save the link, only the quorum
    can save the query). *)
 let fleet_wire ~worker_crash ~crash_after ~permanent ~straggle_rank
-    ~straggle_delay ~rank ~attempt ctx =
+    ~straggle_delay ~byzantine_rank ~byzantine_mode ~seed ~rank ~replica
+    ~attempt ctx =
   if rank = worker_crash && (permanent || attempt = 1) then
     Ctx.install_wire ctx
       ~fault:
@@ -1066,23 +1067,66 @@ let fleet_wire ~worker_crash ~crash_after ~permanent ~straggle_rank
   if rank = straggle_rank && attempt = 1 then
     Ctx.install_wire ctx
       ~fault:(Fault.straggle_only ~after:1 ~burst:2 ~delay_s:straggle_delay ())
+      ();
+  (* The lying worker: replica 0 of the victim rank delivers a perfectly
+     framed wrong answer — only --verify / --replicas can catch it. *)
+  if rank = byzantine_rank && replica = 0 && attempt = 1 then
+    Ctx.install_wire ctx
+      ~fault:
+        (Fault.byzantine_only
+           ~seed:(seed + (7919 * (rank + 1)))
+           ~mode:byzantine_mode ())
       ()
 
-let estimate_fleet c packed ~a ~b ~workers ~quorum ~worker_crash ~crash_after
-    ~permanent ~straggle_rank ~straggle_delay ~deadline ~fleet_journal =
+let parse_byzantine_mode s =
+  match Fault.byzantine_mode_of_string s with
+  | Some m -> m
+  | None ->
+      failwith
+        (Printf.sprintf
+           "unknown --byzantine-mode %S (scale|sign-flip|swap|garbage)" s)
+
+let link_label (l : Fleet.link_report) =
+  if l.Fleet.replica = 0 then Printf.sprintf "worker %d" l.Fleet.rank
+  else Printf.sprintf "worker %d.r%d" l.Fleet.rank l.Fleet.replica
+
+let suspect_fields (s : Fleet.suspect) =
+  Obs.Json.Obj
+    [
+      ("rank", Obs.Json.Int s.Fleet.s_rank);
+      ("replica", Obs.Json.Int s.Fleet.s_replica);
+      ("check", Obs.Json.String s.Fleet.s_check);
+      ("detail", Obs.Json.String s.Fleet.s_detail);
+    ]
+
+let print_suspects suspects =
+  if suspects <> [] then begin
+    Printf.printf "suspects quarantined:\n";
+    List.iter
+      (fun (s : Fleet.suspect) ->
+        Printf.printf "  worker %d replica %d: %s — %s\n" s.Fleet.s_rank
+          s.Fleet.s_replica s.Fleet.s_check s.Fleet.s_detail)
+      suspects
+  end
+
+let estimate_fleet c packed ~a ~b ~workers ~quorum ~replicas ~verify
+    ~worker_crash ~crash_after ~permanent ~straggle_rank ~straggle_delay
+    ~byzantine_rank ~byzantine_mode ~deadline ~fleet_journal =
   let { seed; _ } = c in
   let link_policy =
     { Fleet.default_link_policy with Fleet.deadline_s = deadline }
   in
   let cfg =
-    Fleet.config ?quorum ~link_policy ?journal:fleet_journal ~workers ~seed ()
+    Fleet.config ?quorum ~replicas ~verify ~link_policy ?journal:fleet_journal
+      ~workers ~seed ()
   in
   let wire =
-    if worker_crash >= 0 || straggle_rank >= 0 then
+    if worker_crash >= 0 || straggle_rank >= 0 || byzantine_rank >= 0 then
       Some
-        (fun ~rank ~attempt ctx ->
+        (fun ~rank ~replica ~attempt ctx ->
           fleet_wire ~worker_crash ~crash_after ~permanent ~straggle_rank
-            ~straggle_delay ~rank ~attempt ctx)
+            ~straggle_delay ~byzantine_rank ~byzantine_mode ~seed ~rank
+            ~replica ~attempt ctx)
     else None
   in
   match Fleet.run ?wire cfg packed ~a ~b with
@@ -1106,15 +1150,19 @@ let estimate_fleet c packed ~a ~b ~workers ~quorum ~worker_crash ~crash_after
             in
             match l.Fleet.answer with
             | Ok v ->
-                Format.printf "  worker %d %a: %a  (%d bits%s%s)@."
-                  l.Fleet.rank Shard.pp_range l.Fleet.range
+                Format.printf "  %s %a: %a  (%d bits%s%s)@." (link_label l)
+                  Shard.pp_range l.Fleet.range
                   Estimator.pp_comparable v l.Fleet.fresh_bits
                   (if rungs = "" then "" else ", " ^ rungs)
                   (if l.Fleet.straggled then ", straggled" else "")
+            | Error (Outcome.Byzantine_detected { check; _ }) ->
+                Format.printf "  %s %a: QUARANTINED — violated %s@."
+                  (link_label l) Shard.pp_range l.Fleet.range check
             | Error e ->
-                Format.printf "  worker %d %a: LOST — %s@." l.Fleet.rank
+                Format.printf "  %s %a: LOST — %s@." (link_label l)
                   Shard.pp_range l.Fleet.range (Outcome.error_to_string e))
           rep.Fleet.links;
+        print_suspects rep.Fleet.suspects;
         Format.printf "merged answer     : %a@."
           (Outcome.pp_graded Estimator.pp_comparable)
           rep.Fleet.answer;
@@ -1134,12 +1182,16 @@ let estimate_fleet c packed ~a ~b ~workers ~quorum ~worker_crash ~crash_after
                    (Outcome.graded_value rep.Fleet.answer)) );
             ("workers", Obs.Json.Int workers);
             ("quorum", Obs.Json.Int cfg.Fleet.quorum);
+            ("replicas", Obs.Json.Int cfg.Fleet.replicas);
+            ("verify", Obs.Json.Bool cfg.Fleet.verify);
             ("survivors", Obs.Json.Int rep.Fleet.survivors);
             ("coverage", Obs.Json.Float rep.Fleet.coverage);
             ("degraded", Obs.Json.Bool (Outcome.is_degraded rep.Fleet.answer));
             ("fleet_bits", Obs.Json.Int rep.Fleet.fresh_bits);
             ("fleet_rounds", Obs.Json.Int rep.Fleet.fresh_rounds);
             ("resume_bits_saved", Obs.Json.Int rep.Fleet.resume_bits_saved);
+            ( "suspects",
+              Obs.Json.List (List.map suspect_fields rep.Fleet.suspects) );
             ( "links",
               Obs.Json.List
                 (List.map
@@ -1147,6 +1199,7 @@ let estimate_fleet c packed ~a ~b ~workers ~quorum ~worker_crash ~crash_after
                      Obs.Json.Obj
                        [
                          ("rank", Obs.Json.Int l.Fleet.rank);
+                         ("replica", Obs.Json.Int l.Fleet.replica);
                          ("rows", Obs.Json.Int l.Fleet.range.Shard.length);
                          ("bits", Obs.Json.Int l.Fleet.fresh_bits);
                          ( "attempts",
@@ -1154,13 +1207,23 @@ let estimate_fleet c packed ~a ~b ~workers ~quorum ~worker_crash ~crash_after
                          ("straggled", Obs.Json.Bool l.Fleet.straggled);
                          ( "answered",
                            Obs.Json.Bool (Result.is_ok l.Fleet.answer) );
+                         ( "verdict",
+                           Obs.Json.String
+                             (match l.Fleet.answer with
+                             | Ok _ -> "ok"
+                             | Error (Outcome.Byzantine_detected { check; _ })
+                               ->
+                                 check
+                             | Error _ -> "lost") );
                        ])
                    rep.Fleet.links) );
           ])
 
-let estimate c name list_all workers quorum worker_crash crash_after permanent
-    straggle_rank straggle_delay deadline fleet_journal =
+let estimate c name list_all workers quorum replicas verify worker_crash
+    crash_after permanent straggle_rank straggle_delay byzantine_rank
+    byzantine_mode deadline fleet_journal =
   start c;
+  let byzantine_mode = parse_byzantine_mode byzantine_mode in
   let { n; density; seed; verbose; _ } = c in
   if list_all then
     List.iter
@@ -1178,9 +1241,9 @@ let estimate c name list_all workers quorum worker_crash crash_after permanent
              name)
     | Some packed when workers > 1 ->
         let a, b = gen_pair ~zipf:false ~seed ~n ~density in
-        estimate_fleet c packed ~a ~b ~workers ~quorum ~worker_crash
-          ~crash_after ~permanent ~straggle_rank ~straggle_delay ~deadline
-          ~fleet_journal
+        estimate_fleet c packed ~a ~b ~workers ~quorum ~replicas ~verify
+          ~worker_crash ~crash_after ~permanent ~straggle_rank ~straggle_delay
+          ~byzantine_rank ~byzantine_mode ~deadline ~fleet_journal
     | Some packed -> (
         let a, b = gen_pair ~zipf:false ~seed ~n ~density in
         let predicted = Estimator.default_cost packed ~n in
@@ -1259,6 +1322,40 @@ let estimate_cmd =
                 (transient — the supervisor ladder recovers it unless \
                 $(b,--permanent)).")
   in
+  let replicas_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "replicas" ] ~docv:"R"
+          ~doc:"Run every shard on $(docv) independent links at derived \
+                seeds and reconcile by family-aware replica voting: a \
+                replica that disagrees with the majority is quarantined \
+                and the shard answer is re-merged from the survivors.")
+  in
+  let verify_arg =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:"Run the coordinator-side answer validators on every \
+                decoded shard answer (exact mass identity, range checks, \
+                per-coordinate adjudication, Freivalds) and quarantine \
+                violators.")
+  in
+  let byzantine_arg =
+    Arg.(
+      value & opt int (-1)
+      & info [ "byzantine" ] ~docv:"RANK"
+          ~doc:"Arm a one-shot byzantine rule on worker $(docv) (replica \
+                0): its decoded shard answer is perturbed after correct \
+                framing, so CRC and retransmission pass and only \
+                $(b,--verify) or $(b,--replicas) can catch the lie.")
+  in
+  let byzantine_mode_arg =
+    Arg.(
+      value & opt string "scale"
+      & info [ "byzantine-mode" ] ~docv:"MODE"
+          ~doc:"Corruption applied by $(b,--byzantine): scale, sign-flip, \
+                swap, or garbage.")
+  in
   let crash_after_arg =
     Arg.(
       value & opt int 0
@@ -1310,8 +1407,9 @@ let estimate_cmd =
              deadlines, and quorum-degraded answers.")
     Term.(
       const estimate $ common_term $ name_arg $ list_arg $ workers_arg
-      $ quorum_arg $ worker_crash_arg $ crash_after_arg $ permanent_arg
-      $ straggle_arg $ straggle_delay_arg $ deadline_arg $ fleet_journal_arg)
+      $ quorum_arg $ replicas_arg $ verify_arg $ worker_crash_arg
+      $ crash_after_arg $ permanent_arg $ straggle_arg $ straggle_delay_arg
+      $ byzantine_arg $ byzantine_mode_arg $ deadline_arg $ fleet_journal_arg)
 
 (* ------------------------------------------------------------------ *)
 (* batch: the plan-cached query engine *)
@@ -1344,8 +1442,117 @@ let answer_summary = function
       Printf.sprintf "additive shares (%d + %d entries)" (List.length alice)
         (List.length bob)
 
-let batch c specs journal compare =
+let batch_fleet c queries ~a ~b ~workers ~quorum ~replicas ~verify
+    ~byzantine_rank ~byzantine_mode =
+  let { seed; _ } = c in
+  let cfg = Fleet.config ?quorum ~replicas ~verify ~workers ~seed () in
+  let wire =
+    if byzantine_rank >= 0 then
+      Some
+        (fun ~rank ~replica ~attempt ctx ->
+          if rank = byzantine_rank && replica = 0 && attempt = 1 then
+            Ctx.install_wire ctx
+              ~fault:
+                (Fault.byzantine_only
+                   ~seed:(seed + (7919 * (rank + 1)))
+                   ~mode:byzantine_mode ())
+              ())
+    else None
+  in
+  let engine = Engine.create () in
+  match Fleet.run_batch ?wire cfg engine queries ~a ~b with
+  | Error e ->
+      Printf.eprintf "matprod: batch fleet failed (quorum %d/%d unmet): %s\n"
+        cfg.Fleet.quorum workers (Outcome.error_to_string e);
+      exit 1
+  | Ok rep ->
+      let answers = Outcome.graded_value rep.Fleet.batch_answers in
+      let batch_label (l : Fleet.batch_link) =
+        if l.Fleet.b_replica = 0 then Printf.sprintf "worker %d" l.Fleet.b_rank
+        else Printf.sprintf "worker %d.r%d" l.Fleet.b_rank l.Fleet.b_replica
+      in
+      if not c.json then begin
+        Printf.printf "batch of %d queries over %d workers (quorum %d)\n"
+          (List.length queries) workers cfg.Fleet.quorum;
+        List.iter
+          (fun (l : Fleet.batch_link) ->
+            match l.Fleet.b_answers with
+            | Ok _ ->
+                Format.printf "  %s %a: ok (%d attempts)@." (batch_label l)
+                  Shard.pp_range l.Fleet.b_range
+                  (List.length l.Fleet.b_attempts)
+            | Error (Outcome.Byzantine_detected { check; _ }) ->
+                Format.printf "  %s %a: QUARANTINED — violated %s@."
+                  (batch_label l) Shard.pp_range l.Fleet.b_range check
+            | Error e ->
+                Format.printf "  %s %a: LOST — %s@." (batch_label l)
+                  Shard.pp_range l.Fleet.b_range (Outcome.error_to_string e))
+          rep.Fleet.batch_links;
+        print_suspects rep.Fleet.batch_suspects;
+        Printf.printf "answers%s:\n"
+          (if Outcome.is_degraded rep.Fleet.batch_answers then " (degraded)"
+           else "");
+        List.iteri
+          (fun i q ->
+            Printf.printf "  [%d] %-24s -> %s\n" i (Engine.query_to_string q)
+              (answer_summary answers.(i)))
+          queries;
+        Printf.printf "communication     : %d fresh bits across links\n"
+          rep.Fleet.batch_fresh_bits
+      end;
+      finish c
+        (base_fields ~subcommand:"batch" c
+        @ [
+            ( "queries",
+              Obs.Json.List
+                (List.map
+                   (fun q -> Obs.Json.String (Engine.query_to_string q))
+                   queries) );
+            ( "answers",
+              Obs.Json.List
+                (Array.to_list
+                   (Array.map
+                      (fun ans -> Obs.Json.String (answer_summary ans))
+                      answers)) );
+            ("workers", Obs.Json.Int workers);
+            ("quorum", Obs.Json.Int cfg.Fleet.quorum);
+            ("replicas", Obs.Json.Int cfg.Fleet.replicas);
+            ("verify", Obs.Json.Bool cfg.Fleet.verify);
+            ("survivors", Obs.Json.Int rep.Fleet.batch_survivors);
+            ("coverage", Obs.Json.Float rep.Fleet.batch_coverage);
+            ( "degraded",
+              Obs.Json.Bool (Outcome.is_degraded rep.Fleet.batch_answers) );
+            ("fleet_bits", Obs.Json.Int rep.Fleet.batch_fresh_bits);
+            ( "suspects",
+              Obs.Json.List (List.map suspect_fields rep.Fleet.batch_suspects)
+            );
+            ( "links",
+              Obs.Json.List
+                (List.map
+                   (fun (l : Fleet.batch_link) ->
+                     Obs.Json.Obj
+                       [
+                         ("rank", Obs.Json.Int l.Fleet.b_rank);
+                         ("replica", Obs.Json.Int l.Fleet.b_replica);
+                         ("rows", Obs.Json.Int l.Fleet.b_range.Shard.length);
+                         ( "attempts",
+                           Obs.Json.Int (List.length l.Fleet.b_attempts) );
+                         ( "verdict",
+                           Obs.Json.String
+                             (match l.Fleet.b_answers with
+                             | Ok _ -> "ok"
+                             | Error (Outcome.Byzantine_detected { check; _ })
+                               ->
+                                 check
+                             | Error _ -> "lost") );
+                       ])
+                   rep.Fleet.batch_links) );
+          ])
+
+let batch c specs journal compare workers quorum replicas verify byzantine_rank
+    byzantine_mode =
   start c;
+  let byzantine_mode = parse_byzantine_mode byzantine_mode in
   let { n; density; seed; verbose; _ } = c in
   let specs =
     if specs = [] then [ "norm:eps=0.25"; "rows:beta=0.5"; "top:k=5" ]
@@ -1360,6 +1567,10 @@ let batch c specs journal compare =
       specs
   in
   let a, b = gen_pair ~zipf:false ~seed ~n ~density in
+  if workers > 1 then
+    batch_fleet c queries ~a ~b ~workers ~quorum ~replicas ~verify
+      ~byzantine_rank ~byzantine_mode
+  else begin
   let ai = Imat.of_bmat a and bi = Imat.of_bmat b in
   let engine = Engine.create () in
   let body ctx = Engine.run engine ctx ~a:ai ~b:bi queries in
@@ -1474,6 +1685,7 @@ let batch c specs journal compare =
       | Some path -> [ ("journal", Obs.Json.String path) ]
       | None -> [])
     @ transcript_fields run.Ctx.transcript)
+  end
 
 let batch_cmd =
   let query_arg =
@@ -1492,15 +1704,67 @@ let batch_cmd =
       & info [ "compare" ]
           ~doc:
             "Also run every query standalone and report the transcript bits \
-             the batch saved.")
+             the batch saved (two-party path only).")
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "workers" ] ~docv:"K"
+          ~doc:"Shard the rows of A across $(docv) workers, run the whole \
+                batch on every link, and merge per-query answers. 1 (the \
+                default) keeps the plain two-party engine.")
+  in
+  let quorum_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "quorum" ] ~docv:"Q"
+          ~doc:"Minimum surviving links for an answer; between $(docv) and \
+                the fleet size the answers are flagged degraded. Defaults \
+                to all workers.")
+  in
+  let replicas_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "replicas" ] ~docv:"R"
+          ~doc:"Run every shard's batch on $(docv) replica links at the \
+                fleet seed and vote by exact agreement (TMR); a replica \
+                whose answer array disagrees with the majority is \
+                quarantined.")
+  in
+  let verify_arg =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:"Run the per-answer validators on every link's decoded batch \
+                and quarantine violators.")
+  in
+  let byzantine_arg =
+    Arg.(
+      value & opt int (-1)
+      & info [ "byzantine" ] ~docv:"RANK"
+          ~doc:"Arm a one-shot byzantine rule on worker $(docv) (replica 0): \
+                its decoded batch answers are perturbed after correct \
+                framing, so only $(b,--verify) or $(b,--replicas) can catch \
+                the lie.")
+  in
+  let byzantine_mode_arg =
+    Arg.(
+      value & opt string "scale"
+      & info [ "byzantine-mode" ] ~docv:"MODE"
+          ~doc:"Corruption applied by $(b,--byzantine): scale, sign-flip, \
+                swap, or garbage.")
   in
   Cmd.v
     (Cmd.info "batch"
        ~doc:
          "Answer a batch of statistic queries about AB through the \
           plan-cached engine: queries sharing a sketch family share one \
-          exchange.")
-    Term.(const batch $ common_term $ query_arg $ journal_arg $ compare_arg)
+          exchange — two-party by default, or sharded across a \
+          $(b,--workers) fleet with replica voting and answer verification.")
+    Term.(
+      const batch $ common_term $ query_arg $ journal_arg $ compare_arg
+      $ workers_arg $ quorum_arg $ replicas_arg $ verify_arg $ byzantine_arg
+      $ byzantine_mode_arg)
 
 (* ------------------------------------------------------------------ *)
 (* report: offline aggregation of trace files and bench sidecars. *)

@@ -72,6 +72,8 @@ let install t ~fault ?(reliable = Reliable.default_config) () =
         waited = 0.0;
       }
 
+let installed_fault t = Option.map (fun w -> w.fault) t.wire
+
 type stats = {
   data_frames : int;
   acks : int;

@@ -35,6 +35,12 @@ val install : t -> fault:Fault.t -> ?reliable:Reliable.config -> unit -> unit
 (** Arm the wire. May be called before any message is sent; installing a
     new wire resets sequence numbers and reliability stats. *)
 
+val installed_fault : t -> Fault.t option
+(** The armed fault model, if any — the topology layer reads it back to
+    ask for pending {e byzantine} answer corruptions
+    ({!Fault.check_byzantine}), which fire at the answer boundary rather
+    than on a frame. *)
+
 (** {1 Crash recovery}
 
     A channel can write a {!Journal} of every logical message it delivers,

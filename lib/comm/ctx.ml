@@ -27,6 +27,7 @@ let send t ~from ~label codec v = Channel.send t.chan ~from ~label codec v
 let a2b t ~label codec v = send t ~from:Transcript.Alice ~label codec v
 let b2a t ~label codec v = send t ~from:Transcript.Bob ~label codec v
 let transcript t = Channel.transcript t.chan
+let installed_fault t = Channel.installed_fault t.chan
 
 let record t ~journal ~protocol =
   if Transcript.message_count (transcript t) > 0 then

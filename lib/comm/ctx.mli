@@ -39,6 +39,10 @@ val wire_stats : t -> Channel.stats
 (** Reliability/fault accounting for this run ({!Channel.zero_stats} on a
     perfect wire). *)
 
+val installed_fault : t -> Fault.t option
+(** The fault model armed by {!install_wire}, if any (see
+    {!Channel.installed_fault}). *)
+
 val send :
   t -> from:Transcript.party -> label:string -> 'a Codec.t -> 'a -> 'a
 (** Shorthand for {!Channel.send} on [t.chan]. *)

@@ -63,6 +63,36 @@ let straggle ?from ?(label_prefix = "") ?(after = 0) ?(burst = 1) ~delay_s () =
 (* A straggle rule plus its remaining burst charge. *)
 type straggle_state = { sspec : straggle; mutable remaining : int }
 
+type byzantine_mode = Scale | Sign_flip | Swap | Garbage
+
+let all_byzantine_modes = [ Scale; Sign_flip; Swap; Garbage ]
+
+let byzantine_mode_to_string = function
+  | Scale -> "scale"
+  | Sign_flip -> "sign-flip"
+  | Swap -> "swap"
+  | Garbage -> "garbage"
+
+let byzantine_mode_of_string = function
+  | "scale" -> Some Scale
+  | "sign-flip" | "sign_flip" -> Some Sign_flip
+  | "swap" -> Some Swap
+  | "garbage" -> Some Garbage
+  | _ -> None
+
+type byzantine = { b_mode : byzantine_mode }
+
+let byzantine ~mode () = { b_mode = mode }
+
+(* A byzantine rule plus its one-shot state. The corrupting PRNG is the
+   rule's own (derived at [create]) so firing never perturbs the byte-rule
+   stream: adding a byzantine rule leaves every wire fault draw intact. *)
+type byzantine_state = {
+  bspec : byzantine;
+  bprng : Prng.t;
+  mutable bfired : bool;
+}
+
 type stats = {
   dropped : int;
   corrupted : int;
@@ -71,18 +101,20 @@ type stats = {
   delayed : int;
   crashed : int;
   straggled : int;
+  byzantined : int;
   injected_delay : float;
 }
 
 let zero_stats =
   { dropped = 0; corrupted = 0; truncated = 0; duplicated = 0; delayed = 0;
-    crashed = 0; straggled = 0; injected_delay = 0.0 }
+    crashed = 0; straggled = 0; byzantined = 0; injected_delay = 0.0 }
 
 type t = {
   prng : Prng.t;
   rules : rule list;
   crashes : crash_state list;
   straggles : straggle_state list;
+  byzantines : byzantine_state list;
   mutable messages_seen : int;  (* logical messages that entered the wire *)
   mutable stats : stats;
 }
@@ -93,14 +125,19 @@ let validate_crash c =
       invalid_arg "Fault: After_messages must be >= 0"
   | After_messages _ | At_label _ -> ()
 
-let create ?(crashes = []) ?(straggles = []) ~seed rules =
+let create ?(crashes = []) ?(straggles = []) ?(byzantines = []) ~seed rules =
   List.iter validate_crash crashes;
+  let byz_stream = Prng.create (seed lxor 0x62797a (* "byz" *)) in
   {
     prng = Prng.create seed;
     rules;
     crashes = List.map (fun spec -> { spec; fired = false }) crashes;
     straggles =
       List.map (fun sspec -> { sspec; remaining = sspec.s_burst }) straggles;
+    byzantines =
+      List.map
+        (fun bspec -> { bspec; bprng = Prng.split byz_stream; bfired = false })
+        byzantines;
     messages_seen = 0;
     stats = zero_stats;
   }
@@ -116,11 +153,14 @@ let straggle_only ?from ?label_prefix ?after ?burst ~delay_s () =
     ~straggles:[ straggle ?from ?label_prefix ?after ?burst ~delay_s () ]
     ~seed:0 []
 
+let byzantine_only ?(seed = 0) ~mode () =
+  create ~byzantines:[ byzantine ~mode () ] ~seed []
+
 let stats t = t.stats
 
 let total_injected s =
   s.dropped + s.corrupted + s.truncated + s.duplicated + s.delayed + s.crashed
-  + s.straggled
+  + s.straggled + s.byzantined
 
 let rates_active r =
   r.drop > 0.0 || r.corrupt > 0.0 || r.truncate > 0.0 || r.duplicate > 0.0
@@ -149,6 +189,7 @@ let c_duplicated = Metrics.counter "faults_duplicated"
 let c_delayed = Metrics.counter "faults_delayed"
 let c_crashed = Metrics.counter "faults_crashed"
 let c_straggled = Metrics.counter "faults_straggled"
+let c_byzantined = Metrics.counter "faults_byzantine"
 
 let count c kind label =
   if Metrics.enabled () then Metrics.incr c;
@@ -175,6 +216,26 @@ let check_crash t ~from ~label =
         end)
     t.crashes;
   t.messages_seen <- t.messages_seen + 1
+
+(* Byzantine rules fire at the answer boundary, not on a frame: the
+   topology layer calls this once per decoded shard answer. One-shot like
+   crash rules — a fired rule stays fired across journal resumes and
+   supervisor reseeds as long as the same model instance is reused. *)
+let check_byzantine t =
+  List.fold_left
+    (fun acc bs ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+          if bs.bfired then None
+          else begin
+            bs.bfired <- true;
+            t.stats <- { t.stats with byzantined = t.stats.byzantined + 1 };
+            count c_byzantined "byzantine"
+              (byzantine_mode_to_string bs.bspec.b_mode);
+            Some (bs.bspec.b_mode, bs.bprng)
+          end)
+    None t.byzantines
 
 (* Flip one uniformly random bit of [bytes]. *)
 let flip_bit prng bytes =

@@ -93,10 +93,49 @@ val straggle :
     [delay_s] must be > 0 — deterministic, no jitter, so tests can place it
     exactly relative to the retransmission timeout. *)
 
+(** {1 Byzantine events}
+
+    Byte faults mangle frames; crash rules kill parties; a {e byzantine}
+    rule makes a worker {e lie}. It perturbs the worker's decoded shard
+    answer after correct framing — the bytes on the wire are intact, so
+    CRC/ARQ pass by construction and only semantic verification
+    (replica voting, answer validators — see [Matprod_verify.Verify] and
+    docs/ROBUSTNESS.md) can catch it. The rule is seeded and one-shot:
+    the corruption drawn from the rule's own PRNG never perturbs the
+    byte-rule stream, and a fired rule stays fired across journal resumes
+    and supervisor reseeds while the same model instance is reused.
+
+    A byzantine rule does {e not} make the model {!is_active}: the wire
+    stays byte-for-byte transparent (that is the point of the attack). *)
+
+(** How the decoded answer is perturbed (the transform itself lives in
+    [Matprod_verify.Verify.corrupt], which knows the answer shapes). *)
+type byzantine_mode =
+  | Scale  (** multiply numeric content by 16 / shift reported coordinates *)
+  | Sign_flip  (** negate values / negate row indices *)
+  | Swap  (** swap row and column indices / invert scalar magnitudes *)
+  | Garbage  (** replace with seeded out-of-range junk *)
+
+val all_byzantine_modes : byzantine_mode list
+val byzantine_mode_to_string : byzantine_mode -> string
+
+val byzantine_mode_of_string : string -> byzantine_mode option
+(** Accepts ["scale"], ["sign-flip"] (or ["sign_flip"]), ["swap"],
+    ["garbage"]. *)
+
+type byzantine
+
+val byzantine : mode:byzantine_mode -> unit -> byzantine
+
 type t
 
 val create :
-  ?crashes:crash list -> ?straggles:straggle list -> seed:int -> rule list -> t
+  ?crashes:crash list ->
+  ?straggles:straggle list ->
+  ?byzantines:byzantine list ->
+  seed:int ->
+  rule list ->
+  t
 (** First matching rule wins; a message matching no rule passes intact. *)
 
 val uniform : seed:int -> rates -> t
@@ -120,6 +159,19 @@ val straggle_only :
 (** A model with no byte faults and one straggle rule: every frame passes
     intact, but the spiked ones arrive late. *)
 
+val byzantine_only : ?seed:int -> mode:byzantine_mode -> unit -> t
+(** A model with no byte faults and one byzantine rule: the wire is
+    perfectly transparent, but the first decoded answer checked against
+    this model is corrupted. [seed] (default 0) drives the corruption
+    draw. *)
+
+val check_byzantine : t -> (byzantine_mode * Matprod_util.Prng.t) option
+(** Called by the topology layer once per decoded shard answer:
+    [Some (mode, prng)] if an unfired byzantine rule is armed — the rule
+    fires (one-shot) and the caller corrupts the answer with [mode] using
+    [prng]. Emits the [faults_byzantine] counter and a [fault.byzantine]
+    trace event when firing. *)
+
 val check_crash : t -> from:Transcript.party -> label:string -> unit
 (** Called by {!Channel.send} once per logical message before transmission:
     raises {!Party_crash} if an unfired crash rule triggers for this
@@ -141,6 +193,7 @@ type stats = {
   delayed : int;
   crashed : int;  (** crash rules fired *)
   straggled : int;  (** frames hit by a straggle spike *)
+  byzantined : int;  (** byzantine rules fired (answers corrupted) *)
   injected_delay : float;  (** total injected delay, seconds *)
 }
 

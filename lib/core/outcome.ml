@@ -14,6 +14,7 @@ type error =
   | Protocol_failure of string
   | Crashed of { party : Transcript.party; after_messages : int }
   | Budget_exhausted of { resource : string; spent : int; limit : int }
+  | Byzantine_detected of { rank : int; replica : int; check : string }
 
 let error_to_string = function
   | Link_failure { label; attempts } ->
@@ -29,6 +30,10 @@ let error_to_string = function
   | Budget_exhausted { resource; spent; limit } ->
       Printf.sprintf "budget exhausted: %d %s spent of %d allowed" spent
         resource limit
+  | Byzantine_detected { rank; replica; check } ->
+      Printf.sprintf
+        "byzantine answer detected: worker %d replica %d violated %s" rank
+        replica check
 
 let pp_error ppf e = Format.pp_print_string ppf (error_to_string e)
 

@@ -26,6 +26,11 @@ type error =
   | Budget_exhausted of { resource : string; spent : int; limit : int }
       (** the {!Supervisor} cumulative budget ([resource] is ["bits"] or
           ["rounds"]) ran out before any ladder rung succeeded *)
+  | Byzantine_detected of { rank : int; replica : int; check : string }
+      (** a fleet link's decoded shard answer was quarantined: it failed
+          answer verification or lost the replica vote ([check] names the
+          violated invariant — see [Matprod_verify.Verify] and
+          docs/ROBUSTNESS.md). The wire was intact; the {e worker} lied. *)
 
 val error_to_string : error -> string
 val pp_error : Format.formatter -> error -> unit

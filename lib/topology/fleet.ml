@@ -1,11 +1,14 @@
 module Bmat = Matprod_matrix.Bmat
 module Imat = Matprod_matrix.Imat
 module Ctx = Matprod_comm.Ctx
+module Fault = Matprod_comm.Fault
 module Transcript = Matprod_comm.Transcript
 module Estimator = Matprod_core.Estimator
 module Outcome = Matprod_core.Outcome
 module Supervisor = Matprod_core.Supervisor
 module Engine = Matprod_engine.Engine
+module Verify = Matprod_verify.Verify
+module Prng = Matprod_util.Prng
 module Metrics = Matprod_obs.Metrics
 module Trace = Matprod_obs.Trace
 module Json = Matprod_obs.Json
@@ -22,20 +25,32 @@ type config = {
   workers : int;
   quorum : int;
   seed : int;
+  replicas : int;
+  verify : bool;
   link_policy : link_policy;
   journal : string option;
 }
 
-let config ?quorum ?(link_policy = default_link_policy) ?journal ~workers ~seed
-    () =
+let config ?quorum ?(replicas = 1) ?(verify = false)
+    ?(link_policy = default_link_policy) ?journal ~workers ~seed () =
   if workers < 1 then invalid_arg "Fleet.config: workers must be >= 1";
+  if replicas < 1 || replicas > 16 then
+    invalid_arg "Fleet.config: replicas must be in [1, 16]";
   let quorum = Option.value quorum ~default:workers in
   if quorum < 1 || quorum > workers then
     invalid_arg "Fleet.config: quorum must be in [1, workers]";
-  { workers; quorum; seed; link_policy; journal }
+  { workers; quorum; seed; replicas; verify; link_policy; journal }
+
+(* Replica 0 runs at the fleet seed — a replicas = 1 fleet is bit-identical
+   to the pre-replica fleet. Higher replicas derive independent seeds from
+   (fleet seed, rank, replica). *)
+let replica_seed cfg ~rank ~replica =
+  if replica = 0 then cfg.seed
+  else Prng.fresh_seed (Prng.derive cfg.seed rank replica)
 
 type link_report = {
   rank : int;
+  replica : int;
   range : Shard.range;
   attempts : Supervisor.attempt list;
   answer : (Estimator.comparable, Outcome.error) result;
@@ -45,9 +60,17 @@ type link_report = {
   straggled : bool;
 }
 
+type suspect = {
+  s_rank : int;
+  s_replica : int;
+  s_check : string;
+  s_detail : string;
+}
+
 type report = {
   answer : Estimator.comparable Outcome.graded;
   links : link_report list;
+  suspects : suspect list;
   survivors : int;
   coverage : float;
   fresh_bits : int;
@@ -60,6 +83,7 @@ let c_link_failures = Metrics.counter "fleet_link_failures"
 let c_stragglers = Metrics.counter "fleet_stragglers"
 let c_degraded = Metrics.counter "fleet_degraded"
 let c_giveups = Metrics.counter "fleet_giveups"
+let c_quarantined = Metrics.counter "fleet_quarantined"
 
 let link_names rank = function
   | Transcript.Alice -> Printf.sprintf "worker%d" rank
@@ -70,12 +94,26 @@ let link_names rank = function
 let sanitize name =
   String.map (fun c -> if c = ' ' || c = '=' || c = '/' then '-' else c) name
 
+let quarantine_event ~rank ~replica ~check ~detail =
+  if Metrics.enabled () then Metrics.incr c_quarantined;
+  if Trace.enabled () then
+    Trace.event ~name:"fleet.quarantine"
+      ~attrs:
+        [
+          ("rank", Json.Int rank);
+          ("replica", Json.Int replica);
+          ("check", Json.String check);
+          ("detail", Json.String detail);
+        ]
+      ()
+
 (* One link: the per-link supervisor ladder around [body], with straggler
    detection folded into the guarded body — a late answer is discarded
    and the ladder escalates exactly as for a crash, so the next rung is a
    journal resume that replays the delivered prefix without re-paying the
    delay spike. *)
-let run_link ~cfg ~wire ~protocol ~rank ~(range : Shard.range) ~body =
+let run_link ~cfg ~wire ~protocol ~rank ~replica ~seed ~(range : Shard.range)
+    ~body =
   let straggled = ref false in
   let deadline_body ctx =
     let v = body ctx in
@@ -91,6 +129,7 @@ let run_link ~cfg ~wire ~protocol ~rank ~(range : Shard.range) ~body =
               ~attrs:
                 [
                   ("rank", Json.Int rank);
+                  ("replica", Json.Int replica);
                   ("waited", Json.Float diag.Outcome.waited);
                   ("deadline", Json.Float d);
                 ]
@@ -106,24 +145,29 @@ let run_link ~cfg ~wire ~protocol ~rank ~(range : Shard.range) ~body =
     Supervisor.policy ~max_resumes:cfg.link_policy.max_resumes
       ~max_reseeds:cfg.link_policy.max_reseeds ()
   in
+  let suffix = if replica = 0 then "" else Printf.sprintf ".r%d" replica in
   let journal =
-    Option.map (fun base -> Printf.sprintf "%s.worker%d" base rank) cfg.journal
+    Option.map
+      (fun base -> Printf.sprintf "%s.worker%d%s" base rank suffix)
+      cfg.journal
   in
-  let wire = Option.map (fun f ~attempt ctx -> f ~rank ~attempt ctx) wire in
+  let wire =
+    Option.map (fun f ~attempt ctx -> f ~rank ~replica ~attempt ctx) wire
+  in
   if Metrics.enabled () then Metrics.incr c_links;
   let result =
-    Metrics.in_scope (Printf.sprintf "link%d" rank) @@ fun () ->
+    Metrics.in_scope (Printf.sprintf "link%d%s" rank suffix) @@ fun () ->
     Trace.with_span ~name:"fleet.link"
       ~attrs:
         [
           ("rank", Json.Int rank);
+          ("replica", Json.Int replica);
           ("rows", Json.Int range.Shard.length);
           ("protocol", Json.String protocol);
         ]
     @@ fun () ->
-    Supervisor.run ~policy ?journal ?wire ~names:(link_names rank)
-      ~seed:cfg.seed
-      ~protocol:(Printf.sprintf "%s@worker%d" protocol rank)
+    Supervisor.run ~policy ?journal ?wire ~names:(link_names rank) ~seed
+      ~protocol:(Printf.sprintf "%s@worker%d%s" protocol rank suffix)
       deadline_body
   in
   if Metrics.enabled () then (
@@ -195,9 +239,148 @@ let fleet_span ~cfg ~protocol f =
       [
         ("workers", Json.Int cfg.workers);
         ("quorum", Json.Int cfg.quorum);
+        ("replicas", Json.Int cfg.replicas);
         ("protocol", Json.String protocol);
       ]
     f
+
+(* One replica run of one shard, after link-level success/failure has been
+   settled but before verification and voting. *)
+type replica_out = {
+  ro_replica : int;
+  ro_seed : int;
+  ro_result : (Estimator.comparable Supervisor.report, Outcome.error) result;
+  ro_straggled : bool;
+  (* (check, detail) when the coordinator quarantined this replica *)
+  mutable ro_quarantine : (string * string) option;
+}
+
+(* Verification + voting for one shard's replica group. Returns the
+   shard's surviving representative (feeding the quorum ladder) and the
+   per-replica quarantine annotations made along the way. A quarantined
+   replica keeps its supervisor attempts in the link report but its
+   answer is replaced by the typed {!Outcome.Byzantine_detected}. *)
+let reconcile ~cfg ~summary ~rank (replicas : replica_out list) =
+  (* 1. per-answer validation (the semantic firewall) *)
+  if cfg.verify then
+    List.iter
+      (fun ro ->
+        match ro.ro_result with
+        | Error _ -> ()
+        | Ok rep -> (
+            match
+              Verify.check summary ~seed:ro.ro_seed rep.Supervisor.output
+            with
+            | Verify.Pass -> ()
+            | Verify.Fail { invariant; detail } ->
+                ro.ro_quarantine <- Some (invariant, detail);
+                quarantine_event ~rank ~replica:ro.ro_replica ~check:invariant
+                  ~detail))
+      replicas;
+  (* 2. replica vote among the validator-passing survivors *)
+  let passers =
+    List.filter
+      (fun ro -> ro.ro_quarantine = None && Result.is_ok ro.ro_result)
+      replicas
+  in
+  let voted =
+    Verify.vote summary
+      (List.map
+         (fun ro ->
+           match ro.ro_result with
+           | Ok rep -> (ro.ro_replica, rep.Supervisor.output)
+           | Error _ -> assert false)
+         passers)
+  in
+  match voted with
+  | Some vr ->
+      List.iter
+        (fun (replica, detail) ->
+          match
+            List.find_opt (fun ro -> ro.ro_replica = replica) replicas
+          with
+          | Some ro ->
+              ro.ro_quarantine <- Some ("replica_vote", detail);
+              quarantine_event ~rank ~replica ~check:"replica_vote" ~detail
+          | None -> ())
+        vr.Verify.outvoted;
+      let chosen =
+        List.find (fun ro -> ro.ro_replica = vr.Verify.chosen) passers
+      in
+      (match chosen.ro_result with Ok rep -> Ok rep | Error e -> Error e)
+  | None -> (
+      (* No strict majority (or no passer at all): the whole replica
+         group is lost and the quorum/Degraded ladder takes over. *)
+      (match passers with
+      | [] -> ()
+      | _ ->
+          List.iter
+            (fun ro ->
+              let detail = "no strict-majority agreement among replicas" in
+              ro.ro_quarantine <- Some ("ambiguous_vote", detail);
+              quarantine_event ~rank ~replica:ro.ro_replica
+                ~check:"ambiguous_vote" ~detail)
+            passers);
+      let first_quarantined =
+        List.find_opt (fun ro -> ro.ro_quarantine <> None) replicas
+      in
+      match first_quarantined with
+      | Some ro ->
+          let check, _ = Option.get ro.ro_quarantine in
+          Error
+            (Outcome.Byzantine_detected
+               { rank; replica = ro.ro_replica; check })
+      | None -> (
+          match
+            List.fold_left
+              (fun acc ro ->
+                match ro.ro_result with Error e -> Some e | Ok _ -> acc)
+              None replicas
+          with
+          | Some e -> Error e
+          | None -> Error (Outcome.Protocol_failure "fleet: empty replica group")
+          ))
+
+let link_report_of ~rank ~range ro =
+  match (ro.ro_quarantine, ro.ro_result) with
+  | Some (check, _), Ok rep ->
+      {
+        rank;
+        replica = ro.ro_replica;
+        range;
+        attempts = rep.Supervisor.attempts;
+        answer =
+          Error
+            (Outcome.Byzantine_detected { rank; replica = ro.ro_replica; check });
+        fresh_bits = rep.Supervisor.fresh_bits;
+        fresh_rounds = rep.Supervisor.fresh_rounds;
+        resume_bits_saved = rep.Supervisor.resume_bits_saved;
+        straggled = ro.ro_straggled;
+      }
+  | _, Ok rep ->
+      {
+        rank;
+        replica = ro.ro_replica;
+        range;
+        attempts = rep.Supervisor.attempts;
+        answer = Ok rep.Supervisor.output;
+        fresh_bits = rep.Supervisor.fresh_bits;
+        fresh_rounds = rep.Supervisor.fresh_rounds;
+        resume_bits_saved = rep.Supervisor.resume_bits_saved;
+        straggled = ro.ro_straggled;
+      }
+  | _, Error e ->
+      {
+        rank;
+        replica = ro.ro_replica;
+        range;
+        attempts = [];
+        answer = Error e;
+        fresh_bits = 0;
+        fresh_rounds = 0;
+        resume_bits_saved = 0;
+        straggled = ro.ro_straggled;
+      }
 
 let run ?wire cfg packed ~a ~b =
   match
@@ -208,47 +391,67 @@ let run ?wire cfg packed ~a ~b =
   | Ok (rows, ranges) -> (
       let protocol = sanitize (Estimator.name packed) in
       fleet_span ~cfg ~protocol @@ fun () ->
-      let links_raw =
+      let shards =
         Array.to_list
           (Array.mapi
              (fun rank range ->
                let shard_a = Shard.slice a range in
+               (* The byzantine boundary: a fault rule armed on this
+                  link's wire may perturb the decoded answer after
+                  correct framing — CRC and ARQ pass by construction,
+                  only the coordinator's semantic checks can catch it. *)
                let body ctx =
-                 Estimator.run_default packed ctx ~a:shard_a ~b
+                 let ans = Estimator.run_default packed ctx ~a:shard_a ~b in
+                 match
+                   Option.bind (Ctx.installed_fault ctx) Fault.check_byzantine
+                 with
+                 | None -> ans
+                 | Some (mode, g) -> Verify.corrupt mode g ans
                in
-               let result, straggled =
-                 run_link ~cfg ~wire ~protocol ~rank ~range ~body
+               let replicas =
+                 List.init cfg.replicas (fun replica ->
+                     let seed = replica_seed cfg ~rank ~replica in
+                     let result, straggled =
+                       run_link ~cfg ~wire ~protocol ~rank ~replica ~seed
+                         ~range ~body
+                     in
+                     {
+                       ro_replica = replica;
+                       ro_seed = seed;
+                       ro_result = result;
+                       ro_straggled = straggled;
+                       ro_quarantine = None;
+                     })
                in
-               (rank, range, result, straggled))
+               let summary =
+                 Verify.summarize ~name:(Estimator.name packed) ~a:shard_a ~b
+               in
+               let shard_res = reconcile ~cfg ~summary ~rank replicas in
+               (rank, range, replicas, shard_res))
              ranges)
       in
       let links =
-        List.map
-          (fun (rank, range, result, straggled) ->
-            match result with
-            | Ok (rep : _ Supervisor.report) ->
-                {
-                  rank;
-                  range;
-                  attempts = rep.Supervisor.attempts;
-                  answer = Ok rep.Supervisor.output;
-                  fresh_bits = rep.Supervisor.fresh_bits;
-                  fresh_rounds = rep.Supervisor.fresh_rounds;
-                  resume_bits_saved = rep.Supervisor.resume_bits_saved;
-                  straggled;
-                }
-            | Error e ->
-                {
-                  rank;
-                  range;
-                  attempts = [];
-                  answer = Error e;
-                  fresh_bits = 0;
-                  fresh_rounds = 0;
-                  resume_bits_saved = 0;
-                  straggled;
-                })
-          links_raw
+        List.concat_map
+          (fun (rank, range, replicas, _) ->
+            List.map (link_report_of ~rank ~range) replicas)
+          shards
+      in
+      let suspects =
+        List.concat_map
+          (fun (rank, _, replicas, _) ->
+            List.filter_map
+              (fun ro ->
+                Option.map
+                  (fun (check, detail) ->
+                    {
+                      s_rank = rank;
+                      s_replica = ro.ro_replica;
+                      s_check = check;
+                      s_detail = detail;
+                    })
+                  ro.ro_quarantine)
+              replicas)
+          shards
       in
       let merge parts =
         Merge.merge ~name:(Estimator.name packed) ~seed:cfg.seed
@@ -259,9 +462,7 @@ let run ?wire cfg packed ~a ~b =
       match
         Outcome.guard (fun () ->
             decide ~cfg ~rows ~merge
-              (List.map
-                 (fun (rank, range, res, _) -> (rank, range, res))
-                 links_raw))
+              (List.map (fun (rank, range, _, res) -> (rank, range, res)) shards))
       with
       | Error e | Ok (Error e) -> Error e
       | Ok (Ok (answer, survivors, coverage)) ->
@@ -269,6 +470,7 @@ let run ?wire cfg packed ~a ~b =
             {
               answer;
               links;
+              suspects;
               survivors;
               coverage;
               fresh_bits =
@@ -287,6 +489,7 @@ let run ?wire cfg packed ~a ~b =
 
 type batch_link = {
   b_rank : int;
+  b_replica : int;
   b_range : Shard.range;
   b_attempts : Supervisor.attempt list;
   b_answers : (Engine.answer array, Outcome.error) result;
@@ -295,10 +498,119 @@ type batch_link = {
 type batch_report = {
   batch_answers : Engine.answer array Outcome.graded;
   batch_links : batch_link list;
+  batch_suspects : suspect list;
   batch_survivors : int;
   batch_coverage : float;
   batch_fresh_bits : int;
 }
+
+(* Batch replicas all run at the fleet seed (the engine's determinism
+   contract makes honest replicas byte-identical), so the vote is exact
+   agreement on the whole answer array — classic TMR. [compare] rather
+   than [=]: it treats equal nans as equal. *)
+let batch_answers_equal (xs : Engine.answer array) ys = compare xs ys = 0
+
+let reconcile_batch ~cfg ~rank ~queries ~summaries
+    (replicas :
+      ((Engine.answer array Supervisor.report, Outcome.error) result * int) list)
+    =
+  let annotated =
+    List.map
+      (fun (res, replica) ->
+        let quarantine = ref None in
+        (match res with
+        | Ok rep when cfg.verify ->
+            List.iteri
+              (fun qi q ->
+                if !quarantine = None then
+                  let s = List.nth summaries qi in
+                  match
+                    Verify.check_answer s ~seed:cfg.seed q
+                      rep.Supervisor.output.(qi)
+                  with
+                  | Verify.Pass -> ()
+                  | Verify.Fail { invariant; detail } ->
+                      quarantine := Some (invariant, detail);
+                      quarantine_event ~rank ~replica ~check:invariant ~detail)
+              queries
+        | _ -> ());
+        (res, replica, quarantine))
+      replicas
+  in
+  let passers =
+    List.filter_map
+      (fun (res, replica, q) ->
+        match (res, !q) with
+        | Ok rep, None -> Some (rep, replica, q)
+        | _ -> None)
+      annotated
+  in
+  (* majority by exact agreement *)
+  let shard_res =
+    match passers with
+    | [] -> (
+        match
+          List.find_opt (fun (_, _, q) -> !q <> None) annotated
+        with
+        | Some (_, replica, q) ->
+            let check, _ = Option.get !q in
+            Error (Outcome.Byzantine_detected { rank; replica; check })
+        | None -> (
+            match
+              List.fold_left
+                (fun acc (res, _, _) ->
+                  match res with Error e -> Some e | Ok _ -> acc)
+                None annotated
+            with
+            | Some e -> Error e
+            | None ->
+                Error (Outcome.Protocol_failure "fleet: empty replica group")))
+    | (first, _, _) :: _ ->
+        let n = List.length passers in
+        let count rep =
+          List.length
+            (List.filter
+               (fun (r, _, _) ->
+                 batch_answers_equal r.Supervisor.output rep.Supervisor.output)
+               passers)
+        in
+        let winner =
+          List.find_opt (fun (rep, _, _) -> 2 * count rep > n) passers
+        in
+        (match winner with
+        | Some (rep, _, _) ->
+            List.iter
+              (fun (r, replica, q) ->
+                if
+                  not
+                    (batch_answers_equal r.Supervisor.output
+                       rep.Supervisor.output)
+                then begin
+                  let detail =
+                    Printf.sprintf
+                      "replica output disagrees with the %d-replica majority"
+                      (count rep)
+                  in
+                  q := Some ("replica_vote", detail);
+                  quarantine_event ~rank ~replica ~check:"replica_vote" ~detail
+                end)
+              passers;
+            Ok rep
+        | None ->
+            List.iter
+              (fun (_, replica, q) ->
+                let detail = "no strict-majority agreement among replicas" in
+                q := Some ("ambiguous_vote", detail);
+                quarantine_event ~rank ~replica ~check:"ambiguous_vote" ~detail)
+              passers;
+            ignore first;
+            let _, replica, q = List.hd (List.rev annotated) in
+            let check =
+              match !q with Some (c, _) -> c | None -> "ambiguous_vote"
+            in
+            Error (Outcome.Byzantine_detected { rank; replica; check }))
+  in
+  (annotated, shard_res)
 
 let run_batch ?wire cfg engine queries ~a ~b =
   match
@@ -311,18 +623,52 @@ let run_batch ?wire cfg engine queries ~a ~b =
       let protocol = "engine-batch" in
       fleet_span ~cfg ~protocol @@ fun () ->
       let bi = Imat.of_bmat b in
-      let links_raw =
+      let shards =
         Array.to_list
           (Array.mapi
              (fun rank range ->
-               let ai = Imat.of_bmat (Shard.slice a range) in
+               let shard_a_b = Shard.slice a range in
+               let ai = Imat.of_bmat shard_a_b in
                let body ctx =
-                 (Engine.run engine ctx ~a:ai ~b:bi queries).Engine.answers
+                 let answers =
+                   (Engine.run engine ctx ~a:ai ~b:bi queries).Engine.answers
+                 in
+                 match
+                   Option.bind (Ctx.installed_fault ctx) Fault.check_byzantine
+                 with
+                 | None -> answers
+                 | Some (mode, g) ->
+                     Array.map (Verify.corrupt_answer mode g) answers
                in
-               let result, _ =
-                 run_link ~cfg ~wire ~protocol ~rank ~range ~body
+               let replicas =
+                 (* All batch replicas run at the fleet seed: the engine's
+                    determinism contract makes honest replicas byte-identical,
+                    which is what the exact-agreement (TMR) vote needs. *)
+                 List.init cfg.replicas (fun replica ->
+                     let result, _ =
+                       run_link ~cfg ~wire ~protocol ~rank ~replica
+                         ~seed:cfg.seed ~range ~body
+                     in
+                     (result, replica))
                in
-               (rank, range, result))
+               let summaries =
+                 if cfg.verify then begin
+                   let s = Verify.summarize ~name:"engine" ~a:shard_a_b ~b in
+                   List.map (fun _ -> s) queries
+                 end
+                 else []
+               in
+               let annotated, shard_res =
+                 if cfg.verify || cfg.replicas > 1 then
+                   reconcile_batch ~cfg ~rank ~queries ~summaries replicas
+                 else
+                   ( List.map (fun (res, replica) -> (res, replica, ref None)) replicas,
+                     match replicas with
+                     | [ (Ok rep, _) ] -> Ok rep
+                     | [ (Error e, _) ] -> Error e
+                     | _ -> assert false )
+               in
+               (rank, range, annotated, shard_res))
              ranges)
       in
       let nq = List.length queries in
@@ -339,41 +685,82 @@ let run_batch ?wire cfg engine queries ~a ~b =
                     parts))
              queries)
       in
-      match Outcome.guard (fun () -> decide ~cfg ~rows ~merge links_raw) with
+      match
+        Outcome.guard (fun () ->
+            decide ~cfg ~rows ~merge
+              (List.map (fun (rank, range, _, res) -> (rank, range, res)) shards))
+      with
       | Error e | Ok (Error e) -> Error e
       | Ok (Ok (batch_answers, batch_survivors, batch_coverage)) ->
           let batch_links =
-            List.map
-              (fun (rank, range, result) ->
-                match result with
-                | Ok (rep : _ Supervisor.report) ->
-                    {
-                      b_rank = rank;
-                      b_range = range;
-                      b_attempts = rep.Supervisor.attempts;
-                      b_answers = Ok rep.Supervisor.output;
-                    }
-                | Error e ->
-                    {
-                      b_rank = rank;
-                      b_range = range;
-                      b_attempts = [];
-                      b_answers = Error e;
-                    })
-              links_raw
+            List.concat_map
+              (fun (rank, range, annotated, _) ->
+                List.map
+                  (fun (res, replica, q) ->
+                    match (res, !q) with
+                    | Ok (rep : _ Supervisor.report), Some (check, _) ->
+                        {
+                          b_rank = rank;
+                          b_replica = replica;
+                          b_range = range;
+                          b_attempts = rep.Supervisor.attempts;
+                          b_answers =
+                            Error
+                              (Outcome.Byzantine_detected
+                                 { rank; replica; check });
+                        }
+                    | Ok rep, None ->
+                        {
+                          b_rank = rank;
+                          b_replica = replica;
+                          b_range = range;
+                          b_attempts = rep.Supervisor.attempts;
+                          b_answers = Ok rep.Supervisor.output;
+                        }
+                    | Error e, _ ->
+                        {
+                          b_rank = rank;
+                          b_replica = replica;
+                          b_range = range;
+                          b_attempts = [];
+                          b_answers = Error e;
+                        })
+                  annotated)
+              shards
+          in
+          let batch_suspects =
+            List.concat_map
+              (fun (rank, _, annotated, _) ->
+                List.filter_map
+                  (fun (_, replica, q) ->
+                    Option.map
+                      (fun (check, detail) ->
+                        {
+                          s_rank = rank;
+                          s_replica = replica;
+                          s_check = check;
+                          s_detail = detail;
+                        })
+                      !q)
+                  annotated)
+              shards
           in
           Ok
             {
               batch_answers;
               batch_links;
+              batch_suspects;
               batch_survivors;
               batch_coverage;
               batch_fresh_bits =
                 List.fold_left
-                  (fun acc (_, _, result) ->
-                    match result with
-                    | Ok (rep : _ Supervisor.report) ->
-                        acc + rep.Supervisor.fresh_bits
-                    | Error _ -> acc)
-                  0 links_raw;
+                  (fun acc (_, _, annotated, _) ->
+                    List.fold_left
+                      (fun acc (res, _, _) ->
+                        match res with
+                        | Ok (rep : _ Supervisor.report) ->
+                            acc + rep.Supervisor.fresh_bits
+                        | Error _ -> acc)
+                      acc annotated)
+                  0 shards;
             })

@@ -28,11 +28,35 @@
     - fewer → the last link's typed error. Never an unflagged wrong
       answer.
 
-    Observability: metrics scope [link<i>] per link (containing the
-    supervisor's per-attempt scopes, which contain the channel's
-    per-party [worker<i>]/[coordinator] scopes), counters [fleet_links],
-    [fleet_link_failures], [fleet_stragglers], [fleet_degraded],
-    [fleet_giveups], and a [fleet.link] span per link. *)
+    {b Byzantine defense.} The reliability layer only protects transport;
+    a worker that {e computes} a wrong answer delivers it with valid CRCs
+    ({!Matprod_comm.Fault.check_byzantine} simulates exactly this at the
+    answer boundary). Two coordinator-side defenses compose:
+
+    - [verify]: every decoded shard answer runs the
+      {!Matprod_verify.Verify} validators (exact shard-mass identity,
+      Cauchy–Schwarz ranges, per-coordinate adjudication, Freivalds);
+    - [replicas] = r: each shard is run by r independent links at seeds
+      derived from (fleet seed, rank, replica); deterministic families
+      vote by exact agreement, numeric families within their
+      approximation ratio, sampling families are adjudicated per-answer
+      ({!Matprod_verify.Verify.vote}).
+
+    A replica that fails a validator or loses the vote is {e quarantined}:
+    its link report carries {!Matprod_core.Outcome.Byzantine_detected}
+    naming the violated check, it appears in [suspects], and the shard's
+    answer is re-merged from the surviving replicas. Only when a whole
+    replica group is lost (every replica failed, or no strict majority
+    exists) does the shard count as lost and the quorum/[Degraded] ladder
+    above take over. Replica 0 runs at the fleet seed, so a
+    [replicas = 1] fleet is bit-identical to the pre-replica fleet.
+
+    Observability: metrics scope [link<i>] (replica 0) / [link<i>.r<j>]
+    per link, counters [fleet_links], [fleet_link_failures],
+    [fleet_stragglers], [fleet_degraded], [fleet_giveups],
+    [fleet_quarantined], verification cost under [verify_checks] /
+    [verify_failures] / [verify_ns], a [fleet.link] span per link and a
+    [fleet.quarantine] event per suspect. *)
 
 type link_policy = {
   max_resumes : int;  (** per-link journal resumes (needs [journal]) *)
@@ -49,58 +73,83 @@ type config = {
   workers : int;
   quorum : int;  (** minimum surviving links for an answer, in [1, workers] *)
   seed : int;
+  replicas : int;  (** independent links per shard, in [1, 16] *)
+  verify : bool;  (** run the {!Matprod_verify.Verify} validators *)
   link_policy : link_policy;
   journal : string option;
-      (** base path; link [i] journals to ["<base>.worker<i>"] and the
-          Resume rung becomes available per link *)
+      (** base path; link [i] replica [j] journals to
+          ["<base>.worker<i>"] (replica 0) / ["<base>.worker<i>.r<j>"]
+          and the Resume rung becomes available per link *)
 }
 
 val config :
   ?quorum:int ->
+  ?replicas:int ->
+  ?verify:bool ->
   ?link_policy:link_policy ->
   ?journal:string ->
   workers:int ->
   seed:int ->
   unit ->
   config
-(** [quorum] defaults to [workers] (no degraded answers). Raises
-    [Invalid_argument] on [workers < 1] or [quorum] outside
-    [1, workers]. *)
+(** [quorum] defaults to [workers] (no degraded answers), [replicas] to 1,
+    [verify] to [false]. Raises [Invalid_argument] on [workers < 1],
+    [quorum] outside [1, workers], or [replicas] outside [1, 16]. *)
+
+val replica_seed : config -> rank:int -> replica:int -> int
+(** The seed link [(rank, replica)] runs at: the fleet seed for replica 0,
+    an independent derivation of (seed, rank, replica) above — the wire
+    hook and tests use it to predict per-replica behaviour. *)
 
 type link_report = {
   rank : int;
+  replica : int;
   range : Shard.range;
   attempts : Matprod_core.Supervisor.attempt list;
       (** the link's ladder, in execution order ([] if the supervisor gave
           up before producing a report) *)
   answer : (Matprod_core.Estimator.comparable, Matprod_core.Outcome.error) result;
+      (** a quarantined replica reports
+          {!Matprod_core.Outcome.Byzantine_detected} here even though its
+          link-level run succeeded *)
   fresh_bits : int;
   fresh_rounds : int;
   resume_bits_saved : int;
   straggled : bool;  (** some attempt tripped the straggler deadline *)
 }
 
+(** One quarantined replica and why. *)
+type suspect = {
+  s_rank : int;
+  s_replica : int;
+  s_check : string;  (** violated invariant ({!Matprod_verify.Verify}) *)
+  s_detail : string;
+}
+
 type report = {
   answer : Matprod_core.Estimator.comparable Matprod_core.Outcome.graded;
-  links : link_report list;  (** rank order, failures included *)
-  survivors : int;
+  links : link_report list;
+      (** rank-major, replica-minor order, failures included *)
+  suspects : suspect list;  (** quarantined replicas, rank-major order *)
+  survivors : int;  (** shards (not links) that delivered an answer *)
   coverage : float;  (** surviving row fraction, 1.0 when [Full] *)
-  fresh_bits : int;  (** summed over answered links *)
-  fresh_rounds : int;  (** max over answered links — links run in parallel *)
+  fresh_bits : int;  (** summed over all replica links *)
+  fresh_rounds : int;  (** max over links — links run in parallel *)
   resume_bits_saved : int;
 }
 
 val run :
-  ?wire:(rank:int -> attempt:int -> Matprod_comm.Ctx.t -> unit) ->
+  ?wire:(rank:int -> replica:int -> attempt:int -> Matprod_comm.Ctx.t -> unit) ->
   config ->
   Matprod_core.Estimator.packed ->
   a:Matprod_matrix.Bmat.t ->
   b:Matprod_matrix.Bmat.t ->
   (report, Matprod_core.Outcome.error) result
 (** Answer the estimator's default query over the fleet. [?wire] arms
-    link [rank]'s channel for each supervisor attempt (1-based), so chaos
-    profiles can crash exactly one worker, straggle exactly one link, or
-    vary by attempt the way transient real-world failures do. Requires
+    link [(rank, replica)]'s channel for each supervisor attempt
+    (1-based), so chaos profiles can crash exactly one worker, straggle
+    exactly one link, arm a byzantine rule on one replica, or vary by
+    attempt the way transient real-world failures do. Requires
     [workers <= rows a]. Never raises on wire/crash/precondition
     failures ({!Matprod_core.Outcome.guard}). *)
 
@@ -109,10 +158,16 @@ val run :
     The same topology under the {!Matprod_engine.Engine}: each link runs
     the full batch against its shard (sharing the engine's plan cache
     across links — same seed, same family, one tabulation), and per-query
-    answers merge by {!Matprod_engine.Engine.merge_answers}. *)
+    answers merge by {!Matprod_engine.Engine.merge_answers}. Batch
+    replicas all run at the {e fleet} seed — the engine's determinism
+    contract makes honest replicas byte-identical, so the replica vote is
+    exact agreement on the whole answer array (classic TMR) and [verify]
+    adjudicates each query's answer shape per
+    {!Matprod_verify.Verify.check_answer}. *)
 
 type batch_link = {
   b_rank : int;
+  b_replica : int;
   b_range : Shard.range;
   b_attempts : Matprod_core.Supervisor.attempt list;
   b_answers : (Matprod_engine.Engine.answer array, Matprod_core.Outcome.error) result;
@@ -122,13 +177,14 @@ type batch_report = {
   batch_answers : Matprod_engine.Engine.answer array Matprod_core.Outcome.graded;
       (** one merged answer per query, in batch order *)
   batch_links : batch_link list;
+  batch_suspects : suspect list;
   batch_survivors : int;
   batch_coverage : float;
   batch_fresh_bits : int;
 }
 
 val run_batch :
-  ?wire:(rank:int -> attempt:int -> Matprod_comm.Ctx.t -> unit) ->
+  ?wire:(rank:int -> replica:int -> attempt:int -> Matprod_comm.Ctx.t -> unit) ->
   config ->
   Matprod_engine.Engine.t ->
   Matprod_engine.Engine.query list ->

@@ -1,0 +1,159 @@
+(** Coordinator-side answer verification: the semantic firewall behind the
+    fleet's byzantine defense (docs/ROBUSTNESS.md).
+
+    The reliability layer guarantees {e transport}: a delivered frame is
+    the frame that was sent (CRC32), or nothing. It cannot guarantee that
+    the {e worker computed the right thing} — a compromised or buggy
+    worker can return a perfectly-framed wrong answer, which is exactly
+    what {!Matprod_comm.Fault.check_byzantine} simulates. This module
+    gives the coordinator cheap semantic checks on a decoded shard
+    answer, derived only from quantities the coordinator can afford to
+    compute locally:
+
+    - the {e exact} shard mass ‖A⟨i⟩·B‖₁ = Σ_k colweight(A⟨i⟩,k)·rowweight(B,k),
+      O(nnz) — Remark 2's identity, reused as an invariant;
+    - the entry cap ‖C‖∞ ≤ min(max row weight of A, max column weight
+      of B) and the pair count, giving Cauchy–Schwarz-style ranges for
+      every ℓp statistic;
+    - exact per-coordinate adjudication for reported samples and heavy
+      hitters (one sorted-array intersection each);
+    - Freivalds' probabilistic identity test for exact-product shares.
+
+    Every check is a pure function of (summary, seed, answer): all
+    verification randomness derives from the seed, so a verifying fleet
+    is as reproducible as a trusting one. Checks are {e sound} for the
+    registry's default queries — an honest default-query answer passes —
+    and are deliberately generous (slack factors cover estimator error):
+    a [Fail] verdict certifies a violated invariant, a [Pass] only says
+    the answer is within the family's documented bound. Tight detection
+    of in-bound lies is the replica {!vote}'s job.
+
+    Cost is charged to counters [verify_checks] / [verify_failures] and
+    histogram [verify_ns], inside span [verify.check]. *)
+
+(** A failed check names the violated invariant (stable, snake-case — it
+    is surfaced in {!Matprod_core.Outcome.Byzantine_detected}) and a
+    human-readable detail. *)
+type verdict = Pass | Fail of { invariant : string; detail : string }
+
+val verdict_to_string : verdict -> string
+
+(** What the coordinator precomputes about one shard workload [(a, b)]
+    before asking anyone anything. [l1] is exact; everything else is a
+    bound. Building one is O(nnz(a) + nnz(b)); the lazy transpose of [b]
+    is forced only by coordinate-level checks. *)
+type summary = {
+  sname : string;  (** estimator registry name the checks specialise to *)
+  out_rows : int;  (** rows of C = a·b *)
+  out_cols : int;
+  inner : int;  (** shared dimension *)
+  l1 : float;  (** exact ‖a·b‖₁ (Remark 2's column/row-sum identity) *)
+  cap : float;  (** entry-wise bound: C_ij <= min(amax, bmax) *)
+  a : Matprod_matrix.Bmat.t;
+  b : Matprod_matrix.Bmat.t;
+  bt : Matprod_matrix.Bmat.t Lazy.t;  (** transpose of [b], on demand *)
+}
+
+val summarize :
+  name:string ->
+  a:Matprod_matrix.Bmat.t ->
+  b:Matprod_matrix.Bmat.t ->
+  summary
+
+val check :
+  summary -> seed:int -> Matprod_core.Estimator.comparable -> verdict
+(** Validate a decoded shard answer against the summary's invariants.
+    Dispatches on the answer shape and [sname]:
+
+    - [Number]: finite, non-negative, integral for exact counting
+      families, inside the family's slacked range (exact equality for
+      [l1_exact]);
+    - [Leveled]: estimate within the κ-approximation range, level sane;
+    - [Coords]: indices in bounds, no duplicates, every reported
+      coordinate exactly (φ−ε)-heavy (one intersection per coordinate);
+    - [Sample]/[Samples]: indices in bounds, the carried payload exactly
+      right — the ℓ0 value equals |A_r ∩ B^c|, the ℓ1 witness is a real
+      common index;
+    - [Shares]: indices in bounds, total mass exactly [l1], and
+      Freivalds' test C·x = A·(B·x) over seeded 0/1 vectors.
+
+    Estimators this module does not know pass vacuously (they are
+    vouched for by replica voting only). *)
+
+val check_answer :
+  summary -> seed:int -> Matprod_engine.Engine.query ->
+  Matprod_engine.Engine.answer -> verdict
+(** {!check} for the engine's batch answers, specialised by the query
+    (the query carries the accuracy, so slacks adapt to it). *)
+
+(** {1 Corruption (the attack half)}
+
+    The transform a {!Matprod_comm.Fault.check_byzantine} firing applies
+    to the victim's decoded answer. Lives here rather than in [Fault]
+    because the comm layer cannot see {!Matprod_core.Estimator.comparable};
+    the fleet composes the two at the answer boundary. *)
+
+val corrupt :
+  Matprod_comm.Fault.byzantine_mode ->
+  Matprod_util.Prng.t ->
+  Matprod_core.Estimator.comparable ->
+  Matprod_core.Estimator.comparable
+(** [Scale] multiplies magnitudes by 16 (shifts coordinates); [Sign_flip]
+    negates values and indices; [Swap] transposes indexed shapes and
+    inverts scalar magnitudes; [Garbage] replaces the payload with seeded
+    out-of-range junk. Empty answers ([None] samples, empty sets) pass
+    through unchanged — there is nothing to lie about. *)
+
+val corrupt_answer :
+  Matprod_comm.Fault.byzantine_mode ->
+  Matprod_util.Prng.t ->
+  Matprod_engine.Engine.answer ->
+  Matprod_engine.Engine.answer
+(** {!corrupt} on the engine's answer shapes. *)
+
+(** {1 Replica voting}
+
+    How [r] independently-seeded answers to the same shard are reconciled.
+    Families differ in what "agreement" can mean: exact families must
+    match bit-for-bit (after canonicalisation — additive shares at
+    different seeds split differently but reconstruct the same product),
+    numeric families agree up to their approximation ratio, sampling and
+    subset families are adjudicated per-answer by {!check} (each sample
+    is individually provable, so replicas never vote each other out). *)
+
+type family =
+  | Exact  (** value determined by the input: vote by structural equality *)
+  | Numeric of { ratio : float }
+      (** scalar estimate: replicas consistent within [ratio] (∞ = any) *)
+  | Level of { ratio : float }  (** leveled estimate: ratio on estimates *)
+  | Subset  (** coordinate report: adjudicated by {!check}, never outvoted *)
+  | Sampled  (** drawn entries: adjudicated by {!check}, never outvoted *)
+
+val family_of : string -> family
+(** Registry name → voting family. Unknown names get
+    [Numeric {ratio = infinity}]: replica answers are collected but never
+    quarantine each other. *)
+
+type vote_result = {
+  chosen : int;  (** replica index of the representative answer *)
+  chosen_answer : Matprod_core.Estimator.comparable;
+      (** the representative's original (uncanonicalised) answer *)
+  agreed : int list;  (** the winning pairwise-consistent majority *)
+  outvoted : (int * string) list;
+      (** quarantined replicas with the disagreement detail *)
+}
+
+val vote :
+  summary ->
+  (int * Matprod_core.Estimator.comparable) list ->
+  vote_result option
+(** Reconcile the validator-passing replicas of one shard. Consistency is
+    pairwise (never against a pooled center — the median of {v, 16v} at
+    r = 2 would indict the honest replica); the winners are the largest
+    pairwise-consistent subset holding a strict majority, and the
+    representative is the lowest-index winner (numeric families: the
+    winner closest to the {!Matprod_util.Stats.median} of the winning
+    values, the Boosting tie-break). [None] means no strict majority
+    exists — the shard is ambiguous and the whole replica group must be
+    treated as lost. A singleton input always wins its own vote. Raises
+    [Invalid_argument] beyond 16 replicas. *)

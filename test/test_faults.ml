@@ -27,6 +27,7 @@ module Registry = Matprod_core.Registry
 module Session = Matprod_core.Session
 module Supervisor = Matprod_core.Supervisor
 module Journal = Matprod_comm.Journal
+module Verify = Matprod_verify.Verify
 
 let check = Alcotest.check
 
@@ -124,7 +125,11 @@ let test_trichotomy (kind, rates) () =
           | Error (Outcome.Precondition m) ->
               (* Valid inputs: a precondition error here is a harness bug. *)
               Alcotest.failf "%s/%s seed %d: unexpected precondition: %s" kind
-                name seed m)
+                name seed m
+          | Error (Outcome.Byzantine_detected _) ->
+              (* No byzantine rule is armed in this sweep. *)
+              Alcotest.failf "%s/%s seed %d: byzantine verdict without a rule"
+                kind name seed)
         (protocols ~seed))
     seeds;
   (* The sweep must actually exercise the success path (the reliability
@@ -684,6 +689,197 @@ let test_boosting_matches_unsafe_without_faults () =
 (* ------------------------------------------------------------------ *)
 (* Reliable-layer unit checks. *)
 
+(* ------------------------------------------------------------------ *)
+(* One-shot rules must stay fired across supervisor escalation: when the
+   SAME model instance is re-installed on a later attempt (the Reseed
+   rung reuses whatever the wire hook hands it), a crash/straggle/
+   byzantine rule that already fired must not kill/slow/corrupt the
+   retry — otherwise the ladder dies identically forever. *)
+
+let test_one_shot_crash_no_rearm () =
+  let name = "linf_binary" in
+  let f = protocol_exn name ~seed:1 in
+  let shared =
+    Fault.crash_only ~party:Transcript.Bob ~at:(Fault.After_messages 1)
+  in
+  let installs = ref 0 in
+  let result =
+    Supervisor.run
+      ~wire:(fun ~attempt:_ ctx ->
+        incr installs;
+        Ctx.install_wire ctx ~fault:shared ~reliable ())
+      ~seed:61 ~protocol:name f
+  in
+  (match result with
+  | Ok r ->
+      check Alcotest.int "two attempts" 2 (List.length r.Supervisor.attempts);
+      check Alcotest.bool "recovered on the reseed rung" true
+        (match r.Supervisor.rung with Supervisor.Reseed _ -> true | _ -> false)
+  | Error e ->
+      Alcotest.failf "fired crash rule re-armed: %s" (Outcome.error_to_string e));
+  check Alcotest.int "model installed on both attempts" 2 !installs;
+  check Alcotest.int "crash fired exactly once" 1 (Fault.stats shared).Fault.crashed
+
+let test_one_shot_straggle_no_rearm () =
+  let f = protocol_exn "l1_exact" ~seed:1 in
+  let shared = Fault.straggle_only ~after:0 ~burst:2 ~delay_s:0.5 () in
+  let run () =
+    (Ctx.run ~seed:62 (fun ctx ->
+         Ctx.install_wire ctx ~fault:shared ~reliable ();
+         f ctx))
+      .Ctx.output
+  in
+  let first = run () in
+  let fired = (Fault.stats shared).Fault.straggled in
+  check Alcotest.bool "burst fired" true (fired > 0);
+  let again = run () in
+  check Alcotest.int "spent burst stays spent" fired
+    (Fault.stats shared).Fault.straggled;
+  if first <> again then Alcotest.fail "straggle spike changed the output"
+
+let test_one_shot_byzantine_no_rearm () =
+  let shared = Fault.byzantine_only ~seed:7 ~mode:Fault.Scale () in
+  (match Fault.check_byzantine shared with
+  | Some (Fault.Scale, _) -> ()
+  | Some _ -> Alcotest.fail "wrong byzantine mode"
+  | None -> Alcotest.fail "armed byzantine rule did not fire");
+  (match Fault.check_byzantine shared with
+  | None -> ()
+  | Some _ -> Alcotest.fail "fired byzantine rule re-armed");
+  check Alcotest.int "byzantined counted once" 1
+    (Fault.stats shared).Fault.byzantined;
+  check Alcotest.bool "byzantine model stays wire-transparent" false
+    (Fault.is_active shared);
+  check Alcotest.int "counted in total_injected" 1
+    (Fault.total_injected (Fault.stats shared))
+
+(* ------------------------------------------------------------------ *)
+(* Every [Outcome.error] constructor renders: non-empty, pairwise
+   distinct, payload included, and [pp_error] agrees with
+   [error_to_string]. The [constructor_name] match is deliberately
+   exhaustive — adding a constructor breaks this test at compile time
+   until the gallery below grows with it. *)
+
+let all_errors =
+  [
+    Outcome.Link_failure { label = "sketch/row3"; attempts = 12 };
+    Outcome.Decode_failure "bad varint";
+    Outcome.Precondition "rows mismatch";
+    Outcome.Protocol_failure "sketch width";
+    Outcome.Crashed { party = Transcript.Bob; after_messages = 4 };
+    Outcome.Budget_exhausted { resource = "bits"; spent = 9; limit = 8 };
+    Outcome.Byzantine_detected { rank = 2; replica = 1; check = "freivalds" };
+  ]
+
+let constructor_name : Outcome.error -> string = function
+  | Outcome.Link_failure _ -> "Link_failure"
+  | Outcome.Decode_failure _ -> "Decode_failure"
+  | Outcome.Precondition _ -> "Precondition"
+  | Outcome.Protocol_failure _ -> "Protocol_failure"
+  | Outcome.Crashed _ -> "Crashed"
+  | Outcome.Budget_exhausted _ -> "Budget_exhausted"
+  | Outcome.Byzantine_detected _ -> "Byzantine_detected"
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_error_rendering_exhaustive () =
+  let names = List.map constructor_name all_errors in
+  check
+    (Alcotest.list Alcotest.string)
+    "one error of each constructor"
+    (List.sort_uniq compare names)
+    (List.sort compare names);
+  let payloads =
+    [
+      [ "sketch/row3"; "12" ];
+      [ "bad varint" ];
+      [ "rows mismatch" ];
+      [ "sketch width" ];
+      [ "4" ];
+      [ "bits"; "9"; "8" ];
+      [ "2"; "1"; "freivalds" ];
+    ]
+  in
+  List.iter2
+    (fun e expected ->
+      let s = Outcome.error_to_string e in
+      if s = "" then Alcotest.failf "%s renders empty" (constructor_name e);
+      check Alcotest.string
+        (constructor_name e ^ ": pp agrees with to_string")
+        s
+        (Format.asprintf "%a" Outcome.pp_error e);
+      List.iter
+        (fun sub ->
+          if not (contains s sub) then
+            Alcotest.failf "%s: %S missing from %S" (constructor_name e) sub s)
+        expected)
+    all_errors payloads;
+  let strings = List.sort_uniq compare (List.map Outcome.error_to_string all_errors) in
+  check Alcotest.int "renderings pairwise distinct" (List.length all_errors)
+    (List.length strings)
+
+(* ------------------------------------------------------------------ *)
+(* Byzantine corruption gallery, two-party half: for every estimator and
+   every corruption mode, the composed defense must leave no silent
+   escape — either the validators flag the corrupted answer, or a
+   replica vote against the honest answer flags it, or the corruption
+   stays within the family's own consistency bound (an acceptable
+   answer, by the estimator's published guarantee). Honest answers must
+   always pass (no false positives: a validator that cried wolf here
+   would quarantine healthy workers in the fleet), and [Garbage] — the
+   out-of-range junk mode — must be caught by the validators alone,
+   without spending replicas. *)
+
+let test_byzantine_corruption_gallery () =
+  let check_detected = ref 0 and vote_detected = ref 0 and within = ref 0 in
+  List.iter
+    (fun seed ->
+      let rng = Prng.create (7 * seed) in
+      let n = 20 in
+      let a = Workload.uniform_bool rng ~rows:n ~cols:n ~density:0.25 in
+      let b = Workload.uniform_bool rng ~rows:n ~cols:n ~density:0.25 in
+      List.iter
+        (fun packed ->
+          let name = Estimator.name packed in
+          let summary = Verify.summarize ~name ~a ~b in
+          let honest =
+            (Ctx.run ~seed (fun ctx -> Estimator.run_default packed ctx ~a ~b))
+              .Ctx.output
+          in
+          (match Verify.check summary ~seed honest with
+          | Verify.Pass -> ()
+          | Verify.Fail { invariant; detail } ->
+              Alcotest.failf "%s seed %d: honest answer failed %s (%s)" name
+                seed invariant detail);
+          List.iteri
+            (fun i mode ->
+              let g = Prng.create (1000 + (17 * i) + seed) in
+              let corrupted = Verify.corrupt mode g honest in
+              if corrupted <> honest then
+                match Verify.check summary ~seed corrupted with
+                | Verify.Fail _ -> incr check_detected
+                | Verify.Pass -> (
+                    if mode = Fault.Garbage then
+                      Alcotest.failf
+                        "%s seed %d: garbage passed the validators" name seed;
+                    match Verify.vote summary [ (0, honest); (1, corrupted) ] with
+                    | Some v when v.Verify.outvoted = [] ->
+                        (* within the family's own bound: not silent, just
+                           an acceptable answer *)
+                        incr within
+                    | _ ->
+                        (* a 2-replica vote against an honest twin flags it *)
+                        incr vote_detected))
+            Fault.all_byzantine_modes)
+        (Registry.all ()))
+    seeds;
+  check Alcotest.bool "validators caught something" true (!check_detected > 0);
+  if !check_detected + !vote_detected + !within = 0 then
+    Alcotest.fail "corruption gallery exercised nothing"
+
 let test_crc32_vectors () =
   (* Standard check value for "123456789" under IEEE CRC32. *)
   check Alcotest.int "crc32 check vector" 0xCBF43926
@@ -763,5 +959,24 @@ let () =
             test_boosting_edge_repetitions;
           Alcotest.test_case "matches unsafe without faults" `Quick
             test_boosting_matches_unsafe_without_faults;
+        ] );
+      ( "one-shot rules",
+        [
+          Alcotest.test_case "crash does not re-arm" `Quick
+            test_one_shot_crash_no_rearm;
+          Alcotest.test_case "straggle burst stays spent" `Quick
+            test_one_shot_straggle_no_rearm;
+          Alcotest.test_case "byzantine fires once" `Quick
+            test_one_shot_byzantine_no_rearm;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "every constructor renders" `Quick
+            test_error_rendering_exhaustive;
+        ] );
+      ( "byzantine",
+        [
+          Alcotest.test_case "corruption gallery" `Slow
+            test_byzantine_corruption_gallery;
         ] );
     ]

@@ -33,6 +33,7 @@ module Workload = Matprod_workload.Workload
 module Shard = Matprod_topology.Shard
 module Merge = Matprod_topology.Merge
 module Fleet = Matprod_topology.Fleet
+module Verify = Matprod_verify.Verify
 
 let check = Alcotest.check
 
@@ -42,6 +43,18 @@ let all_ranks =
   | _ -> false
 
 let chaos_ranks ~workers = if all_ranks then List.init workers Fun.id else [ 1 ]
+
+(* MATPROD_BYZANTINE_MODES=scale,garbage narrows the byzantine sweep. *)
+let byzantine_modes =
+  match Sys.getenv_opt "MATPROD_BYZANTINE_MODES" with
+  | None -> Fault.all_byzantine_modes
+  | Some s -> (
+      match
+        List.filter_map Fault.byzantine_mode_of_string
+          (String.split_on_char ',' s)
+      with
+      | [] -> Fault.all_byzantine_modes
+      | modes -> modes)
 
 let bool_pair seed ~n ~density =
   let rng = Prng.create seed in
@@ -378,7 +391,7 @@ let test_quorum_equivalence () =
                      | Error _ -> None)
                  full.Fleet.links)
           in
-          let wire ~rank ~attempt ctx =
+          let wire ~rank ~replica:_ ~attempt ctx =
             permanent_crash ~victim ~rank ~attempt ctx
           in
           match Fleet.run ~wire cfg packed ~a ~b with
@@ -435,7 +448,7 @@ let test_chaos_gallery () =
         (fun victim ->
           List.iter
             (fun (kind, inject) ->
-              let wire ~rank ~attempt ctx =
+              let wire ~rank ~replica:_ ~attempt ctx =
                 inject ~victim ~rank ~attempt ctx
               in
               match Fleet.run ~wire cfg packed ~a ~b with
@@ -470,13 +483,103 @@ let test_chaos_gallery () =
 
 (* Straggler economics: the resumed attempt replays the journaled prefix
    for free, so recovery costs strictly less than a fresh rerun. *)
+(* Byzantine gallery: every estimator × every corruption mode, one lying
+   worker — replica 0 of the victim rank delivers a perfectly framed
+   wrong answer (CRC/ARQ pass by construction). With the validators on
+   and a second replica per shard the fleet must never answer silently
+   out of bound: either the lie is quarantined (suspects name the victim
+   and the merged answer is re-built from the honest survivor), or the
+   whole replica group is indicted and the answer degrades/fails typed,
+   or the perturbation was within the family's own consistency bound.
+   Clean control first: replicas + verify on an honest fleet must
+   produce a Full answer with zero suspects (no false quarantines). *)
+let test_byzantine_gallery () =
+  let a, b = bool_pair 61 ~n:17 ~density:0.35 in
+  let workers = 3 in
+  let cfg =
+    Fleet.config ~workers ~quorum:(workers - 1) ~replicas:2 ~verify:true
+      ~seed:7 ()
+  in
+  let consistent summary x y =
+    match Verify.vote summary [ (0, x); (1, y) ] with
+    | Some v -> v.Verify.outvoted = []
+    | None -> false
+  in
+  List.iter
+    (fun packed ->
+      let name = Estimator.name packed in
+      let summary = Verify.summarize ~name ~a ~b in
+      let clean =
+        match Fleet.run cfg packed ~a ~b with
+        | Error e ->
+            Alcotest.failf "%s clean: %s" name (Outcome.error_to_string e)
+        | Ok rep ->
+            check Alcotest.bool (name ^ ": clean full") false
+              (Outcome.is_degraded rep.Fleet.answer);
+            check Alcotest.int (name ^ ": clean suspects") 0
+              (List.length rep.Fleet.suspects);
+            Outcome.graded_value rep.Fleet.answer
+      in
+      (match Verify.family_of name with
+      | Verify.Exact -> (
+          (* replica 0 runs at the fleet seed, so replication must not
+             move a deterministic answer *)
+          match Fleet.run (Fleet.config ~workers ~seed:7 ()) packed ~a ~b with
+          | Ok rep ->
+              if Outcome.graded_value rep.Fleet.answer <> clean then
+                Alcotest.failf "%s: replicas changed a deterministic answer"
+                  name
+          | Error e ->
+              Alcotest.failf "%s r=1: %s" name (Outcome.error_to_string e))
+      | _ -> ());
+      List.iter
+        (fun victim ->
+          List.iter
+            (fun mode ->
+              let label =
+                Printf.sprintf "%s/%s victim %d" name
+                  (Fault.byzantine_mode_to_string mode)
+                  victim
+              in
+              let wire ~rank ~replica ~attempt ctx =
+                if rank = victim && replica = 0 && attempt = 1 then
+                  Ctx.install_wire ctx
+                    ~fault:
+                      (Fault.byzantine_only ~seed:(91 * (victim + 1)) ~mode ())
+                    ()
+              in
+              match Fleet.run ~wire cfg packed ~a ~b with
+              | Error (Outcome.Byzantine_detected _) ->
+                  (* whole replica group indicted: typed, never silent *)
+                  ()
+              | Error e ->
+                  Alcotest.failf "%s: %s" label (Outcome.error_to_string e)
+              | Ok rep -> (
+                  List.iter
+                    (fun (s : Fleet.suspect) ->
+                      check Alcotest.int (label ^ ": suspect rank") victim
+                        s.Fleet.s_rank)
+                    rep.Fleet.suspects;
+                  match rep.Fleet.answer with
+                  | Outcome.Degraded _ -> () (* flagged, quorum ladder took over *)
+                  | Outcome.Full v ->
+                      (* flagged or not, a Full answer must stay within the
+                         family's own bound of the clean fleet's answer *)
+                      if not (v = clean || consistent summary clean v) then
+                        Alcotest.failf
+                          "%s: unflagged answer %s outside bound (clean %s)"
+                          label (str v) (str clean)))
+            byzantine_modes)
+        (chaos_ranks ~workers))
+    (Registry.all ())
+
 let test_straggler_resume_saves_bits () =
   let a, b = bool_pair 61 ~n:24 ~density:0.3 in
   let packed = Option.get (Registry.find "lp p=1") in
   with_tmp_journal "straggler" @@ fun base ->
   let lp = { Fleet.default_link_policy with Fleet.deadline_s = Some 0.5 } in
   let cfg = Fleet.config ~workers:4 ~link_policy:lp ~journal:base ~seed:7 () in
-  let wire ~rank ~attempt ctx =
+  let wire ~rank ~replica:_ ~attempt ctx =
     transient_straggle ~victim:1 ~rank ~attempt ctx
   in
   match Fleet.run ~wire cfg packed ~a ~b with
@@ -497,7 +600,7 @@ let test_quorum_sweep () =
   let a, b = bool_pair 71 ~n:16 ~density:0.3 in
   let packed = Option.get (Registry.find "lp p=0") in
   let workers = 4 in
-  let wire ~rank ~attempt ctx =
+  let wire ~rank ~replica:_ ~attempt ctx =
     permanent_crash ~victim:1 ~rank ~attempt ctx;
     permanent_crash ~victim:3 ~rank ~attempt ctx
   in
@@ -581,7 +684,7 @@ let test_batch_fleet_degraded () =
   let a, b = bool_pair 91 ~n:16 ~density:0.35 in
   let engine = Engine.create () in
   let cfg = Fleet.config ~workers:4 ~quorum:3 ~seed:7 () in
-  let wire ~rank ~attempt ctx = permanent_crash ~victim:2 ~rank ~attempt ctx in
+  let wire ~rank ~replica:_ ~attempt ctx = permanent_crash ~victim:2 ~rank ~attempt ctx in
   match Fleet.run_batch ~wire cfg engine batch_queries ~a ~b with
   | Error e -> Alcotest.failf "degraded batch: %s" (Outcome.error_to_string e)
   | Ok rep -> (
@@ -626,6 +729,7 @@ let () =
           Alcotest.test_case "gallery k=4" `Slow test_fleet_gallery;
           Alcotest.test_case "quorum equivalence" `Slow test_quorum_equivalence;
           Alcotest.test_case "chaos gallery" `Slow test_chaos_gallery;
+          Alcotest.test_case "byzantine gallery" `Slow test_byzantine_gallery;
           Alcotest.test_case "straggler resume" `Quick
             test_straggler_resume_saves_bits;
           Alcotest.test_case "quorum sweep" `Quick test_quorum_sweep;
