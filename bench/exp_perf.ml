@@ -9,11 +9,19 @@
    drivers amortise it (one plan, many rows), and reports the planned
    fan-out across the domain pool as well.
 
-   Verdict: planned kernels at least 3x the seed path's throughput on
-   every family whose seed path re-hashes per row (countsketch, ams,
-   l0_sketch, lp, cohen). Stable is reported but not gated: its seed path
-   already amortises entry generation through a lazy column cache, so the
-   plan mostly buys it domain-safety, not raw speed. *)
+   Verdicts:
+   - planned kernels >= 3x the seed path on every family whose seed path
+     re-hashes per row (countsketch, ams, l0_sketch, lp, cohen, srht);
+   - stable (p=1) >= 2x: its seed path already amortises entry
+     generation through a lazy column cache, so the plan's win is the
+     4-key batched accumulate, a smaller (but now gated) margin;
+   - srht planned >= hashing planned throughput on dense rows
+     (nnz/d >= 0.5), where the O(d log d) FWHT route undercuts the
+     O(nnz*m) table walk — the crossover sweep below;
+   - pool fan-out: domains=4 >= 1.5x domains=1 where the host has
+     multiple cores; on a single-core host the gate degrades to a
+     no-inversion floor (chunked dispatch must stay within 0.6x of the
+     sequential path). *)
 
 module Prng = Matprod_util.Prng
 module Pool = Matprod_util.Pool
@@ -25,6 +33,7 @@ module Stable_sketch = Matprod_sketch.Stable_sketch
 module L0_sketch = Matprod_sketch.L0_sketch
 module Lp = Matprod_sketch.Lp
 module Cohen = Matprod_sketch.Cohen
+module Srht = Matprod_sketch.Srht
 
 let dim = 4096
 
@@ -34,7 +43,7 @@ let dim = 4096
    paths pay identically. *)
 let nnz = 192
 
-let mk_rows ~rows seed =
+let mk_rows ~rows ~nnz seed =
   let rng = Prng.create seed in
   Array.init rows (fun r ->
       Array.init nnz (fun i -> (((r * 131) + (i * 37)) mod dim, 1 + Prng.int rng 20)))
@@ -60,13 +69,14 @@ let rows_per_sec ~rows f =
 
 type family = {
   name : string;
-  gated : bool;
+  gate_full : float option; (* speedup floor at full size; None = report-only *)
+  gate_quick : float option; (* looser floor for the 300-row smoke tier *)
   seed_path : int -> unit;
   planned_path : int -> unit; (* plan + scratch built once, outside timing *)
 }
 
 let families ~rows =
-  let vecs = mk_rows ~rows 42 in
+  let vecs = mk_rows ~rows ~nnz 42 in
   let cs = Countsketch.create (Prng.create 1) ~buckets:256 ~reps:5 in
   let cs_plan = Countsketch.plan cs ~dim in
   let cs_dst = Countsketch.empty cs in
@@ -82,37 +92,58 @@ let families ~rows =
   let stable = Stable_sketch.create (Prng.create 5) ~p:1.0 ~eps:0.2 ~groups:5 in
   let stable_plan = Stable_sketch.plan stable ~dim in
   let stable_dst = Stable_sketch.empty stable in
+  let srht = Srht.create (Prng.create 9) ~eps:0.2 ~groups:5 ~dim in
+  let srht_plan = Srht.plan srht ~dim in
+  let srht_dst = Srht.empty srht in
   [
     {
       name = "countsketch";
-      gated = true;
+      gate_full = Some 3.0;
+      gate_quick = Some 2.0;
       seed_path = (fun r -> ignore (Countsketch.sketch cs vecs.(r)));
       planned_path = (fun r -> Countsketch.sketch_into cs cs_plan ~dst:cs_dst vecs.(r));
     };
     {
       name = "ams";
-      gated = true;
+      gate_full = Some 3.0;
+      gate_quick = Some 2.0;
       seed_path = (fun r -> ignore (Ams.sketch ams vecs.(r)));
       planned_path = (fun r -> Ams.sketch_into ams ams_plan ~dst:ams_dst vecs.(r));
     };
     {
       name = "l0_sketch";
-      gated = true;
+      gate_full = Some 3.0;
+      gate_quick = Some 2.0;
       seed_path = (fun r -> ignore (L0_sketch.sketch l0 vecs.(r)));
       planned_path = (fun r -> L0_sketch.sketch_into l0 l0_plan ~dst:l0_dst vecs.(r));
     };
     {
       name = "lp (p=0)";
-      gated = true;
+      gate_full = Some 3.0;
+      gate_quick = Some 2.0;
       seed_path = (fun r -> ignore (Lp.sketch lp vecs.(r)));
       planned_path = (fun r -> Lp.sketch_into lp lp_plan ~dst:lp_dst vecs.(r));
     };
+    (* The stable seed path already amortises entry generation through a
+       lazy column cache, so its planned win is the 4-key batched
+       accumulate in Kernel.apply — gated at 2x, not 3x. *)
     {
       name = "stable (p=1)";
-      gated = false;
+      gate_full = Some 2.0;
+      gate_quick = Some 1.5;
       seed_path = (fun r -> ignore (Stable_sketch.sketch stable vecs.(r)));
       planned_path =
         (fun r -> Stable_sketch.sketch_into stable stable_plan ~dst:stable_dst vecs.(r));
+    };
+    (* srht's seed path materialises D and the sampled Hadamard rows per
+       key (Prng.derive + popcount per entry); the plan tabulates both
+       and routes dense rows through the FWHT. *)
+    {
+      name = "srht";
+      gate_full = Some 3.0;
+      gate_quick = Some 2.0;
+      seed_path = (fun r -> ignore (Srht.sketch srht vecs.(r)));
+      planned_path = (fun r -> Srht.sketch_into srht srht_plan ~dst:srht_dst vecs.(r));
     };
   ]
 
@@ -144,12 +175,133 @@ let frate r =
   else if r >= 1e3 then Printf.sprintf "%.1fk" (r /. 1e3)
   else Printf.sprintf "%.0f" r
 
+(* Hashing vs FWHT route crossover: ams planned (O(nnz*m) table walk)
+   against srht planned (densify + O(d log d) FWHT + gather) over a
+   density sweep at matched sketch width. The sparsest point rides srht's
+   tabulated sparse route (parity expected); from nnz/d = 0.5 the FWHT
+   must win outright. *)
+let crossover ~quick =
+  let rows = if quick then 80 else 300 in
+  let ams = Ams.create (Prng.create 7) ~eps:0.4 ~groups:5 in
+  let ams_plan = Ams.plan ams ~dim in
+  let ams_dst = Ams.empty ams in
+  let srht = Srht.create (Prng.create 8) ~eps:0.4 ~groups:5 ~dim in
+  let srht_plan = Srht.plan srht ~dim in
+  let srht_dst = Srht.empty srht in
+  let tbl =
+    [ ("nnz/d", 8); ("nnz", 6); ("hashing rows/s", 14); ("srht rows/s", 12);
+      ("srht/hashing", 12); ("gated", 6) ]
+  in
+  Printf.printf
+    "\ncrossover: ams planned vs srht planned, dim %d, matched width m=%d\n"
+    dim (Ams.size ams);
+  Report.table_header tbl;
+  let ok = ref true in
+  List.iter
+    (fun permille ->
+      let frac = float_of_int permille /. 1000.0 in
+      let row_nnz = max 1 (int_of_float (frac *. float_of_int dim)) in
+      let vecs = mk_rows ~rows ~nnz:row_nnz (100 + permille) in
+      let hashing_rate =
+        rows_per_sec ~rows (fun r -> Ams.sketch_into ams ams_plan ~dst:ams_dst vecs.(r))
+      in
+      let srht_rate =
+        rows_per_sec ~rows (fun r ->
+            Srht.sketch_into srht srht_plan ~dst:srht_dst vecs.(r))
+      in
+      let ratio = srht_rate /. hashing_rate in
+      let gated = permille >= 500 in
+      if gated && ratio < 1.0 then ok := false;
+      Report.row tbl
+        [ Printf.sprintf "%.2f" frac; string_of_int row_nnz;
+          frate hashing_rate; frate srht_rate; Printf.sprintf "%.2fx" ratio;
+          (if gated then "yes" else "no") ];
+      Report.bench_row
+        [
+          ("family", Matprod_obs.Json.String "hashing vs fwht crossover");
+          ("nnz_permille", Matprod_obs.Json.Int permille);
+          ("nnz", Matprod_obs.Json.Int row_nnz);
+          ("dim", Matprod_obs.Json.Int dim);
+          ("rows", Matprod_obs.Json.Int rows);
+          ("hashing_rows_per_sec", Matprod_obs.Json.Float hashing_rate);
+          ("srht_rows_per_sec", Matprod_obs.Json.Float srht_rate);
+          ("srht_vs_hashing_rate", Matprod_obs.Json.Float ratio);
+          ("gated", Matprod_obs.Json.Bool gated);
+        ])
+    [ 20; 100; 500; 1000 ];
+  Report.record_verdict !ok
+    "srht planned >= hashing planned throughput on dense rows (nnz/d >= 0.5)"
+
+(* Domain fan-out of the planned kernel. The pool is warmed (domains
+   spawned, plan tables faulted in) before the timed region, and each
+   domain count gets the same best-of-five treatment as the kernels —
+   spawn cost is a per-process constant the drivers pay once, not a
+   per-batch cost. The gate is machine-aware: a single-core host cannot
+   show a wall-clock win, so there the check degrades to a no-inversion
+   floor on the chunked dispatch overhead. *)
+let fanout ~rows =
+  let vecs = mk_rows ~rows ~nnz 42 in
+  let cs = Countsketch.create (Prng.create 1) ~buckets:256 ~reps:5 in
+  let plan = Countsketch.plan cs ~dim in
+  let job () = ignore (Pool.init rows (fun r -> Countsketch.sketch_with_plan cs plan vecs.(r))) in
+  let rate_at d =
+    Pool.set_size d;
+    job ();
+    (* warm: spawn + fault-in, untimed *)
+    let best = ref max_int in
+    for _ = 1 to 5 do
+      Gc.full_major ();
+      let t0 = Matprod_obs.Clock.now_ns () in
+      job ();
+      let dt = Matprod_obs.Clock.elapsed_ns t0 in
+      if dt < !best then best := dt
+    done;
+    float_of_int rows /. (float_of_int (max 1 !best) /. 1e9)
+  in
+  let rates =
+    List.map
+      (fun d ->
+        let rate = rate_at d in
+        Printf.printf "pool fan-out (countsketch planned), domains=%d: %s rows/s\n"
+          d (frate rate);
+        Report.bench_row
+          [
+            ("family", Matprod_obs.Json.String "countsketch pool fan-out");
+            ("domains", Matprod_obs.Json.Int d);
+            ("rows", Matprod_obs.Json.Int rows);
+            ("planned_rows_per_sec", Matprod_obs.Json.Float rate);
+            ("gated", Matprod_obs.Json.Bool true);
+          ];
+        (d, rate))
+      [ 1; 4 ]
+  in
+  Pool.set_size 1;
+  let r1 = List.assoc 1 rates and r4 = List.assoc 4 rates in
+  let ratio = r4 /. r1 in
+  Report.bench_row
+    [
+      ("family", Matprod_obs.Json.String "countsketch pool fan-out");
+      ("fanout_speedup", Matprod_obs.Json.Float ratio);
+      ("gated", Matprod_obs.Json.Bool true);
+    ];
+  if Domain.recommended_domain_count () > 1 then
+    Report.record_verdict (ratio >= 1.5)
+      "pool fan-out: domains=4 >= 1.5x domains=1 (measured %.2fx)" ratio
+  else
+    Report.record_verdict (ratio >= 0.6)
+      "pool fan-out on a single-core host: domains=4 stays within chunk \
+       overhead of domains=1 (measured %.2fx, floor 0.6x; the 1.5x gate \
+       applies on multi-core hosts)"
+      ratio
+
 let p1 ~quick =
   Report.section ~id:"P1  plan/apply kernel throughput (rows/sec)"
     ~claim:
       "tabulating the hash family once per driver (plan) and applying it \
        with table lookups into a reused scratch (sketch_into) lifts \
-       sketch-build throughput >= 3x over the per-row rehashing seed path";
+       sketch-build throughput >= 3x over the per-row rehashing seed path \
+       (>= 2x for stable, whose seed path already caches columns), and the \
+       srht FWHT route beats the hashing table walk on dense rows";
   let rows = if quick then 300 else 1500 in
   let cols = if quick then 256 else 1024 in
   Printf.printf
@@ -158,16 +310,23 @@ let p1 ~quick =
     rows nnz dim;
   let tbl =
     [ ("family", 14); ("seed rows/s", 12); ("planned rows/s", 14);
-      ("speedup", 8); ("gated", 6) ]
+      ("speedup", 8); ("gate", 6) ]
   in
   Report.table_header tbl;
-  let worst_gated = ref infinity in
-  let record name ~gated ~seed_rate ~planned_rate =
+  let all_gated_ok = ref true in
+  (* Quick mode is a smoke tier: 300-row passes are too short for stable
+     ratios on a timeshared box, so each family's quick gate is looser;
+     the headline claims are judged (and the committed sidecar produced)
+     at full size. *)
+  let record name ~gate ~seed_rate ~planned_rate =
     let speedup = planned_rate /. seed_rate in
-    if gated && speedup < !worst_gated then worst_gated := speedup;
+    (match gate with
+    | Some g -> if speedup < g then all_gated_ok := false
+    | None -> ());
     Report.row tbl
       [ name; frate seed_rate; frate planned_rate;
-        Printf.sprintf "%.1fx" speedup; (if gated then "yes" else "no") ];
+        Printf.sprintf "%.1fx" speedup;
+        (match gate with Some g -> Printf.sprintf "%.1fx" g | None -> "-") ];
     Report.bench_row
       [
         ("family", Matprod_obs.Json.String name);
@@ -177,49 +336,24 @@ let p1 ~quick =
         ("seed_rows_per_sec", Matprod_obs.Json.Float seed_rate);
         ("planned_rows_per_sec", Matprod_obs.Json.Float planned_rate);
         ("speedup", Matprod_obs.Json.Float speedup);
-        ("gated", Matprod_obs.Json.Bool gated);
+        ("gate_rate", Matprod_obs.Json.Float (Option.value gate ~default:0.0));
+        ("gated", Matprod_obs.Json.Bool (gate <> None));
       ]
   in
   List.iter
     (fun fam ->
       let seed_rate = rows_per_sec ~rows fam.seed_path in
       let planned_rate = rows_per_sec ~rows fam.planned_path in
-      record fam.name ~gated:fam.gated ~seed_rate ~planned_rate)
+      let gate = if quick then fam.gate_quick else fam.gate_full in
+      record fam.name ~gate ~seed_rate ~planned_rate)
     (families ~rows);
   let cohen_seed = cohen_cols_per_sec ~cols ~planned:false in
   let cohen_planned = cohen_cols_per_sec ~cols ~planned:true in
-  record "cohen (cols/s)" ~gated:true ~seed_rate:cohen_seed
-    ~planned_rate:cohen_planned;
-  (* Domain fan-out of the planned kernel: correctness is covered by the
-     equivalence suite; here we just report that the pool path carries the
-     same throughput shape (this container timeshares one core, so no
-     wall-clock win is expected or gated). *)
-  let vecs = mk_rows ~rows 42 in
-  let cs = Countsketch.create (Prng.create 1) ~buckets:256 ~reps:5 in
-  let plan = Countsketch.plan cs ~dim in
-  List.iter
-    (fun d ->
-      Pool.set_size d;
-      let t0 = Matprod_obs.Clock.now_ns () in
-      ignore (Pool.init rows (fun r -> Countsketch.sketch_with_plan cs plan vecs.(r)));
-      let dt = float_of_int (Matprod_obs.Clock.elapsed_ns t0) in
-      let rate = float_of_int rows /. (dt /. 1e9) in
-      Printf.printf "pool fan-out (countsketch planned), domains=%d: %s rows/s\n"
-        d (frate rate);
-      Report.bench_row
-        [
-          ("family", Matprod_obs.Json.String "countsketch pool fan-out");
-          ("domains", Matprod_obs.Json.Int d);
-          ("rows", Matprod_obs.Json.Int rows);
-          ("planned_rows_per_sec", Matprod_obs.Json.Float rate);
-          ("gated", Matprod_obs.Json.Bool false);
-        ])
-    [ 1; 4 ];
-  Pool.set_size 1;
-  (* Quick mode is a smoke tier: 300-row passes are too short for stable
-     ratios on a timeshared box, so it gates at 2x; the >= 3x claim is
-     judged (and the committed sidecar produced) at full size. *)
-  let gate = if quick then 2.0 else 3.0 in
-  Report.record_verdict (!worst_gated >= gate)
-    "planned kernels >= %.0fx seed throughput on every gated family (worst %.1fx)"
-    gate !worst_gated
+  record "cohen (cols/s)"
+    ~gate:(Some (if quick then 2.0 else 3.0))
+    ~seed_rate:cohen_seed ~planned_rate:cohen_planned;
+  Report.record_verdict !all_gated_ok
+    "planned kernels clear their per-family speedup gates (3x rehashing \
+     families, 2x stable)";
+  crossover ~quick;
+  fanout ~rows

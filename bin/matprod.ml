@@ -1695,7 +1695,8 @@ let batch_cmd =
       & info [ "q"; "query" ] ~docv:"SPEC"
           ~doc:
             "A query spec, repeatable: name:key=val,... with names \
-             norm|rows|top|l0|l1|hh|linf|exact (docs/API.md). Default batch: \
+             norm|frob|rows|top|l0|l1|hh|linf|exact (docs/API.md). Default \
+             batch: \
              norm, rows, top.")
   in
   let compare_arg =

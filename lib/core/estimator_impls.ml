@@ -34,6 +34,16 @@ let lp_oneround =
     ~comparable:(fun x -> Estimator.Number x)
     (on_imat Lp_oneround.run)
 
+let srht =
+  Estimator.make ~name:"srht"
+    ~describe:"SRHT/FWHT one-round (1+eps)||AB||_F^2, O(d log d) per row"
+    ~default:(Frobenius.default_params ~eps:0.5 ())
+    ~cost:(fun (prm : Frobenius.params) ~n ->
+      let e = prm.Frobenius.eps in
+      { Estimator.bits = 64.0 *. fn n *. ln n /. (e *. e); rounds = 1 })
+    ~comparable:(fun x -> Estimator.Number x)
+    (on_imat Frobenius.run)
+
 let cohen_baseline =
   Estimator.make ~name:"cohen_baseline"
     ~describe:"Cohen's exponential-minima estimator [12] of ||AB||_0"
@@ -202,6 +212,7 @@ let all =
     lp_p0;
     lp_p1;
     lp_oneround;
+    srht;
     cohen_baseline;
     l1_exact;
     l0_sampling;

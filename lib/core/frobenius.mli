@@ -1,0 +1,40 @@
+(** One-round (1±eps)‖AB‖_F² estimator on the SRHT sketch family
+    (docs/SKETCHES.md).
+
+    Bob ships SRHT sketches of his rows; Alice combines them by
+    linearity into sketches of the rows of C = A·B and sums the per-row
+    ‖C_i‖₂² estimates. Registered as the ["srht"] estimator; the Engine
+    answers [frob:eps=..] queries from the same construction with the
+    plan cached. *)
+
+type params = { eps : float; sketch_groups : int }
+
+val default_params : ?sketch_groups:int -> eps:float -> unit -> params
+
+val run :
+  Matprod_comm.Ctx.t ->
+  params ->
+  a:Matprod_matrix.Imat.t ->
+  b:Matprod_matrix.Imat.t ->
+  float
+
+val run_planned :
+  Matprod_comm.Ctx.t ->
+  sk:Matprod_sketch.Srht.t ->
+  plan:Matprod_sketch.Srht.plan ->
+  a:Matprod_matrix.Imat.t ->
+  b:Matprod_matrix.Imat.t ->
+  float
+(** The exchange with a caller-supplied family and plan — the Engine's
+    plan cache hands both in. The family must be built over
+    [dim = max 1 (cols b)] at the run's public coins for the transcript
+    to match {!run}. *)
+
+val run_safe :
+  Matprod_comm.Ctx.t ->
+  params ->
+  a:Matprod_matrix.Imat.t ->
+  b:Matprod_matrix.Imat.t ->
+  (float * Outcome.diagnostics, Outcome.error) result
+
+val wire : float array array Matprod_comm.Codec.t

@@ -5,9 +5,11 @@ module Ctx = Matprod_comm.Ctx
 module Codec = Matprod_comm.Codec
 module Transcript = Matprod_comm.Transcript
 module Lp = Matprod_sketch.Lp
+module Srht = Matprod_sketch.Srht
 module Obs = Matprod_obs
 module Common = Matprod_core.Common
 module Lp_protocol = Matprod_core.Lp_protocol
+module Frobenius = Matprod_core.Frobenius
 module L0_sampling = Matprod_core.L0_sampling
 module L1_sampling = Matprod_core.L1_sampling
 module Hh_general = Matprod_core.Hh_general
@@ -18,6 +20,7 @@ module Outcome = Matprod_core.Outcome
 
 type query =
   | Norm_pow of { p : float; eps : float }
+  | Frob_norm of { eps : float }
   | Row_norms of { p : float; beta : float }
   | Top_rows of { p : float; beta : float; k : int }
   | L0_sample of { eps : float; count : int }
@@ -62,7 +65,10 @@ type report = {
    same hash family, so a cached plan is bit-identical to a rebuilt one. *)
 
 type plan_key = { tag : string; dim : int; seed : int }
-type plan_entry = { lp : Lp.t; plan : Lp.plan }
+
+type plan_entry =
+  | Lp_entry of { lp : Lp.t; plan : Lp.plan }
+  | Srht_entry of { sk : Srht.t; plan : Srht.plan }
 
 type cache = {
   capacity : int;
@@ -111,6 +117,7 @@ let cache_find_or_build cache key build =
 
 type gkey =
   | KLp of float (* p; the group runs at the finest beta any member needs *)
+  | KFrob of float (* eps; SRHT family, one-round *)
   | KL0 of float (* eps *)
   | KL1
   | KHh of float * float (* phi, eps *)
@@ -119,6 +126,7 @@ type gkey =
 
 let key_of = function
   | Norm_pow { p; _ } | Row_norms { p; _ } | Top_rows { p; _ } -> KLp p
+  | Frob_norm { eps } -> KFrob eps
   | L0_sample { eps; _ } -> KL0 eps
   | L1_sample _ -> KL1
   | Heavy_hitters { phi; eps } -> KHh (phi, eps)
@@ -156,6 +164,7 @@ let group_ctx ctx ~tag =
 
 let family_label = function
   | KLp _ -> "lp"
+  | KFrob _ -> "frobenius"
   | KL0 _ -> "l0-sample"
   | KL1 -> "l1-sample"
   | KHh _ -> "heavy-hitters"
@@ -189,11 +198,16 @@ let exec_lp t ctx ~a ~b ~p ~members ~queries set =
   let gctx = group_ctx ctx ~tag in
   let dim = max 1 (Imat.cols b) in
   let key = { tag; dim; seed = ctx.Ctx.seed } in
-  let { lp; plan }, status =
+  let entry, status =
     cache_find_or_build t.cache key (fun () ->
         let rng = Prng.derive ctx.Ctx.seed (Hashtbl.hash tag) 4 in
         let lp = Lp.create rng ~p ~eps:beta ~groups:lp_groups ~dim in
-        { lp; plan = Lp.plan lp ~dim })
+        Lp_entry { lp; plan = Lp.plan lp ~dim })
+  in
+  let lp, plan =
+    match entry with
+    | Lp_entry e -> (e.lp, e.plan)
+    | Srht_entry _ -> assert false (* tags distinguish the families *)
   in
   let bob_sketches =
     Pool.init (Imat.rows b) (fun k -> Lp.sketch_with_plan lp plan (Imat.row b k))
@@ -227,9 +241,31 @@ let exec_lp t ctx ~a ~b ~p ~members ~queries set =
     members;
   (tag, status)
 
+let exec_frob t ctx ~a ~b ~eps ~members set =
+  if not (eps > 0.0) then invalid_arg "Engine: eps must be positive";
+  let tag = Printf.sprintf "frob(eps=%g)" eps in
+  let gctx = group_ctx ctx ~tag in
+  let dim = max 1 (Imat.cols b) in
+  let key = { tag; dim; seed = ctx.Ctx.seed } in
+  let entry, status =
+    cache_find_or_build t.cache key (fun () ->
+        let rng = Prng.derive ctx.Ctx.seed (Hashtbl.hash tag) 4 in
+        let sk = Srht.create rng ~eps ~groups:lp_groups ~dim in
+        Srht_entry { sk; plan = Srht.plan sk ~dim })
+  in
+  let sk, plan =
+    match entry with
+    | Srht_entry e -> (e.sk, e.plan)
+    | Lp_entry _ -> assert false (* tags distinguish the families *)
+  in
+  let est = Frobenius.run_planned gctx ~sk ~plan ~a ~b in
+  List.iter (fun i -> set i (Scalar est)) members;
+  (tag, status)
+
 let exec_group t ctx ~a ~b ~key ~members ~queries set =
   match key with
   | KLp p -> exec_lp t ctx ~a ~b ~p ~members ~queries set
+  | KFrob eps -> exec_frob t ctx ~a ~b ~eps ~members set
   | KL0 eps ->
       let tag = Printf.sprintf "l0-sample(eps=%g)" eps in
       let counts =
@@ -365,6 +401,7 @@ let run_safe t ctx ~a ~b queries =
 
 let query_to_string = function
   | Norm_pow { p; eps } -> Printf.sprintf "norm:p=%g,eps=%g" p eps
+  | Frob_norm { eps } -> Printf.sprintf "frob:eps=%g" eps
   | Row_norms { p; beta } -> Printf.sprintf "rows:p=%g,beta=%g" p beta
   | Top_rows { p; beta; k } -> Printf.sprintf "top:p=%g,beta=%g,k=%d" p beta k
   | L0_sample { eps; count } -> Printf.sprintf "l0:eps=%g,count=%d" eps count
@@ -425,6 +462,10 @@ let query_of_string spec =
       let* p = fget "p" 0.0 in
       let* eps = fget "eps" 0.25 in
       Ok (Norm_pow { p; eps })
+  | "frob" ->
+      let* () = known [ "eps" ] in
+      let* eps = fget "eps" 0.5 in
+      Ok (Frob_norm { eps })
   | "rows" ->
       let* () = known [ "p"; "beta" ] in
       let* p = fget "p" 0.0 in
@@ -460,7 +501,7 @@ let query_of_string spec =
   | other ->
       Error
         (Printf.sprintf
-           "unknown query %S (norm|rows|top|l0|l1|hh|linf|exact)" other)
+           "unknown query %S (norm|frob|rows|top|l0|l1|hh|linf|exact)" other)
 
 (* Fleet merge: combine per-shard answers to one query into the answer over
    the full row space. Shard products occupy disjoint row blocks of C, so
@@ -499,7 +540,9 @@ let merge_answers ~seed ~rows query parts =
         !chosen)
   in
   match query with
-  | Norm_pow _ -> scalars ( +. ) 0.0
+  (* ‖AB‖_F² over disjoint row blocks is the sum of the blocks' norms,
+     like every other norm power. *)
+  | Norm_pow _ | Frob_norm _ -> scalars ( +. ) 0.0
   | Linf _ -> scalars Float.max 0.0
   | Row_norms _ ->
       let out = Array.make rows Float.nan in

@@ -43,6 +43,9 @@
 type query =
   | Norm_pow of { p : float; eps : float }
       (** (1+eps)-estimate of ‖C‖_p^p, p ∈ [0, 2]. *)
+  | Frob_norm of { eps : float }
+      (** (1+eps)-estimate of ‖C‖_F² on the SRHT family, one round;
+          shard answers merge by sum. *)
   | Row_norms of { p : float; beta : float }
       (** (1+beta)-estimates of every ‖C_{i,*}‖_p^p. *)
   | Top_rows of { p : float; beta : float; k : int }

@@ -64,18 +64,7 @@ let plan_dim p = p.pdim
 let apply_plan t p dst vec =
   let sz = t.rows_per_group * t.groups in
   if p.psize <> sz then invalid_arg "Ams: plan belongs to another sketch shape";
-  Array.iter
-    (fun (i, v) ->
-      if v <> 0 then begin
-        if i < 0 || i >= p.pdim then invalid_arg "Ams: key outside plan";
-        let fv = float_of_int v in
-        let base = i * sz in
-        for r = 0 to sz - 1 do
-          Array.unsafe_set dst r
-            (Array.unsafe_get dst r +. (fv *. Array.unsafe_get p.sgn (base + r)))
-        done
-      end)
-    vec
+  Kernel.apply ~name:"Ams" p.sgn ~size:sz ~dim:p.pdim dst vec
 
 let sketch_into t p ~dst vec =
   if Array.length dst <> size t then invalid_arg "Ams.sketch_into: size";

@@ -1,0 +1,70 @@
+(* Shared inner loop of the planned dense-table sketch families
+   (Ams, Stable_sketch, Srht's sparse route): accumulate
+   dst += Σ_k v_k · cols[i_k·size ..] over the nonzeros of a sparse row.
+
+   The hot loop processes four keys per pass so each scratch cell is
+   loaded and stored once per quad instead of once per key — on the
+   table-bound families this is worth ~2.5x (docs/PERFORMANCE.md, P1).
+   Bit-identity with the one-key-at-a-time loop is structural: for every
+   scratch index r the contributions are added in key order,
+   (((dst_r + f1·c1r) + f2·c2r) + f3·c3r) + f4·c4r, exactly the sequence
+   the per-key loop produces. Quads containing a zero value fall back to
+   the per-key path, which skips zeros outright — so a zero never turns
+   a -0.0 accumulator into +0.0, and out-of-range keys carrying value 0
+   stay ignored, both as the historical per-key semantics had it. *)
+
+let apply ~name cols ~size ~dim dst vec =
+  let oob () = invalid_arg (name ^ ": key outside plan") in
+  let one i v =
+    if v <> 0 then begin
+      if i < 0 || i >= dim then oob ();
+      let fv = float_of_int v in
+      let base = i * size in
+      for r = 0 to size - 1 do
+        Array.unsafe_set dst r
+          (Array.unsafe_get dst r
+          +. (fv *. Array.unsafe_get cols (base + r)))
+      done
+    end
+  in
+  let n = Array.length vec in
+  let k = ref 0 in
+  while !k + 4 <= n do
+    let i1, v1 = Array.unsafe_get vec !k
+    and i2, v2 = Array.unsafe_get vec (!k + 1)
+    and i3, v3 = Array.unsafe_get vec (!k + 2)
+    and i4, v4 = Array.unsafe_get vec (!k + 3) in
+    if v1 <> 0 && v2 <> 0 && v3 <> 0 && v4 <> 0 then begin
+      if i1 < 0 || i1 >= dim || i2 < 0 || i2 >= dim
+         || i3 < 0 || i3 >= dim || i4 < 0 || i4 >= dim
+      then oob ();
+      let f1 = float_of_int v1
+      and f2 = float_of_int v2
+      and f3 = float_of_int v3
+      and f4 = float_of_int v4 in
+      let b1 = i1 * size
+      and b2 = i2 * size
+      and b3 = i3 * size
+      and b4 = i4 * size in
+      for r = 0 to size - 1 do
+        let acc = Array.unsafe_get dst r in
+        let acc = acc +. (f1 *. Array.unsafe_get cols (b1 + r)) in
+        let acc = acc +. (f2 *. Array.unsafe_get cols (b2 + r)) in
+        let acc = acc +. (f3 *. Array.unsafe_get cols (b3 + r)) in
+        let acc = acc +. (f4 *. Array.unsafe_get cols (b4 + r)) in
+        Array.unsafe_set dst r acc
+      done
+    end
+    else begin
+      one i1 v1;
+      one i2 v2;
+      one i3 v3;
+      one i4 v4
+    end;
+    k := !k + 4
+  done;
+  while !k < n do
+    let i, v = Array.unsafe_get vec !k in
+    one i v;
+    incr k
+  done

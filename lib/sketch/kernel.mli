@@ -1,0 +1,18 @@
+(** Shared 4-key batched accumulation loop of the planned dense-table
+    sketch families (docs/PERFORMANCE.md).
+
+    [apply ~name cols ~size ~dim dst vec] adds v · cols[i·size + r] to
+    [dst.(r)] for every entry (i, v) of [vec] and every r < size, in
+    entry order — bit-identical to the per-key loop it replaces.
+    Entries with value 0 are skipped (their keys are not range-checked);
+    a nonzero entry with key outside [0, dim) raises
+    [Invalid_argument (name ^ ": key outside plan")]. *)
+
+val apply :
+  name:string ->
+  float array ->
+  size:int ->
+  dim:int ->
+  float array ->
+  (int * int) array ->
+  unit

@@ -90,19 +90,7 @@ let plan_dim p = p.pdim
 let apply_plan t p dst vec =
   if p.prows <> t.rows then
     invalid_arg "Stable_sketch: plan belongs to another sketch shape";
-  Array.iter
-    (fun (i, v) ->
-      if v <> 0 then begin
-        if i < 0 || i >= p.pdim then
-          invalid_arg "Stable_sketch: key outside plan";
-        let fv = float_of_int v in
-        let base = i * t.rows in
-        for r = 0 to t.rows - 1 do
-          Array.unsafe_set dst r
-            (Array.unsafe_get dst r +. (fv *. Array.unsafe_get p.cols (base + r)))
-        done
-      end)
-    vec
+  Kernel.apply ~name:"Stable_sketch" p.cols ~size:t.rows ~dim:p.pdim dst vec
 
 let sketch_into t p ~dst vec =
   if Array.length dst <> t.rows then invalid_arg "Stable_sketch.sketch_into: size";

@@ -1,0 +1,120 @@
+(* In-place fast Walsh–Hadamard transform (docs/SKETCHES.md, SRHT).
+
+   The transform is the unnormalised Hadamard matrix H_n (entries ±1,
+   H[s,i] = (-1)^popcount(s AND i)) applied in O(n log n) butterflies
+   over a power-of-two buffer. Two implementations share one operation
+   tree:
+
+   - [naive]: the textbook iterative radix-2 ladder, the reference the
+     qcheck laws are stated against.
+   - [transform]: the production kernel. Levels whose butterfly span
+     fits in L1 run block-local first (butterflies at stride < block
+     touch only their own aligned block, so reordering across blocks is
+     exact), then the remaining large-stride levels sweep the whole
+     buffer; both stages fuse pairs of levels into radix-4 passes.
+
+   Bit-identity of the two: a radix-4 pass computes (u0+u1)+(u2+u3) etc.
+   — exactly the grouping two consecutive radix-2 levels produce — and
+   blocks at the same stride touch disjoint data, so every output value
+   has an identical floating-point computation DAG in both kernels. The
+   equivalence suite (test_plan) checks this with Int64.bits_of_float
+   equality on random float inputs, no integrality assumption.
+
+   Buffers are Bigarray scratch (float64, C layout): flat data, no
+   per-element boxing, reusable across rows so the hot path allocates
+   nothing. *)
+
+type scratch =
+  (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let next_pow2 n =
+  if n < 1 then invalid_arg "Fwht.next_pow2: need n >= 1";
+  let p = ref 1 in
+  while !p < n do
+    p := !p * 2
+  done;
+  !p
+
+let is_pow2 n = n >= 1 && n land (n - 1) = 0
+
+let scratch n =
+  if not (is_pow2 n) then invalid_arg "Fwht.scratch: length must be 2^k";
+  let a = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n in
+  Bigarray.Array1.fill a 0.0;
+  a
+
+let check a ~n =
+  if not (is_pow2 n) then invalid_arg "Fwht: n must be a power of two";
+  if Bigarray.Array1.dim a < n then invalid_arg "Fwht: scratch shorter than n"
+
+(* The bigarray access primitives specialise to direct unboxed float64
+   loads/stores only when applied syntactically at a statically-known
+   element type — an eta-reduced alias would force every access through
+   the generic boxed path, an order of magnitude slower. Hence the
+   explicit [(a : scratch)] annotations and fully-applied primitives. *)
+
+(* One radix-2 level at stride [len] over [lo, lo+span). *)
+let level2 (a : scratch) ~lo ~span ~len =
+  let i = ref lo in
+  let stop = lo + span in
+  while !i < stop do
+    for j = !i to !i + len - 1 do
+      let u = Bigarray.Array1.unsafe_get a j
+      and v = Bigarray.Array1.unsafe_get a (j + len) in
+      Bigarray.Array1.unsafe_set a j (u +. v);
+      Bigarray.Array1.unsafe_set a (j + len) (u -. v)
+    done;
+    i := !i + (2 * len)
+  done
+
+(* Levels len0, 2·len0, …, span/2 over [lo, lo+span), radix-4 fused. *)
+let sweep (a : scratch) ~lo ~span ~len0 =
+  let len = ref len0 in
+  while 4 * !len <= span do
+    let l = !len in
+    let i = ref lo in
+    let stop = lo + span in
+    while !i < stop do
+      for j = !i to !i + l - 1 do
+        let u0 = Bigarray.Array1.unsafe_get a j
+        and u1 = Bigarray.Array1.unsafe_get a (j + l)
+        and u2 = Bigarray.Array1.unsafe_get a (j + (2 * l))
+        and u3 = Bigarray.Array1.unsafe_get a (j + (3 * l)) in
+        let s01 = u0 +. u1
+        and d01 = u0 -. u1
+        and s23 = u2 +. u3
+        and d23 = u2 -. u3 in
+        Bigarray.Array1.unsafe_set a j (s01 +. s23);
+        Bigarray.Array1.unsafe_set a (j + l) (d01 +. d23);
+        Bigarray.Array1.unsafe_set a (j + (2 * l)) (s01 -. s23);
+        Bigarray.Array1.unsafe_set a (j + (3 * l)) (d01 -. d23)
+      done;
+      i := !i + (4 * l)
+    done;
+    len := 4 * l
+  done;
+  if 2 * !len <= span then level2 a ~lo ~span ~len:!len
+
+let naive a ~n =
+  check a ~n;
+  let len = ref 1 in
+  while !len < n do
+    level2 a ~lo:0 ~span:n ~len:!len;
+    len := 2 * !len
+  done
+
+(* 4096 float64 = 32 KiB: an aligned block plus the write stream fits
+   typical L1 data caches. *)
+let block_floats = 4096
+
+let transform a ~n =
+  check a ~n;
+  if n <= block_floats then sweep a ~lo:0 ~span:n ~len0:1
+  else begin
+    let b = ref 0 in
+    while !b < n do
+      sweep a ~lo:!b ~span:block_floats ~len0:1;
+      b := !b + block_floats
+    done;
+    sweep a ~lo:0 ~span:n ~len0:block_floats
+  end

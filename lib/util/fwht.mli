@@ -1,0 +1,27 @@
+(** In-place fast Walsh–Hadamard transform over a reusable Bigarray
+    scratch — the O(d log d) kernel behind the SRHT sketch family
+    (docs/SKETCHES.md).
+
+    The transform applied is the {e unnormalised} Hadamard matrix:
+    entry [s,i] is (-1)^popcount(s AND i), so applying it twice scales
+    by [n] and Σ_s (Hx)_s² = n·Σ_i x_i² exactly (Parseval). Both laws
+    are qcheck-enforced in test_plan. *)
+
+type scratch =
+  (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+val next_pow2 : int -> int
+(** Smallest power of two >= n (n >= 1). *)
+
+val scratch : int -> scratch
+(** [scratch n] allocates a zeroed buffer of length [n], which must be a
+    power of two. Reuse it across rows: the transforms never allocate. *)
+
+val transform : scratch -> n:int -> unit
+(** Production kernel: cache-blocked, radix-4 fused. [n] must be a power
+    of two and at most the scratch length; entries beyond [n] are
+    untouched. Bit-identical to {!naive} on every input (identical
+    floating-point operation tree), ~2x faster at large [n]. *)
+
+val naive : scratch -> n:int -> unit
+(** Reference radix-2 ladder the bit-identity law is stated against. *)

@@ -117,7 +117,13 @@ let parallel_for ?chunk n f =
       match chunk with
       | Some c when c >= 1 -> c
       | Some _ -> invalid_arg "Pool.parallel_for: chunk must be >= 1"
-      | None -> max 1 (n / ((!spawned + 1) * 8))
+      | None ->
+          (* ~8 chunks per worker keeps load balancing dynamic, but a
+             floor of 32 stops short jobs from degenerating into per-item
+             handouts: at protocol fan-out sizes (hundreds of rows, a few
+             µs each) tiny chunks spend more time on the atomic cursor
+             and wake-ups than on rows (bench P1, pool fan-out). *)
+          max 32 (n / ((!spawned + 1) * 8))
     in
     let job = { f; n; chunk; next = Atomic.make 0; pending = 0; err = None } in
     Mutex.lock m;
@@ -136,7 +142,7 @@ let parallel_for ?chunk n f =
     match job.err with Some e -> raise e | None -> ()
   end
 
-let init n f =
+let init ?chunk n f =
   if n < 0 then invalid_arg "Pool.init: negative count"
   else if n = 0 then [||]
   else if size () <= 1 || n = 1 then Array.init n f
@@ -145,10 +151,10 @@ let init n f =
        slots are filled in parallel, each at its own index, so the array
        is elementwise identical to [Array.init n f]. *)
     let out = Array.make n (f 0) in
-    parallel_for (n - 1) (fun i -> out.(i + 1) <- f (i + 1));
+    parallel_for ?chunk (n - 1) (fun i -> out.(i + 1) <- f (i + 1));
     out
   end
 
-let map_sum n f =
-  let parts = init n f in
+let map_sum ?chunk n f =
+  let parts = init ?chunk n f in
   Array.fold_left ( +. ) 0.0 parts

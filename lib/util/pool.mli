@@ -30,14 +30,19 @@ val set_size : int -> unit
 
 val parallel_for : ?chunk:int -> int -> (int -> unit) -> unit
 (** [parallel_for n f] runs [f 0 .. f (n-1)], in parallel when the pool
-    size exceeds 1. Chunks of indices ([?chunk], default [n/(domains*8)])
-    are handed out dynamically. The first exception raised by any domain
-    is re-raised on the caller after all domains quiesce. *)
+    size exceeds 1. Chunks of indices are handed out dynamically through
+    an atomic cursor; [?chunk] sets the batch size per handout (default
+    [max 32 (n/(domains*8))] — the floor keeps short fan-outs from
+    degenerating into per-item handouts, bench P1). Chunking never
+    affects results: each index writes its own slot. The first exception
+    raised by any domain is re-raised on the caller after all domains
+    quiesce. *)
 
-val init : int -> (int -> 'a) -> 'a array
+val init : ?chunk:int -> int -> (int -> 'a) -> 'a array
 (** [init n f] is elementwise identical to [Array.init n f], computed in
-    parallel. [f] must be pure with respect to shared state. *)
+    parallel. [f] must be pure with respect to shared state. [?chunk] as
+    in {!parallel_for}. *)
 
-val map_sum : int -> (int -> float) -> float
+val map_sum : ?chunk:int -> int -> (int -> float) -> float
 (** [map_sum n f = Σ_{i<n} f i], folded in index order so the float
     rounding matches the sequential accumulation loop bit for bit. *)

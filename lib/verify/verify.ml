@@ -104,6 +104,8 @@ let num_spec s =
   | "lp p=0" -> spec ~slack:3.0 (l0_lo s) (l0_hi s)
   | "lp p=1" -> spec ~slack:3.0 s.l1 s.l1
   | "lp oneround p=2" -> spec ~slack:4.0 (l2_lo s) (l2_hi s)
+  (* srht estimates the same statistic, Σ C_rc² = ‖AB‖_F². *)
+  | "srht" -> spec ~slack:4.0 (l2_lo s) (l2_hi s)
   | "cohen_baseline" -> spec ~slack:3.0 (l0_lo s) (l0_hi s)
   | "l1_exact" -> spec ~integral:true ~exact:s.l1 s.l1 s.l1
   | "linf_general" ->
@@ -343,6 +345,12 @@ let check_answer s ~seed (q : Engine.query) (answer : Engine.answer) =
         else { lo = l2_lo s; hi = l2_hi s; slack = slack *. 2.0; integral = false; exact = None }
       in
       check_number_spec sp x
+  | Engine.Frob_norm { eps }, Engine.Scalar x ->
+      (* The Norm_pow p = 2 range: the statistic is the same Σ C_rc². *)
+      let slack = (2.0 +. (4.0 *. eps)) *. 2.0 in
+      check_number_spec
+        { lo = l2_lo s; hi = l2_hi s; slack; integral = false; exact = None }
+        x
   | Engine.Linf { kappa }, Engine.Scalar x ->
       check_number_spec
         {
@@ -504,7 +512,8 @@ type family =
 let family_of = function
   | "l1_exact" | "trivial" | "joins equality" | "matprod" -> Exact
   | "lp p=0" | "lp p=1" | "cohen_baseline" -> Numeric { ratio = 6.0 }
-  | "lp oneround p=2" | "session" | "linf_general" -> Numeric { ratio = 8.0 }
+  | "lp oneround p=2" | "srht" | "session" | "linf_general" ->
+      Numeric { ratio = 8.0 }
   | "joins disjointness" | "joins atleast" -> Numeric { ratio = 8.0 }
   | "linf_binary" -> Level { ratio = 6.0 }
   | "linf_kappa" -> Level { ratio = 10.0 }

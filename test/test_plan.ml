@@ -18,7 +18,9 @@ module Ams = Matprod_sketch.Ams
 module Stable_sketch = Matprod_sketch.Stable_sketch
 module L0_sketch = Matprod_sketch.L0_sketch
 module Cohen = Matprod_sketch.Cohen
+module Srht = Matprod_sketch.Srht
 module Lp = Matprod_sketch.Lp
+module Fwht = Matprod_util.Fwht
 module Bmat = Matprod_matrix.Bmat
 module Imat = Matprod_matrix.Imat
 module Workload = Matprod_workload.Workload
@@ -48,6 +50,12 @@ let sparse_vec_gen =
            IM.bindings m |> List.filter (fun (_, v) -> v <> 0) |> Array.of_list))
 
 let seeded_vec = QCheck.(pair (int_bound 10_000) (make sparse_vec_gen))
+
+let float_bits_equal x y =
+  Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+
+let farray_bits_equal a b =
+  Array.length a = Array.length b && Array.for_all2 float_bits_equal a b
 
 let qcheck_tests =
   let open QCheck in
@@ -117,6 +125,84 @@ let qcheck_tests =
         let p = Cohen.plan t in
         Cohen.column_mins_with_plan t p ~supp_of_col ~cols:30
         = Cohen.column_mins t ~supp_of_col ~cols:30);
+    (* FWHT laws (docs/SKETCHES.md). The blocked/fused production kernel
+       must be bitwise the naive radix-2 ladder on arbitrary floats —
+       identical operation tree — and on integer inputs the unnormalised
+       algebra is exact: H(Hx) = n·x and Parseval with equality, no
+       tolerance. n sweeps past [block_floats] to cross the cache-blocked
+       split. *)
+    Test.make ~name:"fwht: blocked transform = naive ladder, bitwise"
+      ~count:60
+      (pair (int_bound 10_000) (int_bound 13))
+      (fun (seed, logn) ->
+        let n = 1 lsl logn in
+        let rng = Prng.create seed in
+        let a = Fwht.scratch n and b = Fwht.scratch n in
+        for i = 0 to n - 1 do
+          let v = Prng.gaussian rng in
+          Bigarray.Array1.set a i v;
+          Bigarray.Array1.set b i v
+        done;
+        Fwht.transform a ~n;
+        Fwht.naive b ~n;
+        let ok = ref true in
+        for i = 0 to n - 1 do
+          if
+            not
+              (float_bits_equal
+                 (Bigarray.Array1.get a i)
+                 (Bigarray.Array1.get b i))
+          then ok := false
+        done;
+        !ok);
+    Test.make ~name:"fwht: involution and Parseval, exact on integers"
+      ~count:60
+      (pair (int_bound 10_000) (int_bound 10))
+      (fun (seed, logn) ->
+        let n = 1 lsl logn in
+        let rng = Prng.create seed in
+        let x = Array.init n (fun _ -> float_of_int (Prng.int rng 201 - 100)) in
+        let a = Fwht.scratch n in
+        Array.iteri (fun i v -> Bigarray.Array1.set a i v) x;
+        Fwht.transform a ~n;
+        let hx_sq = ref 0.0 and x_sq = ref 0.0 in
+        for i = 0 to n - 1 do
+          let h = Bigarray.Array1.get a i in
+          hx_sq := !hx_sq +. (h *. h);
+          x_sq := !x_sq +. (x.(i) *. x.(i))
+        done;
+        let parseval = !hx_sq = float_of_int n *. !x_sq in
+        Fwht.transform a ~n;
+        let involution = ref true in
+        for i = 0 to n - 1 do
+          if Bigarray.Array1.get a i <> float_of_int n *. x.(i) then
+            involution := false
+        done;
+        parseval && !involution);
+    Test.make ~name:"srht: planned = unplanned" ~count:100 seeded_vec
+      (fun (seed, vec) ->
+        let t = Srht.create (Prng.create seed) ~eps:0.4 ~groups:3 ~dim in
+        let p = Srht.plan t ~dim in
+        Srht.sketch_with_plan t p vec = Srht.sketch t vec);
+    (* Integer inputs make every SRHT intermediate an exact integer, so
+       the densify+FWHT route and the tabulated sparse route agree bit
+       for bit — forced via the [dense_nnz] override (the default
+       threshold sits above this generator's nnz). *)
+    Test.make ~name:"srht: dense route = sparse route = unplanned, bitwise"
+      ~count:100 seeded_vec (fun (seed, vec) ->
+        let t = Srht.create (Prng.create seed) ~eps:0.4 ~groups:3 ~dim in
+        let dense = Srht.plan ~dense_nnz:0 t ~dim in
+        let sparse = Srht.plan ~dense_nnz:max_int t ~dim in
+        let y = Srht.sketch t vec in
+        farray_bits_equal (Srht.sketch_with_plan t dense vec) y
+        && farray_bits_equal (Srht.sketch_with_plan t sparse vec) y);
+    Test.make ~name:"srht: sketch_into scrubs a dirty scratch" ~count:50
+      seeded_vec (fun (seed, vec) ->
+        let t = Srht.create (Prng.create seed) ~eps:0.4 ~groups:3 ~dim in
+        let p = Srht.plan t ~dim in
+        let dst = Array.make (Srht.size t) Float.nan in
+        Srht.sketch_into t p ~dst vec;
+        dst = Srht.sketch t vec);
     Test.make ~name:"countmin: hoisted counters keep totals" ~count:40
       seeded_vec (fun (seed, vec) ->
         let t = Countmin.create (Prng.create seed) ~buckets:16 ~reps:4 in

@@ -24,6 +24,7 @@ module Fault = Matprod_comm.Fault
 module Transcript = Matprod_comm.Transcript
 module Lp = Matprod_sketch.Lp
 module Countsketch = Matprod_sketch.Countsketch
+module Srht = Matprod_sketch.Srht
 module Estimator = Matprod_core.Estimator
 module Registry = Matprod_core.Registry
 module Outcome = Matprod_core.Outcome
@@ -216,6 +217,40 @@ let qcheck_sketch_merge =
                 let v =
                   Countsketch.sketch_with_plan t plan m.(r.Shard.offset + j)
                 in
+                if
+                  not
+                    (Array.for_all2 float_bits_equal v
+                       unsharded.(r.Shard.offset + j))
+                then ok := false
+              done)
+            (Shard.ranges ~rows ~workers);
+          !ok);
+      (* srht: at cols = 23 the default route threshold sits at a few
+         nonzeros, so density 0.3 rows exercise the densify+FWHT route
+         inside the sharded sketches too. *)
+      Test.make ~name:"shard sketches merge bit-identically (srht)" ~count:25
+        (pair (int_bound 10_000) (int_range 2 5))
+        (fun (seed, workers) ->
+          let rows = 11 and cols = 23 in
+          let m =
+            sparse_rows (Prng.create (seed + 1)) ~rows ~cols ~density:0.3
+          in
+          let mk () =
+            let t =
+              Srht.create (Prng.create seed) ~eps:0.5 ~groups:3 ~dim:cols
+            in
+            (t, Srht.plan t ~dim:cols)
+          in
+          let t0, plan0 = mk () in
+          let unsharded =
+            Array.map (fun row -> Srht.sketch_with_plan t0 plan0 row) m
+          in
+          let ok = ref true in
+          Array.iter
+            (fun r ->
+              let t, plan = mk () in
+              for j = 0 to r.Shard.length - 1 do
+                let v = Srht.sketch_with_plan t plan m.(r.Shard.offset + j) in
                 if
                   not
                     (Array.for_all2 float_bits_equal v
