@@ -1,6 +1,6 @@
 # Convenience targets; all real build logic lives in dune.
 
-.PHONY: all check build test bench bench-json bench-e1 bench-c2 bench-c3 bench-c4 bench-p1 bench-diff bench-baseline chaos clean
+.PHONY: all check build test bench bench-json bench-e1 bench-c2 bench-c3 bench-c4 bench-p1 bench-serve bench-diff bench-baseline chaos serve-smoke clean
 
 all: build
 
@@ -49,20 +49,29 @@ bench-c4:
 bench-p1:
 	dune exec bench/main.exe -- --no-micro p1
 
+# Serve daemon under load: an in-process daemon faces the closed-loop
+# load generator — 16 connections x 8 batches x 16 queries, all pipelined
+# before any reads, so >= 1000 queries are measured simultaneously
+# in flight. Writes BENCH_s1.json (deterministic digest/bits gated by
+# bench-diff; qps and latency percentiles ride along as timing fields).
+# See docs/SERVING.md.
+bench-serve:
+	dune exec bench/main.exe -- --no-micro s1
+
 # Regression gate: rerun the quick bench tier and diff the sidecars
 # against the committed baselines (bench/baselines/). Deterministic
 # metrics (bits, rounds, counts, errors) must match exactly; timing
 # fields are ignored. Exits non-zero on drift — this is what CI runs.
 # See docs/OBSERVABILITY.md.
 bench-diff:
-	dune exec bench/main.exe -- --quick --no-micro e1 c1 c2 c3 c4 p1
+	dune exec bench/main.exe -- --quick --no-micro e1 c1 c2 c3 c4 p1 s1
 	dune exec bench/diff.exe -- --baselines bench/baselines
 
 # Refresh the committed baselines after an INTENDED cost change. Review
 # the diff of bench/baselines/ in the same PR as the change it blesses.
 bench-baseline:
-	dune exec bench/main.exe -- --quick --no-micro e1 c1 c2 c3 c4 p1
-	cp BENCH_e1.json BENCH_c1.json BENCH_c2.json BENCH_c3.json BENCH_c4.json BENCH_p1.json bench/baselines/
+	dune exec bench/main.exe -- --quick --no-micro e1 c1 c2 c3 c4 p1 s1
+	cp BENCH_e1.json BENCH_c1.json BENCH_c2.json BENCH_c3.json BENCH_c4.json BENCH_p1.json BENCH_s1.json bench/baselines/
 
 # Chaos sweep: fault injection (link faults and crashes) over every
 # protocol (see docs/ROBUSTNESS.md) plus the C1 retransmission-cost and
@@ -70,6 +79,20 @@ bench-baseline:
 chaos:
 	MATPROD_CHAOS_SEEDS=1,2,3,4,5 dune exec test/test_faults.exe
 	dune exec bench/main.exe -- --quick --no-micro c1 c2
+
+# End-to-end daemon smoke: a real `matprod serve` process on a fixed
+# port, a loadgen burst against it, then a clean SIGTERM drain (the
+# loadgen client retries ECONNREFUSED while the daemon boots, so no
+# sleep is needed). This is what CI's serve-smoke job runs.
+serve-smoke:
+	dune build bin/matprod.exe
+	./_build/default/bin/matprod.exe serve --port 7453 & \
+	pid=$$!; \
+	./_build/default/bin/matprod.exe loadgen --port 7453 \
+	  --connections 8 --batches 4 --queries 8; \
+	status=$$?; \
+	kill -TERM $$pid; \
+	wait $$pid && exit $$status
 
 clean:
 	dune clean

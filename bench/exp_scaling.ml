@@ -1,4 +1,4 @@
-(* S1: the scaling study. Every protocol's communication is measured over
+(* SC1: the scaling study. Every protocol's communication is measured over
    an n-sweep and the log-log slope fitted — the paper's asymptotic
    exponents as measured numbers. Log factors and additive terms bias the
    small-n fits, so the verdicts check orderings and generous windows
@@ -52,8 +52,8 @@ let protocols =
           (Matprod_core.Trivial.run_bool ctx ~a ~b (fun c -> Product.nnz c)) );
   ]
 
-let s1 ~quick =
-  Report.section ~id:"S1  scaling study: fitted communication exponents"
+let sc1 ~quick =
+  Report.section ~id:"SC1 scaling study: fitted communication exponents"
     ~claim:
       "measured log-log slopes of bits vs n reflect the paper's exponents: \
        1 (Remark 2, Algorithm 1), 1.5 (Algorithm 2), 2 (Thm 4.8 at fixed \
@@ -97,11 +97,11 @@ let s1 ~quick =
     (slope "Thm 4.8 (kappa=4)" > 1.7)
     "Thm 4.8 at fixed kappa fits ~n^2 (got n^%.2f)" (slope "Thm 4.8 (kappa=4)")
 
-(* S2: the eps sweep. Fitted slopes of bits against 1/eps: 1 for
+(* SC2: the eps sweep. Fitted slopes of bits against 1/eps: 1 for
    Algorithm 1, 2 for the one-round and Cohen baselines — the paper's
    headline 1/eps-vs-1/eps^2 separation as exponents. *)
-let s2 ~quick =
-  Report.section ~id:"S2  scaling study: fitted accuracy exponents (bits vs 1/eps)"
+let sc2 ~quick =
+  Report.section ~id:"SC2 scaling study: fitted accuracy exponents (bits vs 1/eps)"
     ~claim:
       "Algorithm 1 pays ~(1/eps)^1 while the 1-round [16] and Cohen [12] \
        baselines pay ~(1/eps)^2 (Theorem 3.1 vs the Omega(n/eps^2) 1-round \
@@ -173,5 +173,5 @@ let s2 ~quick =
     "Algorithm 1 separates from both 1/eps^2 baselines"
 
 let all ~quick =
-  s1 ~quick;
-  s2 ~quick
+  sc1 ~quick;
+  sc2 ~quick

@@ -30,8 +30,9 @@ let experiments =
     ("a2", fun ~quick -> Exp_ablation.a2 ~quick);
     ("a3", fun ~quick -> Exp_ablation.a3 ~quick);
     ("a4", fun ~quick -> Exp_ablation.a4 ~quick);
-    ("s1", fun ~quick -> Exp_scaling.s1 ~quick);
-    ("s2", fun ~quick -> Exp_scaling.s2 ~quick);
+    ("sc1", fun ~quick -> Exp_scaling.sc1 ~quick);
+    ("sc2", fun ~quick -> Exp_scaling.sc2 ~quick);
+    ("s1", fun ~quick -> Exp_serve.s1 ~quick);
     ("c1", fun ~quick -> Exp_chaos.c1 ~quick);
     ("c2", fun ~quick -> Exp_chaos.c2 ~quick);
     ("c3", fun ~quick -> Exp_fleet.c3 ~quick);
@@ -54,7 +55,7 @@ let () =
           match List.assoc_opt (String.lowercase_ascii name) experiments with
           | Some f -> Some (name, f)
           | None ->
-              Printf.eprintf "unknown experiment %S (known: e1..e12, a1..a4, s1, s2, c1..c4, p1)\n" name;
+              Printf.eprintf "unknown experiment %S (known: e1..e12, a1..a4, sc1, sc2, s1, c1..c4, p1)\n" name;
               exit 1)
         selected
   in

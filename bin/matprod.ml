@@ -16,6 +16,7 @@ module Product = Matprod_matrix.Product
 module Ctx = Matprod_comm.Ctx
 module Transcript = Matprod_comm.Transcript
 module Fault = Matprod_comm.Fault
+module Chaos = Matprod_comm.Chaos
 module Journal = Matprod_comm.Journal
 module Outcome = Matprod_core.Outcome
 module Supervisor = Matprod_core.Supervisor
@@ -43,6 +44,7 @@ type common = {
   json : bool;
   trace : string option;
   trace_format : trace_format;
+  transport : string;
 }
 
 let common_term =
@@ -100,12 +102,24 @@ let common_term =
              $(b,chrome) (Chrome trace-event JSON, loadable in Perfetto or \
              chrome://tracing).")
   in
-  let make n density seed verbose domains json trace trace_format =
-    { n; density; seed; verbose; domains; json; trace; trace_format }
+  let transport_arg =
+    Arg.(
+      value
+      & opt string "sim"
+      & info [ "transport" ] ~docv:"WIRE"
+          ~doc:
+            "Carry the protocol's logical messages over $(b,sim) (the \
+             in-process simulator, default) or $(b,tcp) (framed messages \
+             over a real loopback socket). Transcripts, estimates and \
+             coin flips are byte-identical across transports \
+             (docs/SERVING.md).")
+  in
+  let make n density seed verbose domains json trace trace_format transport =
+    { n; density; seed; verbose; domains; json; trace; trace_format; transport }
   in
   Term.(
     const make $ n_arg $ density_arg $ seed_arg $ verbose_arg $ domains_arg
-    $ json_arg $ trace_arg $ trace_format_arg)
+    $ json_arg $ trace_arg $ trace_format_arg $ transport_arg)
 
 let eps_arg =
   Arg.(
@@ -116,8 +130,89 @@ let zipf_arg =
     value & flag
     & info [ "zipf" ] ~doc:"Use a Zipf-skewed workload instead of uniform.")
 
+(* The wire behind every two-party run in this invocation. [None] keeps
+   the default simulator; "tcp" dials a fresh loopback connection per
+   protocol run (the factory form is what multi-attempt drivers need). *)
+let transport_factory c : Matprod_comm.Transport.factory option =
+  match c.transport with
+  | "sim" -> None
+  | spec -> (
+      match Matprod_comm.Transport.of_string spec with
+      | Ok f -> Some f
+      | Error e -> failwith e)
+
+let transport_conn c =
+  Option.map (fun f -> f ()) (transport_factory c)
+
+(* One grammar for every fault knob (lib/comm/chaos.mli). The legacy
+   per-fault flags survive as hidden aliases, lowered through the same
+   parser so both spellings hit identical fault models. *)
+let chaos_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chaos" ] ~docv:"SPEC"
+        ~doc:
+          "Fault-injection spec: clauses separated by ';', each a \
+           comma-separated list of key=value pairs naming its $(b,kind) \
+           first — e.g. \
+           $(b,kind=crash,party=b,after=3;kind=drop,rate=0.1). Kinds: \
+           drop, corrupt, truncate, duplicate, delay, crash, straggle, \
+           byzantine; crash/straggle/byzantine take $(b,worker=RANK) in \
+           fleet runs and crash takes $(b,permanent) \
+           (docs/ROBUSTNESS.md).")
+
+let parse_chaos = function
+  | None -> []
+  | Some spec -> (
+      match Chaos.parse spec with
+      | Ok t -> t
+      | Error e -> failwith (Printf.sprintf "bad --chaos spec: %s" e))
+
+(* Legacy flags re-expressed in the grammar, so merging them with a
+   --chaos spec is plain list append. *)
+let legacy_chaos clauses =
+  let spec = String.concat ";" (List.filter (fun s -> s <> "") clauses) in
+  match Chaos.parse spec with
+  | Ok t -> t
+  | Error e -> failwith e
+
+(* Per-link fault installation for fleet runs, mirroring the legacy
+   one-flag-per-fault wiring: crashes rearm on every attempt only when
+   marked permanent; straggles and byzantine rules fire on the first
+   attempt (byzantine on replica 0, where the replica vote can catch
+   it); byte-level noise applies to every attempt. *)
+let chaos_wire spec ~seed ~rank ~replica ~attempt ctx =
+  (match Chaos.crashes ~scope_worker:rank spec with
+  | [] -> ()
+  | crashes when Chaos.permanent_crash ~scope_worker:rank spec || attempt = 1
+    ->
+      Ctx.install_wire ctx ~fault:(Fault.create ~crashes ~seed:1 []) ()
+  | _ -> ());
+  (match Chaos.straggles ~scope_worker:rank spec with
+  | [] -> ()
+  | straggles when attempt = 1 ->
+      Ctx.install_wire ctx ~fault:(Fault.create ~straggles ~seed:1 []) ()
+  | _ -> ());
+  (match Chaos.byzantines ~scope_worker:rank spec with
+  | [] -> ()
+  | byzantines when replica = 0 && attempt = 1 ->
+      Ctx.install_wire ctx
+        ~fault:
+          (Fault.create ~byzantines ~seed:(seed + (7919 * (rank + 1))) [])
+        ()
+  | _ -> ());
+  match Chaos.byte_rules spec with
+  | [] -> ()
+  | rules ->
+      Ctx.install_wire ctx ~fault:(Fault.create ~seed:(seed + 77 + rank) rules) ()
+
 (* Apply the domains/metrics/trace switches before any protocol work. *)
 let start c =
+  if c.transport <> "sim" then
+    (* Handler threads/pumps may write into sockets the peer already
+       closed; surface that as EPIPE, not process death. *)
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   (match c.domains with
   | Some d -> Matprod_util.Pool.set_size d
   | None -> ());
@@ -206,7 +301,7 @@ let report ~verbose ~actual ~estimate (run : _ Ctx.run) =
 (* join-size: lp norms, p in [0,2] *)
 
 let join_size c eps zipf p algo load_a load_b journal resume max_attempts
-    fallback crash_party crash_after drop =
+    fallback crash_party crash_after drop chaos =
   start c;
   let { n; density; verbose; _ } = c in
   if max_attempts < 1 then failwith "--max-attempts must be >= 1";
@@ -260,29 +355,20 @@ let join_size c eps zipf p algo load_a load_b journal resume max_attempts
         float_of_int (Matprod_core.L1_exact.run_bool ctx ~a ~b)
     | other -> failwith (Printf.sprintf "unknown algorithm %S" other)
   in
+  let chaos_spec =
+    legacy_chaos
+      [
+        (match crash_party with
+        | None -> ""
+        | Some who -> Printf.sprintf "kind=crash,party=%s,after=%d" who crash_after);
+        (if drop > 0.0 then Printf.sprintf "kind=drop,rate=%g" drop else "");
+      ]
+    @ parse_chaos chaos
+  in
   let install_faults ctx =
-    let crashes =
-      match crash_party with
-      | None -> []
-      | Some s ->
-          let victim =
-            match String.lowercase_ascii s with
-            | "alice" -> Transcript.Alice
-            | "bob" -> Transcript.Bob
-            | other ->
-                failwith
-                  (Printf.sprintf "unknown --crash-party %S (alice|bob)" other)
-          in
-          [ { Fault.victim; site = Fault.After_messages crash_after } ]
-    in
-    if crashes <> [] || drop > 0.0 then
-      Ctx.install_wire ctx
-        ~fault:
-          (Fault.create ~crashes ~seed:(seed + 77)
-             (if drop > 0.0 then
-                [ Fault.rule { Fault.zero_rates with Fault.drop = drop } ]
-              else []))
-        ()
+    match Chaos.to_fault ~seed:(seed + 77) chaos_spec with
+    | None -> ()
+    | Some fault -> Ctx.install_wire ctx ~fault ()
   in
   let fallbacks =
     match fallback with
@@ -341,7 +427,7 @@ let join_size c eps zipf p algo load_a load_b journal resume max_attempts
          Passing [path] keeps appending, so another crash resumes further. *)
       match
         Outcome.guard (fun () ->
-            Ctx.resume ~seed ~path ~journal:j (fun ctx ->
+            Ctx.resume ?transport:(transport_conn c) ~seed ~path ~journal:j (fun ctx ->
                 install_faults ctx;
                 driver ctx))
       with
@@ -368,7 +454,7 @@ let join_size c eps zipf p algo load_a load_b journal resume max_attempts
         Supervisor.policy ~max_resumes:(max_attempts - 1) ~max_reseeds:1 ()
       in
       match
-        Supervisor.run ~policy ?journal
+        Supervisor.run ~policy ?journal ?transport:(transport_factory c)
           ~wire:(fun ~attempt:_ ctx -> install_faults ctx)
           ~fallbacks ~seed ~protocol:algo driver
       with
@@ -411,8 +497,8 @@ let join_size c eps zipf p algo load_a load_b journal resume max_attempts
       match
         Outcome.guard (fun () ->
             match journal with
-            | Some path -> Ctx.run_journaled ~seed ~journal:path ~protocol:algo body
-            | None -> Ctx.run ~seed body)
+            | Some path -> Ctx.run_journaled ?transport:(transport_conn c) ~seed ~journal:path ~protocol:algo body
+            | None -> Ctx.run ?transport:(transport_conn c) ~seed body)
       with
       | Error e -> fail_run e
       | Ok run ->
@@ -478,26 +564,26 @@ let fallback_arg =
           "Degrade to $(docv) (trivial | l1-exact) when every retry \
            fails; the report marks the answer as degraded.")
 
+(* Legacy spellings of --chaos clauses: still accepted, no longer in the
+   manpage ([~docs:Manpage.s_none]); --chaos is the documented surface. *)
 let crash_party_arg =
   Arg.(
     value
     & opt (some string) None
-    & info [ "crash-party" ] ~docv:"WHO"
-        ~doc:"Inject a crash: kill alice or bob (see --crash-after).")
+    & info [ "crash-party" ] ~docv:"WHO" ~docs:Manpage.s_none
+        ~doc:"Alias for --chaos kind=crash,party=$(docv).")
 
 let crash_after_arg =
   Arg.(
     value & opt int 1
-    & info [ "crash-after" ] ~docv:"K"
-        ~doc:
-          "The crash victim dies on its first send after K delivered \
-           messages (default 1).")
+    & info [ "crash-after" ] ~docv:"K" ~docs:Manpage.s_none
+        ~doc:"Alias for the after=$(docv) key of --chaos kind=crash.")
 
 let drop_arg =
   Arg.(
     value & opt float 0.0
-    & info [ "drop" ] ~docv:"RATE"
-        ~doc:"Drop each frame with probability RATE (engages the ARQ layer).")
+    & info [ "drop" ] ~docv:"RATE" ~docs:Manpage.s_none
+        ~doc:"Alias for --chaos kind=drop,rate=$(docv).")
 
 let join_size_cmd =
   let p_arg =
@@ -518,7 +604,7 @@ let join_size_cmd =
     Term.(
       const join_size $ common_term $ eps_arg $ zipf_arg $ p_arg $ algo_arg
       $ load_a_arg $ load_b_arg $ journal_arg $ resume_arg $ max_attempts_arg
-      $ fallback_arg $ crash_party_arg $ crash_after_arg $ drop_arg)
+      $ fallback_arg $ crash_party_arg $ crash_after_arg $ drop_arg $ chaos_arg)
 
 (* ------------------------------------------------------------------ *)
 (* linf *)
@@ -534,7 +620,7 @@ let linf c overlap eps kappa general =
       let actual = float_of_int (Product.linf (Product.int_product a b)) in
       let kappa = Option.value ~default:4.0 kappa in
       let run =
-        Ctx.run ~seed (fun ctx ->
+        Ctx.run ?transport:(transport_conn c) ~seed (fun ctx ->
             Matprod_core.Linf_general.run ctx
               { Matprod_core.Linf_general.kappa }
               ~a ~b)
@@ -553,7 +639,7 @@ let linf c overlap eps kappa general =
       match kappa with
       | Some kappa ->
           let run =
-            Ctx.run ~seed (fun ctx ->
+            Ctx.run ?transport:(transport_conn c) ~seed (fun ctx ->
                 Matprod_core.Linf_kappa.run ctx
                   (Matprod_core.Linf_kappa.default_params ~kappa)
                   ~a ~b)
@@ -569,7 +655,7 @@ let linf c overlap eps kappa general =
             run.Ctx.transcript )
       | None ->
           let run =
-            Ctx.run ~seed (fun ctx ->
+            Ctx.run ?transport:(transport_conn c) ~seed (fun ctx ->
                 Matprod_core.Linf_binary.run ctx
                   (Matprod_core.Linf_binary.default_params ~eps)
                   ~a ~b)
@@ -652,7 +738,7 @@ let heavy_hitters c phi eps binary =
       ( Printf.sprintf "binary matrices, planted overlaps %d (Theorem 5.3)"
           overlap,
         Product.bool_product a b,
-        Ctx.run ~seed (fun ctx ->
+        Ctx.run ?transport:(transport_conn c) ~seed (fun ctx ->
             Matprod_core.Hh_binary.run ctx
               (Matprod_core.Hh_binary.default_params ~phi ~eps ())
               ~a ~b) )
@@ -664,7 +750,7 @@ let heavy_hitters c phi eps binary =
       in
       ( "integer matrices, planted heavy entries (Algorithm 4)",
         Product.int_product a b,
-        Ctx.run ~seed (fun ctx ->
+        Ctx.run ?transport:(transport_conn c) ~seed (fun ctx ->
             Matprod_core.Hh_general.run ctx
               (Matprod_core.Hh_general.default_params ~phi ~eps ())
               ~a ~b) )
@@ -752,7 +838,7 @@ let sample c kind count =
     match kind with
     | "l1" ->
         let run =
-          Ctx.run ~seed:(seed + t) (fun ctx ->
+          Ctx.run ?transport:(transport_conn c) ~seed:(seed + t) (fun ctx ->
               Matprod_core.L1_sampling.run ctx ~a:ai ~b:bi)
         in
         total_bits := !total_bits + run.Ctx.bits;
@@ -774,7 +860,7 @@ let sample c kind count =
         | None -> if not c.json then Printf.printf "  (product empty)\n")
     | "l0" ->
         let run =
-          Ctx.run ~seed:(seed + t) (fun ctx ->
+          Ctx.run ?transport:(transport_conn c) ~seed:(seed + t) (fun ctx ->
               Matprod_core.L0_sampling.run ctx
                 (Matprod_core.L0_sampling.default_params ~eps:0.25)
                 ~a:ai ~b:bi)
@@ -909,7 +995,7 @@ let joins c kind t =
           done
         done;
         let r =
-          Ctx.run ~seed (fun ctx -> Matprod_core.Joins.equality_join ctx ~a ~b)
+          Ctx.run ?transport:(transport_conn c) ~seed (fun ctx -> Matprod_core.Joins.equality_join ctx ~a ~b)
         in
         if not c.json then
           Printf.printf
@@ -919,7 +1005,7 @@ let joins c kind t =
     | "disjointness" ->
         let actual = (n * n) - Product.nnz c_mat in
         let r =
-          Ctx.run ~seed (fun ctx ->
+          Ctx.run ?transport:(transport_conn c) ~seed (fun ctx ->
               Matprod_core.Joins.disjointness_join ctx ~eps:0.25 ~a ~b)
         in
         if not c.json then
@@ -934,7 +1020,7 @@ let joins c kind t =
             0 (Product.entries c_mat)
         in
         let r =
-          Ctx.run ~seed (fun ctx ->
+          Ctx.run ?transport:(transport_conn c) ~seed (fun ctx ->
               Matprod_core.Joins.at_least_t_join ctx
                 (Matprod_core.Joins.default_threshold_params ~eps:0.25)
                 ~t ~a ~b)
@@ -982,7 +1068,7 @@ let session c beta =
   let a = Workload.uniform_bool rng ~rows:n ~cols:n ~density in
   let b = Workload.uniform_bool rng ~rows:n ~cols:n ~density in
   let c_mat = Product.bool_product a b in
-  let ctx = Ctx.create ~seed in
+  let ctx = Ctx.create ?transport:(transport_conn c) ~seed () in
   let s =
     Matprod_core.Session.establish ctx ~beta ~a:(Imat.of_bmat a)
       ~b:(Imat.of_bmat b)
@@ -1022,7 +1108,8 @@ let session c beta =
                  Obs.Json.List [ Obs.Json.Int i; Obs.Json.Float est ])
                top) );
       ]
-    @ transcript_fields (Ctx.transcript ctx))
+    @ transcript_fields (Ctx.transcript ctx));
+  Ctx.close ctx
 
 let session_cmd =
   let beta_arg =
@@ -1039,52 +1126,30 @@ let session_cmd =
 (* ------------------------------------------------------------------ *)
 (* estimate: any registered estimator by name *)
 
-(* Fleet chaos profile assembled from the estimate subcommand's flags. A
-   crash kills both endpoints of the victim link so the link dies no
-   matter which side speaks first; [--permanent] reinstalls it on every
-   supervisor attempt (the ladder cannot save the link, only the quorum
-   can save the query). *)
-let fleet_wire ~worker_crash ~crash_after ~permanent ~straggle_rank
-    ~straggle_delay ~byzantine_rank ~byzantine_mode ~seed ~rank ~replica
-    ~attempt ctx =
-  if rank = worker_crash && (permanent || attempt = 1) then
-    Ctx.install_wire ctx
-      ~fault:
-        (Fault.create
-           ~crashes:
-             [
-               {
-                 Fault.victim = Transcript.Alice;
-                 site = Fault.After_messages crash_after;
-               };
-               {
-                 Fault.victim = Transcript.Bob;
-                 site = Fault.After_messages crash_after;
-               };
-             ]
-           ~seed:1 [])
-      ();
-  if rank = straggle_rank && attempt = 1 then
-    Ctx.install_wire ctx
-      ~fault:(Fault.straggle_only ~after:1 ~burst:2 ~delay_s:straggle_delay ())
-      ();
-  (* The lying worker: replica 0 of the victim rank delivers a perfectly
-     framed wrong answer — only --verify / --replicas can catch it. *)
-  if rank = byzantine_rank && replica = 0 && attempt = 1 then
-    Ctx.install_wire ctx
-      ~fault:
-        (Fault.byzantine_only
-           ~seed:(seed + (7919 * (rank + 1)))
-           ~mode:byzantine_mode ())
-      ()
-
-let parse_byzantine_mode s =
-  match Fault.byzantine_mode_of_string s with
-  | Some m -> m
-  | None ->
-      failwith
-        (Printf.sprintf
-           "unknown --byzantine-mode %S (scale|sign-flip|swap|garbage)" s)
+(* The legacy estimate/batch fleet flags as --chaos clauses. A worker
+   crash kills both endpoints of the victim link (two clauses) so the
+   link dies no matter which side speaks first; [--permanent] reinstalls
+   it on every supervisor attempt (the ladder cannot save the link, only
+   the quorum can save the query). *)
+let legacy_fleet_chaos ~worker_crash ~crash_after ~permanent ~straggle_rank
+    ~straggle_delay ~byzantine_rank ~byzantine_mode =
+  let perm = if permanent then ",permanent" else "" in
+  legacy_chaos
+    [
+      (if worker_crash >= 0 then
+         Printf.sprintf
+           "kind=crash,worker=%d,after=%d%s;kind=crash,worker=%d,party=b,after=%d%s"
+           worker_crash crash_after perm worker_crash crash_after perm
+       else "");
+      (if straggle_rank >= 0 then
+         Printf.sprintf "kind=straggle,worker=%d,delay=%g,after=1,burst=2"
+           straggle_rank straggle_delay
+       else "");
+      (if byzantine_rank >= 0 then
+         Printf.sprintf "kind=byzantine,worker=%d,mode=%s" byzantine_rank
+           byzantine_mode
+       else "");
+    ]
 
 let link_label (l : Fleet.link_report) =
   if l.Fleet.replica = 0 then Printf.sprintf "worker %d" l.Fleet.rank
@@ -1110,23 +1175,20 @@ let print_suspects suspects =
   end
 
 let estimate_fleet c packed ~a ~b ~workers ~quorum ~replicas ~verify
-    ~worker_crash ~crash_after ~permanent ~straggle_rank ~straggle_delay
-    ~byzantine_rank ~byzantine_mode ~deadline ~fleet_journal =
+    ~chaos_spec ~deadline ~fleet_journal =
   let { seed; _ } = c in
   let link_policy =
     { Fleet.default_link_policy with Fleet.deadline_s = deadline }
   in
   let cfg =
     Fleet.config ?quorum ~replicas ~verify ~link_policy ?journal:fleet_journal
-      ~workers ~seed ()
+      ?transport:(transport_factory c) ~workers ~seed ()
   in
   let wire =
-    if worker_crash >= 0 || straggle_rank >= 0 || byzantine_rank >= 0 then
+    if chaos_spec <> [] then
       Some
         (fun ~rank ~replica ~attempt ctx ->
-          fleet_wire ~worker_crash ~crash_after ~permanent ~straggle_rank
-            ~straggle_delay ~byzantine_rank ~byzantine_mode ~seed ~rank
-            ~replica ~attempt ctx)
+          chaos_wire chaos_spec ~seed ~rank ~replica ~attempt ctx)
     else None
   in
   match Fleet.run ?wire cfg packed ~a ~b with
@@ -1221,9 +1283,13 @@ let estimate_fleet c packed ~a ~b ~workers ~quorum ~replicas ~verify
 
 let estimate c name list_all workers quorum replicas verify worker_crash
     crash_after permanent straggle_rank straggle_delay byzantine_rank
-    byzantine_mode deadline fleet_journal =
+    byzantine_mode deadline fleet_journal chaos =
   start c;
-  let byzantine_mode = parse_byzantine_mode byzantine_mode in
+  let chaos_spec =
+    legacy_fleet_chaos ~worker_crash ~crash_after ~permanent ~straggle_rank
+      ~straggle_delay ~byzantine_rank ~byzantine_mode
+    @ parse_chaos chaos
+  in
   let { n; density; seed; verbose; _ } = c in
   if list_all then
     List.iter
@@ -1242,13 +1308,15 @@ let estimate c name list_all workers quorum replicas verify worker_crash
     | Some packed when workers > 1 ->
         let a, b = gen_pair ~zipf:false ~seed ~n ~density in
         estimate_fleet c packed ~a ~b ~workers ~quorum ~replicas ~verify
-          ~worker_crash ~crash_after ~permanent ~straggle_rank ~straggle_delay
-          ~byzantine_rank ~byzantine_mode ~deadline ~fleet_journal
+          ~chaos_spec ~deadline ~fleet_journal
     | Some packed -> (
         let a, b = gen_pair ~zipf:false ~seed ~n ~density in
         let predicted = Estimator.default_cost packed ~n in
         let run =
-          Ctx.run ~seed (fun ctx ->
+          Ctx.run ?transport:(transport_conn c) ~seed (fun ctx ->
+              (match Chaos.to_fault ~seed:(seed + 77) chaos_spec with
+              | Some fault -> Ctx.install_wire ctx ~fault ()
+              | None -> ());
               Estimator.run_default_safe packed ctx ~a ~b)
         in
         match run.Ctx.output with
@@ -1317,10 +1385,8 @@ let estimate_cmd =
   let worker_crash_arg =
     Arg.(
       value & opt int (-1)
-      & info [ "worker-crash" ] ~docv:"RANK"
-          ~doc:"Crash the link of worker $(docv) on the first attempt \
-                (transient — the supervisor ladder recovers it unless \
-                $(b,--permanent)).")
+      & info [ "worker-crash" ] ~docv:"RANK" ~docs:Manpage.s_none
+          ~doc:"Alias for --chaos kind=crash,worker=$(docv).")
   in
   let replicas_arg =
     Arg.(
@@ -1343,45 +1409,38 @@ let estimate_cmd =
   let byzantine_arg =
     Arg.(
       value & opt int (-1)
-      & info [ "byzantine" ] ~docv:"RANK"
-          ~doc:"Arm a one-shot byzantine rule on worker $(docv) (replica \
-                0): its decoded shard answer is perturbed after correct \
-                framing, so CRC and retransmission pass and only \
-                $(b,--verify) or $(b,--replicas) can catch the lie.")
+      & info [ "byzantine" ] ~docv:"RANK" ~docs:Manpage.s_none
+          ~doc:"Alias for --chaos kind=byzantine,worker=$(docv).")
   in
   let byzantine_mode_arg =
     Arg.(
       value & opt string "scale"
-      & info [ "byzantine-mode" ] ~docv:"MODE"
-          ~doc:"Corruption applied by $(b,--byzantine): scale, sign-flip, \
-                swap, or garbage.")
+      & info [ "byzantine-mode" ] ~docv:"MODE" ~docs:Manpage.s_none
+          ~doc:"Alias for the mode=$(docv) key of --chaos kind=byzantine.")
   in
   let crash_after_arg =
     Arg.(
       value & opt int 0
-      & info [ "crash-after" ] ~docv:"MSGS"
-          ~doc:"Messages the crashed link completes before dying \
-                (with a journal those are replayed free on resume).")
+      & info [ "crash-after" ] ~docv:"MSGS" ~docs:Manpage.s_none
+          ~doc:"Alias for the after=$(docv) key of --chaos kind=crash.")
   in
   let permanent_arg =
     Arg.(
       value & flag
-      & info [ "permanent" ]
-          ~doc:"Reinstall the crash on every supervisor attempt, so the \
-                victim link stays dead and only the quorum can answer.")
+      & info [ "permanent" ] ~docs:Manpage.s_none
+          ~doc:"Alias for the permanent flag of --chaos kind=crash.")
   in
   let straggle_arg =
     Arg.(
       value & opt int (-1)
-      & info [ "straggle" ] ~docv:"RANK"
-          ~doc:"Inject a delay spike on worker $(docv)'s link (first \
-                attempt only).")
+      & info [ "straggle" ] ~docv:"RANK" ~docs:Manpage.s_none
+          ~doc:"Alias for --chaos kind=straggle,worker=$(docv).")
   in
   let straggle_delay_arg =
     Arg.(
       value & opt float 5.0
-      & info [ "straggle-delay" ] ~docv:"SECONDS"
-          ~doc:"Size of the injected delay spike.")
+      & info [ "straggle-delay" ] ~docv:"SECONDS" ~docs:Manpage.s_none
+          ~doc:"Alias for the delay=$(docv) key of --chaos kind=straggle.")
   in
   let deadline_arg =
     Arg.(
@@ -1409,7 +1468,8 @@ let estimate_cmd =
       const estimate $ common_term $ name_arg $ list_arg $ workers_arg
       $ quorum_arg $ replicas_arg $ verify_arg $ worker_crash_arg
       $ crash_after_arg $ permanent_arg $ straggle_arg $ straggle_delay_arg
-      $ byzantine_arg $ byzantine_mode_arg $ deadline_arg $ fleet_journal_arg)
+      $ byzantine_arg $ byzantine_mode_arg $ deadline_arg $ fleet_journal_arg
+      $ chaos_arg)
 
 (* ------------------------------------------------------------------ *)
 (* batch: the plan-cached query engine *)
@@ -1442,21 +1502,18 @@ let answer_summary = function
       Printf.sprintf "additive shares (%d + %d entries)" (List.length alice)
         (List.length bob)
 
-let batch_fleet c queries ~a ~b ~workers ~quorum ~replicas ~verify
-    ~byzantine_rank ~byzantine_mode =
+let batch_fleet c queries ~a ~b ~workers ~quorum ~replicas ~verify ~chaos_spec
+    =
   let { seed; _ } = c in
-  let cfg = Fleet.config ?quorum ~replicas ~verify ~workers ~seed () in
+  let cfg =
+    Fleet.config ?quorum ~replicas ~verify ?transport:(transport_factory c)
+      ~workers ~seed ()
+  in
   let wire =
-    if byzantine_rank >= 0 then
+    if chaos_spec <> [] then
       Some
         (fun ~rank ~replica ~attempt ctx ->
-          if rank = byzantine_rank && replica = 0 && attempt = 1 then
-            Ctx.install_wire ctx
-              ~fault:
-                (Fault.byzantine_only
-                   ~seed:(seed + (7919 * (rank + 1)))
-                   ~mode:byzantine_mode ())
-              ())
+          chaos_wire chaos_spec ~seed ~rank ~replica ~attempt ctx)
     else None
   in
   let engine = Engine.create () in
@@ -1550,9 +1607,13 @@ let batch_fleet c queries ~a ~b ~workers ~quorum ~replicas ~verify
           ])
 
 let batch c specs journal compare workers quorum replicas verify byzantine_rank
-    byzantine_mode =
+    byzantine_mode chaos =
   start c;
-  let byzantine_mode = parse_byzantine_mode byzantine_mode in
+  let chaos_spec =
+    legacy_fleet_chaos ~worker_crash:(-1) ~crash_after:0 ~permanent:false
+      ~straggle_rank:(-1) ~straggle_delay:5.0 ~byzantine_rank ~byzantine_mode
+    @ parse_chaos chaos
+  in
   let { n; density; seed; verbose; _ } = c in
   let specs =
     if specs = [] then [ "norm:eps=0.25"; "rows:beta=0.5"; "top:k=5" ]
@@ -1568,19 +1629,23 @@ let batch c specs journal compare workers quorum replicas verify byzantine_rank
   in
   let a, b = gen_pair ~zipf:false ~seed ~n ~density in
   if workers > 1 then
-    batch_fleet c queries ~a ~b ~workers ~quorum ~replicas ~verify
-      ~byzantine_rank ~byzantine_mode
+    batch_fleet c queries ~a ~b ~workers ~quorum ~replicas ~verify ~chaos_spec
   else begin
   let ai = Imat.of_bmat a and bi = Imat.of_bmat b in
   let engine = Engine.create () in
-  let body ctx = Engine.run engine ctx ~a:ai ~b:bi queries in
+  let body ctx =
+    (match Chaos.to_fault ~seed:(seed + 77) chaos_spec with
+    | Some fault -> Ctx.install_wire ctx ~fault ()
+    | None -> ());
+    Engine.run engine ctx ~a:ai ~b:bi queries
+  in
   let run =
     match
       Outcome.guard (fun () ->
           match journal with
           | Some path ->
-              Ctx.run_journaled ~seed ~journal:path ~protocol:"batch" body
-          | None -> Ctx.run ~seed body)
+              Ctx.run_journaled ?transport:(transport_conn c) ~seed ~journal:path ~protocol:"batch" body
+          | None -> Ctx.run ?transport:(transport_conn c) ~seed body)
     with
     | Ok run -> run
     | Error e ->
@@ -1598,7 +1663,7 @@ let batch c specs journal compare workers quorum replicas verify byzantine_rank
            (fun acc q ->
              let solo = Engine.create ~plan_cache_capacity:0 () in
              acc
-             + (Ctx.run ~seed (fun ctx -> Engine.run solo ctx ~a:ai ~b:bi [ q ]))
+             + (Ctx.run ?transport:(transport_conn c) ~seed (fun ctx -> Engine.run solo ctx ~a:ai ~b:bi [ q ]))
                  .Ctx.bits)
            0 queries)
   in
@@ -1742,18 +1807,14 @@ let batch_cmd =
   let byzantine_arg =
     Arg.(
       value & opt int (-1)
-      & info [ "byzantine" ] ~docv:"RANK"
-          ~doc:"Arm a one-shot byzantine rule on worker $(docv) (replica 0): \
-                its decoded batch answers are perturbed after correct \
-                framing, so only $(b,--verify) or $(b,--replicas) can catch \
-                the lie.")
+      & info [ "byzantine" ] ~docv:"RANK" ~docs:Manpage.s_none
+          ~doc:"Alias for --chaos kind=byzantine,worker=$(docv).")
   in
   let byzantine_mode_arg =
     Arg.(
       value & opt string "scale"
-      & info [ "byzantine-mode" ] ~docv:"MODE"
-          ~doc:"Corruption applied by $(b,--byzantine): scale, sign-flip, \
-                swap, or garbage.")
+      & info [ "byzantine-mode" ] ~docv:"MODE" ~docs:Manpage.s_none
+          ~doc:"Alias for the mode=$(docv) key of --chaos kind=byzantine.")
   in
   Cmd.v
     (Cmd.info "batch"
@@ -1765,7 +1826,7 @@ let batch_cmd =
     Term.(
       const batch $ common_term $ query_arg $ journal_arg $ compare_arg
       $ workers_arg $ quorum_arg $ replicas_arg $ verify_arg $ byzantine_arg
-      $ byzantine_mode_arg)
+      $ byzantine_mode_arg $ chaos_arg)
 
 (* ------------------------------------------------------------------ *)
 (* report: offline aggregation of trace files and bench sidecars. *)
@@ -1799,6 +1860,191 @@ let report_cmd =
           with p50/p90/p99 latencies (docs/OBSERVABILITY.md).")
     Term.(const report $ files_arg)
 
+(* ------------------------------------------------------------------ *)
+(* serve: the long-lived estimator daemon, and its load generator. *)
+
+module Server = Matprod_serve.Server
+module Loadgen = Matprod_serve.Loadgen
+
+let host_arg =
+  Arg.(
+    value
+    & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"ADDR" ~doc:"Address to bind/connect (dotted quad).")
+
+let serve c host port journal_dir grace plan_cache =
+  start c;
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let cfg =
+    {
+      Server.host;
+      port;
+      journal_dir;
+      plan_cache;
+      grace_s = grace;
+    }
+  in
+  let t = Server.create cfg in
+  (* stop only flips an atomic, so it is safe inside a signal handler;
+     the accept loop notices within its poll interval and drains. *)
+  let on_signal = Sys.Signal_handle (fun _ -> Server.stop t) in
+  Sys.set_signal Sys.sigterm on_signal;
+  Sys.set_signal Sys.sigint on_signal;
+  if not c.json then
+    Printf.printf "matprod serve: listening on %s:%d (journals: %s)\n%!" host
+      (Server.port t)
+      (Option.value journal_dir ~default:"off");
+  Server.serve t;
+  let s = Server.stats t in
+  if not c.json then
+    Printf.printf
+      "matprod serve: drained — %d sessions, %d batches, %d queries, %d \
+       batch errors\n"
+      s.Server.sessions s.Server.batches s.Server.queries s.Server.batch_errors;
+  finish c
+    [
+      ("subcommand", Obs.Json.String "serve");
+      ("host", Obs.Json.String host);
+      ("port", Obs.Json.Int (Server.port t));
+      ("sessions", Obs.Json.Int s.Server.sessions);
+      ("batches", Obs.Json.Int s.Server.batches);
+      ("queries", Obs.Json.Int s.Server.queries);
+      ("batch_errors", Obs.Json.Int s.Server.batch_errors);
+    ]
+
+let serve_cmd =
+  let port_arg =
+    Arg.(
+      value & opt int 7453
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"TCP port to listen on (0 picks an ephemeral port).")
+  in
+  let journal_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal-dir" ] ~docv:"DIR"
+          ~doc:
+            "Write a per-batch journal under $(docv) (created if missing); \
+             a client that reconnects after a daemon crash and re-requests \
+             a batch resumes it from the journal with zero fresh bits.")
+  in
+  let grace_arg =
+    Arg.(
+      value & opt float 5.0
+      & info [ "grace" ] ~docv:"SECONDS"
+          ~doc:
+            "Drain budget on shutdown: live sessions get $(docv) seconds to \
+             finish before their sockets are cut.")
+  in
+  let plan_cache_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "plan-cache" ] ~docv:"SLOTS"
+          ~doc:"Engine plan-cache capacity, shared across all sessions.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the estimator daemon: register or synthesise matrix pairs, \
+          then answer concurrent batched estimator sessions over TCP until \
+          SIGTERM/SIGINT, draining cleanly (docs/SERVING.md).")
+    Term.(
+      const serve $ common_term $ host_arg $ port_arg $ journal_dir_arg
+      $ grace_arg $ plan_cache_arg)
+
+let loadgen c host port connections batches queries specs =
+  start c;
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let { n; density; seed; _ } = c in
+  let specs = if specs = [] then [ "norm:eps=0.25" ] else specs in
+  let r =
+    Loadgen.run ~host ~port ~connections ~batches ~queries ~n ~density ~seed
+      ~specs ()
+  in
+  if not c.json then begin
+    Printf.printf
+      "loadgen: %d connections x %d batches x %d queries against %s:%d\n"
+      r.Loadgen.connections r.Loadgen.batches_per_connection
+      r.Loadgen.queries_per_batch host port;
+    Printf.printf "answered          : %d/%d (%d errors)\n" r.Loadgen.answered
+      r.Loadgen.queries r.Loadgen.errors;
+    Printf.printf "peak in flight    : %d queries\n" r.Loadgen.in_flight;
+    Printf.printf "throughput        : %.0f queries/s over %.3f s\n"
+      r.Loadgen.qps
+      (float_of_int r.Loadgen.elapsed_ns /. 1e9);
+    Printf.printf "latency           : p50 %.3f ms, p90 %.3f ms, p99 %.3f ms\n"
+      (float_of_int r.Loadgen.p50_ns /. 1e6)
+      (float_of_int r.Loadgen.p90_ns /. 1e6)
+      (float_of_int r.Loadgen.p99_ns /. 1e6);
+    Printf.printf "transcript        : %d bits (%d replayed)\n" r.Loadgen.bits
+      r.Loadgen.replayed_bits;
+    Printf.printf "response digest   : %d\n" r.Loadgen.digest
+  end;
+  if r.Loadgen.errors > 0 then exit 1;
+  finish c
+    [
+      ("subcommand", Obs.Json.String "loadgen");
+      ("host", Obs.Json.String host);
+      ("port", Obs.Json.Int port);
+      ("connections", Obs.Json.Int r.Loadgen.connections);
+      ("batches_per_connection", Obs.Json.Int r.Loadgen.batches_per_connection);
+      ("queries_per_batch", Obs.Json.Int r.Loadgen.queries_per_batch);
+      ("queries", Obs.Json.Int r.Loadgen.queries);
+      ("answered", Obs.Json.Int r.Loadgen.answered);
+      ("errors", Obs.Json.Int r.Loadgen.errors);
+      ("in_flight", Obs.Json.Int r.Loadgen.in_flight);
+      ("elapsed_ns", Obs.Json.Int r.Loadgen.elapsed_ns);
+      ("queries_per_sec", Obs.Json.Float r.Loadgen.qps);
+      ("p50_ns", Obs.Json.Int r.Loadgen.p50_ns);
+      ("p90_ns", Obs.Json.Int r.Loadgen.p90_ns);
+      ("p99_ns", Obs.Json.Int r.Loadgen.p99_ns);
+      ("bits", Obs.Json.Int r.Loadgen.bits);
+      ("replayed_bits", Obs.Json.Int r.Loadgen.replayed_bits);
+      ("digest", Obs.Json.Int r.Loadgen.digest);
+    ]
+
+let loadgen_cmd =
+  let port_arg =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "port" ] ~docv:"PORT" ~doc:"Port of the serve daemon.")
+  in
+  let connections_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "connections" ] ~docv:"C" ~doc:"Concurrent client sessions.")
+  in
+  let batches_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "batches" ] ~docv:"B"
+          ~doc:"Pipelined batch requests per connection.")
+  in
+  let queries_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "queries" ] ~docv:"Q" ~doc:"Queries per batch.")
+  in
+  let specs_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "q"; "query" ] ~docv:"SPEC"
+          ~doc:
+            "Query specs cycled to fill each batch (default norm:eps=0.25).")
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Drive a serve daemon with C connections x B pipelined batches x Q \
+          queries, report queries/sec with p50/p90/p99 latency, and exit \
+          non-zero on any error (docs/SERVING.md).")
+    Term.(
+      const loadgen $ common_term $ host_arg $ port_arg $ connections_arg
+      $ batches_arg $ queries_arg $ specs_arg)
+
 let main_cmd =
   let doc =
     "distributed statistical estimation of matrix products (Woodruff–Zhang, \
@@ -1807,6 +2053,7 @@ let main_cmd =
   Cmd.group
     (Cmd.info "matprod" ~version:"1.0.0" ~doc)
     [ join_size_cmd; linf_cmd; heavy_hitters_cmd; sample_cmd; lowerbound_cmd;
-      session_cmd; joins_cmd; estimate_cmd; batch_cmd; report_cmd ]
+      session_cmd; joins_cmd; estimate_cmd; batch_cmd; report_cmd; serve_cmd;
+      loadgen_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -16,23 +16,13 @@ type wire = {
 type t = {
   transcript : Transcript.t;
   names : Transcript.party -> string;
+  transport : Transport.t;
   mutable wire : wire option;
   mutable journal : Journal.writer option;
   mutable replay : Journal.entry list;
   mutable replayed_messages : int;
   mutable replayed_bytes : int;
 }
-
-let create ?(names = Transcript.party_name) () =
-  {
-    transcript = Transcript.create ();
-    names;
-    wire = None;
-    journal = None;
-    replay = [];
-    replayed_messages = 0;
-    replayed_bytes = 0;
-  }
 
 let transcript t = t.transcript
 
@@ -49,6 +39,12 @@ let close_journal t =
   | Some w ->
       t.journal <- None;
       Journal.close w
+
+let close t =
+  close_journal t;
+  Transport.close t.transport
+
+let transport t = t.transport
 
 type replay_stats = { replayed_messages : int; replayed_bytes : int }
 
@@ -71,6 +67,35 @@ let install t ~fault ?(reliable = Reliable.default_config) () =
         giveups = 0;
         waited = 0.0;
       }
+
+let configure t ?fault ?reliable ?journal ?replay () =
+  (match (fault, reliable) with
+  | Some fault, _ -> install t ~fault ?reliable ()
+  | None, Some _ ->
+      invalid_arg "Channel.configure: ?reliable requires ?fault"
+  | None, None -> ());
+  (match replay with Some entries -> arm_replay t entries | None -> ());
+  match journal with Some w -> arm_journal t w | None -> ()
+
+let create ?(names = Transcript.party_name) ?transport ?fault ?reliable
+    ?journal ?replay () =
+  let transport =
+    match transport with Some tr -> tr | None -> Transport.sim ()
+  in
+  let t =
+    {
+      transcript = Transcript.create ();
+      names;
+      transport;
+      wire = None;
+      journal = None;
+      replay = [];
+      replayed_messages = 0;
+      replayed_bytes = 0;
+    }
+  in
+  configure t ?fault ?reliable ?journal ?replay ();
+  t
 
 let installed_fault t = Option.map (fun w -> w.fault) t.wire
 
@@ -318,6 +343,11 @@ let send t ~from ~label codec v =
             record_msg t ~from ~label ~bytes:(String.length wire);
             wire
       in
+      (* The accepted payload crosses the physical backend last: the
+         transcript is already charged, so Sim and a faithful Tcp produce
+         byte-identical transcripts. Replayed messages never get here —
+         resume must not touch the wire. *)
+      let payload = Transport.deliver t.transport ~from ~label payload in
       (match t.journal with
       | Some jw -> Journal.append jw ~sender:from ~label ~payload
       | None -> ());

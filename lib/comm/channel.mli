@@ -1,39 +1,79 @@
-(** The simulated wire between Alice and Bob.
+(** The logical wire between Alice and Bob.
 
     [send] serialises the value with the supplied codec, charges the
-    transcript for the real encoded length, then {e decodes the bytes back}
-    and returns the decoded value. Protocol code must use the returned
-    value on the receiving side — information that was not actually encoded
+    transcript for the real encoded length, carries the bytes across the
+    configured {!Transport} backend, then {e decodes the bytes back} and
+    returns the decoded value. Protocol code must use the returned value
+    on the receiving side — information that was not actually encoded
     cannot leak across, and lossy codecs (e.g. {!Codec.float32}) lose
     precision exactly as they would on a network.
 
-    By default the wire is perfect. {!install} arms it with a {!Fault}
-    model; while the model is active every message is carried by the
-    {!Reliable} stop-and-wait layer (CRC32 framing, acks, retransmission
-    with capped exponential backoff), and every frame — retransmissions
-    and acks included — is charged to the transcript under the message's
-    label (acks under ["<label>/ack"]). A message that exhausts its
-    attempts raises {!Reliable.Link_failure}; corrupted frames are
-    rejected by checksum, so [send] either returns exactly the value that
-    a perfect wire would have delivered or fails loudly — never a mangled
-    value. An inert fault model (all rates 0) leaves the channel
-    byte-for-byte identical to the default. *)
+    By default the channel is perfect and in-process ({!Transport.sim}).
+    Configuring a {!Fault} model arms the {!Reliable} stop-and-wait layer
+    (CRC32 framing, acks, retransmission with capped exponential backoff),
+    and every frame — retransmissions and acks included — is charged to
+    the transcript under the message's label (acks under ["<label>/ack"]).
+    A message that exhausts its attempts raises {!Reliable.Link_failure};
+    corrupted frames are rejected by checksum, so [send] either returns
+    exactly the value that a perfect wire would have delivered or fails
+    loudly — never a mangled value. An inert fault model (all rates 0)
+    leaves the channel byte-for-byte identical to the default. *)
 
 type t
 
-val create : ?names:(Transcript.party -> string) -> unit -> t
-(** [?names] maps the two wire roles to display names used for the
-    per-party metrics scope and trace attributes (default
-    {!Transcript.party_name}, i.e. ["Alice"]/["Bob"]). A fleet link passes
-    e.g. [Alice ↦ "worker3", Bob ↦ "coordinator"] so per-link tables
-    aggregate under the right actor. Purely observational: transcripts,
-    journals, and codecs never see these names. *)
+val create :
+  ?names:(Transcript.party -> string) ->
+  ?transport:Transport.t ->
+  ?fault:Fault.t ->
+  ?reliable:Reliable.config ->
+  ?journal:Journal.writer ->
+  ?replay:Journal.entry list ->
+  unit ->
+  t
+(** One constructor, one configuration:
+
+    - [?names] maps the two wire roles to display names used for the
+      per-party metrics scope and trace attributes (default
+      {!Transcript.party_name}, i.e. ["Alice"]/["Bob"]). A fleet link
+      passes e.g. [Alice ↦ "worker3", Bob ↦ "coordinator"] so per-link
+      tables aggregate under the right actor. Purely observational:
+      transcripts, journals, and codecs never see these names.
+    - [?transport] picks the physical backend (default {!Transport.sim};
+      the channel owns it and {!close} releases it).
+    - [?fault] arms the wire with a fault model; [?reliable] tunes the
+      ARQ layer that activates with it (passing [?reliable] without
+      [?fault] raises [Invalid_argument]).
+    - [?journal] appends every delivered logical message to the writer.
+    - [?replay] queues journaled entries to satisfy upcoming [send]s
+      before any fresh communication (see {e Crash recovery} below). *)
+
+val configure :
+  t ->
+  ?fault:Fault.t ->
+  ?reliable:Reliable.config ->
+  ?journal:Journal.writer ->
+  ?replay:Journal.entry list ->
+  unit ->
+  unit
+(** Late arming with the same keywords as {!create}, for callers that
+    learn their fault/journal configuration after the channel exists
+    (e.g. {!Ctx.run}'s prepare step). Configuring a new fault model
+    resets sequence numbers and reliability stats; [?replay] must be
+    armed before the first message (raises [Invalid_argument]
+    otherwise). *)
 
 val transcript : t -> Transcript.t
 
+val transport : t -> Transport.t
+(** The physical backend this channel delivers over. *)
+
+val close : t -> unit
+(** Flush and close the journal writer (if any) and release the
+    transport's OS resources. Idempotent. *)
+
 val install : t -> fault:Fault.t -> ?reliable:Reliable.config -> unit -> unit
-(** Arm the wire. May be called before any message is sent; installing a
-    new wire resets sequence numbers and reliability stats. *)
+[@@deprecated "use Channel.create ?fault ?reliable or Channel.configure"]
+(** @deprecated Arm the wire. Alias for [configure ~fault ?reliable]. *)
 
 val installed_fault : t -> Fault.t option
 (** The armed fault model, if any — the topology layer reads it back to
@@ -46,21 +86,23 @@ val installed_fault : t -> Fault.t option
     A channel can write a {!Journal} of every logical message it delivers,
     and can {e replay} a previously journaled prefix: while replay entries
     remain, [send] does not touch the wire (no fault model, no reliability
-    frames, no transcript charge) — it checks that the sender, label, and
-    freshly encoded bytes match the journaled record (the determinism
-    invariant: all randomness derives from the seed) and hands the
-    journaled payload to the decoder. See docs/ROBUSTNESS.md. *)
+    frames, no transport delivery, no transcript charge) — it checks that
+    the sender, label, and freshly encoded bytes match the journaled
+    record (the determinism invariant: all randomness derives from the
+    seed) and hands the journaled payload to the decoder. See
+    docs/ROBUSTNESS.md. *)
 
 val arm_journal : t -> Journal.writer -> unit
-(** Append every subsequently delivered logical message to the writer.
-    Replayed messages are not re-appended (they are already in the log). *)
+[@@deprecated "use Channel.create ?journal or Channel.configure"]
+(** @deprecated Alias for [configure ~journal]. *)
 
 val arm_replay : t -> Journal.entry list -> unit
-(** Queue journal entries to satisfy upcoming [send]s. Must be armed
-    before the first message; raises [Invalid_argument] otherwise. *)
+[@@deprecated "use Channel.create ?replay or Channel.configure"]
+(** @deprecated Alias for [configure ~replay]. *)
 
 val close_journal : t -> unit
-(** Flush and close the armed writer, if any. Idempotent. *)
+(** Flush and close the armed writer, if any (the transport stays open).
+    Idempotent. *)
 
 (** What replay saved: messages and payload bytes served from the journal
     instead of the wire. *)
@@ -93,6 +135,7 @@ val send :
 (** Raises {!Reliable.Link_failure} when an active fault model defeats
     every transmission attempt, {!Codec.Decode_error} if the payload does
     not decode (on an armed wire that requires a 2⁻³² CRC collision),
-    {!Fault.Party_crash} when a crash rule fires, and
+    {!Fault.Party_crash} when a crash rule fires,
     {!Journal.Replay_mismatch} when a replayed run diverges from its
-    journal. *)
+    journal, and {!Transport.Frame_error} when a [Tcp] backend observes a
+    torn or corrupt frame. *)

@@ -9,18 +9,18 @@ type t = {
   bob : Prng.t;
 }
 
-let make ?names ~seed () =
+let make ?names ?transport ~seed () =
   let root = Prng.create seed in
   let public = Prng.split root in
   let alice = Prng.split root in
   let bob = Prng.split root in
-  { chan = Channel.create ?names (); seed; public; alice; bob }
+  { chan = Channel.create ?names ?transport (); seed; public; alice; bob }
 
-let create ~seed = make ~seed ()
-let create_named ~names ~seed = make ~names ~seed ()
+let create ?transport ~seed () = make ?transport ~seed ()
+let create_named ?transport ~names ~seed () = make ~names ?transport ~seed ()
 
 let install_wire t ~fault ?reliable () =
-  Channel.install t.chan ~fault ?reliable ()
+  Channel.configure t.chan ~fault ?reliable ()
 
 let wire_stats t = Channel.stats t.chan
 let send t ~from ~label codec v = Channel.send t.chan ~from ~label codec v
@@ -32,8 +32,9 @@ let installed_fault t = Channel.installed_fault t.chan
 let record t ~journal ~protocol =
   if Transcript.message_count (transcript t) > 0 then
     invalid_arg "Ctx.record: messages already sent";
-  Channel.arm_journal t.chan
-    (Journal.create ~path:journal ~protocol ~seed:t.seed)
+  Channel.configure t.chan
+    ~journal:(Journal.create ~path:journal ~protocol ~seed:t.seed)
+    ()
 
 let resume_from t ?path journal =
   if journal.Journal.seed <> t.seed then
@@ -51,12 +52,15 @@ let resume_from t ?path journal =
           ]
         ()
   | _ -> ());
-  Channel.arm_replay t.chan journal.Journal.entries;
+  Channel.configure t.chan ~replay:journal.Journal.entries ();
   match path with
   | None -> ()
-  | Some path -> Channel.arm_journal t.chan (Journal.reopen ~path journal)
+  | Some path ->
+      Channel.configure t.chan ~journal:(Journal.reopen ~path journal) ()
 
 let close_journal t = Channel.close_journal t.chan
+let close t = Channel.close t.chan
+let transport t = Channel.transport t.chan
 let replay_stats t = Channel.replay_stats t.chan
 
 type 'r run = {
@@ -73,10 +77,10 @@ let c_bits = Obs.Metrics.counter "bits_sent_total"
 let c_rounds = Obs.Metrics.counter "rounds_total"
 let h_run = Obs.Metrics.histogram "ctx_run_ns"
 
-let run_prepared ~seed ~prepare f =
-  let t = create ~seed in
+let run_prepared ?transport ~seed ~prepare f =
+  let t = create ?transport ~seed () in
   Fun.protect
-    ~finally:(fun () -> close_journal t)
+    ~finally:(fun () -> close t)
     (fun () ->
       (* with_trace wraps prepare too: a journal created there must stamp
          this run's trace id as its origin. *)
@@ -104,10 +108,14 @@ let run_prepared ~seed ~prepare f =
         replayed_bits = 8 * rs.Channel.replayed_bytes;
       })
 
-let run ~seed f = run_prepared ~seed ~prepare:(fun _ -> ()) f
+let run ?transport ~seed f = run_prepared ?transport ~seed ~prepare:(fun _ -> ()) f
 
-let run_journaled ~seed ~journal ~protocol f =
-  run_prepared ~seed ~prepare:(fun t -> record t ~journal ~protocol) f
+let run_journaled ?transport ~seed ~journal ~protocol f =
+  run_prepared ?transport ~seed
+    ~prepare:(fun t -> record t ~journal ~protocol)
+    f
 
-let resume ~seed ?path ~journal f =
-  run_prepared ~seed ~prepare:(fun t -> resume_from t ?path journal) f
+let resume ?transport ~seed ?path ~journal f =
+  run_prepared ?transport ~seed
+    ~prepare:(fun t -> resume_from t ?path journal)
+    f

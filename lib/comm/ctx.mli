@@ -21,9 +21,17 @@ type t = {
   bob : Matprod_util.Prng.t;
 }
 
-val create : seed:int -> t
+val create : ?transport:Transport.t -> seed:int -> unit -> t
+(** [?transport] picks the physical backend under the channel (default
+    {!Transport.sim} — the historical in-process wire). The context owns
+    the transport; {!close} (and every [run] path) releases it. *)
 
-val create_named : names:(Transcript.party -> string) -> seed:int -> t
+val create_named :
+  ?transport:Transport.t ->
+  names:(Transcript.party -> string) ->
+  seed:int ->
+  unit ->
+  t
 (** {!create} with the two wire roles renamed for observability (metrics
     scopes, trace attributes) — see {!Channel.create}. A fleet link names
     its parties ["worker<i>"]/["coordinator"]; {!create} keeps
@@ -31,7 +39,7 @@ val create_named : names:(Transcript.party -> string) -> seed:int -> t
 
 val install_wire :
   t -> fault:Fault.t -> ?reliable:Reliable.config -> unit -> unit
-(** Arm the context's channel with a fault model (see {!Channel.install}).
+(** Arm the context's channel with a fault model (see {!Channel.configure}).
     Call before the first message; typically the first thing a chaos run
     does inside {!run}'s body. *)
 
@@ -81,6 +89,14 @@ val close_journal : t -> unit
 (** Flush and close the journal writer, if any. Idempotent; {!run} paths
     that arm a journal close it on exit, exceptions included. *)
 
+val close : t -> unit
+(** {!close_journal} plus release of the transport's OS resources
+    ({!Channel.close}). Idempotent; every [run] path calls it on exit,
+    exceptions included. *)
+
+val transport : t -> Transport.t
+(** The physical backend this context's channel delivers over. *)
+
 val replay_stats : t -> Channel.replay_stats
 
 (** Outcome of a protocol run with its cost. [bits]/[rounds] count fresh
@@ -95,16 +111,26 @@ type 'r run = {
   replayed_bits : int;
 }
 
-val run : seed:int -> (t -> 'r) -> 'r run
+val run : ?transport:Transport.t -> seed:int -> (t -> 'r) -> 'r run
 
 val run_journaled :
-  seed:int -> journal:string -> protocol:string -> (t -> 'r) -> 'r run
+  ?transport:Transport.t ->
+  seed:int ->
+  journal:string ->
+  protocol:string ->
+  (t -> 'r) ->
+  'r run
 (** {!run} with {!record} armed first; the writer is closed on exit even
     when the body raises (the journal then holds the completed prefix —
     exactly what {!resume} needs). *)
 
 val resume :
-  seed:int -> ?path:string -> journal:Journal.t -> (t -> 'r) -> 'r run
+  ?transport:Transport.t ->
+  seed:int ->
+  ?path:string ->
+  journal:Journal.t ->
+  (t -> 'r) ->
+  'r run
 (** {!run} with {!resume_from} armed first: fast-forwards through the
     journal, then continues on the wire. A run resumed from a complete
     journal costs 0 fresh bits. *)

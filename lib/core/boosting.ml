@@ -54,7 +54,7 @@ let run_median_safe ~seed ~repetitions ?(min_survivors = 1) f =
       (* Same seed schedule as [run_median], so a fault-free safe run
          reproduces it exactly. The context is built by hand because a
          failed repetition's communication must still be charged. *)
-      let ctx = Ctx.create ~seed:(Prng.fresh_seed root) in
+      let ctx = Ctx.create ~seed:(Prng.fresh_seed root) () in
       (match Outcome.guard (fun () -> f ctx) with
       | Ok output ->
           survivors := output :: !survivors;

@@ -80,8 +80,8 @@ let reseed_seed ~seed i = seed + (104729 * i)
 (* How the journal/replay machinery is armed for one attempt. *)
 type mode = Plain | Record of string | Resume_journal of string * Journal.t
 
-let run ?(policy = default_policy) ?journal ?wire ?names ?(fallbacks = [])
-    ~seed ~protocol f =
+let run ?(policy = default_policy) ?journal ?wire ?names ?transport
+    ?(fallbacks = []) ~seed ~protocol f =
   let attempts = ref [] in
   let fresh_bits = ref 0 and fresh_rounds = ref 0 in
   let saved = ref 0 in
@@ -120,10 +120,13 @@ let run ?(policy = default_policy) ?journal ?wire ?names ?(fallbacks = [])
           ("attempt", Json.Int !attempt_no);
         ]
     @@ fun () ->
+    (* Transports hold OS state, so each attempt opens a fresh connection
+       via the factory and [Ctx.close] releases it win or lose. *)
+    let tr_conn = Option.map (fun factory -> factory ()) transport in
     let ctx =
       match names with
-      | None -> Ctx.create ~seed
-      | Some names -> Ctx.create_named ~names ~seed
+      | None -> Ctx.create ?transport:tr_conn ~seed ()
+      | Some names -> Ctx.create_named ?transport:tr_conn ~names ~seed ()
     in
     let result =
       Outcome.guard (fun () ->
@@ -136,7 +139,7 @@ let run ?(policy = default_policy) ?journal ?wire ?names ?(fallbacks = [])
           | None -> ());
           driver ctx)
     in
-    Ctx.close_journal ctx;
+    Ctx.close ctx;
     let tr = Ctx.transcript ctx in
     let bits = Transcript.total_bits tr in
     let rounds = Transcript.rounds tr in

@@ -85,6 +85,7 @@ val run :
   ?journal:string ->
   ?wire:(attempt:int -> Matprod_comm.Ctx.t -> unit) ->
   ?names:(Matprod_comm.Transcript.party -> string) ->
+  ?transport:Matprod_comm.Transport.factory ->
   ?fallbacks:(string * (Matprod_comm.Ctx.t -> 'r)) list ->
   seed:int ->
   protocol:string ->
@@ -97,7 +98,9 @@ val run :
     crash only the first attempt the way a real transient crash would.
     [?names] renames the wire roles for observability on every attempt's
     context (see {!Matprod_comm.Ctx.create}) — the fleet supervisor passes
-    ["worker<i>"]/["coordinator"].
+    ["worker<i>"]/["coordinator"]. [?transport] is a {e factory}: each
+    attempt opens a fresh physical connection through it (transports hold
+    OS state) and closes it when the attempt ends, win or lose.
     Fallbacks run at the original seed under the same wire. The error on
     [Error] is the last rung's typed error, or {!Outcome.Budget_exhausted}
     when the budget gated further rungs. Never raises on wire/crash/

@@ -1,0 +1,47 @@
+(** Closed-loop load generator for the serve daemon.
+
+    [connections] client sessions connect concurrently; each shares one
+    server-side workload pair, then pipelines [batches] batch requests of
+    [queries] specs each {e without reading} — so once every connection
+    has fired its last batch, [connections × batches × queries] queries
+    are simultaneously in flight (measured at the rendezvous barrier, not
+    assumed). Only then do the clients drain their responses, timing each
+    batch from its send to its answer — queueing delay included, which is
+    the honest latency under load.
+
+    Sessions seed deterministically from [(seed, connection index)], so
+    the digest of all response bytes is reproducible run to run — the
+    bench regression gate compares it exactly while timing fields vary. *)
+
+type report = {
+  connections : int;
+  batches_per_connection : int;
+  queries_per_batch : int;
+  queries : int;  (** total submitted *)
+  answered : int;
+  errors : int;  (** queries whose batch came back [Err] (or died) *)
+  in_flight : int;  (** peak concurrent in-flight queries, measured *)
+  elapsed_ns : int;  (** first send to last answer, across connections *)
+  qps : float;  (** answered / elapsed *)
+  p50_ns : int;  (** per-query latency percentiles *)
+  p90_ns : int;
+  p99_ns : int;
+  bits : int;  (** summed transcript bits over all answered batches *)
+  replayed_bits : int;
+  digest : int;  (** order-independent CRC32 sum of response payloads *)
+}
+
+val run :
+  ?host:string ->
+  port:int ->
+  connections:int ->
+  batches:int ->
+  queries:int ->
+  n:int ->
+  density:float ->
+  seed:int ->
+  specs:string list ->
+  unit ->
+  report
+(** [specs] is the base query list, cycled to [queries] per batch. Raises
+    [Invalid_argument] on non-positive counts or empty [specs]. *)

@@ -29,17 +29,19 @@ type config = {
   verify : bool;
   link_policy : link_policy;
   journal : string option;
+  transport : Matprod_comm.Transport.factory option;
 }
 
 let config ?quorum ?(replicas = 1) ?(verify = false)
-    ?(link_policy = default_link_policy) ?journal ~workers ~seed () =
+    ?(link_policy = default_link_policy) ?journal ?transport ~workers ~seed
+    () =
   if workers < 1 then invalid_arg "Fleet.config: workers must be >= 1";
   if replicas < 1 || replicas > 16 then
     invalid_arg "Fleet.config: replicas must be in [1, 16]";
   let quorum = Option.value quorum ~default:workers in
   if quorum < 1 || quorum > workers then
     invalid_arg "Fleet.config: quorum must be in [1, workers]";
-  { workers; quorum; seed; replicas; verify; link_policy; journal }
+  { workers; quorum; seed; replicas; verify; link_policy; journal; transport }
 
 (* Replica 0 runs at the fleet seed — a replicas = 1 fleet is bit-identical
    to the pre-replica fleet. Higher replicas derive independent seeds from
@@ -166,7 +168,8 @@ let run_link ~cfg ~wire ~protocol ~rank ~replica ~seed ~(range : Shard.range)
           ("protocol", Json.String protocol);
         ]
     @@ fun () ->
-    Supervisor.run ~policy ?journal ?wire ~names:(link_names rank) ~seed
+    Supervisor.run ~policy ?journal ?wire ?transport:cfg.transport
+      ~names:(link_names rank) ~seed
       ~protocol:(Printf.sprintf "%s@worker%d%s" protocol rank suffix)
       deadline_body
   in

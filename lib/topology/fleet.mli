@@ -80,6 +80,9 @@ type config = {
       (** base path; link [i] replica [j] journals to
           ["<base>.worker<i>"] (replica 0) / ["<base>.worker<i>.r<j>"]
           and the Resume rung becomes available per link *)
+  transport : Matprod_comm.Transport.factory option;
+      (** physical backend factory; every link attempt opens (and closes)
+          its own connection through it. [None] = {!Matprod_comm.Transport.sim} *)
 }
 
 val config :
@@ -88,6 +91,7 @@ val config :
   ?verify:bool ->
   ?link_policy:link_policy ->
   ?journal:string ->
+  ?transport:Matprod_comm.Transport.factory ->
   workers:int ->
   seed:int ->
   unit ->

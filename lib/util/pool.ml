@@ -44,6 +44,8 @@ let cv = Condition.create ()
 let current : job option ref = ref None
 let generation = ref 0
 let spawned = ref 0
+let stopping = ref false
+let handles : unit Domain.t list ref = ref []
 
 let record_error job e =
   Mutex.lock m;
@@ -74,34 +76,54 @@ let worker_loop g0 =
   let seen = ref g0 in
   let rec loop () =
     Mutex.lock m;
-    while !generation = !seen do
+    while !generation = !seen && not !stopping do
       Condition.wait cv m
     done;
-    seen := !generation;
-    let job = Option.get !current in
-    Mutex.unlock m;
-    (try run_chunks job with e -> record_error job e);
-    Mutex.lock m;
-    job.pending <- job.pending - 1;
-    if job.pending = 0 then Condition.broadcast cv;
-    Mutex.unlock m;
-    loop ()
+    if !stopping then Mutex.unlock m (* drain: fall off the loop *)
+    else begin
+      seen := !generation;
+      let job = Option.get !current in
+      Mutex.unlock m;
+      (try run_chunks job with e -> record_error job e);
+      Mutex.lock m;
+      job.pending <- job.pending - 1;
+      if job.pending = 0 then Condition.broadcast cv;
+      Mutex.unlock m;
+      loop ()
+    end
   in
   loop ()
 
-(* Workers never terminate; they die with the process. Spawn only the
-   deficit, so growing the size later tops the pool up. The generation is
-   read under the lock so every new worker joins at a well-defined point
-   strictly before the next job is published. *)
+(* Workers park until a job is published or {!shutdown} drains them. Spawn
+   only the deficit, so growing the size later tops the pool up. The
+   generation is read under the lock so every new worker joins at a
+   well-defined point strictly before the next job is published. *)
 let ensure_workers want =
   if !spawned < want then begin
     Mutex.lock m;
     let g0 = !generation in
     Mutex.unlock m;
     while !spawned < want do
-      ignore (Domain.spawn (fun () -> worker_loop g0) : unit Domain.t);
+      handles := Domain.spawn (fun () -> worker_loop g0) :: !handles;
       incr spawned
     done
+  end
+
+(* Drain and join every worker. Driven from the main domain like every
+   other entry point, so it cannot race a running [parallel_for]; a later
+   parallel call simply respawns a fresh pool. *)
+let shutdown () =
+  if !spawned > 0 then begin
+    Mutex.lock m;
+    stopping := true;
+    Condition.broadcast cv;
+    Mutex.unlock m;
+    List.iter Domain.join !handles;
+    handles := [];
+    spawned := 0;
+    Mutex.lock m;
+    stopping := false;
+    Mutex.unlock m
   end
 
 let parallel_for ?chunk n f =

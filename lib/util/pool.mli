@@ -26,7 +26,16 @@ val size : unit -> int
 
 val set_size : int -> unit
 (** Fix the pool size ([>= 1]); overrides the environment. Shrinking does
-    not stop already-spawned workers — they idle. *)
+    not stop already-spawned workers — they idle (until {!shutdown}). *)
+
+val shutdown : unit -> unit
+(** Drain the pool: wake every idle worker, join all spawned domains, and
+    reset to the unspawned state. Without it a long-lived process (the
+    serve daemon) leaks one parked domain per worker and a SIGTERM
+    teardown races their wake-ups. Idempotent, cheap when nothing was
+    spawned, and {e not} a terminal state — the next parallel call lazily
+    respawns a fresh pool. Must be called from the domain that drives the
+    pool (no [parallel_for] may be in flight). *)
 
 val parallel_for : ?chunk:int -> int -> (int -> unit) -> unit
 (** [parallel_for n f] runs [f 0 .. f (n-1)], in parallel when the pool

@@ -226,7 +226,7 @@ let test_ctx_reproducible () =
   check Alcotest.int "same bits" r1.Ctx.bits r2.Ctx.bits
 
 let test_ctx_streams_independent () =
-  let ctx = Ctx.create ~seed:5 in
+  let ctx = Ctx.create ~seed:5 () in
   let a = List.init 8 (fun _ -> Matprod_util.Prng.bits ctx.Ctx.alice) in
   let b = List.init 8 (fun _ -> Matprod_util.Prng.bits ctx.Ctx.bob) in
   let p = List.init 8 (fun _ -> Matprod_util.Prng.bits ctx.Ctx.public) in

@@ -799,7 +799,7 @@ let test_session_queries_free () =
   let a, b = bool_pair rng ~n:60 ~density:0.1 in
   let ai = Imat.of_bmat a and bi = Imat.of_bmat b in
   let c = Product.bool_product a b in
-  let ctx = Ctx.create ~seed:1 in
+  let ctx = Ctx.create ~seed:1 () in
   let s = Session.establish ctx ~beta:0.3 ~a:ai ~b:bi in
   let bits_after_establish = Transcript.total_bits (Ctx.transcript ctx) in
   (* Many queries, no new communication. *)
@@ -824,7 +824,7 @@ let test_session_top_rows () =
         if i = 17 then Array.init n (fun k -> k) else r)
   in
   let b = Workload.uniform_bool rng ~rows:n ~cols:n ~density:0.15 in
-  let ctx = Ctx.create ~seed:2 in
+  let ctx = Ctx.create ~seed:2 () in
   let s =
     Session.establish ~p:1.0 ctx ~beta:0.3 ~a:(Imat.of_bmat a) ~b:(Imat.of_bmat b)
   in
@@ -839,7 +839,7 @@ let test_session_refine_improves () =
   let actual = Product.lp_pow (Product.bool_product a b) ~p:0.0 in
   let coarse_errs = ref [] and fine_errs = ref [] in
   for seed = 1 to 5 do
-    let ctx = Ctx.create ~seed in
+    let ctx = Ctx.create ~seed () in
     let s = Session.establish ctx ~beta:0.5 ~a:ai ~b:bi in
     coarse_errs :=
       Stats.relative_error ~actual ~estimate:(Session.norm_pow s) :: !coarse_errs;
